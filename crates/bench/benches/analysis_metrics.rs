@@ -1,0 +1,82 @@
+//! Analyzer and per-metric estimator throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zoom_analysis::metrics::frame::FrameTracker;
+use zoom_analysis::metrics::jitter::JitterEstimator;
+use zoom_analysis::metrics::loss::SeqTracker;
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::pcap::LinkType;
+
+fn bench(c: &mut Criterion) {
+    // Pre-generate a meeting's records once.
+    let records: Vec<_> = MeetingSim::new(scenario::validation_experiment(3))
+        .take(20_000)
+        .collect();
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("analyzer_20k_packets", |b| {
+        b.iter(|| {
+            let mut a = Analyzer::new(AnalyzerConfig::default());
+            for r in &records {
+                a.process_record(black_box(r), LinkType::Ethernet);
+            }
+            a.summary().zoom_packets
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("estimators");
+    g.bench_function("jitter_on_frame", |b| {
+        let mut j = JitterEstimator::video();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            j.on_frame(i * 33_000_000, (i as u32) * 3_000);
+            black_box(j.jitter_nanos())
+        })
+    });
+    g.bench_function("seq_tracker", |b| {
+        let mut t = SeqTracker::new();
+        let mut s = 0u16;
+        b.iter(|| {
+            s = s.wrapping_add(1);
+            t.on_sequence(black_box(s));
+        })
+    });
+    g.bench_function("frame_tracker_3pkt_frame", |b| {
+        let mut t = FrameTracker::video();
+        let mut ts = 0u32;
+        let mut seq = 0u16;
+        let mut at = 0u64;
+        b.iter(|| {
+            ts = ts.wrapping_add(3_000);
+            at += 33_000_000;
+            for k in 0..3 {
+                seq = seq.wrapping_add(1);
+                t.on_packet(at + k * 250_000, ts, seq, k == 2, 1_000, Some(3));
+            }
+            black_box(t.frames().len())
+        })
+    });
+    g.finish();
+
+    // Simulator generation throughput (packets/second of sim).
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("meeting_sim_10s_two_party", |b| {
+        b.iter(|| {
+            let mut cfg = scenario::validation_experiment(9);
+            for p in &mut cfg.participants {
+                p.leave_at = 10 * SEC;
+            }
+            MeetingSim::new(cfg).count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Capture-pipeline (software Tofino) per-packet decision throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::net::Ipv4Addr;
+use zoom_capture::anonymize::{Anonymizer, Mode};
+use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
+use zoom_wire::compose;
+use zoom_wire::pcap::{LinkType, Record};
+
+fn pipeline(anonymize: bool) -> CapturePipeline {
+    let mut cfg = PipelineConfig::sample("10.8.0.0/16");
+    if anonymize {
+        cfg.anonymizer = Some(Anonymizer::new(5, Mode::PrefixPreserving));
+    }
+    CapturePipeline::new(cfg)
+}
+
+fn bench(c: &mut Criterion) {
+    let zoom_pkt = compose::udp_ipv4_ethernet(
+        Ipv4Addr::new(10, 8, 0, 2),
+        Ipv4Addr::new(170, 114, 1, 1),
+        51_000,
+        8801,
+        &[0u8; 900],
+    );
+    let other_pkt = compose::udp_ipv4_ethernet(
+        Ipv4Addr::new(10, 8, 0, 2),
+        Ipv4Addr::new(13, 8, 8, 8),
+        51_000,
+        443,
+        &[0u8; 900],
+    );
+    let mut g = c.benchmark_group("capture_pipeline");
+    let mut p = pipeline(false);
+    g.bench_function("classify_zoom_server", |b| {
+        b.iter(|| p.classify(0, black_box(&zoom_pkt), LinkType::Ethernet))
+    });
+    g.bench_function("classify_background", |b| {
+        b.iter(|| p.classify(0, black_box(&other_pkt), LinkType::Ethernet))
+    });
+    let mut pa = pipeline(true);
+    let record = Record::full(0, zoom_pkt.clone());
+    g.bench_function("process_with_anonymization", |b| {
+        b.iter(|| pa.process_record(black_box(&record), LinkType::Ethernet))
+    });
+    let anon = Anonymizer::new(9, Mode::PrefixPreserving);
+    g.bench_function("anonymize_address", |b| {
+        b.iter(|| anon.anonymize_v4(black_box(Ipv4Addr::new(10, 8, 4, 200))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

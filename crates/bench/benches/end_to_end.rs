@@ -1,0 +1,49 @@
+//! End-to-end throughput: simulate → filter → analyze, packets per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_capture::cidr::prefix_set;
+use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
+use zoom_capture::zoom_nets::{Owner, ZoomIpList, ZoomNetwork};
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::pcap::LinkType;
+
+fn bench(c: &mut Criterion) {
+    // Pre-generate the records: the benchmark measures the consumer side.
+    let mut cfg = scenario::multi_party(5, 30 * SEC);
+    cfg.participants.truncate(3);
+    let records: Vec<_> = MeetingSim::new(cfg).collect();
+    let zoom_list = ZoomIpList::from_networks(vec![ZoomNetwork {
+        cidr: "170.114.0.0/16".parse().unwrap(),
+        owner: Owner::ZoomAs,
+    }]);
+
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("capture_plus_analysis", |b| {
+        b.iter(|| {
+            let mut capture = CapturePipeline::new(PipelineConfig {
+                campus_nets: prefix_set(&[scenario::CAMPUS_NET]),
+                excluded_nets: Default::default(),
+                zoom_list: zoom_list.clone(),
+                stun_timeout_nanos: 120 * SEC,
+                anonymizer: None,
+            });
+            let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+            for r in &records {
+                let (_, out) = capture.process_record(r, LinkType::Ethernet);
+                if let Some(out) = out {
+                    analyzer.process_record(&out, LinkType::Ethernet);
+                }
+            }
+            analyzer.summary().zoom_packets
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

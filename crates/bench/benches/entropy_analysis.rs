@@ -1,0 +1,52 @@
+//! Entropy-based header-analysis toolkit throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zoom_analysis::entropy::{extract_series, find_rtp_offsets, scan_flow};
+use zoom_wire::rtp;
+
+fn synthetic_flow(n: usize) -> Vec<(u64, Vec<u8>)> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n as u64)
+        .map(|i| {
+            let repr = rtp::Repr {
+                marker: i % 30 == 0,
+                payload_type: 98,
+                sequence_number: 100 + i as u16,
+                timestamp: 5_000 + (i as u32) * 3_000,
+                ssrc: 0x21,
+                csrc_count: 0,
+                has_extension: false,
+            };
+            let mut buf = vec![0u8; 8 + 12 + 200];
+            buf[0] = 5;
+            repr.emit(&mut rtp::Packet::new_unchecked(&mut buf[8..20]));
+            rng.fill(&mut buf[20..]);
+            (i * 33_000_000, buf)
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let flow = synthetic_flow(1_000);
+    let mut g = c.benchmark_group("entropy");
+    g.sample_size(20);
+    g.bench_function("extract_series_4B", |b| {
+        b.iter(|| extract_series(flow.iter().map(|(t, p)| (*t, p.as_slice())), 12, 4))
+    });
+    g.bench_function("classify_series", |b| {
+        let s = extract_series(flow.iter().map(|(t, p)| (*t, p.as_slice())), 12, 4);
+        b.iter(|| black_box(&s).classify())
+    });
+    g.bench_function("scan_flow_32B", |b| {
+        b.iter(|| scan_flow(black_box(&flow), 32))
+    });
+    g.bench_function("find_rtp_offsets_32B", |b| {
+        b.iter(|| find_rtp_offsets(black_box(&flow), 32))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Meeting-grouping heuristic throughput over many streams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::net::{IpAddr, Ipv4Addr};
+use zoom_analysis::meeting::{CandidateState, MeetingGrouper};
+use zoom_analysis::stream::StreamKey;
+use zoom_wire::flow::{Endpoint, FiveTuple};
+use zoom_wire::ipv4::Protocol;
+
+fn key(client: u32, port: u16, ssrc: u32) -> StreamKey {
+    StreamKey {
+        flow: FiveTuple {
+            src_ip: IpAddr::V4(Ipv4Addr::from(0x0A08_0000 + client)),
+            dst_ip: IpAddr::V4(Ipv4Addr::new(170, 114, 0, 1)),
+            src_port: port,
+            dst_port: 8801,
+            protocol: Protocol::Udp,
+        },
+        ssrc,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grouping");
+    g.sample_size(20);
+    g.bench_function("register_10k_streams", |b| {
+        b.iter(|| {
+            let mut grouper = MeetingGrouper::new();
+            for i in 0..10_000u32 {
+                let k = key(i % 2_000, (40_000 + i % 20_000) as u16, 16 + i % 64);
+                grouper.on_new_stream(
+                    k,
+                    Endpoint::new(k.flow.src_ip, k.flow.src_port),
+                    k.flow.dst_ip,
+                    i.wrapping_mul(2_654_435_761),
+                    (i % 65_536) as u16,
+                    u64::from(i) * 1_000_000,
+                    |_| None::<CandidateState>,
+                );
+            }
+            grouper.meeting_count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Runs the three ablation experiments from DESIGN.md §5: grouping
+//! without step 1, packet- vs frame-level jitter, and the P2P register
+//! timeout sweep.
+use zoom_bench::ablations;
+use zoom_bench::harness::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    ablations::grouping_without_step1(&args);
+    println!();
+    ablations::jitter_packet_vs_frame(&args);
+    println!();
+    ablations::p2p_timeout_sweep(&args);
+}

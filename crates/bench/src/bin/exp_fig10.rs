@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10: estimation accuracy (frame rate, latency,
+//! jitter) against the simulated Zoom-SDK QoS feed.
+use zoom_bench::harness::ExpArgs;
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    zoom_bench::figures::fig10(&args);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 11: the two latency-measurement methods compared.
+use zoom_bench::harness::ExpArgs;
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    zoom_bench::figures::fig11(&args);
+}

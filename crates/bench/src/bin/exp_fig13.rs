@@ -1,0 +1,12 @@
+//! Regenerates Fig. 13: per-stage counters of the capture pipeline on a
+//! mixed campus feed.
+use zoom_bench::harness::ExpArgs;
+fn main() {
+    let args = ExpArgs::parse(ExpArgs {
+        minutes: 30,
+        scale_denom: 4.0,
+        background_ratio: 13.6,
+        ..ExpArgs::default()
+    });
+    zoom_bench::figures::fig13(&args);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 14: data rate per media type over the campus trace.
+use zoom_bench::harness::{run_campus, ExpArgs};
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    let run = run_campus(&args);
+    zoom_bench::figures::fig14(&run, &args);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 15: per-media CDFs of data rate, frame rate, frame
+//! size, and frame-level jitter.
+use zoom_bench::harness::{run_campus, ExpArgs};
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    let run = run_campus(&args);
+    zoom_bench::figures::fig15(&run, &args);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 16: (absence of) correlation between jitter and bit
+//! rate / frame rate.
+use zoom_bench::harness::{run_campus, ExpArgs};
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    let run = run_campus(&args);
+    zoom_bench::figures::fig16(&run, &args);
+}

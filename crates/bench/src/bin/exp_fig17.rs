@@ -1,0 +1,12 @@
+//! Regenerates Fig. 17: packet rate of all campus traffic vs filtered
+//! Zoom traffic.
+use zoom_bench::harness::ExpArgs;
+fn main() {
+    let args = ExpArgs::parse(ExpArgs {
+        minutes: 30,
+        scale_denom: 4.0,
+        background_ratio: 13.6,
+        ..ExpArgs::default()
+    });
+    zoom_bench::figures::fig17(&args);
+}

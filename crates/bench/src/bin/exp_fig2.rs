@@ -1,0 +1,6 @@
+//! Regenerates Fig. 2: P2P connection establishment via STUN.
+use zoom_bench::harness::ExpArgs;
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    zoom_bench::figures::fig2(&args);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figs. 3–5: entropy-based header analysis value series.
+use zoom_bench::harness::ExpArgs;
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    zoom_bench::figures::fig5(&args);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 6: aggregation levels within a Zoom meeting.
+use zoom_bench::harness::ExpArgs;
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    zoom_bench::figures::fig6(&args);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figs. 8/9: the meeting-grouping heuristic vs ground truth.
+use zoom_bench::harness::ExpArgs;
+fn main() {
+    let args = ExpArgs::parse(ExpArgs {
+        minutes: 10,
+        ..ExpArgs::default()
+    });
+    zoom_bench::figures::fig8(&args);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: cleartext header fields (with byte-level
+//! round-trip verification).
+fn main() {
+    zoom_bench::tables::table1();
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 2: Zoom media-encapsulation type values and their
+//! packet/byte shares over a scaled campus trace.
+use zoom_bench::harness::{run_campus, ExpArgs};
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    let run = run_campus(&args);
+    zoom_bench::tables::table2(&run);
+}

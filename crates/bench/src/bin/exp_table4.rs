@@ -1,0 +1,11 @@
+//! Regenerates Table 4: the metric capability matrix, derived from what
+//! the implementation measures on a real (simulated) trace.
+use zoom_bench::harness::{run_campus, ExpArgs};
+fn main() {
+    let args = ExpArgs::parse(ExpArgs {
+        minutes: 8,
+        ..ExpArgs::default()
+    });
+    let run = run_campus(&args);
+    zoom_bench::tables::table4(&run);
+}

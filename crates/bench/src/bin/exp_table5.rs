@@ -1,0 +1,5 @@
+//! Regenerates Table 5: Tofino hardware resource usage of the capture
+//! program, from the resource-accounting model.
+fn main() {
+    zoom_bench::tables::table5();
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 6: campus capture summary (packets, flows, data,
+//! streams) with the paper's values scaled for comparison.
+use zoom_bench::harness::{run_campus, ExpArgs};
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    let run = run_campus(&args);
+    zoom_bench::tables::table6(&run, &args);
+}

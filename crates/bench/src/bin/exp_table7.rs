@@ -1,0 +1,5 @@
+//! Regenerates Table 7 and the Appendix B infrastructure analysis from
+//! the synthetic Zoom server database.
+fn main() {
+    zoom_bench::tables::table7();
+}

@@ -1,0 +1,71 @@
+//! Runs every table/figure experiment with one shared campus run where
+//! possible. Accepts the common flags (--minutes, --scale, --seed,
+//! --background, --out).
+use zoom_bench::figures;
+use zoom_bench::harness::{run_campus, ExpArgs};
+use zoom_bench::tables;
+
+fn section(name: &str) {
+    println!("\n{}\n# {name}\n{}", "#".repeat(70), "#".repeat(70));
+}
+
+fn main() {
+    let args = ExpArgs::parse(ExpArgs::default());
+    section("Table 1");
+    tables::table1();
+    section("Table 5");
+    tables::table5();
+    section("Table 7 / Appendix B");
+    tables::table7();
+
+    section("Campus run (shared by Tables 2/3/4/6 and Figs. 14/15/16)");
+    let run = run_campus(&args);
+    section("Table 2");
+    tables::table2(&run);
+    section("Table 3");
+    tables::table3(&run);
+    section("Table 4");
+    tables::table4(&run);
+    section("Table 6");
+    tables::table6(&run, &args);
+    section("Figure 14");
+    figures::fig14(&run, &args);
+    section("Figure 15");
+    figures::fig15(&run, &args);
+    section("Figure 16");
+    figures::fig16(&run, &args);
+
+    section("Figure 2");
+    figures::fig2(&args);
+    section("Figures 3-5");
+    figures::fig5(&args);
+    section("Figure 6");
+    figures::fig6(&args);
+    section("Figures 8/9");
+    figures::fig8(&args);
+    section("Figure 10");
+    figures::fig10(&args);
+    section("Figure 11");
+    figures::fig11(&args);
+    // The capture experiments carry ~14 background packets per Zoom
+    // packet; run them on a shorter, denser window so the Zoom stages
+    // see traffic without exploding the packet budget.
+    let cap_args = ExpArgs {
+        minutes: args.minutes.min(30),
+        scale_denom: args.scale_denom.min(4.0),
+        background_ratio: if args.background_ratio > 0.0 {
+            args.background_ratio
+        } else {
+            13.6
+        },
+        ..args.clone()
+    };
+    section("Figures 13 and 17 (one shared capture run)");
+    let capture = figures::capture_experiment(&cap_args);
+    figures::fig13_from(&capture);
+    figures::fig17_from(&capture, &cap_args);
+    println!(
+        "\nAll experiments completed; CSV artifacts in {}",
+        args.out_dir.display()
+    );
+}

@@ -1,0 +1,185 @@
+//! Shared plumbing for the experiment binaries: argument parsing, CSV
+//! output, and the standard capture→analysis run.
+
+use std::io::Write;
+use std::path::PathBuf;
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_capture::cidr::prefix_set;
+use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
+use zoom_sim::campus::CampusStream;
+use zoom_sim::infra::Infrastructure;
+use zoom_sim::scenario;
+use zoom_wire::pcap::LinkType;
+
+/// Common experiment parameters, parsed from `--seed`, `--minutes`,
+/// `--scale` (denominator), `--background`, and `--out` flags.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    pub seed: u64,
+    pub minutes: u64,
+    /// Scale denominator: load is 1/scale_denom of the paper's campus.
+    pub scale_denom: f64,
+    pub background_ratio: f64,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            seed: 7,
+            minutes: 20,
+            scale_denom: 24.0,
+            background_ratio: 0.0,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args`, applying experiment-specific
+    /// defaults first.
+    pub fn parse(mut defaults: ExpArgs) -> ExpArgs {
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() + 1 {
+            let flag = args.get(i).map(String::as_str);
+            let value = args.get(i + 1);
+            match (flag, value) {
+                (Some("--seed"), Some(v)) => {
+                    defaults.seed = v.parse().expect("--seed <u64>");
+                    i += 2;
+                }
+                (Some("--minutes"), Some(v)) => {
+                    defaults.minutes = v.parse().expect("--minutes <u64>");
+                    i += 2;
+                }
+                (Some("--scale"), Some(v)) => {
+                    defaults.scale_denom = v.parse().expect("--scale <denominator>");
+                    i += 2;
+                }
+                (Some("--background"), Some(v)) => {
+                    defaults.background_ratio = v.parse().expect("--background <ratio>");
+                    i += 2;
+                }
+                (Some("--out"), Some(v)) => {
+                    defaults.out_dir = PathBuf::from(v);
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        defaults
+    }
+
+    /// Duration in nanoseconds.
+    pub fn duration(&self) -> u64 {
+        self.minutes * 60 * zoom_sim::time::SEC
+    }
+
+    /// Load scale.
+    pub fn scale(&self) -> f64 {
+        1.0 / self.scale_denom
+    }
+}
+
+/// Write a CSV file into the output directory; returns the path.
+pub fn write_csv(
+    args: &ExpArgs,
+    name: &str,
+    header: &str,
+    rows: impl IntoIterator<Item = String>,
+) -> PathBuf {
+    std::fs::create_dir_all(&args.out_dir).expect("create results dir");
+    let path = args.out_dir.join(name);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+    writeln!(f, "{header}").expect("write header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write row");
+    }
+    f.flush().expect("flush csv");
+    println!("[csv] {}", path.display());
+    path
+}
+
+/// The standard campus run: generate → filter → analyze. Returns the
+/// analyzer, the capture pipeline (for its counters), and the scenario
+/// truth.
+pub struct CampusRun {
+    pub analyzer: Analyzer,
+    pub capture: CapturePipeline,
+    pub truth: Vec<zoom_sim::campus::MeetingTruth>,
+    pub infra: Infrastructure,
+}
+
+/// Run the campus workload through capture + analysis.
+pub fn run_campus(args: &ExpArgs) -> CampusRun {
+    let (scenario_obj, infra) = scenario::campus_study(
+        args.seed,
+        args.duration(),
+        args.scale(),
+        args.background_ratio,
+    );
+    let truth = scenario_obj.truth.clone();
+    eprintln!(
+        "[campus] {} meetings over {} min at 1/{} scale",
+        truth.len(),
+        args.minutes,
+        args.scale_denom
+    );
+    let mut capture = CapturePipeline::new(PipelineConfig {
+        campus_nets: prefix_set(&[scenario::CAMPUS_NET]),
+        excluded_nets: Default::default(),
+        zoom_list: infra.ip_list.clone(),
+        stun_timeout_nanos: 120 * zoom_sim::time::SEC,
+        anonymizer: None,
+    });
+    let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+    let stream: CampusStream = scenario_obj.into_stream();
+    for record in stream {
+        let (_, out) = capture.process_record(&record, LinkType::Ethernet);
+        if let Some(out) = out {
+            analyzer.process_record(&out, LinkType::Ethernet);
+        }
+    }
+    CampusRun {
+        analyzer,
+        capture,
+        truth,
+        infra,
+    }
+}
+
+/// Render a fixed-width table row.
+pub fn row3(
+    a: impl std::fmt::Display,
+    b: impl std::fmt::Display,
+    c: impl std::fmt::Display,
+) -> String {
+    format!("{a:<28} {b:>12} {c:>12}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_duration() {
+        let a = ExpArgs::default();
+        assert_eq!(a.duration(), 20 * 60 * 1_000_000_000);
+        assert!((a.scale() - 1.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_written() {
+        let dir = std::env::temp_dir().join("zoom_bench_test_csv");
+        let args = ExpArgs {
+            out_dir: dir.clone(),
+            ..Default::default()
+        };
+        let p = write_csv(&args, "t.csv", "a,b", vec!["1,2".to_string()]);
+        let content = std::fs::read_to_string(p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

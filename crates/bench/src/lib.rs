@@ -1,0 +1,12 @@
+//! # zoom-bench — experiment harness and performance benchmarks
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), shared
+//! helpers here, and Criterion benchmarks of every pipeline component in
+//! `benches/`. `EXPERIMENTS.md` at the repository root maps each
+//! experiment to its paper counterpart and records measured-vs-paper
+//! shapes.
+
+pub mod ablations;
+pub mod figures;
+pub mod harness;
+pub mod tables;

@@ -1,0 +1,287 @@
+//! IPv4 CIDR prefixes and longest-prefix-match sets.
+//!
+//! The data-plane pipeline matches every packet against the campus subnets
+//! and against Zoom's published server networks (117 prefixes from /16 to
+//! /27 at the time of the paper). A Tofino does this in TCAM; in software
+//! we use a per-prefix-length hash probe, which preserves longest-prefix
+//! semantics and stays O(32) per lookup regardless of table size.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr};
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cidr {
+    address: Ipv4Addr,
+    prefix_len: u8,
+}
+
+/// Error parsing a CIDR string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCidrError(pub String);
+
+impl fmt::Display for ParseCidrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CIDR: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCidrError {}
+
+impl Cidr {
+    /// Construct, masking the address down to the prefix. Panics if
+    /// `prefix_len > 32` (a programming error, not input).
+    pub fn new(address: Ipv4Addr, prefix_len: u8) -> Cidr {
+        assert!(prefix_len <= 32, "prefix length out of range");
+        let masked = u32::from(address) & Self::mask_bits(prefix_len);
+        Cidr {
+            address: Ipv4Addr::from(masked),
+            prefix_len,
+        }
+    }
+
+    fn mask_bits(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(prefix_len))
+        }
+    }
+
+    /// Network address (already masked).
+    pub fn address(&self) -> Ipv4Addr {
+        self.address
+    }
+
+    /// Prefix length.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        u32::from(ip) & Self::mask_bits(self.prefix_len) == u32::from(self.address)
+    }
+
+    /// The `i`-th address within the prefix (wraps if out of range, which
+    /// callers avoid by bounding on [`Cidr::size`]).
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.address).wrapping_add(i as u32))
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.address, self.prefix_len)
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = ParseCidrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| ParseCidrError(s.into()))?;
+        let address: Ipv4Addr = addr.parse().map_err(|_| ParseCidrError(s.into()))?;
+        let prefix_len: u8 = len.parse().map_err(|_| ParseCidrError(s.into()))?;
+        if prefix_len > 32 {
+            return Err(ParseCidrError(s.into()));
+        }
+        Ok(Cidr::new(address, prefix_len))
+    }
+}
+
+/// A longest-prefix-match set mapping prefixes to values.
+#[derive(Debug, Clone)]
+pub struct PrefixMap<V> {
+    /// One hash table per prefix length, probed longest-first.
+    tables: Vec<HashMap<u32, V>>,
+    /// Present prefix lengths, sorted descending.
+    lens: Vec<u8>,
+    len: usize,
+}
+
+impl<V> Default for PrefixMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixMap<V> {
+    /// Empty set.
+    pub fn new() -> Self {
+        PrefixMap {
+            tables: (0..=32).map(|_| HashMap::new()).collect(),
+            lens: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Insert a prefix → value mapping; replaces an existing entry for the
+    /// identical prefix.
+    pub fn insert(&mut self, cidr: Cidr, value: V) {
+        let table = &mut self.tables[usize::from(cidr.prefix_len())];
+        if table.insert(u32::from(cidr.address()), value).is_none() {
+            self.len += 1;
+            if !self.lens.contains(&cidr.prefix_len()) {
+                self.lens.push(cidr.prefix_len());
+                self.lens.sort_unstable_by(|a, b| b.cmp(a));
+            }
+        }
+    }
+
+    /// Longest-prefix match.
+    pub fn longest_match(&self, ip: Ipv4Addr) -> Option<(Cidr, &V)> {
+        let raw = u32::from(ip);
+        for &len in &self.lens {
+            let masked = raw & Cidr::mask_bits(len);
+            if let Some(v) = self.tables[usize::from(len)].get(&masked) {
+                return Some((Cidr::new(Ipv4Addr::from(masked), len), v));
+            }
+        }
+        None
+    }
+
+    /// Membership test (any prefix).
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.longest_match(ip).is_some()
+    }
+
+    /// Membership test accepting either address family; IPv6 never matches
+    /// (the paper's campus capture is IPv4).
+    pub fn contains_addr(&self, ip: IpAddr) -> bool {
+        match ip {
+            IpAddr::V4(v4) => self.contains(v4),
+            IpAddr::V6(_) => false,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over all `(cidr, value)` pairs in descending prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (Cidr, &V)> + '_ {
+        self.lens.iter().flat_map(move |&len| {
+            self.tables[usize::from(len)]
+                .iter()
+                .map(move |(&addr, v)| (Cidr::new(Ipv4Addr::from(addr), len), v))
+        })
+    }
+}
+
+/// A value-less prefix set.
+pub type PrefixSet = PrefixMap<()>;
+
+/// Build a [`PrefixSet`] from CIDR strings; panics on invalid literals
+/// (intended for static configuration).
+pub fn prefix_set(cidrs: &[&str]) -> PrefixSet {
+    let mut set = PrefixSet::new();
+    for s in cidrs {
+        set.insert(s.parse().expect("static CIDR literal"), ());
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let c: Cidr = "10.8.0.0/16".parse().unwrap();
+        assert_eq!(c.to_string(), "10.8.0.0/16");
+        assert_eq!(c.prefix_len(), 16);
+        assert_eq!(c.size(), 65_536);
+    }
+
+    #[test]
+    fn address_is_masked() {
+        let c: Cidr = "10.8.7.6/16".parse().unwrap();
+        assert_eq!(c.address(), Ipv4Addr::new(10, 8, 0, 0));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("10.8.0.0".parse::<Cidr>().is_err());
+        assert!("10.8.0.0/33".parse::<Cidr>().is_err());
+        assert!("zoom/8".parse::<Cidr>().is_err());
+    }
+
+    #[test]
+    fn contains() {
+        let c: Cidr = "192.168.1.0/24".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(192, 168, 1, 200)));
+        assert!(!c.contains(Ipv4Addr::new(192, 168, 2, 1)));
+    }
+
+    #[test]
+    fn zero_prefix_matches_everything() {
+        let c: Cidr = "0.0.0.0/0".parse().unwrap();
+        assert!(c.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(c.size(), 1 << 32);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut m = PrefixMap::new();
+        m.insert("10.0.0.0/8".parse().unwrap(), "broad");
+        m.insert("10.8.0.0/16".parse().unwrap(), "narrow");
+        let (c, v) = m.longest_match(Ipv4Addr::new(10, 8, 1, 1)).unwrap();
+        assert_eq!(*v, "narrow");
+        assert_eq!(c.prefix_len(), 16);
+        let (_, v) = m.longest_match(Ipv4Addr::new(10, 9, 1, 1)).unwrap();
+        assert_eq!(*v, "broad");
+        assert!(m.longest_match(Ipv4Addr::new(11, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn prefix_set_builder() {
+        let s = prefix_set(&["3.7.35.0/25", "52.202.62.192/26"]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Ipv4Addr::new(3, 7, 35, 100)));
+        assert!(!s.contains(Ipv4Addr::new(3, 7, 36, 1)));
+    }
+
+    #[test]
+    fn nth_enumerates() {
+        let c: Cidr = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(c.nth(3), Ipv4Addr::new(10, 0, 0, 3));
+    }
+
+    #[test]
+    fn ipv6_never_matches() {
+        let s = prefix_set(&["0.0.0.0/0"]);
+        assert!(!s.contains_addr("2001:db8::1".parse().unwrap()));
+        assert!(s.contains_addr("1.2.3.4".parse().unwrap()));
+    }
+
+    #[test]
+    fn insert_same_prefix_replaces() {
+        let mut m = PrefixMap::new();
+        m.insert("10.0.0.0/8".parse().unwrap(), 1);
+        m.insert("10.0.0.0/8".parse().unwrap(), 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(*m.longest_match(Ipv4Addr::new(10, 1, 1, 1)).unwrap().1, 2);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut m = PrefixMap::new();
+        m.insert("10.0.0.0/8".parse().unwrap(), ());
+        m.insert("172.16.0.0/12".parse().unwrap(), ());
+        assert_eq!(m.iter().count(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! # zoom-capture — software model of the paper's P4 Zoom capture pipeline
+//!
+//! The paper (§6.1, Fig. 13) deploys a P4 program on an Intel Tofino switch
+//! that filters a multi-Gbps campus feed down to just Zoom packets before
+//! they reach `tcpdump`:
+//!
+//! 1. match packets against the campus IP networks,
+//! 2. match against Zoom's published server networks (stateless),
+//! 3. track STUN exchanges with Zoom servers in register hash tables and
+//!    use them to recognize subsequent **P2P** media flows
+//!    deterministically (§4.1),
+//! 4. anonymize client addresses with a one-way function before the
+//!    packets are written out.
+//!
+//! This crate reimplements that pipeline in software with identical
+//! semantics ([`pipeline::CapturePipeline`]) and adds a hardware resource
+//! accounting model ([`resources`]) that reproduces the structure of the
+//! paper's Table 5.
+
+pub mod anonymize;
+pub mod cidr;
+pub mod pipeline;
+pub mod resources;
+pub mod stun_tracker;
+pub mod zoom_nets;

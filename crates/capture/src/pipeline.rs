@@ -1,0 +1,523 @@
+//! The Zoom packet-filter pipeline (Fig. 13 of the paper) in software.
+//!
+//! Mirrors the Tofino P4 program stage by stage:
+//!
+//! 1. **Campus match** — determine the campus-side endpoint; packets from
+//!    excluded subnets (research-computing bulk traffic) are dropped.
+//! 2. **Zoom IP match** — stateless check of either address against the
+//!    published Zoom server list; matching TCP (control, port 443) and UDP
+//!    (media, port 8801; STUN, port 3478) passes.
+//! 3. **STUN registration** — STUN packets between a campus client and a
+//!    Zoom server write the campus `(ip, port)` endpoint into the P2P
+//!    registers.
+//! 4. **P2P lookup** — non-server UDP packets whose campus endpoint is
+//!    registered pass as P2P media; everything else is dropped.
+//! 5. **Anonymization** — campus addresses in passing packets are
+//!    rewritten with a one-way function before being written out.
+//!
+//! The pipeline parses only what a data plane would: link, IP, transport
+//! ports, and the STUN magic — never the Zoom media payload.
+
+use crate::anonymize::Anonymizer;
+use crate::cidr::PrefixSet;
+use crate::stun_tracker::{StunTracker, TrackerStats};
+use crate::zoom_nets::ZoomIpList;
+use std::net::IpAddr;
+use zoom_wire::flow::Endpoint;
+use zoom_wire::ipv4::Protocol;
+use zoom_wire::pcap::{LinkType, Record};
+use zoom_wire::{ethernet, ipv4, stun, udp};
+
+/// Configuration of the capture pipeline.
+#[derive(Debug)]
+pub struct PipelineConfig {
+    /// Campus-internal networks (the monitor sits at the border).
+    pub campus_nets: PrefixSet,
+    /// Campus subnets excluded from capture (bulk research traffic).
+    pub excluded_nets: PrefixSet,
+    /// Zoom's published server networks.
+    pub zoom_list: ZoomIpList,
+    /// Timeout for P2P detection register entries.
+    pub stun_timeout_nanos: u64,
+    /// When set, campus addresses in passing packets are anonymized.
+    pub anonymizer: Option<Anonymizer>,
+}
+
+impl PipelineConfig {
+    /// A config with the sample Zoom list, a /16 campus, no exclusions,
+    /// and the default 120 s STUN timeout.
+    pub fn sample(campus: &str) -> PipelineConfig {
+        PipelineConfig {
+            campus_nets: crate::cidr::prefix_set(&[campus]),
+            excluded_nets: PrefixSet::new(),
+            zoom_list: crate::zoom_nets::sample_list(),
+            stun_timeout_nanos: 120 * 1_000_000_000,
+            anonymizer: None,
+        }
+    }
+}
+
+/// Classification of one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Zoom server-based traffic (UDP media, TCP control, or any other
+    /// packet to/from a published Zoom address).
+    ZoomServer,
+    /// STUN exchange with a Zoom server (also registers the endpoint).
+    ZoomStun,
+    /// Zoom P2P media recognized via the STUN registers.
+    ZoomP2p,
+    /// Dropped: neither a Zoom server nor a registered P2P endpoint.
+    NotZoom,
+    /// Dropped: campus-side endpoint in an excluded subnet.
+    Excluded,
+    /// Dropped: could not parse the headers the data plane needs.
+    Unparseable,
+}
+
+impl Verdict {
+    /// Does this packet reach the capture output?
+    pub fn passes(self) -> bool {
+        matches!(
+            self,
+            Verdict::ZoomServer | Verdict::ZoomStun | Verdict::ZoomP2p
+        )
+    }
+}
+
+/// Per-stage counters for Fig. 13 / Fig. 17-style reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    pub total: u64,
+    pub excluded: u64,
+    pub zoom_ip_matched: u64,
+    pub stun_registered: u64,
+    pub p2p_matched: u64,
+    pub dropped: u64,
+    pub unparseable: u64,
+    pub passed: u64,
+    pub passed_bytes: u64,
+    pub total_bytes: u64,
+}
+
+/// The capture pipeline.
+#[derive(Debug)]
+pub struct CapturePipeline {
+    config: PipelineConfig,
+    tracker: StunTracker,
+    counters: StageCounters,
+}
+
+/// Light-weight header facts the data plane extracts per packet.
+#[derive(Debug, Clone, Copy)]
+struct HeaderFacts {
+    src: IpAddr,
+    dst: IpAddr,
+    src_port: u16,
+    dst_port: u16,
+    protocol: Protocol,
+    is_stun: bool,
+}
+
+impl CapturePipeline {
+    /// Build from a configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        let tracker = StunTracker::new(config.stun_timeout_nanos);
+        CapturePipeline {
+            config,
+            tracker,
+            counters: StageCounters::default(),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> StageCounters {
+        self.counters
+    }
+
+    /// STUN register statistics.
+    pub fn tracker_stats(&self) -> TrackerStats {
+        self.tracker.stats()
+    }
+
+    /// Configuration access (e.g. for resource accounting).
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Classify one packet and update state. This is the pure filter
+    /// decision; use [`CapturePipeline::process_record`] to also produce
+    /// the anonymized output record.
+    pub fn classify(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) -> Verdict {
+        self.counters.total += 1;
+        self.counters.total_bytes += data.len() as u64;
+        let facts = match self.extract(data, link) {
+            Some(f) => f,
+            None => {
+                self.counters.unparseable += 1;
+                return Verdict::Unparseable;
+            }
+        };
+        let verdict = self.decide(ts_nanos, facts);
+        match verdict {
+            Verdict::Excluded => self.counters.excluded += 1,
+            Verdict::ZoomServer => self.counters.zoom_ip_matched += 1,
+            Verdict::ZoomStun => self.counters.stun_registered += 1,
+            Verdict::ZoomP2p => self.counters.p2p_matched += 1,
+            Verdict::NotZoom => self.counters.dropped += 1,
+            Verdict::Unparseable => {}
+        }
+        if verdict.passes() {
+            self.counters.passed += 1;
+            self.counters.passed_bytes += data.len() as u64;
+        }
+        verdict
+    }
+
+    /// Classify and, when the packet passes, emit the (optionally
+    /// anonymized) output record.
+    pub fn process_record(&mut self, record: &Record, link: LinkType) -> (Verdict, Option<Record>) {
+        let verdict = self.classify(record.ts_nanos, &record.data, link);
+        if !verdict.passes() {
+            return (verdict, None);
+        }
+        let out = match self.config.anonymizer {
+            Some(anon) => Record {
+                ts_nanos: record.ts_nanos,
+                orig_len: record.orig_len,
+                data: self.anonymize_packet(&record.data, link, anon),
+            },
+            None => record.clone(),
+        };
+        (verdict, Some(out))
+    }
+
+    fn extract(&self, data: &[u8], link: LinkType) -> Option<HeaderFacts> {
+        let ip_bytes = match link {
+            LinkType::Ethernet => {
+                let eth = ethernet::Packet::new_checked(data).ok()?;
+                if eth.ethertype() != ethernet::EtherType::Ipv4 {
+                    return None;
+                }
+                &data[ethernet::HEADER_LEN..]
+            }
+            LinkType::RawIp => data,
+            LinkType::Other(_) => return None,
+        };
+        let ip = ipv4::Packet::new_checked(ip_bytes).ok()?;
+        let protocol = ip.protocol();
+        let (src_port, dst_port, is_stun) = match protocol {
+            Protocol::Udp => {
+                let u = udp::Packet::new_checked(ip.payload()).ok()?;
+                let is_stun = stun::looks_like_stun(u.payload());
+                (u.src_port(), u.dst_port(), is_stun)
+            }
+            Protocol::Tcp => {
+                let t = zoom_wire::tcp::Packet::new_checked(ip.payload()).ok()?;
+                (t.src_port(), t.dst_port(), false)
+            }
+            _ => return None,
+        };
+        Some(HeaderFacts {
+            src: IpAddr::V4(ip.src_addr()),
+            dst: IpAddr::V4(ip.dst_addr()),
+            src_port,
+            dst_port,
+            protocol,
+            is_stun,
+        })
+    }
+
+    fn decide(&mut self, ts_nanos: u64, f: HeaderFacts) -> Verdict {
+        // Stage 1: campus-side endpoint and exclusions.
+        let src_campus = self.config.campus_nets.contains_addr(f.src);
+        let dst_campus = self.config.campus_nets.contains_addr(f.dst);
+        if (src_campus && self.config.excluded_nets.contains_addr(f.src))
+            || (dst_campus && self.config.excluded_nets.contains_addr(f.dst))
+        {
+            return Verdict::Excluded;
+        }
+
+        // Stage 2: stateless Zoom server match.
+        let src_zoom = self.config.zoom_list.contains_addr(f.src);
+        let dst_zoom = self.config.zoom_list.contains_addr(f.dst);
+        if src_zoom || dst_zoom {
+            // Stage 3: STUN registration for campus clients talking to a
+            // Zoom server on the STUN port.
+            if f.protocol == Protocol::Udp
+                && f.is_stun
+                && ((dst_zoom && f.dst_port == stun::STUN_PORT)
+                    || (src_zoom && f.src_port == stun::STUN_PORT))
+            {
+                let client = if dst_zoom {
+                    Endpoint::new(f.src, f.src_port)
+                } else {
+                    Endpoint::new(f.dst, f.dst_port)
+                };
+                if self.config.campus_nets.contains_addr(client.ip) {
+                    self.tracker.register(client, ts_nanos);
+                }
+                return Verdict::ZoomStun;
+            }
+            return Verdict::ZoomServer;
+        }
+
+        // Stage 4: P2P lookup for non-server UDP.
+        if f.protocol == Protocol::Udp {
+            if src_campus
+                && self
+                    .tracker
+                    .check(Endpoint::new(f.src, f.src_port), ts_nanos)
+            {
+                return Verdict::ZoomP2p;
+            }
+            if dst_campus
+                && self
+                    .tracker
+                    .check(Endpoint::new(f.dst, f.dst_port), ts_nanos)
+            {
+                return Verdict::ZoomP2p;
+            }
+        }
+        Verdict::NotZoom
+    }
+
+    /// Rewrite campus addresses with the anonymizer and fix checksums.
+    fn anonymize_packet(&self, data: &[u8], link: LinkType, anon: Anonymizer) -> Vec<u8> {
+        let mut out = data.to_vec();
+        let ip_off = match link {
+            LinkType::Ethernet => ethernet::HEADER_LEN,
+            _ => 0,
+        };
+        if out.len() < ip_off + ipv4::HEADER_LEN {
+            return out;
+        }
+        let mut ip = ipv4::Packet::new_unchecked(&mut out[ip_off..]);
+        if ip.check_len().is_err() {
+            return out;
+        }
+        let src = ip.src_addr();
+        let dst = ip.dst_addr();
+        if self.config.campus_nets.contains(src) {
+            if let IpAddr::V4(a) = anon.anonymize(IpAddr::V4(src)) {
+                ip.set_src_addr(a);
+            }
+        }
+        if self.config.campus_nets.contains(dst) {
+            if let IpAddr::V4(a) = anon.anonymize(IpAddr::V4(dst)) {
+                ip.set_dst_addr(a);
+            }
+        }
+        ip.fill_checksum();
+        // Transport checksums would no longer verify; zero the UDP one
+        // (allowed by RFC 768) as the hardware anonymizer does.
+        if ip.protocol() == Protocol::Udp {
+            let hl = ip.header_len();
+            if let Ok(mut u) = udp::Packet::new_checked(&mut out[ip_off + hl..]) {
+                u.clear_checksum();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anonymize::Mode;
+    use std::net::Ipv4Addr;
+    use zoom_wire::compose;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn pipeline() -> CapturePipeline {
+        CapturePipeline::new(PipelineConfig::sample("10.8.0.0/16"))
+    }
+
+    fn stun_payload() -> Vec<u8> {
+        let msg = stun::Repr {
+            message_type: stun::MessageType::BindingRequest,
+            transaction_id: [3; 12],
+            xor_mapped_address: None,
+        };
+        let mut p = vec![0u8; msg.buffer_len()];
+        msg.emit(&mut p);
+        p
+    }
+
+    #[test]
+    fn server_udp_passes() {
+        let mut p = pipeline();
+        let pkt = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 2),
+            Ipv4Addr::new(170, 114, 1, 1),
+            51_000,
+            8801,
+            b"zoomish",
+        );
+        assert_eq!(p.classify(0, &pkt, LinkType::Ethernet), Verdict::ZoomServer);
+    }
+
+    #[test]
+    fn control_tcp_passes() {
+        let mut p = pipeline();
+        let pkt = compose::tcp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 2),
+            Ipv4Addr::new(170, 114, 1, 1),
+            51_000,
+            443,
+            1,
+            0,
+            zoom_wire::tcp::Flags {
+                syn: true,
+                ..Default::default()
+            },
+            b"",
+        );
+        assert_eq!(p.classify(0, &pkt, LinkType::Ethernet), Verdict::ZoomServer);
+    }
+
+    #[test]
+    fn non_zoom_dropped() {
+        let mut p = pipeline();
+        let pkt = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 2),
+            Ipv4Addr::new(8, 8, 8, 8),
+            51_000,
+            53,
+            b"dns",
+        );
+        assert_eq!(p.classify(0, &pkt, LinkType::Ethernet), Verdict::NotZoom);
+    }
+
+    #[test]
+    fn p2p_detected_after_stun() {
+        let mut p = pipeline();
+        let client = Ipv4Addr::new(10, 8, 0, 2);
+        let peer = Ipv4Addr::new(98, 20, 1, 7); // off-campus, non-Zoom
+
+        // Before the STUN exchange, P2P-looking traffic is dropped.
+        let media = compose::udp_ipv4_ethernet(client, peer, 61_000, 62_000, b"media");
+        assert_eq!(p.classify(0, &media, LinkType::Ethernet), Verdict::NotZoom);
+
+        // STUN to a Zoom zone controller registers 10.8.0.2:61000.
+        let stun_pkt = compose::udp_ipv4_ethernet(
+            client,
+            Ipv4Addr::new(170, 114, 2, 2),
+            61_000,
+            stun::STUN_PORT,
+            &stun_payload(),
+        );
+        assert_eq!(
+            p.classify(SEC, &stun_pkt, LinkType::Ethernet),
+            Verdict::ZoomStun
+        );
+
+        // Now the same endpoint talking to the peer passes as P2P —
+        // in both directions.
+        assert_eq!(
+            p.classify(2 * SEC, &media, LinkType::Ethernet),
+            Verdict::ZoomP2p
+        );
+        let reverse = compose::udp_ipv4_ethernet(peer, client, 62_000, 61_000, b"media");
+        assert_eq!(
+            p.classify(3 * SEC, &reverse, LinkType::Ethernet),
+            Verdict::ZoomP2p
+        );
+    }
+
+    #[test]
+    fn p2p_times_out() {
+        let mut cfg = PipelineConfig::sample("10.8.0.0/16");
+        cfg.stun_timeout_nanos = 10 * SEC;
+        let mut p = CapturePipeline::new(cfg);
+        let client = Ipv4Addr::new(10, 8, 0, 2);
+        let stun_pkt = compose::udp_ipv4_ethernet(
+            client,
+            Ipv4Addr::new(170, 114, 2, 2),
+            61_000,
+            stun::STUN_PORT,
+            &stun_payload(),
+        );
+        p.classify(0, &stun_pkt, LinkType::Ethernet);
+        let media =
+            compose::udp_ipv4_ethernet(client, Ipv4Addr::new(98, 20, 1, 7), 61_000, 62_000, b"m");
+        assert_eq!(
+            p.classify(60 * SEC, &media, LinkType::Ethernet),
+            Verdict::NotZoom
+        );
+    }
+
+    #[test]
+    fn excluded_subnet_dropped_even_to_zoom() {
+        let mut cfg = PipelineConfig::sample("10.8.0.0/16");
+        cfg.excluded_nets = crate::cidr::prefix_set(&["10.8.200.0/24"]);
+        let mut p = CapturePipeline::new(cfg);
+        let pkt = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 200, 5),
+            Ipv4Addr::new(170, 114, 1, 1),
+            51_000,
+            8801,
+            b"bulk",
+        );
+        assert_eq!(p.classify(0, &pkt, LinkType::Ethernet), Verdict::Excluded);
+    }
+
+    #[test]
+    fn anonymization_rewrites_campus_only() {
+        let mut cfg = PipelineConfig::sample("10.8.0.0/16");
+        cfg.anonymizer = Some(Anonymizer::new(5, Mode::PrefixPreserving));
+        let mut p = CapturePipeline::new(cfg);
+        let pkt = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 2),
+            Ipv4Addr::new(170, 114, 1, 1),
+            51_000,
+            8801,
+            b"zoomish",
+        );
+        let record = Record::full(0, pkt);
+        let (verdict, out) = p.process_record(&record, LinkType::Ethernet);
+        assert!(verdict.passes());
+        let out = out.unwrap();
+        let ip = ipv4::Packet::new_checked(&out.data[ethernet::HEADER_LEN..]).unwrap();
+        assert_ne!(ip.src_addr(), Ipv4Addr::new(10, 8, 0, 2)); // anonymized
+        assert_eq!(ip.dst_addr(), Ipv4Addr::new(170, 114, 1, 1)); // server kept
+        assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut p = pipeline();
+        let zoom_pkt = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 2),
+            Ipv4Addr::new(170, 114, 1, 1),
+            51_000,
+            8801,
+            b"z",
+        );
+        let other = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 2),
+            Ipv4Addr::new(8, 8, 8, 8),
+            51_000,
+            53,
+            b"d",
+        );
+        p.classify(0, &zoom_pkt, LinkType::Ethernet);
+        p.classify(0, &other, LinkType::Ethernet);
+        p.classify(0, &other, LinkType::Ethernet);
+        let c = p.counters();
+        assert_eq!(c.total, 3);
+        assert_eq!(c.passed, 1);
+        assert_eq!(c.dropped, 2);
+        assert!(c.passed_bytes < c.total_bytes);
+    }
+
+    #[test]
+    fn garbage_is_unparseable() {
+        let mut p = pipeline();
+        assert_eq!(
+            p.classify(0, &[0u8; 10], LinkType::Ethernet),
+            Verdict::Unparseable
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the capture substrate.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use zoom_capture::anonymize::{Anonymizer, Mode};
+use zoom_capture::cidr::{Cidr, PrefixMap};
+use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
+use zoom_capture::stun_tracker::StunTracker;
+use zoom_wire::flow::Endpoint;
+use zoom_wire::pcap::LinkType;
+
+proptest! {
+    /// CIDR membership is consistent with explicit masking.
+    #[test]
+    fn cidr_contains_matches_mask(addr: u32, prefix_len in 0u8..=32, probe: u32) {
+        let c = Cidr::new(Ipv4Addr::from(addr), prefix_len);
+        let mask: u64 = if prefix_len == 0 { 0 } else { (!0u32 << (32 - u32::from(prefix_len))) as u64 };
+        let expect = (u64::from(probe) & mask) == (u64::from(addr) & mask);
+        prop_assert_eq!(c.contains(Ipv4Addr::from(probe)), expect);
+        // The network address itself is always contained.
+        prop_assert!(c.contains(c.address()));
+        // Size is 2^(32-len).
+        prop_assert_eq!(c.size(), 1u64 << (32 - prefix_len));
+    }
+
+    /// Longest-prefix match always returns the most specific matching
+    /// prefix in the map.
+    #[test]
+    fn lpm_most_specific_wins(addr: u32, lens in proptest::collection::btree_set(0u8..=32, 1..6)) {
+        let mut m = PrefixMap::new();
+        for &len in &lens {
+            m.insert(Cidr::new(Ipv4Addr::from(addr), len), len);
+        }
+        let (got, &len) = m.longest_match(Ipv4Addr::from(addr)).unwrap();
+        let max = *lens.iter().max().unwrap();
+        prop_assert_eq!(len, max);
+        prop_assert_eq!(got.prefix_len(), max);
+    }
+
+    /// Anonymization is deterministic, key-sensitive, and the
+    /// prefix-preserving mode maps equal prefixes to equal prefixes.
+    #[test]
+    fn anonymizer_prefix_preservation(key: u64, a: u32, b: u32) {
+        let anon = Anonymizer::new(key, Mode::PrefixPreserving);
+        let ia = Ipv4Addr::from(a);
+        let ib = Ipv4Addr::from(b);
+        let oa = anon.anonymize_v4(ia);
+        let ob = anon.anonymize_v4(ib);
+        prop_assert_eq!(oa, anon.anonymize_v4(ia)); // deterministic
+        let shared_in = ia.octets().iter().zip(ib.octets()).take_while(|(x, y)| **x == *y).count();
+        let shared_out = oa.octets().iter().zip(ob.octets()).take_while(|(x, y)| **x == *y).count();
+        // Output prefixes shared at least as far as input prefixes.
+        prop_assert!(shared_out >= shared_in, "in {shared_in} out {shared_out}");
+    }
+
+    /// The STUN tracker's hit/miss behaviour is exactly the timeout
+    /// predicate.
+    #[test]
+    fn stun_tracker_timeout_predicate(
+        timeout in 1u64..1_000_000_000,
+        register_at in 0u64..1_000_000_000,
+        check_delta in 0u64..2_000_000_000,
+    ) {
+        let mut t = StunTracker::new(timeout);
+        let ep = Endpoint::new("10.0.0.1".parse().unwrap(), 5_000);
+        t.register(ep, register_at);
+        let hit = t.check(ep, register_at + check_delta);
+        prop_assert_eq!(hit, check_delta <= timeout);
+    }
+
+    /// The capture pipeline never panics on arbitrary bytes and counts
+    /// every packet exactly once.
+    #[test]
+    fn pipeline_total_accounting(packets in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..200), 1..60))
+    {
+        let mut p = CapturePipeline::new(PipelineConfig::sample("10.8.0.0/16"));
+        for (i, data) in packets.iter().enumerate() {
+            p.classify(i as u64, data, LinkType::Ethernet);
+        }
+        let c = p.counters();
+        prop_assert_eq!(c.total, packets.len() as u64);
+        prop_assert_eq!(
+            c.total,
+            c.excluded + c.zoom_ip_matched + c.stun_registered + c.p2p_matched
+                + c.dropped + c.unparseable
+        );
+        prop_assert_eq!(c.passed, c.zoom_ip_matched + c.stun_registered + c.p2p_matched);
+    }
+}

@@ -1,0 +1,143 @@
+//! `zoom-tools analyze` — run the full passive analysis over a pcap file
+//! and print the trace summary, per-meeting breakdown, per-stream metrics,
+//! and latency estimates. Optionally export the per-second ML feature
+//! matrix (§8).
+
+use super::{campus_flag, parse_args, CmdResult};
+use std::io::Write as _;
+use zoom_analysis::features;
+use zoom_analysis::metrics::stall::{analyze as stall_analyze, StallConfig};
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_wire::pcap::Reader;
+use zoom_wire::zoom::MediaType;
+
+pub fn run(args: &[String]) -> CmdResult {
+    let (pos, flags) = parse_args(args)?;
+    let [input] = pos.as_slice() else {
+        return Err("analyze needs exactly one input pcap".into());
+    };
+    let campus = campus_flag(&flags)?;
+
+    let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+    let mut reader =
+        Reader::new(std::io::BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
+    let link = reader.link_type();
+    let mut analyzer = Analyzer::new(AnalyzerConfig {
+        campus: vec![campus],
+        ..Default::default()
+    });
+    while let Some(record) = reader.next_record().map_err(|e| e.to_string())? {
+        analyzer.process_record(&record, link);
+    }
+
+    let summary = analyzer.summary();
+    println!("=== trace summary ===");
+    println!("packets:      {}", summary.total_packets);
+    println!(
+        "zoom packets: {} ({} bytes)",
+        summary.zoom_packets, summary.zoom_bytes
+    );
+    println!("zoom flows:   {}", summary.zoom_flows);
+    println!("rtp streams:  {}", summary.rtp_streams);
+    println!("meetings:     {}", summary.meetings);
+    println!("duration:     {:.1} s", summary.duration_nanos as f64 / 1e9);
+    let (dp, db) = analyzer.classifier().decoded_fraction();
+    println!(
+        "decoded:      {:.1} % pkts / {:.1} % bytes",
+        dp * 100.0,
+        db * 100.0
+    );
+
+    // RTT context feeds the stall analysis threshold.
+    let rtts = analyzer.rtp_rtt_samples();
+    let mean_rtt_nanos = if rtts.is_empty() {
+        50_000_000
+    } else {
+        (rtts.iter().map(|s| s.rtt_nanos).sum::<u64>() / rtts.len() as u64).max(1)
+    };
+
+    println!("\n=== meetings ===");
+    for m in analyzer.meetings() {
+        println!(
+            "meeting {}: {} visible participant(s), {} stream(s), servers {:?}",
+            m.id,
+            m.participant_estimate,
+            m.streams.len(),
+            m.servers
+        );
+    }
+
+    println!("\n=== streams ===");
+    for s in analyzer.streams().iter() {
+        let frames = s.frames.as_ref().map(|f| f.frames().len()).unwrap_or(0);
+        print!(
+            "  {} ssrc=0x{:02x} [{}] pkts={} rate={:.0} kbit/s frames={} jitter={:.2} ms",
+            s.key.flow,
+            s.key.ssrc,
+            s.media_type.label(),
+            s.packets,
+            s.mean_media_bitrate() / 1e3,
+            frames,
+            s.frame_jitter.jitter_ms(),
+        );
+        if let Some(f) = &s.frames {
+            let report = stall_analyze(
+                f.frames(),
+                StallConfig {
+                    rtt_nanos: mean_rtt_nanos,
+                    ..Default::default()
+                },
+            );
+            if !report.stalls.is_empty() || report.retransmission_recovered > 0 {
+                print!(
+                    " stalls={} ({:.0} ms) retx-frames={}",
+                    report.stalls.len(),
+                    report.stalled_nanos as f64 / 1e6,
+                    report.retransmission_recovered
+                );
+            }
+        }
+        println!();
+    }
+
+    if !rtts.is_empty() {
+        println!(
+            "\nRTT to SFU (RTP copies): {} samples, mean {:.1} ms",
+            rtts.len(),
+            mean_rtt_nanos as f64 / 1e6
+        );
+    }
+    let tcp = analyzer.tcp_rtt_samples();
+    if !tcp.is_empty() {
+        let mean = tcp.iter().map(|s| s.rtt_ms()).sum::<f64>() / tcp.len() as f64;
+        println!(
+            "RTT via TCP control:     {} samples, mean {mean:.1} ms",
+            tcp.len()
+        );
+    }
+
+    // Optional ML feature export.
+    if let Some(path) = flags.get("features") {
+        let mut out = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?,
+        );
+        let mut total = 0usize;
+        let mut first = true;
+        for s in analyzer.streams().of_type(MediaType::Video) {
+            let rows = features::extract_features(s);
+            total += rows.len();
+            let csv = features::to_csv(&rows);
+            let body = if first {
+                first = false;
+                csv
+            } else {
+                // Skip the header on subsequent streams.
+                csv.split_once('\n').map(|x| x.1).unwrap_or("").to_string()
+            };
+            out.write_all(body.as_bytes()).map_err(|e| e.to_string())?;
+        }
+        out.flush().map_err(|e| e.to_string())?;
+        println!("\nwrote {total} feature rows to {path}");
+    }
+    Ok(())
+}

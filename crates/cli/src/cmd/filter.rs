@@ -1,0 +1,71 @@
+//! `zoom-tools filter` — run the capture pipeline (the software Tofino)
+//! over a pcap, writing only Zoom packets, optionally anonymized: the
+//! offline equivalent of the paper's data-plane deployment.
+
+use super::{campus_flag, parse_args, CmdResult};
+use zoom_capture::anonymize::{Anonymizer, Mode};
+use zoom_capture::cidr::{Cidr, PrefixMap};
+use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
+use zoom_capture::zoom_nets;
+use zoom_wire::pcap::{Reader, Writer};
+
+pub fn run(args: &[String]) -> CmdResult {
+    let (pos, flags) = parse_args(args)?;
+    let [input, output] = pos.as_slice() else {
+        return Err("filter needs <in.pcap> <out.pcap>".into());
+    };
+    let (campus_ip, campus_len) = campus_flag(&flags)?;
+    let anonymizer = flags
+        .get("anonymize")
+        .map(|key| {
+            key.parse::<u64>()
+                .map(|k| Anonymizer::new(k, Mode::PrefixPreserving))
+                .map_err(|_| "--anonymize takes a numeric key".to_string())
+        })
+        .transpose()?;
+
+    let mut campus_nets = PrefixMap::new();
+    let std::net::IpAddr::V4(v4) = campus_ip else {
+        return Err("campus must be IPv4".into());
+    };
+    campus_nets.insert(Cidr::new(v4, campus_len), ());
+
+    let mut pipeline = CapturePipeline::new(PipelineConfig {
+        campus_nets,
+        excluded_nets: PrefixMap::new(),
+        // The sample of Zoom's published list; swap in the full feed in a
+        // real deployment.
+        zoom_list: zoom_nets::sample_list(),
+        stun_timeout_nanos: 120 * 1_000_000_000,
+        anonymizer,
+    });
+
+    let infile = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+    let mut reader =
+        Reader::new(std::io::BufReader::new(infile)).map_err(|e| format!("{input}: {e}"))?;
+    let link = reader.link_type();
+    let outfile = std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?;
+    let mut writer = Writer::new(std::io::BufWriter::new(outfile), link)
+        .map_err(|e| format!("{output}: {e}"))?;
+
+    while let Some(record) = reader.next_record().map_err(|e| e.to_string())? {
+        let (_, passed) = pipeline.process_record(&record, link);
+        if let Some(out) = passed {
+            writer.write_record(&out).map_err(|e| e.to_string())?;
+        }
+    }
+    writer.finish().map_err(|e| e.to_string())?;
+
+    let c = pipeline.counters();
+    eprintln!(
+        "filtered {} -> {} packets ({:.1} %); server {}, stun {}, p2p {}, dropped {}",
+        c.total,
+        c.passed,
+        100.0 * c.passed as f64 / c.total.max(1) as f64,
+        c.zoom_ip_matched,
+        c.stun_registered,
+        c.p2p_matched,
+        c.dropped
+    );
+    Ok(())
+}

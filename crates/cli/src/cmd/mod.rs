@@ -1,0 +1,84 @@
+//! Subcommand implementations and the tiny shared flag parser.
+
+pub mod analyze;
+pub mod discover;
+pub mod dissect;
+pub mod filter;
+pub mod simulate;
+
+use std::collections::HashMap;
+
+/// Result alias for subcommands.
+pub type CmdResult = Result<(), String>;
+
+/// Split arguments into positional values and `--flag value` pairs.
+pub fn parse_args(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+/// Parse a `--campus` CIDR flag into the `(addr, len)` form the analyzer
+/// uses; defaults to 10.8.0.0/16.
+pub fn campus_flag(flags: &HashMap<String, String>) -> Result<(std::net::IpAddr, u8), String> {
+    let spec = flags
+        .get("campus")
+        .map(String::as_str)
+        .unwrap_or("10.8.0.0/16");
+    let (addr, len) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("bad CIDR {spec}"))?;
+    Ok((
+        addr.parse().map_err(|e| format!("bad CIDR {spec}: {e}"))?,
+        len.parse().map_err(|e| format!("bad CIDR {spec}: {e}"))?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positional_and_flags() {
+        let (pos, flags) = parse_args(&s(&["a.pcap", "--max", "5", "b.pcap"])).unwrap();
+        assert_eq!(pos, vec!["a.pcap", "b.pcap"]);
+        assert_eq!(flags.get("max").unwrap(), "5");
+    }
+
+    #[test]
+    fn missing_flag_value_errors() {
+        assert!(parse_args(&s(&["--max"])).is_err());
+    }
+
+    #[test]
+    fn campus_default_and_custom() {
+        let (_, flags) = parse_args(&s(&[])).unwrap();
+        let (ip, len) = campus_flag(&flags).unwrap();
+        assert_eq!(ip.to_string(), "10.8.0.0");
+        assert_eq!(len, 16);
+        let (_, flags) = parse_args(&s(&["--campus", "192.168.0.0/24"])).unwrap();
+        let (ip, len) = campus_flag(&flags).unwrap();
+        assert_eq!(ip.to_string(), "192.168.0.0");
+        assert_eq!(len, 24);
+        let (_, flags) = parse_args(&s(&["--campus", "junk"])).unwrap();
+        assert!(campus_flag(&flags).is_err());
+    }
+}

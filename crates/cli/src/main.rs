@@ -1,0 +1,52 @@
+//! `zoom-tools` — the command-line face of the toolchain, mirroring the
+//! software analysis tools the paper released alongside the study.
+//!
+//! ```text
+//! zoom-tools analyze  <in.pcap> [--campus CIDR] [--features out.csv]
+//! zoom-tools dissect  <in.pcap> [--max N]
+//! zoom-tools discover <in.pcap> [--max-offset N]
+//! zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]
+//! zoom-tools simulate <out.pcap> [--seconds N] [--seed N] [--scenario NAME]
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace deliberately avoids
+//! extra dependencies); every subcommand lives in its own module.
+
+mod cmd;
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         zoom-tools analyze  <in.pcap> [--campus CIDR] [--features out.csv]\n  \
+         zoom-tools dissect  <in.pcap> [--max N]\n  \
+         zoom-tools discover <in.pcap> [--max-offset N]\n  \
+         zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]\n  \
+         zoom-tools simulate <out.pcap> [--seconds N] [--seed N] [--scenario validation|p2p|multi]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "analyze" => cmd::analyze::run(rest),
+        "dissect" => cmd::dissect::run(rest),
+        "discover" => cmd::discover::run(rest),
+        "filter" => cmd::filter::run(rest),
+        "simulate" => cmd::simulate::run(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

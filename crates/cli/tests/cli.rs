@@ -1,0 +1,95 @@
+//! End-to-end tests of the `zoom-tools` binary: simulate → filter →
+//! analyze → dissect → discover over real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_zoom-tools")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zoom_tools_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin()).args(args).output().expect("spawn");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn full_cli_round_trip() {
+    let raw = tmp("raw.pcap");
+    let filtered = tmp("filtered.pcap");
+    let features = tmp("features.csv");
+
+    // simulate
+    let (_, err, ok) = run(&[
+        "simulate",
+        raw.to_str().unwrap(),
+        "--seconds",
+        "20",
+        "--seed",
+        "3",
+        "--scenario",
+        "validation",
+    ]);
+    assert!(ok, "simulate failed: {err}");
+    assert!(err.contains("wrote"), "stderr: {err}");
+
+    // filter (with anonymization)
+    let (_, err, ok) = run(&[
+        "filter",
+        raw.to_str().unwrap(),
+        filtered.to_str().unwrap(),
+        "--anonymize",
+        "424242",
+    ]);
+    assert!(ok, "filter failed: {err}");
+    assert!(err.contains("filtered"), "stderr: {err}");
+
+    // analyze with feature export; campus must be the anonymized prefix,
+    // but summary-level numbers work regardless.
+    let (out, err, ok) = run(&[
+        "analyze",
+        filtered.to_str().unwrap(),
+        "--features",
+        features.to_str().unwrap(),
+    ]);
+    assert!(ok, "analyze failed: {err}");
+    assert!(out.contains("=== trace summary ==="), "{out}");
+    assert!(out.contains("rtp streams:"), "{out}");
+    let csv = std::fs::read_to_string(&features).unwrap();
+    assert!(csv.starts_with("ssrc,second,"), "{csv}");
+    assert!(csv.lines().count() > 10);
+
+    // dissect
+    let (out, _, ok) = run(&["dissect", filtered.to_str().unwrap(), "--max", "3"]);
+    assert!(ok);
+    assert!(out.contains("Zoom SFU Encapsulation") || out.contains("Zoom Media Encapsulation"));
+
+    // discover
+    let (out, _, ok) = run(&["discover", raw.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("RTP header at offset"), "{out}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, _, ok) = run(&[]);
+    assert!(!ok);
+    let (_, err, ok) = run(&["analyze", "/nonexistent/file.pcap"]);
+    assert!(!ok);
+    assert!(err.contains("error:"));
+    let (_, _, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    let (_, err, ok) = run(&["simulate", "/tmp/x.pcap", "--scenario", "bogus"]);
+    assert!(!ok);
+    assert!(err.contains("unknown scenario"));
+}

@@ -1,0 +1,41 @@
+//! # zoom-analysis — passive measurement of Zoom performance
+//!
+//! A Rust implementation of the analysis methodology from *"Enabling
+//! Passive Measurement of Zoom Performance in Production Networks"*
+//! (IMC '22): everything needed to turn raw packet captures of Zoom
+//! traffic into fine-grained performance metrics, with no cooperation
+//! from clients or servers.
+//!
+//! * [`entropy`] — the §4.2 reverse-engineering toolkit: field-series
+//!   extraction, entropy/monotonicity classification, RTP/RTCP discovery
+//! * [`packet`] — per-packet metadata extraction on top of `zoom-wire`
+//! * [`classify`] — packet/byte accounting per encapsulation and payload
+//!   type (Tables 2 and 3)
+//! * [`stream`] — media stream and sub-stream tracking (Fig. 6)
+//! * [`metrics`] — frame rate/size/delay, frame-level jitter, latency,
+//!   and loss estimators (§5)
+//! * [`meeting`] — the stream→meeting grouping heuristic (§4.3)
+//! * [`pipeline`] — the end-to-end [`pipeline::Analyzer`]
+//! * [`stats`] — CDFs, time bins, correlation
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+//! use zoom_wire::pcap::LinkType;
+//!
+//! let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+//! // feed records: analyzer.process_record(&record, LinkType::Ethernet);
+//! let summary = analyzer.summary();
+//! assert_eq!(summary.zoom_packets, 0);
+//! ```
+
+pub mod classify;
+pub mod entropy;
+pub mod features;
+pub mod meeting;
+pub mod metrics;
+pub mod packet;
+pub mod pipeline;
+pub mod stats;
+pub mod stream;

@@ -1,0 +1,239 @@
+//! Sequence-number analysis: loss, retransmission/duplicates, and
+//! reordering (§5.5 of the paper).
+//!
+//! Zoom retransmits lost packets up to twice *reusing the original RTP
+//! sequence number*, so a passive monitor mostly sees duplicates rather
+//! than holes; remaining holes indicate packets lost on every attempt (or
+//! dropped upstream of the vantage point). The paper is explicit that the
+//! sequence numbers alone cannot disambiguate retransmissions from
+//! reordering with certainty — this tracker reports exactly the quantities
+//! that *are* observable: duplicates, out-of-order arrivals, and
+//! unaccounted gaps.
+
+use std::collections::VecDeque;
+
+/// Summary counters for one RTP sub-stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeqStats {
+    /// Total packets observed (including duplicates).
+    pub received: u64,
+    /// Packets whose sequence number was already seen — retransmission
+    /// duplicates.
+    pub duplicates: u64,
+    /// Packets that arrived after a higher sequence number (late/
+    /// reordered or a retransmission of a packet lost before the tap).
+    pub reordered: u64,
+    /// Sequence numbers in the covered range never observed at all.
+    pub missing: u64,
+    /// Distinct sequence numbers observed.
+    pub unique: u64,
+}
+
+impl SeqStats {
+    /// Fraction of the sequence space covered that never arrived.
+    pub fn loss_fraction(&self) -> f64 {
+        let expected = self.unique + self.missing;
+        if expected == 0 {
+            0.0
+        } else {
+            self.missing as f64 / expected as f64
+        }
+    }
+
+    /// Fraction of received packets that were duplicates.
+    pub fn duplicate_fraction(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.duplicates as f64 / self.received as f64
+        }
+    }
+}
+
+/// Window size (in sequence numbers) within which late arrivals can still
+/// be recognized; beyond it a hole is counted as missing.
+const WINDOW: usize = 2_048;
+
+/// Tracks one sub-stream's 16-bit sequence space with wraparound.
+#[derive(Debug)]
+pub struct SeqTracker {
+    stats: SeqStats,
+    /// Extended (unwrapped) highest sequence seen.
+    highest_ext: Option<u64>,
+    /// Seen-bits for the trailing window ending at `highest_ext`.
+    window: VecDeque<bool>,
+}
+
+impl Default for SeqTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SeqTracker {
+    /// Fresh tracker.
+    pub fn new() -> SeqTracker {
+        SeqTracker {
+            stats: SeqStats::default(),
+            highest_ext: None,
+            window: VecDeque::new(),
+        }
+    }
+
+    /// Feed one observed sequence number.
+    pub fn on_sequence(&mut self, seq: u16) {
+        self.stats.received += 1;
+        let Some(highest) = self.highest_ext else {
+            self.highest_ext = Some(u64::from(seq) + 65_536);
+            self.window.push_back(true);
+            self.stats.unique += 1;
+            return;
+        };
+        // Unwrap: interpret seq as the nearest value to `highest`.
+        let base = highest & 0xFFFF;
+        let diff = i64::from(seq.wrapping_sub(base as u16) as i16);
+        let ext = highest.wrapping_add_signed(diff);
+
+        if ext > highest {
+            // Forward progress: extend the window, marking skipped
+            // sequence numbers unseen for now.
+            let advance = (ext - highest) as usize;
+            for _ in 0..advance.saturating_sub(1).min(WINDOW) {
+                self.window.push_back(false);
+            }
+            self.window.push_back(true);
+            self.stats.unique += 1;
+            self.highest_ext = Some(ext);
+            // Retire sequence numbers that fell out of the window; holes
+            // retired unseen become confirmed missing.
+            while self.window.len() > WINDOW {
+                if let Some(false) = self.window.pop_front() {
+                    self.stats.missing += 1;
+                }
+            }
+        } else {
+            // ext <= highest: late arrival.
+            let offset = (highest - ext) as usize;
+            if offset < self.window.len() {
+                let idx = self.window.len() - 1 - offset;
+                if self.window[idx] {
+                    self.stats.duplicates += 1;
+                } else {
+                    self.window[idx] = true;
+                    self.stats.unique += 1;
+                    self.stats.reordered += 1;
+                }
+            } else {
+                // Too old to judge; count as a duplicate-ish late packet.
+                self.stats.duplicates += 1;
+            }
+        }
+    }
+
+    /// Snapshot of the counters; call [`SeqTracker::finish`] for final
+    /// numbers including holes still inside the window.
+    pub fn stats(&self) -> SeqStats {
+        self.stats
+    }
+
+    /// Close the stream: unseen slots still in the window become missing.
+    pub fn finish(mut self) -> SeqStats {
+        while let Some(seen) = self.window.pop_front() {
+            if !seen {
+                self.stats.missing += 1;
+            }
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_is_clean() {
+        let mut t = SeqTracker::new();
+        for s in 0..1_000u16 {
+            t.on_sequence(s);
+        }
+        let st = t.finish();
+        assert_eq!(st.received, 1_000);
+        assert_eq!(st.unique, 1_000);
+        assert_eq!(st.duplicates, 0);
+        assert_eq!(st.reordered, 0);
+        assert_eq!(st.missing, 0);
+        assert_eq!(st.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn duplicates_counted() {
+        let mut t = SeqTracker::new();
+        for s in [1u16, 2, 3, 2, 3, 4] {
+            t.on_sequence(s);
+        }
+        let st = t.finish();
+        assert_eq!(st.duplicates, 2);
+        assert_eq!(st.unique, 4);
+        assert!(st.duplicate_fraction() > 0.3);
+    }
+
+    #[test]
+    fn reordering_counted_once_filled() {
+        let mut t = SeqTracker::new();
+        for s in [1u16, 2, 4, 3, 5] {
+            t.on_sequence(s);
+        }
+        let st = t.finish();
+        assert_eq!(st.reordered, 1);
+        assert_eq!(st.missing, 0);
+        assert_eq!(st.unique, 5);
+    }
+
+    #[test]
+    fn holes_become_missing() {
+        let mut t = SeqTracker::new();
+        for s in [1u16, 2, /* 3 lost */ 4, 5] {
+            t.on_sequence(s);
+        }
+        let st = t.finish();
+        assert_eq!(st.missing, 1);
+        assert!(st.loss_fraction() > 0.15 && st.loss_fraction() < 0.25);
+    }
+
+    #[test]
+    fn wraparound_handled() {
+        let mut t = SeqTracker::new();
+        for s in [65_533u16, 65_534, 65_535, 0, 1, 2] {
+            t.on_sequence(s);
+        }
+        let st = t.finish();
+        assert_eq!(st.unique, 6);
+        assert_eq!(st.missing, 0);
+        assert_eq!(st.reordered, 0);
+    }
+
+    #[test]
+    fn big_forward_jump_bounded() {
+        let mut t = SeqTracker::new();
+        t.on_sequence(0);
+        t.on_sequence(10_000); // jump larger than the window
+        let st = t.finish();
+        // Holes are capped at the window size; no panic, sane numbers.
+        assert_eq!(st.unique, 2);
+        assert!(st.missing > 0);
+        assert!(st.missing <= WINDOW as u64);
+    }
+
+    #[test]
+    fn late_beyond_window_is_counted_but_not_reordered() {
+        let mut t = SeqTracker::new();
+        t.on_sequence(5_000);
+        for s in 5_001..8_000u16 {
+            t.on_sequence(s);
+        }
+        t.on_sequence(5_000); // ancient duplicate, far outside the window
+        let st = t.stats();
+        assert_eq!(st.duplicates, 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Performance-metric estimators (§5 of the paper).
+//!
+//! * [`frame`] — frame rate (methods 1 and 2), frame size, frame delay
+//! * [`jitter`] — RFC 3550 frame-level interarrival jitter
+//! * [`latency`] — RTP stream-copy RTT and TCP control-connection RTT
+//! * [`loss`] — sequence-number analysis: loss, retransmission, reordering
+//! * [`stall`] — jitter-buffer drain / stall detection and frame-delay
+//!   retransmission inference (the paper's §5.5/§8 future work)
+
+pub mod frame;
+pub mod jitter;
+pub mod latency;
+pub mod loss;
+pub mod stall;
+
+/// The video RTP clock rate the paper determined via parameter sweep
+/// (§5.2): 90 kHz, the RFC 3551 recommendation.
+pub const VIDEO_SAMPLING_RATE: u32 = 90_000;

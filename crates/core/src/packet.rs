@@ -1,0 +1,338 @@
+//! Lightweight per-packet metadata — the record type the trackers consume.
+//!
+//! A [`PacketMeta`] is everything the analysis layer needs from one
+//! captured packet, extracted once by the dissector and then shared by the
+//! flow, stream, latency, and grouping trackers without re-parsing.
+
+use std::net::IpAddr;
+use zoom_wire::dissect::{App, Dissection, Transport};
+use zoom_wire::flow::FiveTuple;
+use zoom_wire::rtcp;
+use zoom_wire::zoom::{Framing, MediaType, RtpPayloadKind, DIR_FROM_SFU, ZOOM_SFU_PORT};
+
+/// Direction of a Zoom packet relative to the infrastructure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Client → SFU (or campus peer → remote peer for P2P).
+    ToServer,
+    /// SFU → client (or remote peer → campus peer).
+    FromServer,
+    /// Could not be determined.
+    Unknown,
+}
+
+/// RTP facts of a media packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtpMeta {
+    pub ssrc: u32,
+    pub payload_type: u8,
+    pub sequence: u16,
+    pub timestamp: u32,
+    pub marker: bool,
+    pub kind: RtpPayloadKind,
+}
+
+/// RTCP sender-report facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtcpMeta {
+    pub ssrc: u32,
+    pub ntp_timestamp: u64,
+    pub rtp_timestamp: u32,
+    pub packet_count: u32,
+    pub octet_count: u32,
+}
+
+/// One analyzed Zoom packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketMeta {
+    pub ts_nanos: u64,
+    pub five_tuple: FiveTuple,
+    /// Total IP-layer bytes (for flow bit rates).
+    pub ip_len: usize,
+    pub framing: Framing,
+    pub media_type: MediaType,
+    pub direction: Direction,
+    /// RTP header facts, for media packets.
+    pub rtp: Option<RtpMeta>,
+    /// First RTCP SR in the packet, if any.
+    pub rtcp: Option<RtcpMeta>,
+    /// Video-only Zoom media-encapsulation fields.
+    pub frame_seq: Option<u16>,
+    pub pkts_in_frame: Option<u8>,
+    /// RTP payload bytes (the actual media bits).
+    pub media_payload_len: usize,
+}
+
+/// TCP facts used by the control-connection RTT estimator (§5.3 method 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpMeta {
+    pub ts_nanos: u64,
+    pub five_tuple: FiveTuple,
+    pub seq: u32,
+    pub ack: u32,
+    pub has_ack: bool,
+    pub payload_len: usize,
+    pub ip_len: usize,
+}
+
+/// What the analyzer extracted from one capture record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Extracted {
+    Zoom(PacketMeta),
+    Tcp(TcpMeta),
+    /// STUN exchange — input to P2P flow detection.
+    Stun {
+        ts_nanos: u64,
+        five_tuple: FiveTuple,
+    },
+    /// Parsed but not interesting to the analyzer.
+    Other,
+}
+
+/// Is this address inside any of the given campus prefixes? Used to
+/// orient P2P flows (campus side = "client").
+pub fn in_campus(campus: &[(IpAddr, u8)], ip: IpAddr) -> bool {
+    campus.iter().any(|&(net, len)| match (net, ip) {
+        (IpAddr::V4(n), IpAddr::V4(a)) => {
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(len))
+            };
+            u32::from(a) & mask == u32::from(n) & mask
+        }
+        _ => false,
+    })
+}
+
+/// Build a [`PacketMeta`] from an already-parsed Zoom packet.
+///
+/// Shared by [`extract`] and by the analyzer's second-chance P2P path
+/// (re-parsing an opaque UDP payload once its endpoint is known to have
+/// completed a STUN exchange).
+pub fn meta_from_zoom(
+    ts_nanos: u64,
+    five_tuple: FiveTuple,
+    ip_len: usize,
+    framing: Framing,
+    z: &zoom_wire::zoom::ZoomPacket,
+    campus: &[(IpAddr, u8)],
+) -> PacketMeta {
+    let direction = match framing {
+        Framing::Server => {
+            if let Some(sfu) = &z.sfu {
+                if sfu.direction == DIR_FROM_SFU {
+                    Direction::FromServer
+                } else {
+                    Direction::ToServer
+                }
+            } else if five_tuple.src_port == ZOOM_SFU_PORT {
+                Direction::FromServer
+            } else if five_tuple.dst_port == ZOOM_SFU_PORT {
+                Direction::ToServer
+            } else {
+                Direction::Unknown
+            }
+        }
+        Framing::P2p => {
+            // Orient by campus membership: campus → peer counts as the
+            // uplink direction for per-direction statistics.
+            if in_campus(campus, five_tuple.src_ip) {
+                Direction::ToServer
+            } else if in_campus(campus, five_tuple.dst_ip) {
+                Direction::FromServer
+            } else {
+                Direction::Unknown
+            }
+        }
+    };
+    let rtp = z.rtp.as_ref().map(|r| RtpMeta {
+        ssrc: r.ssrc,
+        payload_type: r.payload_type,
+        sequence: r.sequence_number,
+        timestamp: r.timestamp,
+        marker: r.marker,
+        kind: RtpPayloadKind::classify(z.media.media_type, r.payload_type),
+    });
+    let rtcp = z.rtcp.iter().find_map(|item| match item {
+        rtcp::Item::SenderReport { ssrc, info, .. } => Some(RtcpMeta {
+            ssrc: *ssrc,
+            ntp_timestamp: info.ntp_timestamp,
+            rtp_timestamp: info.rtp_timestamp,
+            packet_count: info.packet_count,
+            octet_count: info.octet_count,
+        }),
+        _ => None,
+    });
+    PacketMeta {
+        ts_nanos,
+        five_tuple,
+        ip_len,
+        framing,
+        media_type: z.media.media_type,
+        direction,
+        rtp,
+        rtcp,
+        frame_seq: z.media.frame_sequence,
+        pkts_in_frame: z.media.packets_in_frame,
+        media_payload_len: z.media_payload_len,
+    }
+}
+
+/// Convert a dissection into analyzer metadata.
+pub fn extract(d: &Dissection<'_>, campus: &[(IpAddr, u8)]) -> Extracted {
+    match &d.app {
+        App::Stun(_) => Extracted::Stun {
+            ts_nanos: d.ts_nanos,
+            five_tuple: d.five_tuple,
+        },
+        App::Zoom(framing, z) => Extracted::Zoom(meta_from_zoom(
+            d.ts_nanos,
+            d.five_tuple,
+            d.ip_total_len,
+            *framing,
+            z,
+            campus,
+        )),
+        App::Opaque => match &d.transport {
+            Transport::Tcp {
+                seq,
+                ack,
+                flags,
+                payload_len,
+                ..
+            } => Extracted::Tcp(TcpMeta {
+                ts_nanos: d.ts_nanos,
+                five_tuple: d.five_tuple,
+                seq: *seq,
+                ack: *ack,
+                has_ack: flags.ack,
+                payload_len: *payload_len,
+                ip_len: d.ip_total_len,
+            }),
+            Transport::Udp { .. } => Extracted::Other,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use zoom_wire::compose;
+    use zoom_wire::dissect::{dissect, P2pProbe};
+    use zoom_wire::pcap::LinkType;
+    use zoom_wire::rtp;
+    use zoom_wire::zoom;
+
+    fn campus() -> Vec<(IpAddr, u8)> {
+        vec![(IpAddr::V4(Ipv4Addr::new(10, 8, 0, 0)), 16)]
+    }
+
+    fn video_packet(direction: u8) -> Vec<u8> {
+        let payload = zoom::Builder {
+            sfu: Some(zoom::SfuEncapRepr {
+                encap_type: zoom::SFU_TYPE_MEDIA,
+                sequence: 1,
+                direction,
+            }),
+            media: zoom::MediaEncapRepr {
+                media_type: zoom::MediaType::Video,
+                sequence: 10,
+                timestamp: 20,
+                frame_sequence: Some(3),
+                packets_in_frame: Some(2),
+            },
+            rtp: Some(rtp::Repr {
+                marker: true,
+                payload_type: 98,
+                sequence_number: 55,
+                timestamp: 9_000,
+                ssrc: 0x22,
+                csrc_count: 0,
+                has_extension: false,
+            }),
+            payload: vec![7; 50],
+        }
+        .build();
+        if direction == zoom::DIR_FROM_SFU {
+            compose::udp_ipv4_ethernet(
+                Ipv4Addr::new(170, 114, 0, 1),
+                Ipv4Addr::new(10, 8, 0, 9),
+                zoom::ZOOM_SFU_PORT,
+                50_000,
+                &payload,
+            )
+        } else {
+            compose::udp_ipv4_ethernet(
+                Ipv4Addr::new(10, 8, 0, 9),
+                Ipv4Addr::new(170, 114, 0, 1),
+                50_000,
+                zoom::ZOOM_SFU_PORT,
+                &payload,
+            )
+        }
+    }
+
+    #[test]
+    fn extracts_video_meta_with_direction() {
+        let data = video_packet(zoom::DIR_FROM_SFU);
+        let d = dissect(5, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        match extract(&d, &campus()) {
+            Extracted::Zoom(m) => {
+                assert_eq!(m.direction, Direction::FromServer);
+                assert_eq!(m.media_type, zoom::MediaType::Video);
+                let rtp = m.rtp.unwrap();
+                assert_eq!(rtp.ssrc, 0x22);
+                assert_eq!(rtp.kind, RtpPayloadKind::VideoMain);
+                assert!(rtp.marker);
+                assert_eq!(m.pkts_in_frame, Some(2));
+                assert_eq!(m.media_payload_len, 50);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let data = video_packet(zoom::DIR_TO_SFU);
+        let d = dissect(5, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        match extract(&d, &campus()) {
+            Extracted::Zoom(m) => assert_eq!(m.direction, Direction::ToServer),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extracts_tcp_meta() {
+        let data = compose::tcp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 9),
+            Ipv4Addr::new(170, 114, 0, 1),
+            50_000,
+            443,
+            100,
+            200,
+            zoom_wire::tcp::Flags {
+                ack: true,
+                psh: true,
+                ..Default::default()
+            },
+            b"abc",
+        );
+        let d = dissect(1, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        match extract(&d, &campus()) {
+            Extracted::Tcp(t) => {
+                assert_eq!(t.seq, 100);
+                assert_eq!(t.ack, 200);
+                assert!(t.has_ack);
+                assert_eq!(t.payload_len, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_campus_prefix_math() {
+        let c = campus();
+        assert!(in_campus(&c, "10.8.255.1".parse().unwrap()));
+        assert!(!in_campus(&c, "10.9.0.1".parse().unwrap()));
+        assert!(!in_campus(&c, "2001:db8::1".parse().unwrap()));
+    }
+}

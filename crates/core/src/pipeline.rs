@@ -1,0 +1,660 @@
+//! The end-to-end passive analyzer: capture records in, performance
+//! metrics out.
+//!
+//! [`Analyzer`] ties the whole methodology together, mirroring Fig. 6's
+//! processing chain: dissection → Zoom traffic detection (including
+//! STUN-based P2P flow recognition, §4.1) → classification (Tables 2/3) →
+//! stream/sub-stream tracking → per-stream metrics (§5) → meeting grouping
+//! (§4.3) → trace-level reports (Table 6, Figs. 14–16).
+
+use crate::classify::Classifier;
+use crate::meeting::{
+    client_endpoint_of, CandidateState, GroupingConfig, MeetingGrouper, MeetingReport,
+};
+use crate::metrics::latency::{RtpRttEstimator, RttSample, TcpRttEstimator};
+use crate::packet::{extract, in_campus, meta_from_zoom, Extracted, PacketMeta};
+use crate::stats::Samples;
+use crate::stream::{Stream, StreamKey, StreamTracker};
+use std::collections::HashMap;
+use std::net::IpAddr;
+use zoom_wire::dissect::{dissect, App, Dissection, P2pProbe, Transport};
+use zoom_wire::flow::{Endpoint, FiveTuple};
+use zoom_wire::pcap::{LinkType, Record};
+use zoom_wire::zoom::{Framing, MediaType};
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzerConfig {
+    /// Campus prefixes — orient P2P flows and pick the "client" side.
+    pub campus: Vec<(IpAddr, u8)>,
+    /// Zoom server prefixes; when non-empty, TCP RTT probing is limited
+    /// to connections touching these (the control connections).
+    pub zoom_servers: Vec<(IpAddr, u8)>,
+    /// How long a STUN exchange marks its endpoint as a future P2P flow.
+    pub stun_timeout_nanos: u64,
+    /// Thresholds of the meeting-grouping heuristic (§4.3).
+    pub grouping: GroupingConfig,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            campus: vec![(IpAddr::V4(std::net::Ipv4Addr::new(10, 8, 0, 0)), 16)],
+            zoom_servers: Vec::new(),
+            stun_timeout_nanos: 120 * 1_000_000_000,
+            grouping: GroupingConfig::default(),
+        }
+    }
+}
+
+/// Per-5-tuple flow accounting (the coarse view prior work was limited
+/// to — kept for Table 6 and flow-vs-media-rate comparisons).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowStats {
+    pub packets: u64,
+    pub bytes: u64,
+    pub first_seen: u64,
+    pub last_seen: u64,
+}
+
+/// Trace-level summary (Table 6's rows).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceSummary {
+    /// All records fed to the analyzer.
+    pub total_packets: u64,
+    /// Records recognized as Zoom (media, RTCP, control, STUN).
+    pub zoom_packets: u64,
+    pub zoom_bytes: u64,
+    /// Distinct Zoom UDP 5-tuples.
+    pub zoom_flows: usize,
+    /// RTP media streams (5-tuple + SSRC).
+    pub rtp_streams: usize,
+    /// Reconstructed meetings.
+    pub meetings: usize,
+    /// Trace duration (first to last Zoom packet).
+    pub duration_nanos: u64,
+}
+
+/// Per-media-type 1-second metric samples (the inputs to Fig. 15).
+#[derive(Debug, Default)]
+pub struct MediaSamples {
+    /// Media bit rate per active second, Mbit/s.
+    pub bitrate_mbps: Samples,
+    /// Delivered frame rate per second of stream lifetime (includes
+    /// zero-frame seconds — the screen-share idle bins of Fig. 15b).
+    pub fps: Samples,
+    /// Frame sizes, bytes.
+    pub frame_size: Samples,
+    /// Frame-level jitter samples, ms.
+    pub jitter_ms: Samples,
+}
+
+/// The analyzer.
+pub struct Analyzer {
+    config: AnalyzerConfig,
+    classifier: Classifier,
+    streams: StreamTracker,
+    grouper: MeetingGrouper,
+    rtp_rtt: RtpRttEstimator,
+    tcp_rtt: TcpRttEstimator,
+    /// STUN-registered endpoints → last exchange time (§4.1 registers).
+    p2p_endpoints: HashMap<Endpoint, u64>,
+    flows: HashMap<FiveTuple, FlowStats>,
+    total_packets: u64,
+    zoom_packets: u64,
+    zoom_bytes: u64,
+    first_zoom_ts: Option<u64>,
+    last_zoom_ts: u64,
+    undissectable: u64,
+}
+
+impl Analyzer {
+    /// Analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Analyzer {
+        let grouper = MeetingGrouper::with_config(config.grouping);
+        Analyzer {
+            config,
+            classifier: Classifier::new(),
+            streams: StreamTracker::new(),
+            grouper,
+            rtp_rtt: RtpRttEstimator::default(),
+            tcp_rtt: TcpRttEstimator::default(),
+            p2p_endpoints: HashMap::new(),
+            flows: HashMap::new(),
+            total_packets: 0,
+            zoom_packets: 0,
+            zoom_bytes: 0,
+            first_zoom_ts: None,
+            last_zoom_ts: 0,
+            undissectable: 0,
+        }
+    }
+
+    /// Process one capture record.
+    pub fn process_record(&mut self, record: &Record, link: LinkType) {
+        self.total_packets += 1;
+        let Ok(d) = dissect(record.ts_nanos, &record.data, link, P2pProbe::Off) else {
+            self.undissectable += 1;
+            return;
+        };
+        self.process_dissection(&d);
+    }
+
+    /// Process a pre-dissected packet.
+    pub fn process_dissection(&mut self, d: &Dissection<'_>) {
+        match extract(d, &self.config.campus) {
+            Extracted::Stun {
+                ts_nanos,
+                five_tuple,
+            } => {
+                // Register the non-3478 endpoint: it will carry the P2P
+                // media flow (§4.1).
+                let client = if five_tuple.dst_port == zoom_wire::stun::STUN_PORT {
+                    five_tuple.src()
+                } else {
+                    five_tuple.dst()
+                };
+                self.p2p_endpoints.insert(client, ts_nanos);
+                self.note_zoom(ts_nanos, &five_tuple, d.ip_total_len);
+            }
+            Extracted::Zoom(meta) => self.on_zoom(meta),
+            Extracted::Tcp(t) => {
+                let is_control = self.config.zoom_servers.is_empty()
+                    || in_campus(&self.config.zoom_servers, t.five_tuple.src_ip)
+                    || in_campus(&self.config.zoom_servers, t.five_tuple.dst_ip);
+                if is_control {
+                    self.note_zoom(t.ts_nanos, &t.five_tuple, t.ip_len);
+                    self.tcp_rtt.on_segment(&t);
+                }
+            }
+            Extracted::Other => {
+                // Second chance: a UDP payload on a STUN-registered
+                // endpoint is a P2P media flow — re-parse with P2P
+                // framing (port reuse false-positives fail this parse,
+                // exactly the filter the paper describes).
+                if let Transport::Udp { .. } = d.transport {
+                    if matches!(d.app, App::Opaque) && self.is_p2p_flow(d) {
+                        if let Ok(z) = zoom_wire::zoom::parse(d.payload, Framing::P2p) {
+                            if z.rtp.is_some() || !z.rtcp.is_empty() {
+                                let meta = meta_from_zoom(
+                                    d.ts_nanos,
+                                    d.five_tuple,
+                                    d.ip_total_len,
+                                    Framing::P2p,
+                                    &z,
+                                    &self.config.campus,
+                                );
+                                self.on_zoom(meta);
+                                return;
+                            }
+                        }
+                        // Keep-alives and control packets on the P2P flow
+                        // still count as Zoom traffic.
+                        if zoom_wire::zoom::parse(d.payload, Framing::P2p).is_ok() {
+                            self.note_zoom(d.ts_nanos, &d.five_tuple, d.ip_total_len);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_p2p_flow(&mut self, d: &Dissection<'_>) -> bool {
+        let now = d.ts_nanos;
+        let timeout = self.config.stun_timeout_nanos;
+        for ep in [d.five_tuple.src(), d.five_tuple.dst()] {
+            if let Some(last) = self.p2p_endpoints.get_mut(&ep) {
+                if now.saturating_sub(*last) <= timeout {
+                    *last = now; // refresh: long calls stay matched
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn note_zoom(&mut self, ts: u64, five_tuple: &FiveTuple, ip_len: usize) {
+        self.zoom_packets += 1;
+        self.zoom_bytes += ip_len as u64;
+        self.first_zoom_ts.get_or_insert(ts);
+        self.last_zoom_ts = self.last_zoom_ts.max(ts);
+        let f = self.flows.entry(*five_tuple).or_insert(FlowStats {
+            first_seen: ts,
+            ..Default::default()
+        });
+        f.packets += 1;
+        f.bytes += ip_len as u64;
+        f.last_seen = ts;
+    }
+
+    fn on_zoom(&mut self, meta: PacketMeta) {
+        self.note_zoom(meta.ts_nanos, &meta.five_tuple, meta.ip_len);
+        self.classifier.record(
+            meta.media_type,
+            meta.rtp.as_ref().map(|r| r.payload_type),
+            meta.ip_len,
+        );
+        self.rtp_rtt.on_packet(&meta);
+        if let Some((key, created)) = self.streams.on_packet(&meta) {
+            if created {
+                let (client, server) = match client_endpoint_of(&meta.five_tuple) {
+                    Some(pair) => pair,
+                    None => {
+                        // P2P: campus side is the client.
+                        if in_campus(&self.config.campus, meta.five_tuple.src_ip) {
+                            (meta.five_tuple.src(), meta.five_tuple.dst_ip)
+                        } else {
+                            (meta.five_tuple.dst(), meta.five_tuple.src_ip)
+                        }
+                    }
+                };
+                let rtp = meta.rtp.as_ref().expect("stream implies rtp");
+                let streams = &self.streams;
+                let (uid, _meeting) = self.grouper.on_new_stream(
+                    key,
+                    client,
+                    server,
+                    rtp.timestamp,
+                    rtp.sequence,
+                    meta.ts_nanos,
+                    |k| {
+                        streams.get(k).map(|s| CandidateState {
+                            last_rtp_ts: s.last_rtp_timestamp().unwrap_or(0),
+                            last_seq: s
+                                .substreams
+                                .values()
+                                .max_by_key(|ss| ss.packets)
+                                .map(|ss| ss.last_seq)
+                                .unwrap_or(0),
+                            last_seen: s.last_seen,
+                        })
+                    },
+                );
+                if let Some(s) = self.streams.get_mut(&key) {
+                    s.unique_id = Some(uid);
+                }
+            }
+        }
+    }
+
+    // ---------------------------- reports ----------------------------
+
+    /// Trace summary (Table 6).
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            total_packets: self.total_packets.max(self.zoom_packets),
+            zoom_packets: self.zoom_packets,
+            zoom_bytes: self.zoom_bytes,
+            zoom_flows: self.flows.len(),
+            rtp_streams: self.streams.len(),
+            meetings: self.grouper.meeting_count(),
+            duration_nanos: self
+                .last_zoom_ts
+                .saturating_sub(self.first_zoom_ts.unwrap_or(0)),
+        }
+    }
+
+    /// The Tables 2/3 classifier.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// All tracked streams.
+    pub fn streams(&self) -> &StreamTracker {
+        &self.streams
+    }
+
+    /// Per-flow statistics.
+    pub fn flows(&self) -> &HashMap<FiveTuple, FlowStats> {
+        &self.flows
+    }
+
+    /// RTP-copy RTT samples (§5.3 method 1).
+    pub fn rtp_rtt_samples(&self) -> &[RttSample] {
+        self.rtp_rtt.samples()
+    }
+
+    /// TCP control-connection RTT samples (§5.3 method 2).
+    pub fn tcp_rtt_samples(&self) -> &[RttSample] {
+        self.tcp_rtt.samples()
+    }
+
+    /// The TCP estimator itself (per-responder queries).
+    pub fn tcp_rtt(&self) -> &TcpRttEstimator {
+        &self.tcp_rtt
+    }
+
+    /// Meeting reports (§4.3).
+    pub fn meetings(&self) -> Vec<MeetingReport> {
+        self.grouper.reports()
+    }
+
+    /// One-second metric samples for one media type (Fig. 15's inputs).
+    pub fn media_samples(&self, media: MediaType) -> MediaSamples {
+        let mut out = MediaSamples::default();
+        for s in self.streams.of_type(media) {
+            for rate in s.media_rate.rate_samples() {
+                out.bitrate_mbps.push(rate * 8.0 / 1e6);
+            }
+            if let Some(frames) = &s.frames {
+                for f in frames.frames() {
+                    out.frame_size.push(f.size_bytes as f64);
+                }
+                // Per-second delivered fps over the stream's lifetime,
+                // zero bins included.
+                let first_sec = s.first_seen / 1_000_000_000;
+                let last_sec = s.last_seen / 1_000_000_000;
+                if last_sec > first_sec {
+                    let mut counts: HashMap<u64, u32> = HashMap::new();
+                    for f in frames.frames() {
+                        *counts.entry(f.completed_at / 1_000_000_000).or_default() += 1;
+                    }
+                    for sec in first_sec..last_sec {
+                        out.fps
+                            .push(f64::from(counts.get(&sec).copied().unwrap_or(0)));
+                    }
+                }
+            }
+            for &(_, j) in s.frame_jitter.samples() {
+                out.jitter_ms.push(j);
+            }
+        }
+        out
+    }
+
+    /// Joined per-(stream, second) samples of (jitter ms, bit rate Mbit/s,
+    /// fps) for video — the scatter data of Fig. 16.
+    pub fn fig16_samples(&self) -> Vec<(f64, f64, f64)> {
+        let mut out = Vec::new();
+        for s in self.streams.of_type(MediaType::Video) {
+            let rates: HashMap<u64, f64> = s
+                .media_rate
+                .sorted()
+                .into_iter()
+                .map(|(t, v)| (t / 1_000_000_000, v * 8.0 / 1e6))
+                .collect();
+            let mut fps: HashMap<u64, f64> = HashMap::new();
+            if let Some(frames) = &s.frames {
+                for f in frames.frames() {
+                    *fps.entry(f.completed_at / 1_000_000_000).or_default() += 1.0;
+                }
+            }
+            for &(t, j) in s.frame_jitter.samples() {
+                let sec = t / 1_000_000_000;
+                if let Some(&rate) = rates.get(&sec) {
+                    out.push((j, rate, fps.get(&sec).copied().unwrap_or(0.0)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Streams sharing a unique id — the duplicate groups that power
+    /// Method-1 RTT estimation.
+    pub fn duplicate_stream_groups(&self) -> HashMap<u32, Vec<StreamKey>> {
+        let mut groups: HashMap<u32, Vec<StreamKey>> = HashMap::new();
+        for s in self.streams.iter() {
+            if let Some(uid) = s.unique_id {
+                groups.entry(uid).or_default().push(s.key);
+            }
+        }
+        groups
+    }
+
+    /// Look up a stream.
+    pub fn stream(&self, key: &StreamKey) -> Option<&Stream> {
+        self.streams.get(key)
+    }
+
+    /// Records that failed link/IP dissection.
+    pub fn undissectable(&self) -> u64 {
+        self.undissectable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use zoom_wire::compose;
+    use zoom_wire::rtp;
+    use zoom_wire::zoom;
+
+    fn analyzer() -> Analyzer {
+        Analyzer::new(AnalyzerConfig::default())
+    }
+
+    fn media_record(
+        ts: u64,
+        up: bool,
+        ssrc: u32,
+        seq: u16,
+        rtp_ts: u32,
+        pkts_in_frame: u8,
+        marker: bool,
+    ) -> Record {
+        let payload = zoom::Builder {
+            sfu: Some(zoom::SfuEncapRepr {
+                encap_type: zoom::SFU_TYPE_MEDIA,
+                sequence: seq,
+                direction: if up {
+                    zoom::DIR_TO_SFU
+                } else {
+                    zoom::DIR_FROM_SFU
+                },
+            }),
+            media: zoom::MediaEncapRepr {
+                media_type: zoom::MediaType::Video,
+                sequence: seq,
+                timestamp: (ts / 1_000_000) as u32,
+                frame_sequence: Some(seq / 2),
+                packets_in_frame: Some(pkts_in_frame),
+            },
+            rtp: Some(rtp::Repr {
+                marker,
+                payload_type: 98,
+                sequence_number: seq,
+                timestamp: rtp_ts,
+                ssrc,
+                csrc_count: 0,
+                has_extension: false,
+            }),
+            payload: vec![0xA5; 700],
+        }
+        .build();
+        let data = if up {
+            compose::udp_ipv4_ethernet(
+                Ipv4Addr::new(10, 8, 0, 1),
+                Ipv4Addr::new(170, 114, 0, 1),
+                50_000,
+                8801,
+                &payload,
+            )
+        } else {
+            compose::udp_ipv4_ethernet(
+                Ipv4Addr::new(170, 114, 0, 1),
+                Ipv4Addr::new(10, 8, 0, 2),
+                8801,
+                51_000,
+                &payload,
+            )
+        };
+        Record::full(ts, data)
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn tracks_streams_and_meetings_and_rtt() {
+        let mut a = analyzer();
+        // 100 frames uplink; each reappears 40 ms later as a downlink
+        // copy toward a second campus client.
+        for i in 0..100u64 {
+            let seq = i as u16 + 1;
+            let rtp_ts = 1_000 + (i as u32) * 3_000;
+            a.process_record(
+                &media_record(i * 33 * MS, true, 0x21, seq, rtp_ts, 1, true),
+                LinkType::Ethernet,
+            );
+            a.process_record(
+                &media_record(i * 33 * MS + 40 * MS, false, 0x21, seq, rtp_ts, 1, true),
+                LinkType::Ethernet,
+            );
+        }
+        let summary = a.summary();
+        assert_eq!(summary.zoom_packets, 200);
+        assert_eq!(summary.rtp_streams, 2);
+        assert_eq!(summary.zoom_flows, 2);
+        assert_eq!(summary.meetings, 1, "copies must group into one meeting");
+        // Method-1 RTT: every packet matched at ~40 ms.
+        let rtts = a.rtp_rtt_samples();
+        assert_eq!(rtts.len(), 100);
+        assert!(rtts.iter().all(|s| (39.9..40.1).contains(&s.rtt_ms())));
+        // The two streams share a unique id.
+        let groups = a.duplicate_stream_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups.values().next().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn media_samples_cover_video_metrics() {
+        let mut a = analyzer();
+        for i in 0..200u64 {
+            let seq = i as u16 + 1;
+            let rtp_ts = 1_000 + (i as u32) * 3_000;
+            a.process_record(
+                &media_record(i * 33 * MS, true, 0x21, seq, rtp_ts, 1, true),
+                LinkType::Ethernet,
+            );
+        }
+        let samples = a.media_samples(MediaType::Video);
+        assert!(!samples.bitrate_mbps.is_empty());
+        assert!(!samples.fps.is_empty());
+        assert!(!samples.frame_size.is_empty());
+        assert!(!samples.jitter_ms.is_empty());
+        // ~30 fps delivered.
+        let mut fps = samples.fps;
+        assert!(
+            (25.0..35.0).contains(&fps.median()),
+            "median {}",
+            fps.median()
+        );
+    }
+
+    #[test]
+    fn p2p_flow_needs_stun_first() {
+        let mut a = analyzer();
+        let p2p_payload = zoom::Builder {
+            sfu: None,
+            media: zoom::MediaEncapRepr {
+                media_type: zoom::MediaType::Audio,
+                sequence: 1,
+                timestamp: 2,
+                frame_sequence: None,
+                packets_in_frame: None,
+            },
+            rtp: Some(rtp::Repr {
+                marker: false,
+                payload_type: 112,
+                sequence_number: 3,
+                timestamp: 4,
+                ssrc: 0x31,
+                csrc_count: 0,
+                has_extension: false,
+            }),
+            payload: vec![1; 80],
+        }
+        .build();
+        let mk_media = |ts: u64| {
+            Record::full(
+                ts,
+                compose::udp_ipv4_ethernet(
+                    Ipv4Addr::new(10, 8, 0, 5),
+                    Ipv4Addr::new(98, 1, 2, 3),
+                    61_000,
+                    62_000,
+                    &p2p_payload,
+                ),
+            )
+        };
+        // Without a STUN exchange, nothing is recognized.
+        a.process_record(&mk_media(0), LinkType::Ethernet);
+        assert_eq!(a.summary().zoom_packets, 0);
+
+        // STUN from the same client endpoint, then media.
+        let msg = zoom_wire::stun::Repr {
+            message_type: zoom_wire::stun::MessageType::BindingRequest,
+            transaction_id: [9; 12],
+            xor_mapped_address: None,
+        };
+        let mut stun_payload = vec![0u8; msg.buffer_len()];
+        msg.emit(&mut stun_payload);
+        let stun_rec = Record::full(
+            1_000 * MS,
+            compose::udp_ipv4_ethernet(
+                Ipv4Addr::new(10, 8, 0, 5),
+                Ipv4Addr::new(170, 114, 2, 2),
+                61_000,
+                3478,
+                &stun_payload,
+            ),
+        );
+        a.process_record(&stun_rec, LinkType::Ethernet);
+        a.process_record(&mk_media(2_000 * MS), LinkType::Ethernet);
+        let summary = a.summary();
+        assert_eq!(summary.zoom_packets, 2); // STUN + media
+        assert_eq!(summary.rtp_streams, 1);
+    }
+
+    #[test]
+    fn tcp_filtered_by_server_list() {
+        let mut cfg = AnalyzerConfig::default();
+        cfg.zoom_servers = vec![(IpAddr::V4(Ipv4Addr::new(170, 114, 0, 0)), 16)];
+        let mut a = Analyzer::new(cfg);
+        let zoom_tcp = Record::full(
+            0,
+            compose::tcp_ipv4_ethernet(
+                Ipv4Addr::new(10, 8, 0, 1),
+                Ipv4Addr::new(170, 114, 0, 9),
+                50_000,
+                443,
+                100,
+                0,
+                zoom_wire::tcp::Flags {
+                    ack: true,
+                    psh: true,
+                    ..Default::default()
+                },
+                b"ctl",
+            ),
+        );
+        let other_tcp = Record::full(
+            0,
+            compose::tcp_ipv4_ethernet(
+                Ipv4Addr::new(10, 8, 0, 1),
+                Ipv4Addr::new(13, 3, 3, 3),
+                50_001,
+                443,
+                100,
+                0,
+                zoom_wire::tcp::Flags {
+                    ack: true,
+                    psh: true,
+                    ..Default::default()
+                },
+                b"web",
+            ),
+        );
+        a.process_record(&zoom_tcp, LinkType::Ethernet);
+        a.process_record(&other_tcp, LinkType::Ethernet);
+        assert_eq!(a.summary().zoom_packets, 1);
+    }
+
+    #[test]
+    fn garbage_counted_as_undissectable() {
+        let mut a = analyzer();
+        a.process_record(&Record::full(0, vec![1, 2, 3]), LinkType::Ethernet);
+        assert_eq!(a.undissectable(), 1);
+        assert_eq!(a.summary().total_packets, 1);
+    }
+}

@@ -1,0 +1,356 @@
+//! RTP stream and sub-stream tracking (Fig. 6's aggregation levels).
+//!
+//! A *media stream* is identified by IP 5-tuple + SSRC; inside it,
+//! *sub-streams* are told apart by RTP payload type (main vs FEC — same
+//! timestamps, separate sequence spaces, §4.2.3). On top of each video or
+//! screen-share stream sit frames, reconstructed by
+//! [`crate::metrics::frame::FrameTracker`]; every stream also accumulates
+//! per-second media bit rates and the frame-level jitter estimate.
+
+use crate::metrics::frame::FrameTracker;
+use crate::metrics::jitter::JitterEstimator;
+use crate::metrics::loss::{SeqStats, SeqTracker};
+use crate::packet::{Direction, PacketMeta};
+use crate::stats::SparseBins;
+use std::collections::HashMap;
+use zoom_wire::flow::FiveTuple;
+use zoom_wire::zoom::{MediaType, RtpPayloadKind};
+
+/// Identity of one directional media stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamKey {
+    pub flow: FiveTuple,
+    pub ssrc: u32,
+}
+
+/// One RTP sub-stream (payload type) within a stream.
+#[derive(Debug)]
+pub struct SubStream {
+    pub payload_type: u8,
+    pub kind: RtpPayloadKind,
+    pub packets: u64,
+    pub media_bytes: u64,
+    pub first_seq: u16,
+    pub last_seq: u16,
+    pub first_rtp_ts: u32,
+    pub last_rtp_ts: u32,
+    seq: SeqTracker,
+}
+
+impl SubStream {
+    /// Sequence statistics so far.
+    pub fn seq_stats(&self) -> SeqStats {
+        self.seq.stats()
+    }
+}
+
+/// One tracked media stream.
+pub struct Stream {
+    pub key: StreamKey,
+    pub media_type: MediaType,
+    pub direction: Direction,
+    pub first_seen: u64,
+    pub last_seen: u64,
+    /// Identifier shared by all copies of the same media (assigned by the
+    /// grouping heuristic's step 1).
+    pub unique_id: Option<u32>,
+    /// Sub-streams keyed by RTP payload type.
+    pub substreams: HashMap<u8, SubStream>,
+    /// Frame reconstruction (video and screen share only).
+    pub frames: Option<FrameTracker>,
+    /// Frame-level jitter over the main sub-stream.
+    pub frame_jitter: JitterEstimator,
+    /// Media payload bytes per second.
+    pub media_rate: SparseBins,
+    /// IP bytes per second (overall rate including headers).
+    pub ip_rate: SparseBins,
+    /// Packets per second.
+    pub pkt_rate: SparseBins,
+    /// Recently fed RTP timestamps: the jitter estimator gets exactly one
+    /// observation per frame (its first sighting), and a retransmitted
+    /// duplicate of an already-seen frame must not re-trigger it. Genuine
+    /// reorderings (a frame first seen late) still feed it — that lateness
+    /// IS jitter, per RFC 3550.
+    fed_jitter_ts: std::collections::VecDeque<u32>,
+    /// Total packets.
+    pub packets: u64,
+}
+
+impl Stream {
+    fn new(key: StreamKey, media_type: MediaType, direction: Direction, now: u64) -> Stream {
+        let frames = match media_type {
+            MediaType::Video => Some(FrameTracker::video()),
+            MediaType::ScreenShare => Some(FrameTracker::screen_share()),
+            _ => None,
+        };
+        Stream {
+            key,
+            media_type,
+            direction,
+            first_seen: now,
+            last_seen: now,
+            unique_id: None,
+            substreams: HashMap::new(),
+            frames,
+            frame_jitter: JitterEstimator::video(),
+            media_rate: SparseBins::per_second(),
+            ip_rate: SparseBins::per_second(),
+            pkt_rate: SparseBins::per_second(),
+            fed_jitter_ts: std::collections::VecDeque::new(),
+            packets: 0,
+        }
+    }
+
+    fn on_packet(&mut self, m: &PacketMeta) {
+        let rtp = m.rtp.as_ref().expect("stream packets carry RTP");
+        self.last_seen = m.ts_nanos;
+        self.packets += 1;
+        self.ip_rate.add(m.ts_nanos, m.ip_len as f64);
+        self.pkt_rate.add(m.ts_nanos, 1.0);
+        self.media_rate.add(m.ts_nanos, m.media_payload_len as f64);
+
+        let sub = self
+            .substreams
+            .entry(rtp.payload_type)
+            .or_insert_with(|| SubStream {
+                payload_type: rtp.payload_type,
+                kind: rtp.kind,
+                packets: 0,
+                media_bytes: 0,
+                first_seq: rtp.sequence,
+                last_seq: rtp.sequence,
+                first_rtp_ts: rtp.timestamp,
+                last_rtp_ts: rtp.timestamp,
+                seq: SeqTracker::new(),
+            });
+        sub.packets += 1;
+        sub.media_bytes += m.media_payload_len as u64;
+        sub.last_seq = rtp.sequence;
+        sub.last_rtp_ts = rtp.timestamp;
+        sub.seq.on_sequence(rtp.sequence);
+
+        // Frames and jitter: main sub-stream only (FEC shares timestamps
+        // but is not part of the frame).
+        if !rtp.kind.is_fec() {
+            if let Some(frames) = &mut self.frames {
+                frames.on_packet(
+                    m.ts_nanos,
+                    rtp.timestamp,
+                    rtp.sequence,
+                    rtp.marker,
+                    m.media_payload_len,
+                    m.pkts_in_frame,
+                );
+            }
+            // Feed the jitter estimator once per frame, on the frame's
+            // first sighting. Duplicates (Zoom retransmissions reuse the
+            // timestamp) must not re-trigger; first-seen-late frames do.
+            if !self.fed_jitter_ts.contains(&rtp.timestamp) {
+                self.fed_jitter_ts.push_back(rtp.timestamp);
+                if self.fed_jitter_ts.len() > 64 {
+                    self.fed_jitter_ts.pop_front();
+                }
+                if self.media_type == MediaType::Video || self.media_type == MediaType::ScreenShare
+                {
+                    self.frame_jitter.on_frame(m.ts_nanos, rtp.timestamp);
+                }
+            }
+        }
+    }
+
+    /// Most recent RTP timestamp across sub-streams (grouping step 1 uses
+    /// this to match stream copies).
+    pub fn last_rtp_timestamp(&self) -> Option<u32> {
+        self.substreams
+            .values()
+            .max_by_key(|s| s.packets)
+            .map(|s| s.last_rtp_ts)
+    }
+
+    /// Media payload bytes across all sub-streams.
+    pub fn media_bytes(&self) -> u64 {
+        self.substreams.values().map(|s| s.media_bytes).sum()
+    }
+
+    /// Duration from first to last packet.
+    pub fn duration_nanos(&self) -> u64 {
+        self.last_seen.saturating_sub(self.first_seen)
+    }
+
+    /// Mean media bit rate over the stream's lifetime, bits/s.
+    pub fn mean_media_bitrate(&self) -> f64 {
+        let d = self.duration_nanos();
+        if d == 0 {
+            return 0.0;
+        }
+        self.media_bytes() as f64 * 8.0 / (d as f64 / 1e9)
+    }
+}
+
+/// Tracks all streams in a trace.
+#[derive(Default)]
+pub struct StreamTracker {
+    streams: HashMap<StreamKey, Stream>,
+    /// Keys in creation order (stable reporting).
+    order: Vec<StreamKey>,
+}
+
+impl StreamTracker {
+    /// Empty tracker.
+    pub fn new() -> StreamTracker {
+        StreamTracker::default()
+    }
+
+    /// Feed one Zoom media packet. Returns the key and whether the packet
+    /// created a new stream (the grouping heuristic hooks on creation).
+    pub fn on_packet(&mut self, m: &PacketMeta) -> Option<(StreamKey, bool)> {
+        let rtp = m.rtp.as_ref()?;
+        let key = StreamKey {
+            flow: m.five_tuple,
+            ssrc: rtp.ssrc,
+        };
+        let created = !self.streams.contains_key(&key);
+        let stream = self
+            .streams
+            .entry(key)
+            .or_insert_with(|| Stream::new(key, m.media_type, m.direction, m.ts_nanos));
+        stream.on_packet(m);
+        if created {
+            self.order.push(key);
+        }
+        Some((key, created))
+    }
+
+    /// Number of tracked streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when no streams were seen.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Access one stream.
+    pub fn get(&self, key: &StreamKey) -> Option<&Stream> {
+        self.streams.get(key)
+    }
+
+    /// Mutable access (grouping sets `unique_id`).
+    pub fn get_mut(&mut self, key: &StreamKey) -> Option<&mut Stream> {
+        self.streams.get_mut(key)
+    }
+
+    /// Iterate streams in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = &Stream> + '_ {
+        self.order.iter().filter_map(move |k| self.streams.get(k))
+    }
+
+    /// Iterate streams of one media type.
+    pub fn of_type(&self, t: MediaType) -> impl Iterator<Item = &Stream> + '_ {
+        self.iter().filter(move |s| s.media_type == t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::RtpMeta;
+    use std::net::{IpAddr, Ipv4Addr};
+    use zoom_wire::ipv4::Protocol;
+    use zoom_wire::zoom::Framing;
+
+    const MS: u64 = 1_000_000;
+
+    fn meta(at: u64, ssrc: u32, pt: u8, seq: u16, ts: u32, marker: bool) -> PacketMeta {
+        PacketMeta {
+            ts_nanos: at,
+            five_tuple: FiveTuple {
+                src_ip: IpAddr::V4(Ipv4Addr::new(10, 8, 0, 1)),
+                dst_ip: IpAddr::V4(Ipv4Addr::new(170, 114, 0, 1)),
+                src_port: 50_000,
+                dst_port: 8801,
+                protocol: Protocol::Udp,
+            },
+            ip_len: 1_000,
+            framing: Framing::Server,
+            media_type: MediaType::Video,
+            direction: Direction::ToServer,
+            rtp: Some(RtpMeta {
+                ssrc,
+                payload_type: pt,
+                sequence: seq,
+                timestamp: ts,
+                marker,
+                kind: RtpPayloadKind::classify(MediaType::Video, pt),
+            }),
+            rtcp: None,
+            frame_seq: Some(1),
+            pkts_in_frame: Some(1),
+            media_payload_len: 900,
+        }
+    }
+
+    #[test]
+    fn streams_keyed_by_flow_and_ssrc() {
+        let mut t = StreamTracker::new();
+        let (k1, created1) = t.on_packet(&meta(0, 0x21, 98, 1, 100, true)).unwrap();
+        let (_, created2) = t.on_packet(&meta(MS, 0x21, 98, 2, 200, true)).unwrap();
+        let (k3, created3) = t.on_packet(&meta(MS, 0x22, 98, 1, 100, true)).unwrap();
+        assert!(created1);
+        assert!(!created2);
+        assert!(created3);
+        assert_ne!(k1, k3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&k1).unwrap().packets, 2);
+    }
+
+    #[test]
+    fn fec_forms_separate_substream() {
+        let mut t = StreamTracker::new();
+        let (k, _) = t.on_packet(&meta(0, 0x21, 98, 1, 100, true)).unwrap();
+        t.on_packet(&meta(MS, 0x21, 110, 1, 100, false)).unwrap();
+        let s = t.get(&k).unwrap();
+        assert_eq!(s.substreams.len(), 2);
+        assert!(s.substreams[&110].kind.is_fec());
+        // FEC packets don't create frames; the single main packet does.
+        assert_eq!(s.frames.as_ref().unwrap().frames().len(), 1);
+    }
+
+    #[test]
+    fn media_rate_accumulates() {
+        let mut t = StreamTracker::new();
+        let (k, _) = t.on_packet(&meta(0, 0x21, 98, 1, 100, true)).unwrap();
+        t.on_packet(&meta(100 * MS, 0x21, 98, 2, 200, true))
+            .unwrap();
+        t.on_packet(&meta(1_500 * MS, 0x21, 98, 3, 300, true))
+            .unwrap();
+        let s = t.get(&k).unwrap();
+        assert_eq!(s.media_bytes(), 2_700);
+        assert_eq!(s.media_rate.len(), 2); // two seconds touched
+        assert!(s.mean_media_bitrate() > 0.0);
+        assert_eq!(s.duration_nanos(), 1_500 * MS);
+    }
+
+    #[test]
+    fn jitter_fed_once_per_timestamp() {
+        let mut t = StreamTracker::new();
+        // Two packets of the same frame, then the next frame.
+        let (k, _) = t.on_packet(&meta(0, 0x21, 98, 1, 100, false)).unwrap();
+        t.on_packet(&meta(MS / 4, 0x21, 98, 2, 100, true)).unwrap();
+        t.on_packet(&meta(33 * MS, 0x21, 98, 3, 3_100, true))
+            .unwrap();
+        let s = t.get(&k).unwrap();
+        // Only two jitter observations (one per distinct timestamp).
+        assert!(s.frame_jitter.samples().len() <= 2);
+        assert_eq!(s.last_rtp_timestamp(), Some(3_100));
+    }
+
+    #[test]
+    fn of_type_filters() {
+        let mut t = StreamTracker::new();
+        t.on_packet(&meta(0, 0x21, 98, 1, 100, true)).unwrap();
+        assert_eq!(t.of_type(MediaType::Video).count(), 1);
+        assert_eq!(t.of_type(MediaType::Audio).count(), 0);
+    }
+}

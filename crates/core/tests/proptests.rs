@@ -1,0 +1,155 @@
+//! Property-based tests on the analysis layer's core invariants.
+
+use proptest::prelude::*;
+use zoom_analysis::entropy::{extract_series, FieldSeries};
+use zoom_analysis::metrics::frame::FrameTracker;
+use zoom_analysis::metrics::jitter::JitterEstimator;
+use zoom_analysis::metrics::loss::SeqTracker;
+use zoom_analysis::stats::{Samples, SparseBins};
+
+proptest! {
+    /// Sequence-tracker conservation: unique + duplicates == received, and
+    /// unique ≤ received, for ANY input sequence.
+    #[test]
+    fn seq_tracker_conservation(seqs in proptest::collection::vec(any::<u16>(), 1..2_000)) {
+        let mut t = SeqTracker::new();
+        for &s in &seqs {
+            t.on_sequence(s);
+        }
+        let st = t.finish();
+        prop_assert_eq!(st.received, seqs.len() as u64);
+        prop_assert_eq!(st.unique + st.duplicates, st.received);
+        prop_assert!(st.reordered <= st.unique);
+        prop_assert!(st.loss_fraction() >= 0.0 && st.loss_fraction() <= 1.0);
+    }
+
+    /// An in-order run with arbitrary start has no loss, dupes, reorders.
+    #[test]
+    fn seq_tracker_clean_run(start: u16, len in 1usize..5_000) {
+        let mut t = SeqTracker::new();
+        for i in 0..len {
+            t.on_sequence(start.wrapping_add(i as u16));
+        }
+        let st = t.finish();
+        prop_assert_eq!(st.unique, len as u64);
+        prop_assert_eq!(st.duplicates, 0);
+        prop_assert_eq!(st.missing, 0);
+        prop_assert_eq!(st.reordered, 0);
+    }
+
+    /// Jitter is always non-negative and zero for perfectly paced input.
+    #[test]
+    fn jitter_nonnegative(
+        deltas in proptest::collection::vec(0u64..200_000_000, 2..500),
+        ticks in 1u32..10_000,
+    ) {
+        let mut j = JitterEstimator::video();
+        let mut t = 0u64;
+        let mut ts = 0u32;
+        for d in deltas {
+            j.on_frame(t, ts);
+            t += d;
+            ts = ts.wrapping_add(ticks);
+        }
+        prop_assert!(j.jitter_nanos() >= 0.0);
+    }
+
+    /// Perfectly paced: jitter stays ~0 regardless of rate.
+    #[test]
+    fn jitter_zero_when_paced(fps in 1u64..120, n in 10usize..300) {
+        let mut j = JitterEstimator::video();
+        let interval = 1_000_000_000 / fps;
+        let ticks = (90_000 / fps) as u32;
+        for i in 0..n as u64 {
+            j.on_frame(i * interval, (i as u32).wrapping_mul(ticks));
+        }
+        // Rounding of ticks introduces sub-ms residue at odd rates.
+        prop_assert!(j.jitter_ms() < 1.0, "jitter {}", j.jitter_ms());
+    }
+
+    /// Frame tracker: every completed frame has the announced packet
+    /// count, and duplicates never inflate sizes.
+    #[test]
+    fn frame_tracker_counts(
+        frames in proptest::collection::vec((1u8..8, 1usize..1_200), 1..50),
+    ) {
+        let mut t = FrameTracker::video();
+        let mut seq = 0u16;
+        let mut at = 0u64;
+        for (i, &(pkts, payload)) in frames.iter().enumerate() {
+            let ts = (i as u32 + 1) * 3_000;
+            for k in 0..pkts {
+                seq = seq.wrapping_add(1);
+                at += 1_000_000;
+                t.on_packet(at, ts, seq, k + 1 == pkts, payload, Some(pkts));
+                // Duplicate delivery of the same packet:
+                t.on_packet(at + 1, ts, seq, k + 1 == pkts, payload, Some(pkts));
+            }
+        }
+        prop_assert_eq!(t.frames().len(), frames.len());
+        for (f, &(pkts, payload)) in t.frames().iter().zip(&frames) {
+            prop_assert_eq!(f.packets, u32::from(pkts));
+            prop_assert_eq!(f.size_bytes, payload * pkts as usize);
+        }
+    }
+
+    /// CDF invariants: monotone, ends at 1, quantiles ordered.
+    #[test]
+    fn samples_cdf_invariants(values in proptest::collection::vec(-1e9f64..1e9, 1..500)) {
+        let mut s = Samples::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let pts = s.cdf_points(50);
+        prop_assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        prop_assert_eq!(pts.last().unwrap().1, 1.0);
+        let q10 = s.quantile(0.1);
+        let q50 = s.quantile(0.5);
+        let q90 = s.quantile(0.9);
+        prop_assert!(q10 <= q50 && q50 <= q90);
+        prop_assert!(s.cdf_at(q90) >= 0.5);
+    }
+
+    /// Sparse bins conserve mass.
+    #[test]
+    fn sparse_bins_conserve(values in proptest::collection::vec((0u64..1_000_000_000_000, 0.0f64..1e6), 0..300)) {
+        let mut b = SparseBins::per_second();
+        let mut total = 0.0;
+        for &(t, v) in &values {
+            b.add(t, v);
+            total += v;
+        }
+        let binned: f64 = b.sorted().iter().map(|(_, v)| v).sum();
+        prop_assert!((binned - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// The entropy classifier never panics and yields a signature with all
+    /// fields in range for arbitrary series.
+    #[test]
+    fn entropy_signature_in_range(
+        values in proptest::collection::vec(any::<u8>(), 0..1_000),
+        width in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let packets: Vec<(u64, Vec<u8>)> = values
+            .chunks(8)
+            .enumerate()
+            .map(|(i, c)| (i as u64, c.to_vec()))
+            .collect();
+        let series: FieldSeries = extract_series(
+            packets.iter().map(|(t, p)| (*t, p.as_slice())),
+            0,
+            width,
+        );
+        let sig = series.signature();
+        prop_assert!((0.0..=1.0).contains(&sig.normalized_entropy));
+        prop_assert!((0.0..=1.0).contains(&sig.distinct_ratio));
+        prop_assert!((0.0..=1.0).contains(&sig.monotonic_fraction));
+        prop_assert!((0.0..=1.0).contains(&sig.small_step_fraction));
+        prop_assert!((0.0..=1.0).contains(&sig.top_value_fraction) || series.values.is_empty());
+        let _ = series.classify();
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulated time and the discrete-event queue.
+//!
+//! All simulator time is `u64` nanoseconds from trace start — deterministic
+//! and free of wall-clock dependencies, so every experiment is exactly
+//! reproducible from its seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Nanoseconds since trace start.
+pub type Nanos = u64;
+
+/// One second in nanoseconds.
+pub const SEC: Nanos = 1_000_000_000;
+/// One millisecond in nanoseconds.
+pub const MS: Nanos = 1_000_000;
+/// One microsecond in nanoseconds.
+pub const US: Nanos = 1_000;
+
+/// Convert nanoseconds to floating-point seconds (for reports).
+pub fn secs(t: Nanos) -> f64 {
+    t as f64 / SEC as f64
+}
+
+/// Convert nanoseconds to floating-point milliseconds (for reports).
+pub fn millis(t: Nanos) -> f64 {
+    t as f64 / MS as f64
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// Ties are broken by insertion order so that simulations are fully
+/// deterministic even when many events share a timestamp (e.g. packets of
+/// one frame sent back-to-back).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Nanos, u64, EventBox<E>)>>,
+    counter: u64,
+}
+
+// BinaryHeap needs Ord on the payload; events themselves are not ordered,
+// so wrap them in a box that always compares equal and let (time, counter)
+// decide.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            counter: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: Nanos, event: E) {
+        self.counter += 1;
+        self.heap.push(Reverse((at, self.counter, EventBox(event))));
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(secs(1_500_000_000), 1.5);
+        assert_eq!(millis(2_000_000), 2.0);
+        assert_eq!(SEC, 1000 * MS);
+        assert_eq!(MS, 1000 * US);
+    }
+}

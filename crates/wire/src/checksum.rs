@@ -1,0 +1,142 @@
+//! Internet checksum (RFC 1071) and transport pseudo-header helpers.
+//!
+//! Used by [`crate::ipv4`], [`crate::udp`], and [`crate::tcp`] to verify
+//! checksums on captured packets and to fill them in when the simulator
+//! emits synthetic traffic.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Incremental one's-complement sum accumulator.
+///
+/// Fold order does not matter for the one's-complement sum, so data can be
+/// added in arbitrary chunks (header, pseudo-header, payload).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summer {
+    sum: u32,
+}
+
+impl Summer {
+    /// Create an accumulator with a zero sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a byte slice; an odd trailing byte is padded with zero as per
+    /// RFC 1071.
+    pub fn add(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Add a single big-endian `u16` word.
+    pub fn add_u16(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Add a `u32` as two 16-bit words.
+    pub fn add_u32(&mut self, word: u32) {
+        self.add_u16((word >> 16) as u16);
+        self.add_u16(word as u16);
+    }
+
+    /// Finish: fold carries and return the one's complement.
+    pub fn finish(mut self) -> u16 {
+        while self.sum >> 16 != 0 {
+            self.sum = (self.sum & 0xFFFF) + (self.sum >> 16);
+        }
+        !(self.sum as u16)
+    }
+}
+
+/// Checksum of a single contiguous buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut s = Summer::new();
+    s.add(data);
+    s.finish()
+}
+
+/// Verify a buffer whose checksum field is already in place: the folded sum
+/// over the whole buffer must be zero.
+pub fn verify(data: &[u8]) -> bool {
+    checksum(data) == 0
+}
+
+/// IPv4 pseudo-header sum for UDP/TCP (RFC 768 / RFC 793).
+pub fn pseudo_header_v4(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u16) -> Summer {
+    let mut s = Summer::new();
+    s.add(&src.octets());
+    s.add(&dst.octets());
+    s.add_u16(u16::from(protocol));
+    s.add_u16(length);
+    s
+}
+
+/// IPv6 pseudo-header sum for UDP/TCP (RFC 2460 §8.1).
+pub fn pseudo_header_v6(src: Ipv6Addr, dst: Ipv6Addr, protocol: u8, length: u32) -> Summer {
+    let mut s = Summer::new();
+    s.add(&src.octets());
+    s.add(&dst.octets());
+    s.add_u32(length);
+    s.add_u16(u16::from(protocol));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_reference_vector() {
+        // Example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2,
+        // checksum is its complement.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_is_zero_padded() {
+        assert_eq!(checksum(&[0xFF]), !0xFF00);
+    }
+
+    #[test]
+    fn verify_detects_single_bit_flip() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11];
+        // Append a correct checksum.
+        let c = checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn chunked_equals_contiguous() {
+        let data: Vec<u8> = (0u8..=250).collect();
+        let whole = checksum(&data);
+        let mut s = Summer::new();
+        // Split on an even boundary: one's-complement addition is
+        // associative only when chunks keep 16-bit alignment.
+        s.add(&data[..100]);
+        s.add(&data[100..]);
+        assert_eq!(s.finish(), whole);
+    }
+
+    #[test]
+    fn pseudo_header_v4_known_udp() {
+        // Hand-computed: 10.0.0.1 -> 10.0.0.2, UDP(17), len 8.
+        let mut s = pseudo_header_v4(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            17,
+            8,
+        );
+        s.add(&[0u8; 0]);
+        // 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 0x0011 + 0x0008 = 0x141c
+        assert_eq!(s.finish(), !0x141c);
+    }
+}

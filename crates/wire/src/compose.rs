@@ -1,0 +1,168 @@
+//! Whole-packet composition helpers.
+//!
+//! The simulator and tests need complete, checksummed Ethernet/IPv4/UDP and
+//! TCP packets; these helpers stack the per-layer emitters so callers only
+//! provide addresses, ports, and the application payload.
+
+use crate::ethernet::{self, Address, EtherType};
+use crate::ipv4::{self, Protocol};
+use crate::tcp;
+use crate::udp;
+use std::net::Ipv4Addr;
+
+/// Derive a stable, locally administered MAC from an IPv4 address so that
+/// synthetic traces look plausible in Wireshark.
+pub fn mac_for_ip(ip: Ipv4Addr) -> Address {
+    let o = ip.octets();
+    Address([0x02, 0x00, o[0], o[1], o[2], o[3]])
+}
+
+/// Compose Ethernet/IPv4/UDP around `payload`, filling both checksums.
+pub fn udp_ipv4_ethernet(
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let udp_repr = udp::Repr {
+        src_port,
+        dst_port,
+        payload_len: payload.len(),
+    };
+    let ip_repr = ipv4::Repr {
+        src_addr: src_ip,
+        dst_addr: dst_ip,
+        protocol: Protocol::Udp,
+        payload_len: udp_repr.total_len(),
+        ttl: 64,
+        dscp_ecn: 0,
+        ident: 0,
+    };
+    let eth_repr = ethernet::Repr {
+        dst_addr: mac_for_ip(dst_ip),
+        src_addr: mac_for_ip(src_ip),
+        ethertype: EtherType::Ipv4,
+    };
+
+    let total = ethernet::HEADER_LEN + ip_repr.total_len();
+    let mut buf = vec![0u8; total];
+    eth_repr.emit(&mut ethernet::Packet::new_unchecked(&mut buf[..]));
+    let ip_bytes = &mut buf[ethernet::HEADER_LEN..];
+    ip_repr.emit(&mut ipv4::Packet::new_unchecked(&mut ip_bytes[..]));
+    let udp_bytes = &mut ip_bytes[ipv4::HEADER_LEN..];
+    {
+        let mut u = udp::Packet::new_unchecked(&mut udp_bytes[..]);
+        udp_repr.emit(&mut u);
+        u.payload_mut().copy_from_slice(payload);
+        u.fill_checksum_v4(src_ip, dst_ip);
+    }
+    buf
+}
+
+/// Compose Ethernet/IPv4/TCP around `payload`, filling both checksums.
+#[allow(clippy::too_many_arguments)]
+pub fn tcp_ipv4_ethernet(
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    flags: tcp::Flags,
+    payload: &[u8],
+) -> Vec<u8> {
+    let tcp_repr = tcp::Repr {
+        src_port,
+        dst_port,
+        seq_number: seq,
+        ack_number: ack,
+        flags,
+        window: 65_535,
+        payload_len: payload.len(),
+    };
+    let ip_repr = ipv4::Repr {
+        src_addr: src_ip,
+        dst_addr: dst_ip,
+        protocol: Protocol::Tcp,
+        payload_len: tcp_repr.total_len(),
+        ttl: 64,
+        dscp_ecn: 0,
+        ident: 0,
+    };
+    let eth_repr = ethernet::Repr {
+        dst_addr: mac_for_ip(dst_ip),
+        src_addr: mac_for_ip(src_ip),
+        ethertype: EtherType::Ipv4,
+    };
+
+    let total = ethernet::HEADER_LEN + ip_repr.total_len();
+    let mut buf = vec![0u8; total];
+    eth_repr.emit(&mut ethernet::Packet::new_unchecked(&mut buf[..]));
+    let ip_bytes = &mut buf[ethernet::HEADER_LEN..];
+    ip_repr.emit(&mut ipv4::Packet::new_unchecked(&mut ip_bytes[..]));
+    let tcp_bytes = &mut ip_bytes[ipv4::HEADER_LEN..];
+    {
+        let mut t = tcp::Packet::new_unchecked(&mut tcp_bytes[..]);
+        tcp_repr.emit(&mut t);
+        t.payload_mut().copy_from_slice(payload);
+        t.fill_checksum_v4(src_ip, dst_ip);
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        ethernet::Packet as EthPacket, ipv4::Packet as Ip4Packet, udp::Packet as UdpPacket,
+    };
+
+    #[test]
+    fn udp_compose_is_well_formed() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let buf = udp_ipv4_ethernet(src, dst, 1111, 2222, b"abc");
+        let eth = EthPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Ipv4);
+        let ip = Ip4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let u = UdpPacket::new_checked(ip.payload()).unwrap();
+        assert!(u.verify_checksum_v4(src, dst));
+        assert_eq!(u.payload(), b"abc");
+    }
+
+    #[test]
+    fn tcp_compose_is_well_formed() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let buf = tcp_ipv4_ethernet(
+            src,
+            dst,
+            1111,
+            443,
+            7,
+            8,
+            tcp::Flags {
+                ack: true,
+                psh: true,
+                ..Default::default()
+            },
+            b"hello",
+        );
+        let eth = EthPacket::new_checked(&buf[..]).unwrap();
+        let ip = Ip4Packet::new_checked(eth.payload()).unwrap();
+        assert!(ip.verify_checksum());
+        let t = crate::tcp::Packet::new_checked(ip.payload()).unwrap();
+        assert!(t.verify_checksum_v4(src, dst));
+        assert_eq!(t.payload(), b"hello");
+        assert_eq!(t.seq_number(), 7);
+    }
+
+    #[test]
+    fn mac_derivation_is_stable_and_unicast() {
+        let m = mac_for_ip(Ipv4Addr::new(10, 8, 3, 4));
+        assert_eq!(m, mac_for_ip(Ipv4Addr::new(10, 8, 3, 4)));
+        assert!(!m.is_multicast());
+    }
+}

@@ -1,0 +1,659 @@
+//! Full-stack packet dissector: link → network → transport → Zoom.
+//!
+//! This is the library equivalent of the paper's Wireshark plugin
+//! (Appendix C): it walks an Ethernet or raw-IP capture record down to the
+//! Zoom encapsulations and exposes every field the analysis layer needs,
+//! borrowing from the input buffer (no copies).
+//!
+//! Heuristics mirror the plugin: UDP traffic to/from port 8801 is treated
+//! as Zoom server traffic; traffic to/from port 3478 is checked for STUN;
+//! any other UDP payload can optionally be probed for P2P Zoom framing.
+
+use crate::ethernet::{self, EtherType};
+use crate::flow::FiveTuple;
+use crate::ipv4::{self, Protocol};
+use crate::ipv6;
+use crate::pcap::LinkType;
+use crate::stun;
+use crate::tcp;
+use crate::udp;
+use crate::zoom::{self, Framing, ZoomPacket, ZOOM_SFU_PORT};
+use crate::{Error, Result};
+use std::fmt::Write as _;
+use std::net::IpAddr;
+
+/// Transport-layer summary of a dissected packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    Udp {
+        payload_len: usize,
+    },
+    Tcp {
+        seq: u32,
+        ack: u32,
+        flags: tcp::Flags,
+        window: u16,
+        payload_len: usize,
+    },
+}
+
+/// Application-layer interpretation of a UDP payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum App {
+    /// A parsed STUN message.
+    Stun(stun::Repr),
+    /// A parsed Zoom packet with the framing that succeeded.
+    Zoom(Framing, ZoomPacket),
+    /// The payload did not match anything we decode.
+    Opaque,
+}
+
+/// A fully dissected packet, borrowing payload bytes from the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dissection<'a> {
+    /// Capture timestamp, nanoseconds.
+    pub ts_nanos: u64,
+    /// Link header, when the trace has one.
+    pub link: Option<ethernet::Repr>,
+    /// The IP 5-tuple.
+    pub five_tuple: FiveTuple,
+    /// Bytes in the IP packet (header + payload) — the basis for
+    /// flow-level bit rates.
+    pub ip_total_len: usize,
+    /// Transport summary.
+    pub transport: Transport,
+    /// Application interpretation (UDP only; TCP payloads stay opaque).
+    pub app: App,
+    /// The raw transport payload — the input to entropy analysis.
+    pub payload: &'a [u8],
+}
+
+impl Dissection<'_> {
+    /// Convenience: the parsed Zoom packet, if any.
+    pub fn zoom(&self) -> Option<&ZoomPacket> {
+        match &self.app {
+            App::Zoom(_, z) => Some(z),
+            _ => None,
+        }
+    }
+
+    /// Convenience: true when the app layer parsed as STUN.
+    pub fn is_stun(&self) -> bool {
+        matches!(self.app, App::Stun(_))
+    }
+}
+
+/// Controls whether non-8801 UDP payloads are probed for Zoom P2P framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum P2pProbe {
+    /// Never probe: only port-8801 traffic parses as Zoom. This is what a
+    /// port-based filter would see.
+    #[default]
+    Off,
+    /// Probe every UDP payload with [`zoom::parse_auto`]. Used once a flow
+    /// has been flagged as P2P by the STUN tracker, or when scanning.
+    Auto,
+}
+
+/// Dissect one capture record.
+///
+/// Returns `Err` only for packets that cannot be interpreted at the IP
+/// layer or below; an unparseable application payload simply yields
+/// [`App::Opaque`].
+pub fn dissect<'a>(
+    ts_nanos: u64,
+    data: &'a [u8],
+    link_type: LinkType,
+    probe: P2pProbe,
+) -> Result<Dissection<'a>> {
+    let (link, ip_bytes) = match link_type {
+        LinkType::Ethernet => {
+            let eth = ethernet::Packet::new_checked(data)?;
+            let repr = ethernet::Repr::parse(&eth);
+            match repr.ethertype {
+                EtherType::Ipv4 | EtherType::Ipv6 => {}
+                _ => return Err(Error::Unsupported),
+            }
+            (Some(repr), &data[ethernet::HEADER_LEN..])
+        }
+        LinkType::RawIp => (None, data),
+        LinkType::Other(_) => return Err(Error::Unsupported),
+    };
+
+    if ip_bytes.is_empty() {
+        return Err(Error::Truncated);
+    }
+    let (src_ip, dst_ip, protocol, transport_bytes, ip_total_len) = match ip_bytes[0] >> 4 {
+        4 => {
+            let ip = ipv4::Packet::new_checked(ip_bytes)?;
+            (
+                IpAddr::V4(ip.src_addr()),
+                IpAddr::V4(ip.dst_addr()),
+                ip.protocol(),
+                &ip_bytes[ip.header_len()..ip.total_len() as usize],
+                ip.total_len() as usize,
+            )
+        }
+        6 => {
+            let ip = ipv6::Packet::new_checked(ip_bytes)?;
+            let total = ipv6::HEADER_LEN + ip.payload_len() as usize;
+            (
+                IpAddr::V6(ip.src_addr()),
+                IpAddr::V6(ip.dst_addr()),
+                ip.next_header(),
+                &ip_bytes[ipv6::HEADER_LEN..total],
+                total,
+            )
+        }
+        _ => return Err(Error::Malformed),
+    };
+
+    match protocol {
+        Protocol::Udp => {
+            let u = udp::Packet::new_checked(transport_bytes)?;
+            let five_tuple = FiveTuple {
+                src_ip,
+                dst_ip,
+                src_port: u.src_port(),
+                dst_port: u.dst_port(),
+                protocol: Protocol::Udp,
+            };
+            let payload_off = udp::HEADER_LEN;
+            let payload_end = u.len() as usize;
+            let payload = &transport_bytes[payload_off..payload_end];
+            let app = classify_udp(&five_tuple, payload, probe);
+            Ok(Dissection {
+                ts_nanos,
+                link,
+                five_tuple,
+                ip_total_len,
+                transport: Transport::Udp {
+                    payload_len: payload.len(),
+                },
+                app,
+                payload,
+            })
+        }
+        Protocol::Tcp => {
+            let t = tcp::Packet::new_checked(transport_bytes)?;
+            let five_tuple = FiveTuple {
+                src_ip,
+                dst_ip,
+                src_port: t.src_port(),
+                dst_port: t.dst_port(),
+                protocol: Protocol::Tcp,
+            };
+            let hl = t.header_len();
+            let payload = &transport_bytes[hl..];
+            Ok(Dissection {
+                ts_nanos,
+                link,
+                five_tuple,
+                ip_total_len,
+                transport: Transport::Tcp {
+                    seq: t.seq_number(),
+                    ack: t.ack_number(),
+                    flags: t.flags(),
+                    window: t.window(),
+                    payload_len: payload.len(),
+                },
+                app: App::Opaque,
+                payload,
+            })
+        }
+        _ => Err(Error::Unsupported),
+    }
+}
+
+fn classify_udp(five_tuple: &FiveTuple, payload: &[u8], probe: P2pProbe) -> App {
+    // STUN first: port 3478 traffic, or anything that passes the magic
+    // cookie check (STUN and Zoom framings cannot be confused — the
+    // leading bits differ).
+    if five_tuple.involves_port(stun::STUN_PORT) || stun::looks_like_stun(payload) {
+        if let Ok(p) = stun::Packet::new_checked(payload) {
+            if let Ok(repr) = stun::Repr::parse(&p) {
+                return App::Stun(repr);
+            }
+        }
+    }
+    if five_tuple.involves_port(ZOOM_SFU_PORT) {
+        if let Ok(z) = zoom::parse(payload, Framing::Server) {
+            return App::Zoom(Framing::Server, z);
+        }
+        return App::Opaque;
+    }
+    if probe == P2pProbe::Auto {
+        if let Ok((framing, z)) = zoom::parse_auto(payload) {
+            if z.rtp.is_some() || !z.rtcp.is_empty() {
+                return App::Zoom(framing, z);
+            }
+        }
+    }
+    App::Opaque
+}
+
+/// Render a Wireshark-style field tree for a dissection — the textual
+/// counterpart of the plugin screenshot in Fig. 18 of the paper.
+pub fn render_tree(d: &Dissection<'_>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Frame: {} bytes on wire, ts={} ns",
+        d.ip_total_len, d.ts_nanos
+    );
+    if let Some(link) = &d.link {
+        let _ = writeln!(
+            out,
+            "Ethernet II, Src: {}, Dst: {}",
+            link.src_addr, link.dst_addr
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Internet Protocol, Src: {}, Dst: {}",
+        d.five_tuple.src_ip, d.five_tuple.dst_ip
+    );
+    match &d.transport {
+        Transport::Udp { payload_len } => {
+            let _ = writeln!(
+                out,
+                "User Datagram Protocol, Src Port: {}, Dst Port: {}, Payload: {} bytes",
+                d.five_tuple.src_port, d.five_tuple.dst_port, payload_len
+            );
+        }
+        Transport::Tcp {
+            seq,
+            ack,
+            flags,
+            payload_len,
+            ..
+        } => {
+            let _ = writeln!(
+                out,
+                "Transmission Control Protocol, Src Port: {}, Dst Port: {}, Seq: {}, Ack: {}, \
+                 Flags: [{}{}{}{}], Payload: {} bytes",
+                d.five_tuple.src_port,
+                d.five_tuple.dst_port,
+                seq,
+                ack,
+                if flags.syn { "S" } else { "" },
+                if flags.ack { "A" } else { "" },
+                if flags.psh { "P" } else { "" },
+                if flags.fin { "F" } else { "" },
+                payload_len
+            );
+        }
+    }
+    match &d.app {
+        App::Stun(s) => {
+            let _ = writeln!(out, "Session Traversal Utilities for NAT");
+            let _ = writeln!(out, "    Message Type: {:?}", s.message_type);
+            if let Some(addr) = s.xor_mapped_address {
+                let _ = writeln!(out, "    XOR-MAPPED-ADDRESS: {addr}");
+            }
+        }
+        App::Zoom(framing, z) => {
+            if let Some(sfu) = &z.sfu {
+                let _ = writeln!(out, "Zoom SFU Encapsulation");
+                let _ = writeln!(out, "    Type: {}", sfu.encap_type);
+                let _ = writeln!(out, "    Sequence: {}", sfu.sequence);
+                let _ = writeln!(
+                    out,
+                    "    Direction: {} ({})",
+                    sfu.direction,
+                    if sfu.direction == zoom::DIR_FROM_SFU {
+                        "from SFU"
+                    } else {
+                        "to SFU"
+                    }
+                );
+            }
+            let _ = writeln!(
+                out,
+                "Zoom Media Encapsulation ({})",
+                match framing {
+                    Framing::Server => "server-based",
+                    Framing::P2p => "P2P",
+                }
+            );
+            let _ = writeln!(
+                out,
+                "    Type: {} ({})",
+                z.media.media_type.to_byte(),
+                z.media.media_type.label()
+            );
+            let _ = writeln!(out, "    Sequence: {}", z.media.sequence);
+            let _ = writeln!(out, "    Timestamp: {}", z.media.timestamp);
+            if let Some(fs) = z.media.frame_sequence {
+                let _ = writeln!(out, "    Frame Sequence: {fs}");
+            }
+            if let Some(pf) = z.media.packets_in_frame {
+                let _ = writeln!(out, "    Packets in Frame: {pf}");
+            }
+            if let Some(rtp) = &z.rtp {
+                let _ = writeln!(out, "Real-Time Transport Protocol");
+                let _ = writeln!(out, "    Payload Type: {}", rtp.payload_type);
+                let _ = writeln!(out, "    Sequence Number: {}", rtp.sequence_number);
+                let _ = writeln!(out, "    Timestamp: {}", rtp.timestamp);
+                let _ = writeln!(out, "    SSRC: 0x{:08x}", rtp.ssrc);
+                let _ = writeln!(out, "    Marker: {}", rtp.marker);
+                let _ = writeln!(
+                    out,
+                    "    Media Payload: {} bytes (encrypted)",
+                    z.media_payload_len
+                );
+            }
+            for item in &z.rtcp {
+                let _ = writeln!(out, "Real-Time Control Protocol: {item:?}");
+            }
+        }
+        App::Opaque => {
+            let _ = writeln!(out, "Data: {} bytes", d.payload.len());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose;
+    use std::net::Ipv4Addr;
+
+    fn server_video_packet() -> Vec<u8> {
+        let zoom_payload = zoom::Builder {
+            sfu: Some(zoom::SfuEncapRepr {
+                encap_type: zoom::SFU_TYPE_MEDIA,
+                sequence: 9,
+                direction: zoom::DIR_FROM_SFU,
+            }),
+            media: zoom::MediaEncapRepr {
+                media_type: zoom::MediaType::Video,
+                sequence: 100,
+                timestamp: 9000,
+                frame_sequence: Some(5),
+                packets_in_frame: Some(2),
+            },
+            rtp: Some(crate::rtp::Repr {
+                marker: false,
+                payload_type: 98,
+                sequence_number: 700,
+                timestamp: 90_000,
+                ssrc: 0x99,
+                csrc_count: 0,
+                has_extension: false,
+            }),
+            payload: vec![0x5A; 64],
+        }
+        .build();
+        compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(52, 202, 62, 1),
+            Ipv4Addr::new(10, 8, 0, 3),
+            ZOOM_SFU_PORT,
+            50_111,
+            &zoom_payload,
+        )
+    }
+
+    #[test]
+    fn dissects_server_video() {
+        let data = server_video_packet();
+        let d = dissect(42, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        assert_eq!(d.five_tuple.src_port, ZOOM_SFU_PORT);
+        let z = d.zoom().expect("zoom parsed");
+        assert_eq!(z.media.media_type, zoom::MediaType::Video);
+        assert_eq!(z.rtp.as_ref().unwrap().ssrc, 0x99);
+        let tree = render_tree(&d);
+        assert!(tree.contains("Zoom SFU Encapsulation"));
+        assert!(tree.contains("RTP: Video") || tree.contains("Payload Type: 98"));
+    }
+
+    #[test]
+    fn opaque_for_unknown_udp() {
+        let data = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1234,
+            5678,
+            b"not zoom at all",
+        );
+        let d = dissect(0, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        assert_eq!(d.app, App::Opaque);
+    }
+
+    #[test]
+    fn stun_classified_on_3478() {
+        let msg = stun::Repr {
+            message_type: stun::MessageType::BindingRequest,
+            transaction_id: [1; 12],
+            xor_mapped_address: None,
+        };
+        let mut payload = vec![0u8; msg.buffer_len()];
+        msg.emit(&mut payload);
+        let data = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 3),
+            Ipv4Addr::new(52, 202, 62, 2),
+            50_111,
+            stun::STUN_PORT,
+            &payload,
+        );
+        let d = dissect(0, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        assert!(d.is_stun());
+    }
+
+    #[test]
+    fn p2p_probe_finds_zoom() {
+        let zoom_payload = zoom::Builder {
+            sfu: None,
+            media: zoom::MediaEncapRepr {
+                media_type: zoom::MediaType::Audio,
+                sequence: 4,
+                timestamp: 5,
+                frame_sequence: None,
+                packets_in_frame: None,
+            },
+            rtp: Some(crate::rtp::Repr {
+                marker: false,
+                payload_type: 112,
+                sequence_number: 20,
+                timestamp: 320,
+                ssrc: 0x11,
+                csrc_count: 0,
+                has_extension: false,
+            }),
+            payload: vec![0xEE; 80],
+        }
+        .build();
+        let data = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 3),
+            Ipv4Addr::new(10, 9, 1, 4),
+            50_111,
+            61_234,
+            &zoom_payload,
+        );
+        let off = dissect(0, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        assert_eq!(off.app, App::Opaque);
+        let on = dissect(0, &data, LinkType::Ethernet, P2pProbe::Auto).unwrap();
+        match on.app {
+            App::Zoom(Framing::P2p, ref z) => {
+                assert_eq!(z.media.media_type, zoom::MediaType::Audio)
+            }
+            ref other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_dissects_with_seq_ack() {
+        let data = compose::tcp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 3),
+            Ipv4Addr::new(170, 114, 0, 5),
+            50_000,
+            443,
+            1000,
+            2000,
+            tcp::Flags {
+                ack: true,
+                ..Default::default()
+            },
+            b"x",
+        );
+        let d = dissect(0, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        match d.transport {
+            Transport::Tcp { seq, ack, .. } => {
+                assert_eq!(seq, 1000);
+                assert_eq!(ack, 2000);
+            }
+            _ => panic!("expected tcp"),
+        }
+    }
+
+    #[test]
+    fn non_ip_ethertype_unsupported() {
+        let mut data = server_video_packet();
+        data[12] = 0x08;
+        data[13] = 0x06; // ARP
+        assert_eq!(
+            dissect(0, &data, LinkType::Ethernet, P2pProbe::Off).unwrap_err(),
+            Error::Unsupported
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::ipv6;
+    use crate::udp;
+    use std::net::Ipv6Addr;
+
+    /// Hand-compose an IPv6/UDP packet (no Ethernet).
+    fn udp_ipv6_raw(payload: &[u8]) -> Vec<u8> {
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let udp_repr = udp::Repr {
+            src_port: 5_000,
+            dst_port: 8801,
+            payload_len: payload.len(),
+        };
+        let ip_repr = ipv6::Repr {
+            src_addr: src,
+            dst_addr: dst,
+            next_header: crate::ipv4::Protocol::Udp,
+            payload_len: udp_repr.total_len(),
+            hop_limit: 64,
+        };
+        let mut buf = vec![0u8; ip_repr.total_len()];
+        ip_repr.emit(&mut ipv6::Packet::new_unchecked(&mut buf[..]));
+        {
+            let mut u = udp::Packet::new_unchecked(&mut buf[ipv6::HEADER_LEN..]);
+            udp_repr.emit(&mut u);
+            u.payload_mut().copy_from_slice(payload);
+            u.fill_checksum_v6(src, dst);
+        }
+        buf
+    }
+
+    #[test]
+    fn dissects_ipv6_udp_over_raw_ip() {
+        let data = udp_ipv6_raw(b"hello v6");
+        let d = dissect(3, &data, LinkType::RawIp, P2pProbe::Off).unwrap();
+        assert_eq!(d.five_tuple.src_ip.to_string(), "2001:db8::1");
+        assert_eq!(d.five_tuple.dst_port, 8801);
+        assert_eq!(d.payload, b"hello v6");
+        match d.transport {
+            Transport::Udp { payload_len } => assert_eq!(payload_len, 8),
+            _ => panic!("expected udp"),
+        }
+        // Port 8801 ⇒ treated as Zoom server traffic: the payload parses
+        // structurally as a (non-media) SFU control frame — opaque but
+        // classified, exactly like the ~10 % control packets of Table 2.
+        match &d.app {
+            App::Zoom(zoom::Framing::Server, z) => {
+                assert!(z.rtp.is_none());
+                assert!(z.rtcp.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dissects_ipv4_over_raw_ip() {
+        let eth = crate::compose::udp_ipv4_ethernet(
+            std::net::Ipv4Addr::new(10, 8, 0, 1),
+            std::net::Ipv4Addr::new(1, 2, 3, 4),
+            1_000,
+            2_000,
+            b"raw",
+        );
+        // Strip the Ethernet header: what a DLT_RAW capture stores.
+        let d = dissect(0, &eth[ethernet::HEADER_LEN..], LinkType::RawIp, P2pProbe::Off)
+            .unwrap();
+        assert!(d.link.is_none());
+        assert_eq!(d.five_tuple.src_port, 1_000);
+        assert_eq!(d.payload, b"raw");
+    }
+
+    #[test]
+    fn unknown_link_type_unsupported() {
+        assert_eq!(
+            dissect(0, &[0u8; 64], LinkType::Other(42), P2pProbe::Off).unwrap_err(),
+            Error::Unsupported
+        );
+    }
+
+    #[test]
+    fn render_tree_for_rtcp_and_opaque() {
+        // RTCP-bearing Zoom packet.
+        let sr = crate::rtcp::SenderReportRepr {
+            ssrc: 0x42,
+            info: crate::rtcp::SenderInfo {
+                ntp_timestamp: 1,
+                rtp_timestamp: 2,
+                packet_count: 3,
+                octet_count: 4,
+            },
+            with_sdes: false,
+        };
+        let mut body = vec![0u8; sr.buffer_len()];
+        sr.emit(&mut body);
+        let payload = zoom::Builder {
+            sfu: Some(zoom::SfuEncapRepr {
+                encap_type: zoom::SFU_TYPE_MEDIA,
+                sequence: 1,
+                direction: zoom::DIR_TO_SFU,
+            }),
+            media: zoom::MediaEncapRepr {
+                media_type: zoom::MediaType::RtcpSr,
+                sequence: 2,
+                timestamp: 3,
+                frame_sequence: None,
+                packets_in_frame: None,
+            },
+            rtp: None,
+            payload: body,
+        }
+        .build();
+        let data = crate::compose::udp_ipv4_ethernet(
+            std::net::Ipv4Addr::new(10, 8, 0, 1),
+            std::net::Ipv4Addr::new(170, 114, 0, 1),
+            50_000,
+            zoom::ZOOM_SFU_PORT,
+            &payload,
+        );
+        let d = dissect(0, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        let tree = render_tree(&d);
+        assert!(tree.contains("Real-Time Control Protocol"));
+        assert!(tree.contains("to SFU"));
+
+        // Opaque UDP.
+        let data = crate::compose::udp_ipv4_ethernet(
+            std::net::Ipv4Addr::new(1, 1, 1, 1),
+            std::net::Ipv4Addr::new(2, 2, 2, 2),
+            5,
+            6,
+            b"??",
+        );
+        let d = dissect(0, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        assert!(render_tree(&d).contains("Data: 2 bytes"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Flow vocabulary shared by the capture pipeline and the analyzer.
+
+use crate::ipv4::Protocol;
+use std::fmt;
+use std::net::IpAddr;
+
+/// An IP 5-tuple identifying one direction of a transport flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    pub src_ip: IpAddr,
+    pub dst_ip: IpAddr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub protocol: Protocol,
+}
+
+impl FiveTuple {
+    /// The same flow seen in the opposite direction.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A direction-independent key: the smaller (ip, port) endpoint first.
+    /// Useful for grouping both directions of a conversation.
+    pub fn canonical(&self) -> FiveTuple {
+        if (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port) {
+            *self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// True if either endpoint uses the given port.
+    pub fn involves_port(&self, port: u16) -> bool {
+        self.src_port == port || self.dst_port == port
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let proto = match self.protocol {
+            Protocol::Udp => "udp",
+            Protocol::Tcp => "tcp",
+            Protocol::Icmp => "icmp",
+            Protocol::Unknown(n) => {
+                return write!(
+                    f,
+                    "ip[{n}] {}:{} > {}:{}",
+                    self.src_ip, self.src_port, self.dst_ip, self.dst_port
+                )
+            }
+        };
+        write!(
+            f,
+            "{proto} {}:{} > {}:{}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// An (address, port) endpoint — the key used by the paper's stateful P2P
+/// detection registers (§4.1) and the meeting-grouping heuristic (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    pub ip: IpAddr,
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct from parts.
+    pub fn new(ip: IpAddr, port: u16) -> Self {
+        Endpoint { ip, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+impl FiveTuple {
+    /// Source endpoint.
+    pub fn src(&self) -> Endpoint {
+        Endpoint::new(self.src_ip, self.src_port)
+    }
+
+    /// Destination endpoint.
+    pub fn dst(&self) -> Endpoint {
+        Endpoint::new(self.dst_ip, self.dst_port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn t() -> FiveTuple {
+        FiveTuple {
+            src_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            dst_ip: IpAddr::V4(Ipv4Addr::new(3, 7, 35, 1)),
+            src_port: 51_000,
+            dst_port: 8801,
+            protocol: Protocol::Udp,
+        }
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        assert_eq!(t().reversed().reversed(), t());
+    }
+
+    #[test]
+    fn canonical_is_direction_independent() {
+        assert_eq!(t().canonical(), t().reversed().canonical());
+    }
+
+    #[test]
+    fn involves_port() {
+        assert!(t().involves_port(8801));
+        assert!(t().involves_port(51_000));
+        assert!(!t().involves_port(3478));
+    }
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(t().src().port, 51_000);
+        assert_eq!(t().dst().ip, IpAddr::V4(Ipv4Addr::new(3, 7, 35, 1)));
+    }
+
+    #[test]
+    fn display_contains_parts() {
+        let s = t().to_string();
+        assert!(s.contains("udp") && s.contains("8801"));
+    }
+}

@@ -1,0 +1,332 @@
+//! Classic libpcap trace file reader and writer.
+//!
+//! Supports both the microsecond (magic `0xA1B2C3D4`) and nanosecond
+//! (`0xA1B23C4D`) variants in either byte order, link types Ethernet (1)
+//! and raw IP (101). This is all the paper's offline toolchain needs to
+//! exchange traces with tcpdump/Wireshark.
+
+use crate::Error;
+use std::io::{self, Read, Write};
+
+/// Magic for microsecond-resolution files.
+pub const MAGIC_USEC: u32 = 0xA1B2_C3D4;
+/// Magic for nanosecond-resolution files.
+pub const MAGIC_NSEC: u32 = 0xA1B2_3C4D;
+
+/// Link types we understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkType {
+    /// DLT_EN10MB — Ethernet.
+    Ethernet,
+    /// DLT_RAW — raw IP starting at the version nibble.
+    RawIp,
+    /// Anything else.
+    Other(u32),
+}
+
+impl From<u32> for LinkType {
+    fn from(v: u32) -> Self {
+        match v {
+            1 => LinkType::Ethernet,
+            101 => LinkType::RawIp,
+            other => LinkType::Other(other),
+        }
+    }
+}
+
+impl From<LinkType> for u32 {
+    fn from(v: LinkType) -> u32 {
+        match v {
+            LinkType::Ethernet => 1,
+            LinkType::RawIp => 101,
+            LinkType::Other(other) => other,
+        }
+    }
+}
+
+/// One captured packet: a nanosecond timestamp and the captured bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Nanoseconds since the Unix epoch (or since trace start for
+    /// synthetic traces).
+    pub ts_nanos: u64,
+    /// Original (on-the-wire) length; `data.len()` may be smaller if the
+    /// capture clipped the packet.
+    pub orig_len: u32,
+    /// Captured bytes.
+    pub data: Vec<u8>,
+}
+
+impl Record {
+    /// A record whose snap length covers the whole packet.
+    pub fn full(ts_nanos: u64, data: Vec<u8>) -> Record {
+        Record {
+            ts_nanos,
+            orig_len: data.len() as u32,
+            data,
+        }
+    }
+}
+
+/// Streaming pcap reader.
+pub struct Reader<R: Read> {
+    inner: R,
+    swapped: bool,
+    nanos: bool,
+    link_type: LinkType,
+    snaplen: u32,
+}
+
+impl<R: Read> Reader<R> {
+    /// Read and validate the global header.
+    pub fn new(mut inner: R) -> io::Result<Self> {
+        let mut hdr = [0u8; 24];
+        inner.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let (swapped, nanos) = match magic {
+            MAGIC_USEC => (false, false),
+            MAGIC_NSEC => (false, true),
+            m if m.swap_bytes() == MAGIC_USEC => (true, false),
+            m if m.swap_bytes() == MAGIC_NSEC => (true, true),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "not a pcap file (bad magic)",
+                ))
+            }
+        };
+        let rd32 = |b: &[u8], o: usize| {
+            let v = u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let snaplen = rd32(&hdr, 16);
+        let link_type = LinkType::from(rd32(&hdr, 20));
+        Ok(Reader {
+            inner,
+            swapped,
+            nanos,
+            link_type,
+            snaplen,
+        })
+    }
+
+    /// The file's link type.
+    pub fn link_type(&self) -> LinkType {
+        self.link_type
+    }
+
+    /// The file's snap length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Read the next record; `Ok(None)` at a clean end of file.
+    pub fn next_record(&mut self) -> io::Result<Option<Record>> {
+        let mut hdr = [0u8; 16];
+        match self.inner.read_exact(&mut hdr) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let rd32 = |b: &[u8], o: usize| {
+            let v = u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let ts_sec = u64::from(rd32(&hdr, 0));
+        let ts_frac = u64::from(rd32(&hdr, 4));
+        let incl_len = rd32(&hdr, 8);
+        let orig_len = rd32(&hdr, 12);
+        if incl_len > self.snaplen.max(65_535) * 2 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "pcap record longer than twice the snap length",
+            ));
+        }
+        let mut data = vec![0u8; incl_len as usize];
+        self.inner.read_exact(&mut data)?;
+        let frac_nanos = if self.nanos { ts_frac } else { ts_frac * 1_000 };
+        Ok(Some(Record {
+            ts_nanos: ts_sec * 1_000_000_000 + frac_nanos,
+            orig_len,
+            data,
+        }))
+    }
+
+    /// Iterate over all remaining records, stopping at the first error.
+    pub fn records(self) -> RecordIter<R> {
+        RecordIter { reader: self }
+    }
+}
+
+/// Iterator adapter over a [`Reader`].
+pub struct RecordIter<R: Read> {
+    reader: Reader<R>,
+}
+
+impl<R: Read> Iterator for RecordIter<R> {
+    type Item = io::Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.next_record().transpose()
+    }
+}
+
+/// Streaming pcap writer (nanosecond resolution, native byte order).
+pub struct Writer<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> Writer<W> {
+    /// Write the global header and return the writer.
+    pub fn new(mut inner: W, link_type: LinkType) -> io::Result<Self> {
+        let mut hdr = [0u8; 24];
+        hdr[0..4].copy_from_slice(&MAGIC_NSEC.to_le_bytes());
+        hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // major
+        hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // minor
+        hdr[16..20].copy_from_slice(&262_144u32.to_le_bytes()); // snaplen
+        hdr[20..24].copy_from_slice(&u32::from(link_type).to_le_bytes());
+        inner.write_all(&hdr)?;
+        Ok(Writer { inner })
+    }
+
+    /// Append one record.
+    pub fn write_record(&mut self, record: &Record) -> io::Result<()> {
+        let mut hdr = [0u8; 16];
+        let secs = (record.ts_nanos / 1_000_000_000) as u32;
+        let nanos = (record.ts_nanos % 1_000_000_000) as u32;
+        hdr[0..4].copy_from_slice(&secs.to_le_bytes());
+        hdr[4..8].copy_from_slice(&nanos.to_le_bytes());
+        hdr[8..12].copy_from_slice(&(record.data.len() as u32).to_le_bytes());
+        hdr[12..16].copy_from_slice(&record.orig_len.to_le_bytes());
+        self.inner.write_all(&hdr)?;
+        self.inner.write_all(&record.data)
+    }
+
+    /// Flush and recover the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Convert an [`Error`] from a parser into `io::Error` when bridging the
+/// two worlds in trace-processing loops.
+pub fn to_io(e: Error) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(records: &[Record]) -> Vec<Record> {
+        let mut buf = Vec::new();
+        {
+            let mut w = Writer::new(&mut buf, LinkType::Ethernet).unwrap();
+            for r in records {
+                w.write_record(r).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let r = Reader::new(&buf[..]).unwrap();
+        assert_eq!(r.link_type(), LinkType::Ethernet);
+        r.records().map(|x| x.unwrap()).collect()
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        assert!(roundtrip(&[]).is_empty());
+    }
+
+    #[test]
+    fn records_roundtrip_with_nanos() {
+        let records = vec![
+            Record::full(1_234_567_891, vec![1, 2, 3]),
+            Record::full(9_999_999_999_999, vec![0; 1500]),
+        ];
+        assert_eq!(roundtrip(&records), records);
+    }
+
+    #[test]
+    fn snapped_record_keeps_orig_len() {
+        let rec = Record {
+            ts_nanos: 5,
+            orig_len: 1500,
+            data: vec![7; 96],
+        };
+        let got = roundtrip(std::slice::from_ref(&rec));
+        assert_eq!(got[0].orig_len, 1500);
+        assert_eq!(got[0].data.len(), 96);
+    }
+
+    #[test]
+    fn microsecond_file_parses() {
+        // Hand-built µs-resolution header + one record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_USEC.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&[0; 8]);
+        buf.extend_from_slice(&65_535u32.to_le_bytes());
+        buf.extend_from_slice(&101u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // sec
+        buf.extend_from_slice(&500u32.to_le_bytes()); // µs
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xAA, 0xBB]);
+        let r = Reader::new(&buf[..]).unwrap();
+        assert_eq!(r.link_type(), LinkType::RawIp);
+        let recs: Vec<_> = r.records().map(|x| x.unwrap()).collect();
+        assert_eq!(recs[0].ts_nanos, 1_000_000_000 + 500_000);
+        assert_eq!(recs[0].data, vec![0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn big_endian_file_parses() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&[0; 8]);
+        buf.extend_from_slice(&65_535u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.push(0x42);
+        let recs: Vec<_> = Reader::new(&buf[..])
+            .unwrap()
+            .records()
+            .map(|x| x.unwrap())
+            .collect();
+        assert_eq!(recs[0].data, vec![0x42]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = [0u8; 24];
+        assert!(Reader::new(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let mut buf = Vec::new();
+        {
+            let mut w = Writer::new(&mut buf, LinkType::Ethernet).unwrap();
+            w.write_record(&Record::full(0, vec![1, 2, 3, 4])).unwrap();
+        }
+        buf.truncate(buf.len() - 2);
+        let r = Reader::new(&buf[..]).unwrap();
+        let results: Vec<_> = r.records().collect();
+        assert!(results[0].is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! RTCP view and emitter (RFC 3550 §6).
+//!
+//! In Zoom traffic the paper observed *only* sender reports (SR), emitted
+//! once per second per media stream, sometimes followed by an empty source
+//! description (SDES) chunk — and notably *no* receiver reports, which is
+//! why the performance metrics of §5 must be derived from RTP alone. This
+//! module parses compound RTCP packets (SR, RR, SDES, BYE) and emits
+//! Zoom-style SR(+empty SDES) compounds for the simulator.
+
+use crate::{be16, be32, be64, set_be16, set_be32, set_be64, Error, Result};
+
+/// Length of the fixed part common to all RTCP packets.
+pub const HEADER_LEN: usize = 8;
+
+/// RTCP packet types (RFC 3550 §12.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketType {
+    SenderReport,
+    ReceiverReport,
+    SourceDescription,
+    Bye,
+    ApplicationDefined,
+    Other(u8),
+}
+
+impl From<u8> for PacketType {
+    fn from(v: u8) -> Self {
+        match v {
+            200 => PacketType::SenderReport,
+            201 => PacketType::ReceiverReport,
+            202 => PacketType::SourceDescription,
+            203 => PacketType::Bye,
+            204 => PacketType::ApplicationDefined,
+            other => PacketType::Other(other),
+        }
+    }
+}
+
+impl From<PacketType> for u8 {
+    fn from(v: PacketType) -> u8 {
+        match v {
+            PacketType::SenderReport => 200,
+            PacketType::ReceiverReport => 201,
+            PacketType::SourceDescription => 202,
+            PacketType::Bye => 203,
+            PacketType::ApplicationDefined => 204,
+            PacketType::Other(other) => other,
+        }
+    }
+}
+
+/// The sender-info block of an SR (RFC 3550 §6.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SenderInfo {
+    /// 64-bit NTP timestamp: wall-clock time of this report.
+    pub ntp_timestamp: u64,
+    /// RTP timestamp corresponding to the same instant — the field that
+    /// lets receivers map RTP time onto wall-clock time.
+    pub rtp_timestamp: u32,
+    /// Cumulative packets sent.
+    pub packet_count: u32,
+    /// Cumulative payload octets sent.
+    pub octet_count: u32,
+}
+
+/// One parsed RTCP sub-packet within a compound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// Sender report: originating SSRC plus sender info. Report blocks are
+    /// counted but not decoded (Zoom SRs carry none).
+    SenderReport {
+        ssrc: u32,
+        info: SenderInfo,
+        report_count: u8,
+    },
+    /// Receiver report: originating SSRC (Zoom never sends these).
+    ReceiverReport { ssrc: u32, report_count: u8 },
+    /// Source description: list of chunk SSRCs (Zoom's are empty of items).
+    SourceDescription { ssrcs: Vec<u32> },
+    /// BYE with its SSRC list.
+    Bye { ssrcs: Vec<u32> },
+    /// Anything else, kept opaque.
+    Other { packet_type: u8, len: usize },
+}
+
+/// Parse a compound RTCP packet into its items.
+///
+/// Rejects buffers whose first sub-packet is not version 2 or whose length
+/// words overrun the buffer.
+pub fn parse_compound(data: &[u8]) -> Result<Vec<Item>> {
+    let mut items = Vec::new();
+    let mut rest = data;
+    if rest.len() < 4 {
+        return Err(Error::Truncated);
+    }
+    while rest.len() >= 4 {
+        if rest[0] >> 6 != 2 {
+            return Err(Error::Malformed);
+        }
+        let rc = rest[0] & 0x1F;
+        let pt = rest[1];
+        let len_words = be16(rest, 2) as usize;
+        let total = (len_words + 1) * 4;
+        if rest.len() < total {
+            return Err(Error::Truncated);
+        }
+        let body = &rest[4..total];
+        let item = match PacketType::from(pt) {
+            PacketType::SenderReport => {
+                if body.len() < 24 {
+                    return Err(Error::Truncated);
+                }
+                Item::SenderReport {
+                    ssrc: be32(body, 0),
+                    info: SenderInfo {
+                        ntp_timestamp: be64(body, 4),
+                        rtp_timestamp: be32(body, 12),
+                        packet_count: be32(body, 16),
+                        octet_count: be32(body, 20),
+                    },
+                    report_count: rc,
+                }
+            }
+            PacketType::ReceiverReport => {
+                if body.len() < 4 {
+                    return Err(Error::Truncated);
+                }
+                Item::ReceiverReport {
+                    ssrc: be32(body, 0),
+                    report_count: rc,
+                }
+            }
+            PacketType::SourceDescription => {
+                // Each chunk: SSRC + item list; Zoom emits chunks with a
+                // single terminating zero item. We collect chunk SSRCs.
+                let mut ssrcs = Vec::new();
+                let mut off = 0;
+                for _ in 0..rc {
+                    if body.len() < off + 4 {
+                        break;
+                    }
+                    ssrcs.push(be32(body, off));
+                    off += 4;
+                    // Skip SDES items until the zero terminator, then pad
+                    // to a 4-byte boundary.
+                    while off < body.len() && body[off] != 0 {
+                        if body.len() < off + 2 {
+                            break;
+                        }
+                        off += 2 + usize::from(body[off + 1]);
+                    }
+                    off = (off + 4) & !3;
+                }
+                Item::SourceDescription { ssrcs }
+            }
+            PacketType::Bye => {
+                let mut ssrcs = Vec::new();
+                for i in 0..usize::from(rc) {
+                    if body.len() >= (i + 1) * 4 {
+                        ssrcs.push(be32(body, i * 4));
+                    }
+                }
+                Item::Bye { ssrcs }
+            }
+            _ => Item::Other {
+                packet_type: pt,
+                len: total,
+            },
+        };
+        items.push(item);
+        rest = &rest[total..];
+    }
+    if items.is_empty() {
+        return Err(Error::Malformed);
+    }
+    Ok(items)
+}
+
+/// Search a buffer for any of the given SSRC values at 4-byte-aligned
+/// offsets — the technique the paper used (§4.2.1) to locate RTCP packets
+/// once RTP SSRCs were known: "RTCP packets always refer to one or more
+/// specific SSRCs".
+pub fn scan_for_ssrcs(data: &[u8], ssrcs: &[u32]) -> Vec<(usize, u32)> {
+    let mut hits = Vec::new();
+    if data.len() < 4 {
+        return hits;
+    }
+    for off in (0..=data.len() - 4).step_by(4) {
+        let v = be32(data, off);
+        if ssrcs.contains(&v) {
+            hits.push((off, v));
+        }
+    }
+    hits
+}
+
+/// Builder for Zoom-style SR (+ optional empty SDES) compounds.
+#[derive(Debug, Clone, Copy)]
+pub struct SenderReportRepr {
+    pub ssrc: u32,
+    pub info: SenderInfo,
+    /// Append an SDES chunk naming the same SSRC with no items, as seen in
+    /// Zoom type-34 packets.
+    pub with_sdes: bool,
+}
+
+impl SenderReportRepr {
+    /// Emitted length: SR (28 bytes) plus optional SDES (12 bytes).
+    pub fn buffer_len(&self) -> usize {
+        28 + if self.with_sdes { 12 } else { 0 }
+    }
+
+    /// Emit into `buf` (at least [`Self::buffer_len`] long); returns bytes
+    /// written.
+    pub fn emit(&self, buf: &mut [u8]) -> usize {
+        buf[0] = 0x80; // V=2, P=0, RC=0
+        buf[1] = PacketType::SenderReport.into();
+        set_be16(buf, 2, 6); // 6 words follow = 28 bytes total
+        set_be32(buf, 4, self.ssrc);
+        set_be64(buf, 8, self.info.ntp_timestamp);
+        set_be32(buf, 16, self.info.rtp_timestamp);
+        set_be32(buf, 20, self.info.packet_count);
+        set_be32(buf, 24, self.info.octet_count);
+        if self.with_sdes {
+            let b = &mut buf[28..40];
+            b[0] = 0x81; // V=2, one chunk
+            b[1] = PacketType::SourceDescription.into();
+            set_be16(b, 2, 2); // 2 words follow
+            set_be32(b, 4, self.ssrc);
+            // Zero item terminator + padding.
+            b[8] = 0;
+            b[9] = 0;
+            b[10] = 0;
+            b[11] = 0;
+        }
+        self.buffer_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sr(with_sdes: bool) -> Vec<u8> {
+        let repr = SenderReportRepr {
+            ssrc: 0x42,
+            info: SenderInfo {
+                ntp_timestamp: 0x83AA_7E80_0000_0000,
+                rtp_timestamp: 123_456,
+                packet_count: 1000,
+                octet_count: 800_000,
+            },
+            with_sdes,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn sr_roundtrip() {
+        let items = parse_compound(&sr(false)).unwrap();
+        assert_eq!(items.len(), 1);
+        match &items[0] {
+            Item::SenderReport {
+                ssrc,
+                info,
+                report_count,
+            } => {
+                assert_eq!(*ssrc, 0x42);
+                assert_eq!(info.rtp_timestamp, 123_456);
+                assert_eq!(info.packet_count, 1000);
+                assert_eq!(info.octet_count, 800_000);
+                assert_eq!(*report_count, 0);
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sr_with_empty_sdes() {
+        let items = parse_compound(&sr(true)).unwrap();
+        assert_eq!(items.len(), 2);
+        match &items[1] {
+            Item::SourceDescription { ssrcs } => assert_eq!(ssrcs, &[0x42]),
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = sr(false);
+        buf[0] = 0x40;
+        assert_eq!(parse_compound(&buf).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn rejects_overrunning_length() {
+        let mut buf = sr(false);
+        set_be16(&mut buf, 2, 100);
+        assert_eq!(parse_compound(&buf).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn bye_parses() {
+        let mut buf = vec![0x81, 203, 0x00, 0x01];
+        buf.extend_from_slice(&0x1234_5678u32.to_be_bytes());
+        let items = parse_compound(&buf).unwrap();
+        assert_eq!(
+            items,
+            vec![Item::Bye {
+                ssrcs: vec![0x1234_5678]
+            }]
+        );
+    }
+
+    #[test]
+    fn ssrc_scan_finds_aligned_values() {
+        let buf = sr(false);
+        let hits = scan_for_ssrcs(&buf, &[0x42]);
+        assert!(hits.contains(&(4, 0x42)));
+    }
+
+    #[test]
+    fn ssrc_scan_empty_input() {
+        assert!(scan_for_ssrcs(&[1, 2], &[0x42]).is_empty());
+    }
+
+    #[test]
+    fn packet_type_roundtrip() {
+        for v in [200u8, 201, 202, 203, 204, 250] {
+            assert_eq!(u8::from(PacketType::from(v)), v);
+        }
+    }
+}

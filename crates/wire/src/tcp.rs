@@ -1,0 +1,347 @@
+//! TCP segment view and emitter (RFC 793).
+//!
+//! Passive latency estimation ("Method 2" in §5.3 of the paper) matches the
+//! sequence numbers of outgoing control-connection segments against the
+//! acknowledgment numbers of incoming ones, so the view exposes exactly the
+//! fields that estimator needs: ports, SEQ, ACK, flags, and payload length.
+
+use crate::checksum;
+use crate::{be16, be32, set_be16, set_be32, Error, Result};
+use std::net::Ipv4Addr;
+
+/// Minimum TCP header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// TCP control flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    pub fin: bool,
+    pub syn: bool,
+    pub rst: bool,
+    pub psh: bool,
+    pub ack: bool,
+    pub urg: bool,
+}
+
+impl Flags {
+    /// Build from the low byte of the flags field.
+    pub fn from_byte(b: u8) -> Flags {
+        Flags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+            urg: b & 0x20 != 0,
+        }
+    }
+
+    /// Serialize to the low byte of the flags field.
+    pub fn to_byte(self) -> u8 {
+        let mut b = 0;
+        if self.fin {
+            b |= 0x01;
+        }
+        if self.syn {
+            b |= 0x02;
+        }
+        if self.rst {
+            b |= 0x04;
+        }
+        if self.psh {
+            b |= 0x08;
+        }
+        if self.ack {
+            b |= 0x10;
+        }
+        if self.urg {
+            b |= 0x20;
+        }
+        b
+    }
+}
+
+/// Zero-copy view of a TCP segment.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Packet { buffer }
+    }
+
+    /// Wrap, validating header length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Packet { buffer };
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate structural invariants.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let hl = self.header_len();
+        if hl < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if data.len() < hl {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        be16(self.buffer.as_ref(), 0)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        be16(self.buffer.as_ref(), 2)
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        be32(self.buffer.as_ref(), 4)
+    }
+
+    /// Acknowledgment number (meaningful only when `flags().ack`).
+    pub fn ack_number(&self) -> u32 {
+        be32(self.buffer.as_ref(), 8)
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Control flags.
+    pub fn flags(&self) -> Flags {
+        Flags::from_byte(self.buffer.as_ref()[13])
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        be16(self.buffer.as_ref(), 14)
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        be16(self.buffer.as_ref(), 16)
+    }
+
+    /// Payload after the (possibly option-bearing) header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Number of sequence-space bytes this segment consumes
+    /// (payload + SYN + FIN).
+    pub fn seq_len(&self) -> u32 {
+        let f = self.flags();
+        self.payload().len() as u32 + u32::from(f.syn) + u32::from(f.fin)
+    }
+
+    /// Verify the checksum under an IPv4 pseudo header.
+    pub fn verify_checksum_v4(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let data = self.buffer.as_ref();
+        let mut s = checksum::pseudo_header_v4(src, dst, 6, data.len() as u16);
+        s.add(data);
+        s.finish() == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Set source port.
+    pub fn set_src_port(&mut self, v: u16) {
+        set_be16(self.buffer.as_mut(), 0, v);
+    }
+
+    /// Set destination port.
+    pub fn set_dst_port(&mut self, v: u16) {
+        set_be16(self.buffer.as_mut(), 2, v);
+    }
+
+    /// Set sequence number.
+    pub fn set_seq_number(&mut self, v: u32) {
+        set_be32(self.buffer.as_mut(), 4, v);
+    }
+
+    /// Set acknowledgment number.
+    pub fn set_ack_number(&mut self, v: u32) {
+        set_be32(self.buffer.as_mut(), 8, v);
+    }
+
+    /// Set data offset (header length in bytes).
+    pub fn set_header_len(&mut self, len: usize) {
+        debug_assert!(len.is_multiple_of(4) && (HEADER_LEN..=60).contains(&len));
+        self.buffer.as_mut()[12] = ((len / 4) as u8) << 4;
+    }
+
+    /// Set flags.
+    pub fn set_flags(&mut self, f: Flags) {
+        self.buffer.as_mut()[13] = f.to_byte();
+    }
+
+    /// Set receive window.
+    pub fn set_window(&mut self, v: u16) {
+        set_be16(self.buffer.as_mut(), 14, v);
+    }
+
+    /// Compute and set the checksum under an IPv4 pseudo header.
+    pub fn fill_checksum_v4(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        set_be16(self.buffer.as_mut(), 16, 0);
+        let data = self.buffer.as_ref();
+        let mut s = checksum::pseudo_header_v4(src, dst, 6, data.len() as u16);
+        s.add(data);
+        let c = s.finish();
+        set_be16(self.buffer.as_mut(), 16, c);
+    }
+
+    /// Mutable payload slice.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        &mut self.buffer.as_mut()[hl..]
+    }
+}
+
+/// High-level TCP header representation (options-free emit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq_number: u32,
+    pub ack_number: u32,
+    pub flags: Flags,
+    pub window: u16,
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parse a validated view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        packet.check_len()?;
+        Ok(Repr {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            seq_number: packet.seq_number(),
+            ack_number: packet.ack_number(),
+            flags: packet.flags(),
+            window: packet.window(),
+            payload_len: packet.payload().len(),
+        })
+    }
+
+    /// Emitted header length.
+    pub fn header_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Total emitted length.
+    pub fn total_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header; checksum is left zero for the caller to fill.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        packet.set_src_port(self.src_port);
+        packet.set_dst_port(self.dst_port);
+        packet.set_seq_number(self.seq_number);
+        packet.set_ack_number(self.ack_number);
+        packet.set_header_len(HEADER_LEN);
+        packet.set_flags(self.flags);
+        packet.set_window(self.window);
+        set_be16(packet.buffer.as_mut(), 16, 0);
+        set_be16(packet.buffer.as_mut(), 18, 0); // urgent pointer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let repr = Repr {
+            src_port: 50_123,
+            dst_port: 443,
+            seq_number: 1_000,
+            ack_number: 2_000,
+            flags: Flags {
+                ack: true,
+                psh: true,
+                ..Default::default()
+            },
+            window: 65_535,
+            payload_len: 3,
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        buf[20..].copy_from_slice(&[1, 2, 3]);
+        buf
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let buf = sample();
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        let r = Repr::parse(&p).unwrap();
+        assert_eq!(r.seq_number, 1_000);
+        assert_eq!(r.ack_number, 2_000);
+        assert!(r.flags.ack && r.flags.psh && !r.flags.syn);
+        assert_eq!(p.payload(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn seq_len_counts_syn_fin() {
+        let mut buf = sample();
+        {
+            let mut p = Packet::new_unchecked(&mut buf[..]);
+            p.set_flags(Flags {
+                syn: true,
+                fin: true,
+                ..Default::default()
+            });
+        }
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.seq_len(), 3 + 2);
+    }
+
+    #[test]
+    fn checksum_roundtrip() {
+        let mut buf = sample();
+        let src = Ipv4Addr::new(10, 0, 0, 9);
+        let dst = Ipv4Addr::new(170, 114, 0, 5);
+        Packet::new_unchecked(&mut buf[..]).fill_checksum_v4(src, dst);
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert!(p.verify_checksum_v4(src, dst));
+    }
+
+    #[test]
+    fn options_respected_in_payload() {
+        let mut buf = sample();
+        buf[12] = 0x60; // header length 24 — beyond buffer only if payload short
+        buf.extend_from_slice(&[0, 0, 0, 0]);
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.header_len(), 24);
+    }
+
+    #[test]
+    fn malformed_data_offset() {
+        let mut buf = sample();
+        buf[12] = 0x10; // header length 4 < 20
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn flags_byte_roundtrip() {
+        for b in 0u8..64 {
+            assert_eq!(Flags::from_byte(b).to_byte(), b);
+        }
+    }
+}

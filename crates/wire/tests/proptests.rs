@@ -1,0 +1,262 @@
+//! Property-based tests for the wire formats: every emitter/parser pair
+//! must round-trip for arbitrary field values, and no parser may panic on
+//! arbitrary bytes.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use zoom_wire::dissect::{dissect, P2pProbe};
+use zoom_wire::pcap::LinkType;
+use zoom_wire::{compose, ethernet, ipv4, rtcp, rtp, stun, tcp, udp, zoom};
+
+proptest! {
+    #[test]
+    fn rtp_repr_roundtrips(
+        marker: bool,
+        pt in 0u8..128,
+        seq: u16,
+        ts: u32,
+        ssrc: u32,
+        csrc in 0u8..16,
+        ext: bool,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let repr = rtp::Repr {
+            marker,
+            payload_type: pt,
+            sequence_number: seq,
+            timestamp: ts,
+            ssrc,
+            csrc_count: csrc,
+            has_extension: ext,
+        };
+        let mut buf = vec![0u8; repr.header_len() + payload.len()];
+        repr.emit(&mut rtp::Packet::new_unchecked(&mut buf[..]));
+        buf[repr.header_len()..].copy_from_slice(&payload);
+        let pkt = rtp::Packet::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(rtp::Repr::parse(&pkt).unwrap(), repr);
+        prop_assert_eq!(pkt.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn rtp_parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = rtp::Packet::new_checked(&data[..]).map(|p| {
+            let _ = p.payload();
+            let _ = p.payload_offset();
+            p.csrcs()
+        });
+    }
+
+    #[test]
+    fn zoom_builder_roundtrips(
+        sfu_seq: u16,
+        direction in prop_oneof![Just(zoom::DIR_TO_SFU), Just(zoom::DIR_FROM_SFU)],
+        media_byte in prop_oneof![Just(13u8), Just(15), Just(16)],
+        mseq: u16,
+        mts: u32,
+        frame_seq: u16,
+        pkts in 1u8..32,
+        rtp_seq: u16,
+        rtp_ts: u32,
+        ssrc: u32,
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let media_type = zoom::MediaType::from_byte(media_byte);
+        let is_video = media_type == zoom::MediaType::Video;
+        let b = zoom::Builder {
+            sfu: Some(zoom::SfuEncapRepr {
+                encap_type: zoom::SFU_TYPE_MEDIA,
+                sequence: sfu_seq,
+                direction,
+            }),
+            media: zoom::MediaEncapRepr {
+                media_type,
+                sequence: mseq,
+                timestamp: mts,
+                frame_sequence: is_video.then_some(frame_seq),
+                packets_in_frame: is_video.then_some(pkts),
+            },
+            rtp: Some(rtp::Repr {
+                marker: false,
+                payload_type: 98,
+                sequence_number: rtp_seq,
+                timestamp: rtp_ts,
+                ssrc,
+                csrc_count: 0,
+                has_extension: false,
+            }),
+            payload: payload.clone(),
+        };
+        let bytes = b.build();
+        let parsed = zoom::parse(&bytes, zoom::Framing::Server).unwrap();
+        let sfu = parsed.sfu.unwrap();
+        prop_assert_eq!(sfu.sequence, sfu_seq);
+        prop_assert_eq!(sfu.direction, direction);
+        prop_assert_eq!(parsed.media.media_type, media_type);
+        prop_assert_eq!(parsed.media.sequence, mseq);
+        prop_assert_eq!(parsed.media.timestamp, mts);
+        if is_video {
+            prop_assert_eq!(parsed.media.frame_sequence, Some(frame_seq));
+            prop_assert_eq!(parsed.media.packets_in_frame, Some(pkts));
+        }
+        let r = parsed.rtp.unwrap();
+        prop_assert_eq!(r.sequence_number, rtp_seq);
+        prop_assert_eq!(r.ssrc, ssrc);
+        prop_assert_eq!(parsed.media_payload_len, payload.len());
+    }
+
+    #[test]
+    fn zoom_parser_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        framing in prop_oneof![Just(zoom::Framing::Server), Just(zoom::Framing::P2p)],
+    ) {
+        let _ = zoom::parse(&data, framing);
+        let _ = zoom::parse_auto(&data);
+    }
+
+    #[test]
+    fn stun_repr_roundtrips(tid: [u8; 12], ip: u32, port: u16) {
+        let addr = std::net::SocketAddr::new(
+            std::net::IpAddr::V4(Ipv4Addr::from(ip)),
+            port,
+        );
+        let repr = stun::Repr {
+            message_type: stun::MessageType::BindingSuccess,
+            transaction_id: tid,
+            xor_mapped_address: Some(addr),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf);
+        let parsed = stun::Repr::parse(&stun::Packet::new_checked(&buf[..]).unwrap()).unwrap();
+        prop_assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn stun_parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok(p) = stun::Packet::new_checked(&data[..]) {
+            let _ = p.xor_mapped_address();
+            let _: Vec<_> = p.attributes().collect();
+        }
+    }
+
+    #[test]
+    fn rtcp_parser_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = rtcp::parse_compound(&data);
+    }
+
+    #[test]
+    fn rtcp_sr_roundtrips(ssrc: u32, ntp: u64, rts: u32, pk: u32, oc: u32, sdes: bool) {
+        let sr = rtcp::SenderReportRepr {
+            ssrc,
+            info: rtcp::SenderInfo {
+                ntp_timestamp: ntp,
+                rtp_timestamp: rts,
+                packet_count: pk,
+                octet_count: oc,
+            },
+            with_sdes: sdes,
+        };
+        let mut buf = vec![0u8; sr.buffer_len()];
+        sr.emit(&mut buf);
+        let items = rtcp::parse_compound(&buf).unwrap();
+        match &items[0] {
+            rtcp::Item::SenderReport { ssrc: s, info, .. } => {
+                prop_assert_eq!(*s, ssrc);
+                prop_assert_eq!(info.ntp_timestamp, ntp);
+                prop_assert_eq!(info.packet_count, pk);
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+        prop_assert_eq!(items.len(), if sdes { 2 } else { 1 });
+    }
+
+    #[test]
+    fn composed_packets_always_dissect(
+        src: u32,
+        dst: u32,
+        sport: u16,
+        dport: u16,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let data = compose::udp_ipv4_ethernet(
+            Ipv4Addr::from(src),
+            Ipv4Addr::from(dst),
+            sport,
+            dport,
+            &payload,
+        );
+        // Every composed packet parses layer by layer with verified
+        // checksums.
+        let eth = ethernet::Packet::new_checked(&data[..]).unwrap();
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        let u = udp::Packet::new_checked(ip.payload()).unwrap();
+        prop_assert!(u.verify_checksum_v4(Ipv4Addr::from(src), Ipv4Addr::from(dst)));
+        prop_assert_eq!(u.payload(), &payload[..]);
+        let d = dissect(0, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        prop_assert_eq!(d.five_tuple.src_port, sport);
+        prop_assert_eq!(d.payload, &payload[..]);
+    }
+
+    #[test]
+    fn dissect_never_panics_on_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        link in prop_oneof![Just(LinkType::Ethernet), Just(LinkType::RawIp)],
+    ) {
+        let _ = dissect(0, &data, link, P2pProbe::Auto);
+    }
+
+    #[test]
+    fn tcp_repr_roundtrips(
+        sport: u16,
+        dport: u16,
+        seq: u32,
+        ack: u32,
+        flags_byte in 0u8..64,
+        window: u16,
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let repr = tcp::Repr {
+            src_port: sport,
+            dst_port: dport,
+            seq_number: seq,
+            ack_number: ack,
+            flags: tcp::Flags::from_byte(flags_byte),
+            window,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut tcp::Packet::new_unchecked(&mut buf[..]));
+        buf[tcp::HEADER_LEN..].copy_from_slice(&payload);
+        let parsed = tcp::Repr::parse(&tcp::Packet::new_checked(&buf[..]).unwrap()).unwrap();
+        prop_assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn pcap_roundtrips_arbitrary_records(
+        records in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256)),
+            0..20,
+        )
+    ) {
+        use zoom_wire::pcap::{Reader, Record, Writer};
+        let records: Vec<Record> = records
+            .into_iter()
+            // Keep timestamps in the representable range (u32 seconds).
+            .map(|(t, d)| Record::full(t % (u64::from(u32::MAX) * 1_000_000_000), d))
+            .collect();
+        let mut buf = Vec::new();
+        {
+            let mut w = Writer::new(&mut buf, LinkType::Ethernet).unwrap();
+            for r in &records {
+                w.write_record(r).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let got: Vec<Record> = Reader::new(&buf[..])
+            .unwrap()
+            .records()
+            .map(|r| r.unwrap())
+            .collect();
+        prop_assert_eq!(got, records);
+    }
+}

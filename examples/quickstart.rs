@@ -1,0 +1,108 @@
+//! Quickstart: simulate a short Zoom meeting, write it to a pcap file,
+//! read it back, and analyze it — the full round trip a user of this
+//! library would perform on a real capture.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::pcap::{LinkType, Reader, Writer};
+use zoom_wire::zoom::MediaType;
+
+fn main() -> std::io::Result<()> {
+    // 1. Simulate a 60-second two-party meeting and capture it to a pcap
+    //    file, exactly as a border tap + tcpdump would.
+    let mut config = scenario::validation_experiment(42);
+    for p in &mut config.participants {
+        p.leave_at = 60 * SEC;
+    }
+    let path = std::env::temp_dir().join("zoom_quickstart.pcap");
+    {
+        let file = std::fs::File::create(&path)?;
+        let mut writer = Writer::new(std::io::BufWriter::new(file), LinkType::Ethernet)?;
+        for record in MeetingSim::new(config) {
+            writer.write_record(&record)?;
+        }
+        writer.finish()?;
+    }
+    println!("wrote capture to {}", path.display());
+
+    // 2. Read the capture back and run the passive analyzer on it.
+    let file = std::fs::File::open(&path)?;
+    let mut reader = Reader::new(std::io::BufReader::new(file))?;
+    let link = reader.link_type();
+    let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+    while let Some(record) = reader.next_record()? {
+        analyzer.process_record(&record, link);
+    }
+
+    // 3. Report what passive analysis alone could see.
+    let summary = analyzer.summary();
+    println!("\n=== trace summary ===");
+    println!("packets:       {}", summary.total_packets);
+    println!("zoom packets:  {}", summary.zoom_packets);
+    println!("zoom bytes:    {}", summary.zoom_bytes);
+    println!("zoom flows:    {}", summary.zoom_flows);
+    println!("rtp streams:   {}", summary.rtp_streams);
+    println!("meetings:      {}", summary.meetings);
+    println!(
+        "duration:      {:.1} s",
+        summary.duration_nanos as f64 / 1e9
+    );
+
+    println!("\n=== per-stream metrics ===");
+    for stream in analyzer.streams().iter() {
+        println!(
+            "{} ssrc=0x{:02x} [{}] pkts={} media={:.0} kbit/s frames={} jitter={:.2} ms",
+            stream.key.flow,
+            stream.key.ssrc,
+            stream.media_type.label(),
+            stream.packets,
+            stream.mean_media_bitrate() / 1e3,
+            stream
+                .frames
+                .as_ref()
+                .map(|f| f.frames().len())
+                .unwrap_or(0),
+            stream.frame_jitter.jitter_ms(),
+        );
+    }
+
+    let mut video = analyzer.media_samples(MediaType::Video);
+    if !video.fps.is_empty() {
+        println!("\n=== video summary ===");
+        println!("median delivered fps:  {:.1}", video.fps.median());
+        println!(
+            "median bit rate:       {:.2} Mbit/s",
+            video.bitrate_mbps.median()
+        );
+        println!("median frame size:     {:.0} B", video.frame_size.median());
+        println!(
+            "p95 frame jitter:      {:.2} ms",
+            video.jitter_ms.quantile(0.95)
+        );
+    }
+
+    let rtts = analyzer.rtp_rtt_samples();
+    if !rtts.is_empty() {
+        let mean: f64 = rtts.iter().map(|s| s.rtt_ms()).sum::<f64>() / rtts.len() as f64;
+        println!(
+            "\nRTT to SFU (RTP copies): {} samples, mean {:.1} ms",
+            rtts.len(),
+            mean
+        );
+    }
+    let tcp = analyzer.tcp_rtt_samples();
+    if !tcp.is_empty() {
+        let mean: f64 = tcp.iter().map(|s| s.rtt_ms()).sum::<f64>() / tcp.len() as f64;
+        println!(
+            "RTT via TCP control:     {} samples, mean {:.1} ms",
+            tcp.len(),
+            mean
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

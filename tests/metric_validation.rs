@@ -1,0 +1,217 @@
+//! The paper's §5 validation methodology, reproduced: run the controlled
+//! two-party experiment with cross-traffic bursts, estimate metrics
+//! passively, and compare against the simulator's ground-truth QoS feed
+//! (the stand-in for the instrumented Zoom SDK client) — Fig. 10a/b/c.
+
+use std::collections::HashMap;
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::stream::Stream;
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::qos::QosSample;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::pcap::LinkType;
+use zoom_wire::zoom::MediaType;
+
+struct Validation {
+    analyzer: Analyzer,
+    sdk_feed: Vec<QosSample>,
+}
+
+/// Run the experiment once; participant 0 is the campus "SDK client".
+fn run() -> Validation {
+    let mut sim = MeetingSim::new(scenario::validation_experiment(77));
+    let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+    for record in &mut sim {
+        analyzer.process_record(&record, LinkType::Ethernet);
+    }
+    let mut gt = sim.ground_truth();
+    Validation {
+        analyzer,
+        sdk_feed: gt.swap_remove(0),
+    }
+}
+
+/// The downlink video stream toward the SDK client (10.8.3.3) — what the
+/// client renders, hence what its QoS feed describes.
+fn downlink_video(analyzer: &Analyzer) -> &Stream {
+    analyzer
+        .streams()
+        .of_type(MediaType::Video)
+        .find(|s| s.key.flow.dst_ip.to_string() == "10.8.3.3" && s.key.flow.src_port == 8801)
+        .expect("downlink video stream to the SDK client")
+}
+
+#[test]
+fn fig10a_frame_rate_estimate_tracks_sdk_feed() {
+    let v = run();
+    let stream = downlink_video(&v.analyzer);
+    let frames = stream.frames.as_ref().unwrap();
+    // Method-1 per-second delivered fps.
+    let mut est: HashMap<u64, f64> = HashMap::new();
+    for f in frames.frames() {
+        *est.entry(f.completed_at / SEC).or_default() += 1.0;
+    }
+    // Compare in the calm window (before the first burst at 100 s).
+    let mut diffs = Vec::new();
+    for s in &v.sdk_feed {
+        let sec = s.at / SEC;
+        if !(10..95).contains(&sec) {
+            continue;
+        }
+        if let Some(&e) = est.get(&sec) {
+            diffs.push((e - s.true_fps).abs());
+        }
+    }
+    assert!(diffs.len() > 60, "comparable seconds: {}", diffs.len());
+    let mean_err = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    assert!(mean_err < 2.0, "mean |fps error| {mean_err:.2}");
+
+    // The congestion bursts must show up as a frame-rate drop in both
+    // the estimate and the feed (rate adaptation, Fig. 10a).
+    let calm: f64 = (20..90).filter_map(|s| est.get(&s)).sum::<f64>() / 70.0;
+    let burst: f64 = (104..114).filter_map(|s| est.get(&s)).sum::<f64>() / 10.0;
+    assert!(
+        burst < calm - 4.0,
+        "no visible adaptation: calm {calm:.1} vs burst {burst:.1}"
+    );
+}
+
+#[test]
+fn fig10b_latency_estimate_matches_and_is_denser() {
+    let v = run();
+    let rtts = v.analyzer.rtp_rtt_samples();
+    // Passive estimation yields far more samples than the 1 Hz SDK feed
+    // (the paper: "significantly more data points").
+    assert!(
+        rtts.len() > 3 * v.sdk_feed.len(),
+        "{} rtt samples vs {} feed samples",
+        rtts.len(),
+        v.sdk_feed.len()
+    );
+    // Calm-window accuracy: mean estimate within a few ms of the true
+    // client↔SFU RTT (the estimate measures tap↔SFU, excluding the tiny
+    // campus legs).
+    let calm_est: Vec<f64> = rtts
+        .iter()
+        .filter(|s| (10 * SEC..90 * SEC).contains(&s.at))
+        .map(|s| s.rtt_ms())
+        .collect();
+    let calm_mean = calm_est.iter().sum::<f64>() / calm_est.len() as f64;
+    let truth_mean = {
+        let xs: Vec<f64> = v
+            .sdk_feed
+            .iter()
+            .filter(|s| (10 * SEC..90 * SEC).contains(&s.at))
+            .map(|s| s.true_latency_ms)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    assert!(
+        (calm_mean - truth_mean).abs() < 8.0,
+        "estimate {calm_mean:.1} ms vs truth {truth_mean:.1} ms"
+    );
+    // The burst raises the estimated RTT visibly.
+    let burst_est: Vec<f64> = rtts
+        .iter()
+        .filter(|s| (104 * SEC..112 * SEC).contains(&s.at))
+        .map(|s| s.rtt_ms())
+        .collect();
+    assert!(!burst_est.is_empty());
+    let burst_mean = burst_est.iter().sum::<f64>() / burst_est.len() as f64;
+    assert!(
+        burst_mean > calm_mean + 10.0,
+        "burst {burst_mean:.1} vs calm {calm_mean:.1}"
+    );
+    // And Zoom's reported latency only refreshes every 5 s: far fewer
+    // distinct values than the estimate.
+    let mut reported: Vec<u64> = v
+        .sdk_feed
+        .iter()
+        .map(|s| s.reported_latency_ms as u64)
+        .collect();
+    reported.dedup();
+    assert!(reported.len() < v.sdk_feed.len() / 3);
+}
+
+#[test]
+fn fig10c_jitter_estimate_exceeds_zooms_implausible_feed() {
+    let v = run();
+    let stream = downlink_video(&v.analyzer);
+    // Zoom (and our SDK stand-in) clamp reported jitter below ~2 ms even
+    // under congestion — the paper's surprising observation.
+    assert!(v
+        .sdk_feed
+        .iter()
+        .all(|s| s.reported_jitter_ms <= 2.0 + 1e-9));
+    // Our estimator reflects the congestion instead: during the bursts
+    // the frame-level jitter estimate rises well above 2 ms.
+    let burst_jitter: Vec<f64> = stream
+        .frame_jitter
+        .samples()
+        .iter()
+        .filter(|(t, _)| (104 * SEC..114 * SEC).contains(t))
+        .map(|&(_, j)| j)
+        .collect();
+    assert!(!burst_jitter.is_empty());
+    let max_burst = burst_jitter.iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!(
+        max_burst > 4.0,
+        "burst jitter estimate too low: {max_burst:.2} ms"
+    );
+    // Calm-window jitter stays small (the estimator does not invent
+    // congestion).
+    let calm_jitter: Vec<f64> = stream
+        .frame_jitter
+        .samples()
+        .iter()
+        .filter(|(t, _)| (10 * SEC..90 * SEC).contains(t))
+        .map(|&(_, j)| j)
+        .collect();
+    let calm_mean = calm_jitter.iter().sum::<f64>() / calm_jitter.len() as f64;
+    assert!(
+        calm_mean < max_burst / 2.0,
+        "calm {calm_mean:.2} vs burst {max_burst:.2}"
+    );
+}
+
+#[test]
+fn loss_shows_up_as_duplicates_not_holes() {
+    // §5.5: Zoom's retransmissions reuse RTP sequence numbers, so a
+    // monitor sees duplicates rather than missing packets.
+    let v = run();
+    let stream = downlink_video(&v.analyzer);
+    let main = stream.substreams.get(&98).expect("main video substream");
+    let stats = main.seq_stats();
+    assert!(stats.received > 1_000);
+    assert!(
+        stats.duplicates > 0,
+        "lossy WAN legs must produce retransmission duplicates"
+    );
+    assert!(
+        stats.loss_fraction() < 0.02,
+        "holes should be rare: {}",
+        stats.loss_fraction()
+    );
+}
+
+#[test]
+fn tcp_rtt_splits_upstream_and_downstream() {
+    // §5.3 method 2: TCP RTTs to the client and to the server are
+    // separable, locating congestion relative to the tap.
+    let v = run();
+    let server: std::net::IpAddr = "170.114.1.10".parse().unwrap();
+    let client: std::net::IpAddr = "10.8.3.3".parse().unwrap();
+    let to_server = v.analyzer.tcp_rtt().samples_to(server);
+    let to_client = v.analyzer.tcp_rtt().samples_to(client);
+    assert!(!to_server.is_empty(), "no server-side TCP RTT samples");
+    assert!(!to_client.is_empty(), "no client-side TCP RTT samples");
+    let m_server = to_server.iter().map(|s| s.rtt_ms()).sum::<f64>() / to_server.len() as f64;
+    let m_client = to_client.iter().map(|s| s.rtt_ms()).sum::<f64>() / to_client.len() as f64;
+    // The server sits across the WAN (~44 ms RTT); the client is on
+    // campus (~3 ms RTT).
+    assert!(
+        m_server > 4.0 * m_client,
+        "server {m_server:.1} vs client {m_client:.1}"
+    );
+}

@@ -1,0 +1,154 @@
+//! The §4.2 reverse-engineering methodology applied blind to simulated
+//! Zoom traffic: the toolkit must rediscover the header layout this
+//! repository implements — Table 2's offsets — without using the parser.
+
+use std::collections::HashMap;
+use zoom_analysis::entropy::{extract_series, find_rtcp_by_ssrc, find_rtp_offsets, FieldClass};
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::dissect::{dissect, P2pProbe, Transport};
+use zoom_wire::flow::FiveTuple;
+use zoom_wire::pcap::LinkType;
+
+/// Collect raw UDP payloads per flow from a simulated meeting, with the
+/// Zoom media type recorded per flow so the test can select flows (the
+/// discovery functions themselves never see it).
+fn flows_by_payload(duration: u64) -> HashMap<FiveTuple, (Option<u8>, Vec<(u64, Vec<u8>)>)> {
+    let mut cfg = scenario::multi_party(23, duration * SEC);
+    cfg.participants.truncate(3); // drop the passive participant
+    let sim = MeetingSim::new(cfg);
+    let mut flows: HashMap<FiveTuple, (Option<u8>, Vec<(u64, Vec<u8>)>)> = HashMap::new();
+    for record in sim {
+        let Ok(d) = dissect(
+            record.ts_nanos,
+            &record.data,
+            LinkType::Ethernet,
+            P2pProbe::Off,
+        ) else {
+            continue;
+        };
+        if !matches!(d.transport, Transport::Udp { .. }) {
+            continue;
+        }
+        let entry = flows.entry(d.five_tuple).or_default();
+        if entry.0.is_none() {
+            if let Some(z) = d.zoom() {
+                if z.media.media_type.is_rtp_media() {
+                    entry.0 = Some(z.media.media_type.to_byte());
+                }
+            }
+        }
+        entry.1.push((d.ts_nanos, d.payload.to_vec()));
+    }
+    flows
+}
+
+#[test]
+fn rediscovers_table2_rtp_offsets() {
+    // Long enough that the screen share (which starts at 30 s and emits
+    // sporadically) accumulates a sizeable flow.
+    let flows = flows_by_payload(150);
+    // Expected absolute RTP offsets for server-based traffic: 8-byte SFU
+    // encapsulation + media-encapsulation offset (Table 2).
+    let expected: &[(u8, usize)] = &[(15, 8 + 19), (16, 8 + 24), (13, 8 + 27)];
+    for &(media_byte, want_offset) in expected {
+        let (_, (_, packets)) = flows
+            .iter()
+            .filter(|(_, (mt, p))| *mt == Some(media_byte) && p.len() > 100)
+            .max_by_key(|(_, (_, p))| p.len())
+            .unwrap_or_else(|| panic!("no flow of media type {media_byte}"));
+        let hits = find_rtp_offsets(packets, 48);
+        assert!(
+            hits.iter().any(|&(off, _)| off == want_offset),
+            "media type {media_byte}: expected RTP at {want_offset}, found {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn first_payload_byte_is_the_sfu_type_identifier() {
+    let flows = flows_by_payload(30);
+    let (_, (_, packets)) = flows
+        .iter()
+        .max_by_key(|(_, (_, p))| p.len())
+        .expect("flows exist");
+    // Byte 0 of server-based payloads: the SFU encapsulation type, 0x05
+    // for the overwhelming majority (the paper: 98.4 %).
+    let series = extract_series(packets.iter().map(|(t, p)| (*t, p.as_slice())), 0, 1);
+    let total = series.values.len();
+    let fives = series.values.iter().filter(|&&(_, v)| v == 5).count();
+    assert!(
+        fives as f64 / total as f64 > 0.9,
+        "{fives}/{total} packets start with 0x05"
+    );
+    assert!(matches!(
+        series.classify(),
+        FieldClass::Identifier | FieldClass::Constant
+    ));
+}
+
+#[test]
+fn media_type_byte_is_an_identifier_field() {
+    let flows = flows_by_payload(30);
+    let (_, (_, packets)) = flows
+        .iter()
+        .max_by_key(|(_, (_, p))| p.len())
+        .expect("flows exist");
+    // Byte 8 (first media-encapsulation byte) is a small identifier set:
+    // 13/15/16/33/34 plus control types.
+    let series = extract_series(packets.iter().map(|(t, p)| (*t, p.as_slice())), 8, 1);
+    assert!(matches!(
+        series.classify(),
+        FieldClass::Identifier | FieldClass::Constant
+    ));
+    let distinct: std::collections::HashSet<u64> = series.values.iter().map(|&(_, v)| v).collect();
+    assert!(distinct.len() <= 8, "media-type values: {distinct:?}");
+}
+
+#[test]
+fn encrypted_payload_region_reads_as_random() {
+    let flows = flows_by_payload(30);
+    // Video flow: payload region starts after 8 + 24 + 12-or-20 bytes of
+    // headers; offset 60 is safely inside encrypted media for video
+    // packets.
+    let (_, (_, packets)) = flows
+        .iter()
+        .filter(|(_, (mt, _))| *mt == Some(16))
+        .max_by_key(|(_, (_, p))| p.len())
+        .expect("video flow");
+    let series = extract_series(packets.iter().map(|(t, p)| (*t, p.as_slice())), 60, 4);
+    assert!(series.values.len() > 100);
+    assert_eq!(series.classify(), FieldClass::Random);
+}
+
+#[test]
+fn rtcp_found_by_ssrc_correlation() {
+    let flows = flows_by_payload(45);
+    let (_, (_, packets)) = flows
+        .iter()
+        .filter(|(_, (mt, _))| *mt == Some(16))
+        .max_by_key(|(_, (_, p))| p.len())
+        .expect("video flow");
+    // Learn SSRCs from RTP at the discovered offset, then hunt RTCP in
+    // the non-RTP remainder.
+    let hits = find_rtp_offsets(packets, 48);
+    let off = hits.first().expect("rtp found").0;
+    let mut ssrcs = std::collections::HashSet::new();
+    let mut non_rtp = Vec::new();
+    for (t, p) in packets {
+        if p.len() >= off + 12 && zoom_wire::rtp::Packet::new_checked(&p[off..]).is_ok() {
+            ssrcs.insert(zoom_wire::rtp::Packet::new_unchecked(&p[off..]).ssrc());
+        } else {
+            non_rtp.push((*t, p.clone()));
+        }
+    }
+    assert!(!non_rtp.is_empty(), "RTCP packets expected in the flow");
+    let ssrcs: Vec<u32> = ssrcs.into_iter().collect();
+    let by_offset = find_rtcp_by_ssrc(&non_rtp, &ssrcs);
+    // RTCP SR: 8 (SFU encap) + 16 (media encap) + 4 (SR header) = 28.
+    assert!(
+        by_offset.get(&28).copied().unwrap_or(0) > 0,
+        "SSRC not found at the RTCP SR position: {by_offset:?}"
+    );
+}

@@ -7,6 +7,7 @@ use super::{campus_flag, parse_args, CmdResult};
 use std::io::Write as _;
 use zoom_analysis::features;
 use zoom_analysis::metrics::stall::{analyze as stall_analyze, StallConfig};
+use zoom_analysis::parallel::ParallelAnalyzer;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
 use zoom_wire::pcap::Reader;
 use zoom_wire::zoom::MediaType;
@@ -17,18 +18,39 @@ pub fn run(args: &[String]) -> CmdResult {
         return Err("analyze needs exactly one input pcap".into());
     };
     let campus = campus_flag(&flags)?;
+    let shards: usize = match flags.get("shards") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--shards expects a positive integer, got {v:?}"))?,
+        None => 1,
+    };
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
 
     let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
     let mut reader =
         Reader::new(std::io::BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
     let link = reader.link_type();
-    let mut analyzer = Analyzer::new(AnalyzerConfig {
+    let config = AnalyzerConfig {
         campus: vec![campus],
         ..Default::default()
-    });
-    while let Some(record) = reader.next_record().map_err(|e| e.to_string())? {
-        analyzer.process_record(&record, link);
-    }
+    };
+    // The sharded path produces byte-identical results for any shard
+    // count; --shards 1 keeps everything on the calling thread.
+    let analyzer: Analyzer = if shards > 1 {
+        let mut par = ParallelAnalyzer::new(config, shards);
+        while let Some(record) = reader.next_record().map_err(|e| e.to_string())? {
+            par.process_record(&record, link);
+        }
+        par.into_analyzer()
+    } else {
+        let mut seq = Analyzer::new(config);
+        while let Some(record) = reader.next_record().map_err(|e| e.to_string())? {
+            seq.process_record(&record, link);
+        }
+        seq
+    };
 
     let summary = analyzer.summary();
     println!("=== trace summary ===");

@@ -2,7 +2,7 @@
 //! software analysis tools the paper released alongside the study.
 //!
 //! ```text
-//! zoom-tools analyze  <in.pcap> [--campus CIDR] [--features out.csv]
+//! zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--features out.csv]
 //! zoom-tools dissect  <in.pcap> [--max N]
 //! zoom-tools discover <in.pcap> [--max-offset N]
 //! zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]
@@ -19,7 +19,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         zoom-tools analyze  <in.pcap> [--campus CIDR] [--features out.csv]\n  \
+         zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--features out.csv]\n  \
          zoom-tools dissect  <in.pcap> [--max N]\n  \
          zoom-tools discover <in.pcap> [--max-offset N]\n  \
          zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]\n  \

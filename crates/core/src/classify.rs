@@ -11,7 +11,9 @@ use zoom_wire::zoom::{MediaType, RtpPayloadKind};
 /// Running (packets, bytes) pair.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counts {
+    /// Packets counted.
     pub packets: u64,
+    /// IP-layer bytes counted.
     pub bytes: u64,
 }
 
@@ -25,9 +27,13 @@ impl Counts {
 /// One row of a rendered table.
 #[derive(Debug, Clone)]
 pub struct TableRow {
+    /// Row key (type value or media type).
     pub label: String,
+    /// Human-readable description.
     pub detail: String,
+    /// Percentage of all packets.
     pub packets_pct: f64,
+    /// Percentage of all bytes.
     pub bytes_pct: f64,
 }
 
@@ -64,6 +70,24 @@ impl Classifier {
     /// Total packets seen.
     pub fn total(&self) -> Counts {
         self.total
+    }
+
+    /// Fold another classifier's counters into this one (sharded merge:
+    /// every counter is a plain sum, so shard-local accounting followed by
+    /// one merge equals sequential accounting).
+    pub(crate) fn merge(&mut self, other: &Classifier) {
+        self.total.packets += other.total.packets;
+        self.total.bytes += other.total.bytes;
+        for (&t, c) in &other.by_media_type {
+            let e = self.by_media_type.entry(t).or_default();
+            e.packets += c.packets;
+            e.bytes += c.bytes;
+        }
+        for (&k, c) in &other.by_payload_kind {
+            let e = self.by_payload_kind.entry(k).or_default();
+            e.packets += c.packets;
+            e.bytes += c.bytes;
+        }
     }
 
     /// Fraction of packets successfully decoded as one of the five known

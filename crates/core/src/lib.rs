@@ -16,6 +16,8 @@
 //!   and loss estimators (§5)
 //! * [`meeting`] — the stream→meeting grouping heuristic (§4.3)
 //! * [`pipeline`] — the end-to-end [`pipeline::Analyzer`]
+//! * [`parallel`] — the sharded [`parallel::ParallelAnalyzer`] front-end
+//!   with sequential-identical merge semantics
 //! * [`stats`] — CDFs, time bins, correlation
 //!
 //! ## Quickstart
@@ -30,12 +32,15 @@
 //! assert_eq!(summary.zoom_packets, 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod classify;
 pub mod entropy;
 pub mod features;
 pub mod meeting;
 pub mod metrics;
 pub mod packet;
+pub mod parallel;
 pub mod pipeline;
 pub mod stats;
 pub mod stream;

@@ -66,13 +66,16 @@ impl GroupingConfig {
 /// the stream tracker through a lookup closure).
 #[derive(Debug, Clone, Copy)]
 pub struct CandidateState {
+    /// Dominant sub-stream's most recent RTP timestamp.
     pub last_rtp_ts: u32,
+    /// Dominant sub-stream's most recent RTP sequence number.
     pub last_seq: u16,
+    /// When the candidate last saw a packet, nanoseconds.
     pub last_seen: u64,
 }
 
 /// A reconstructed meeting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeetingReport {
     /// Canonical meeting id.
     pub id: u32,
@@ -303,6 +306,10 @@ impl MeetingGrouper {
             .map(|mut r| {
                 r.participant_estimate = r.clients.len();
                 r.streams.sort();
+                // `assignments` iterates in HashMap order; sort the uid
+                // list so reports are identical run-to-run (and between
+                // the sequential and sharded pipelines).
+                r.stream_uids.sort_unstable();
                 r
             })
             .collect();

@@ -70,23 +70,36 @@ impl RtpRttEstimator {
     pub fn on_packet(&mut self, m: &PacketMeta) {
         let Some(rtp) = &m.rtp else { return };
         let key = (rtp.ssrc, rtp.payload_type, rtp.sequence, rtp.timestamp);
-        match m.direction {
+        self.observe(m.ts_nanos, key, m.direction, m.five_tuple.src_ip);
+    }
+
+    /// Core matching step on the already-extracted RTP identity
+    /// `(ssrc, payload type, sequence, timestamp)`. Split out from
+    /// [`Self::on_packet`] so the sharded pipeline's merge-time replay can
+    /// feed logged events without rebuilding full packet metadata.
+    pub(crate) fn observe(
+        &mut self,
+        ts_nanos: u64,
+        key: (u32, u8, u16, u32),
+        direction: Direction,
+        src_ip: IpAddr,
+    ) {
+        match direction {
             Direction::ToServer => {
                 // Record the egress sighting (first one wins: a
                 // retransmission should not shrink the measured RTT).
                 if let std::collections::hash_map::Entry::Vacant(e) = self.outstanding.entry(key) {
-                    e.insert(m.ts_nanos);
-                    self.order.push_back((key, m.ts_nanos));
+                    e.insert(ts_nanos);
+                    self.order.push_back((key, ts_nanos));
                 }
-                self.evict(m.ts_nanos);
+                self.evict(ts_nanos);
             }
             Direction::FromServer => {
                 if let Some(t_out) = self.outstanding.remove(&key) {
-                    let server = m.five_tuple.src_ip;
                     self.samples.push(RttSample {
-                        at: m.ts_nanos,
-                        rtt_nanos: m.ts_nanos.saturating_sub(t_out),
-                        to: server,
+                        at: ts_nanos,
+                        rtt_nanos: ts_nanos.saturating_sub(t_out),
+                        to: src_ip,
                     });
                 }
             }
@@ -187,6 +200,12 @@ impl TcpRttEstimator {
     /// All samples so far.
     pub fn samples(&self) -> &[RttSample] {
         &self.samples
+    }
+
+    /// Replace the sample vector — the sharded merge installs the k-way
+    /// time-merged union of per-shard samples.
+    pub(crate) fn set_samples(&mut self, samples: Vec<RttSample>) {
+        self.samples = samples;
     }
 
     /// Samples attributed to a particular responder.

@@ -24,33 +24,49 @@ pub enum Direction {
 /// RTP facts of a media packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RtpMeta {
+    /// Synchronization source.
     pub ssrc: u32,
+    /// RTP payload type.
     pub payload_type: u8,
+    /// RTP sequence number.
     pub sequence: u16,
+    /// RTP media timestamp.
     pub timestamp: u32,
+    /// Marker bit.
     pub marker: bool,
+    /// Sub-stream classification of the payload type.
     pub kind: RtpPayloadKind,
 }
 
 /// RTCP sender-report facts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RtcpMeta {
+    /// Originating SSRC.
     pub ssrc: u32,
+    /// 64-bit NTP timestamp from the sender info.
     pub ntp_timestamp: u64,
+    /// RTP timestamp corresponding to the NTP time.
     pub rtp_timestamp: u32,
+    /// Sender's cumulative packet count.
     pub packet_count: u32,
+    /// Sender's cumulative payload octet count.
     pub octet_count: u32,
 }
 
 /// One analyzed Zoom packet.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacketMeta {
+    /// Capture timestamp, nanoseconds.
     pub ts_nanos: u64,
+    /// The packet's 5-tuple.
     pub five_tuple: FiveTuple,
     /// Total IP-layer bytes (for flow bit rates).
     pub ip_len: usize,
+    /// Zoom framing that parsed (server or P2P).
     pub framing: Framing,
+    /// Zoom media encapsulation type.
     pub media_type: MediaType,
+    /// Inferred packet direction.
     pub direction: Direction,
     /// RTP header facts, for media packets.
     pub rtp: Option<RtpMeta>,
@@ -58,6 +74,7 @@ pub struct PacketMeta {
     pub rtcp: Option<RtcpMeta>,
     /// Video-only Zoom media-encapsulation fields.
     pub frame_seq: Option<u16>,
+    /// Video-only: number of packets in the current frame.
     pub pkts_in_frame: Option<u8>,
     /// RTP payload bytes (the actual media bits).
     pub media_payload_len: usize,
@@ -66,23 +83,34 @@ pub struct PacketMeta {
 /// TCP facts used by the control-connection RTT estimator (§5.3 method 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpMeta {
+    /// Capture timestamp, nanoseconds.
     pub ts_nanos: u64,
+    /// The segment's 5-tuple.
     pub five_tuple: FiveTuple,
+    /// Sequence number.
     pub seq: u32,
+    /// Acknowledgment number.
     pub ack: u32,
+    /// Whether the ACK flag is set.
     pub has_ack: bool,
+    /// Payload length in bytes.
     pub payload_len: usize,
+    /// Total IP-layer bytes.
     pub ip_len: usize,
 }
 
 /// What the analyzer extracted from one capture record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Extracted {
+    /// A Zoom media/control packet with its metadata.
     Zoom(PacketMeta),
+    /// A TCP segment (control-connection RTT input).
     Tcp(TcpMeta),
     /// STUN exchange — input to P2P flow detection.
     Stun {
+        /// Capture timestamp, nanoseconds.
         ts_nanos: u64,
+        /// The exchange's 5-tuple.
         five_tuple: FiveTuple,
     },
     /// Parsed but not interesting to the analyzer.
@@ -91,7 +119,17 @@ pub enum Extracted {
 
 /// Is this address inside any of the given campus prefixes? Used to
 /// orient P2P flows (campus side = "client").
+///
+/// An **empty prefix list means "everything is on-campus"**: with no
+/// vantage configured there is no basis for calling any flow external, so
+/// campus orientation is effectively disabled — every address passes, and
+/// P2P direction inference treats the *source* side of a flow as the
+/// client. Callers that want a real campus boundary must supply at least
+/// one prefix (as [`crate::pipeline::AnalyzerConfig::default`] does).
 pub fn in_campus(campus: &[(IpAddr, u8)], ip: IpAddr) -> bool {
+    if campus.is_empty() {
+        return true;
+    }
     campus.iter().any(|&(net, len)| match (net, ip) {
         (IpAddr::V4(n), IpAddr::V4(a)) => {
             let mask = if len == 0 {
@@ -326,6 +364,12 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn empty_campus_means_everything_on_campus() {
+        assert!(in_campus(&[], "203.0.113.9".parse().unwrap()));
+        assert!(in_campus(&[], "2001:db8::1".parse().unwrap()));
     }
 
     #[test]

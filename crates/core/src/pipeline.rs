@@ -49,21 +49,26 @@ impl Default for AnalyzerConfig {
 
 /// Per-5-tuple flow accounting (the coarse view prior work was limited
 /// to — kept for Table 6 and flow-vs-media-rate comparisons).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlowStats {
+    /// Packets on this directional 5-tuple.
     pub packets: u64,
+    /// IP-layer bytes on this directional 5-tuple.
     pub bytes: u64,
+    /// Timestamp of the first packet, nanoseconds.
     pub first_seen: u64,
+    /// Timestamp of the last packet, nanoseconds.
     pub last_seen: u64,
 }
 
 /// Trace-level summary (Table 6's rows).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceSummary {
     /// All records fed to the analyzer.
     pub total_packets: u64,
     /// Records recognized as Zoom (media, RTCP, control, STUN).
     pub zoom_packets: u64,
+    /// IP-layer bytes across Zoom packets.
     pub zoom_bytes: u64,
     /// Distinct Zoom UDP 5-tuples.
     pub zoom_flows: usize,
@@ -89,23 +94,56 @@ pub struct MediaSamples {
     pub jitter_ms: Samples,
 }
 
+/// A compact record of one RTP-bearing Zoom packet, logged by shard
+/// analyzers in place of the cross-flow trackers (meeting grouping and
+/// RTP-copy RTT matching) and replayed in global order at merge time —
+/// see [`crate::parallel`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MediaEvent {
+    /// Router-assigned global sequence number (total order over the trace).
+    pub(crate) seq_no: u64,
+    /// Capture timestamp, nanoseconds.
+    pub(crate) ts_nanos: u64,
+    /// The packet's directional 5-tuple.
+    pub(crate) flow: FiveTuple,
+    /// RTP SSRC.
+    pub(crate) ssrc: u32,
+    /// RTP payload type.
+    pub(crate) payload_type: u8,
+    /// RTP sequence number.
+    pub(crate) rtp_seq: u16,
+    /// RTP timestamp.
+    pub(crate) rtp_ts: u32,
+    /// Uplink/downlink orientation.
+    pub(crate) direction: crate::packet::Direction,
+}
+
 /// The analyzer.
 pub struct Analyzer {
-    config: AnalyzerConfig,
-    classifier: Classifier,
-    streams: StreamTracker,
-    grouper: MeetingGrouper,
-    rtp_rtt: RtpRttEstimator,
-    tcp_rtt: TcpRttEstimator,
+    pub(crate) config: AnalyzerConfig,
+    pub(crate) classifier: Classifier,
+    pub(crate) streams: StreamTracker,
+    pub(crate) grouper: MeetingGrouper,
+    pub(crate) rtp_rtt: RtpRttEstimator,
+    pub(crate) tcp_rtt: TcpRttEstimator,
     /// STUN-registered endpoints → last exchange time (§4.1 registers).
-    p2p_endpoints: HashMap<Endpoint, u64>,
-    flows: HashMap<FiveTuple, FlowStats>,
-    total_packets: u64,
-    zoom_packets: u64,
-    zoom_bytes: u64,
-    first_zoom_ts: Option<u64>,
-    last_zoom_ts: u64,
-    undissectable: u64,
+    pub(crate) p2p_endpoints: HashMap<Endpoint, u64>,
+    pub(crate) flows: HashMap<FiveTuple, FlowStats>,
+    pub(crate) total_packets: u64,
+    pub(crate) zoom_packets: u64,
+    pub(crate) zoom_bytes: u64,
+    pub(crate) first_zoom_ts: Option<u64>,
+    pub(crate) last_zoom_ts: u64,
+    pub(crate) undissectable: u64,
+    /// `Some` puts the analyzer in *shard mode*: cross-flow trackers (the
+    /// meeting grouper and RTP-copy RTT estimator) are skipped and a
+    /// [`MediaEvent`] is appended per RTP packet instead; the P2P verdict
+    /// comes from the router-provided hint rather than the local registry.
+    pub(crate) event_log: Option<Vec<MediaEvent>>,
+    /// Shard mode: global sequence number of the record being processed.
+    pub(crate) current_seq: u64,
+    /// Shard mode: the router's `is_p2p_flow` verdict for this record.
+    pub(crate) p2p_hint: bool,
 }
 
 impl Analyzer {
@@ -127,7 +165,33 @@ impl Analyzer {
             first_zoom_ts: None,
             last_zoom_ts: 0,
             undissectable: 0,
+            event_log: None,
+            current_seq: 0,
+            p2p_hint: false,
         }
+    }
+
+    /// A shard-mode analyzer for [`crate::parallel::ParallelAnalyzer`]:
+    /// identical to [`Analyzer::new`] except that cross-flow state is
+    /// logged as [`MediaEvent`]s for the merge-time replay.
+    pub(crate) fn new_sharded(config: AnalyzerConfig) -> Analyzer {
+        let mut a = Analyzer::new(config);
+        a.event_log = Some(Vec::new());
+        a
+    }
+
+    /// Shard-mode entry point: process one record under the given global
+    /// sequence number and router-determined P2P verdict.
+    pub(crate) fn process_record_sharded(
+        &mut self,
+        seq: u64,
+        record: &Record,
+        link: LinkType,
+        p2p_hint: bool,
+    ) {
+        self.current_seq = seq;
+        self.p2p_hint = p2p_hint;
+        self.process_record(record, link);
     }
 
     /// Process one capture record.
@@ -200,6 +264,12 @@ impl Analyzer {
     }
 
     fn is_p2p_flow(&mut self, d: &Dissection<'_>) -> bool {
+        // Shard mode: the router holds the one authoritative registry
+        // (it sees every packet, in order) and ships its verdict with the
+        // record, so shard-local registries never have to agree.
+        if self.event_log.is_some() {
+            return self.p2p_hint;
+        }
         let now = d.ts_nanos;
         let timeout = self.config.stun_timeout_nanos;
         for ep in [d.five_tuple.src(), d.five_tuple.dst()] {
@@ -234,20 +304,30 @@ impl Analyzer {
             meta.rtp.as_ref().map(|r| r.payload_type),
             meta.ip_len,
         );
-        self.rtp_rtt.on_packet(&meta);
+        // Cross-flow trackers: fed directly in the sequential path; in
+        // shard mode logged as events for the global-order merge replay.
+        let sharded = if let Some(log) = &mut self.event_log {
+            if let Some(rtp) = &meta.rtp {
+                log.push(MediaEvent {
+                    seq_no: self.current_seq,
+                    ts_nanos: meta.ts_nanos,
+                    flow: meta.five_tuple,
+                    ssrc: rtp.ssrc,
+                    payload_type: rtp.payload_type,
+                    rtp_seq: rtp.sequence,
+                    rtp_ts: rtp.timestamp,
+                    direction: meta.direction,
+                });
+            }
+            true
+        } else {
+            self.rtp_rtt.on_packet(&meta);
+            false
+        };
         if let Some((key, created)) = self.streams.on_packet(&meta) {
-            if created {
-                let (client, server) = match client_endpoint_of(&meta.five_tuple) {
-                    Some(pair) => pair,
-                    None => {
-                        // P2P: campus side is the client.
-                        if in_campus(&self.config.campus, meta.five_tuple.src_ip) {
-                            (meta.five_tuple.src(), meta.five_tuple.dst_ip)
-                        } else {
-                            (meta.five_tuple.dst(), meta.five_tuple.src_ip)
-                        }
-                    }
-                };
+            if created && !sharded {
+                let (client, server) =
+                    resolve_stream_endpoints(&meta.five_tuple, &self.config.campus);
                 let rtp = meta.rtp.as_ref().expect("stream implies rtp");
                 let streams = &self.streams;
                 let (uid, _meeting) = self.grouper.on_new_stream(
@@ -258,16 +338,13 @@ impl Analyzer {
                     rtp.sequence,
                     meta.ts_nanos,
                     |k| {
-                        streams.get(k).map(|s| CandidateState {
-                            last_rtp_ts: s.last_rtp_timestamp().unwrap_or(0),
-                            last_seq: s
-                                .substreams
-                                .values()
-                                .max_by_key(|ss| ss.packets)
-                                .map(|ss| ss.last_seq)
-                                .unwrap_or(0),
-                            last_seen: s.last_seen,
-                        })
+                        streams.get(k).and_then(|s| s.candidate_state()).map(
+                            |(last_rtp_ts, last_seq, last_seen)| CandidateState {
+                                last_rtp_ts,
+                                last_seq,
+                                last_seen,
+                            },
+                        )
                     },
                 );
                 if let Some(s) = self.streams.get_mut(&key) {
@@ -409,6 +486,28 @@ impl Analyzer {
     /// Records that failed link/IP dissection.
     pub fn undissectable(&self) -> u64 {
         self.undissectable
+    }
+}
+
+/// Resolve the (client endpoint, server address) pair of a new stream's
+/// flow: the non-8801 side for server traffic, the campus side for P2P
+/// (with an empty campus list, the *source* side — see
+/// [`crate::packet::in_campus`]). Shared by the sequential grouping hook
+/// and the sharded pipeline's merge-time replay so both paths make the
+/// same call.
+pub(crate) fn resolve_stream_endpoints(
+    flow: &FiveTuple,
+    campus: &[(IpAddr, u8)],
+) -> (Endpoint, IpAddr) {
+    match client_endpoint_of(flow) {
+        Some(pair) => pair,
+        None => {
+            if in_campus(campus, flow.src_ip) {
+                (flow.src(), flow.dst_ip)
+            } else {
+                (flow.dst(), flow.src_ip)
+            }
+        }
     }
 }
 

@@ -226,10 +226,12 @@ impl SparseBins {
         v
     }
 
-    /// Per-second rates of the populated bins (value / bin width).
+    /// Per-second rates of the populated bins (value / bin width), in
+    /// time order — deterministic, unlike `HashMap` iteration, so sample
+    /// sets compare equal across runs and across the sharded merge.
     pub fn rate_samples(&self) -> Vec<f64> {
         let secs = self.width_nanos as f64 / 1e9;
-        self.bins.values().map(|v| v / secs).collect()
+        self.sorted().into_iter().map(|(_, v)| v / secs).collect()
     }
 }
 

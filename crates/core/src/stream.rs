@@ -19,20 +19,30 @@ use zoom_wire::zoom::{MediaType, RtpPayloadKind};
 /// Identity of one directional media stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StreamKey {
+    /// The directional 5-tuple carrying the stream.
     pub flow: FiveTuple,
+    /// RTP synchronization source.
     pub ssrc: u32,
 }
 
 /// One RTP sub-stream (payload type) within a stream.
 #[derive(Debug)]
 pub struct SubStream {
+    /// RTP payload type.
     pub payload_type: u8,
+    /// Sub-stream classification (media, FEC, probe, …).
     pub kind: RtpPayloadKind,
+    /// Packets observed.
     pub packets: u64,
+    /// RTP payload bytes observed.
     pub media_bytes: u64,
+    /// First RTP sequence number seen.
     pub first_seq: u16,
+    /// Most recent RTP sequence number.
     pub last_seq: u16,
+    /// First RTP timestamp seen.
     pub first_rtp_ts: u32,
+    /// Most recent RTP timestamp.
     pub last_rtp_ts: u32,
     seq: SeqTracker,
 }
@@ -46,10 +56,15 @@ impl SubStream {
 
 /// One tracked media stream.
 pub struct Stream {
+    /// The stream's identity: (flow, SSRC).
     pub key: StreamKey,
+    /// Zoom media encapsulation type.
     pub media_type: MediaType,
+    /// Inferred direction.
     pub direction: Direction,
+    /// Timestamp of the first packet, nanoseconds.
     pub first_seen: u64,
+    /// Timestamp of the most recent packet, nanoseconds.
     pub last_seen: u64,
     /// Identifier shared by all copies of the same media (assigned by the
     /// grouping heuristic's step 1).
@@ -158,13 +173,29 @@ impl Stream {
         }
     }
 
+    /// The dominant sub-stream: most packets, ties broken by payload type.
+    ///
+    /// The explicit tie-break makes the choice independent of `HashMap`
+    /// iteration order, which both the sequential and the sharded pipeline
+    /// rely on for reproducible grouping decisions.
+    fn dominant_substream(&self) -> Option<&SubStream> {
+        self.substreams
+            .values()
+            .max_by_key(|s| (s.packets, s.payload_type))
+    }
+
     /// Most recent RTP timestamp across sub-streams (grouping step 1 uses
     /// this to match stream copies).
     pub fn last_rtp_timestamp(&self) -> Option<u32> {
-        self.substreams
-            .values()
-            .max_by_key(|s| s.packets)
-            .map(|s| s.last_rtp_ts)
+        self.dominant_substream().map(|s| s.last_rtp_ts)
+    }
+
+    /// Snapshot of the state grouping step 1 compares candidates on:
+    /// `(last RTP timestamp, last sequence number, last seen)`, read from
+    /// the dominant sub-stream. `None` until the first RTP packet.
+    pub fn candidate_state(&self) -> Option<(u32, u16, u64)> {
+        self.dominant_substream()
+            .map(|s| (s.last_rtp_ts, s.last_seq, self.last_seen))
     }
 
     /// Media payload bytes across all sub-streams.
@@ -249,6 +280,21 @@ impl StreamTracker {
     /// Iterate streams of one media type.
     pub fn of_type(&self, t: MediaType) -> impl Iterator<Item = &Stream> + '_ {
         self.iter().filter(move |s| s.media_type == t)
+    }
+
+    /// Take ownership of all streams (sharded merge moves per-shard
+    /// streams into the merged tracker).
+    pub(crate) fn into_streams(self) -> HashMap<StreamKey, Stream> {
+        self.streams
+    }
+
+    /// Insert a fully built stream, appending it to the creation order.
+    /// Used by the sharded merge, which replays global creation order.
+    pub(crate) fn adopt(&mut self, stream: Stream) {
+        let key = stream.key;
+        if self.streams.insert(key, stream).is_none() {
+            self.order.push(key);
+        }
     }
 }
 

@@ -25,14 +25,22 @@ use std::net::IpAddr;
 /// Transport-layer summary of a dissected packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Transport {
+    /// UDP datagram.
     Udp {
+        /// Payload length in bytes.
         payload_len: usize,
     },
+    /// TCP segment.
     Tcp {
+        /// Sequence number.
         seq: u32,
+        /// Acknowledgment number.
         ack: u32,
+        /// Control flags.
         flags: tcp::Flags,
+        /// Receive window.
         window: u16,
+        /// Payload length in bytes.
         payload_len: usize,
     },
 }
@@ -199,6 +207,95 @@ pub fn dissect<'a>(
                 },
                 app: App::Opaque,
                 payload,
+            })
+        }
+        _ => Err(Error::Unsupported),
+    }
+}
+
+/// A header-only view of a record: the 5-tuple plus the raw UDP payload.
+///
+/// [`peek`] applies exactly the link/IP/transport validation of
+/// [`dissect`] — it returns `Err` for precisely the records `dissect`
+/// rejects — but never touches application payloads, making it an order
+/// of magnitude cheaper. The sharded analysis pipeline uses it to route
+/// records by flow without paying for a second full dissection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peek<'a> {
+    /// The IP 5-tuple.
+    pub five_tuple: FiveTuple,
+    /// UDP payload bytes; `None` when the packet is TCP.
+    pub udp_payload: Option<&'a [u8]>,
+}
+
+/// Parse just far enough to recover the 5-tuple (and, for UDP, the
+/// payload slice). Accepts and rejects exactly the records [`dissect`]
+/// does.
+pub fn peek<'a>(data: &'a [u8], link_type: LinkType) -> Result<Peek<'a>> {
+    let ip_bytes = match link_type {
+        LinkType::Ethernet => {
+            let eth = ethernet::Packet::new_checked(data)?;
+            match ethernet::Repr::parse(&eth).ethertype {
+                EtherType::Ipv4 | EtherType::Ipv6 => {}
+                _ => return Err(Error::Unsupported),
+            }
+            &data[ethernet::HEADER_LEN..]
+        }
+        LinkType::RawIp => data,
+        LinkType::Other(_) => return Err(Error::Unsupported),
+    };
+    if ip_bytes.is_empty() {
+        return Err(Error::Truncated);
+    }
+    let (src_ip, dst_ip, protocol, transport_bytes) = match ip_bytes[0] >> 4 {
+        4 => {
+            let ip = ipv4::Packet::new_checked(ip_bytes)?;
+            (
+                IpAddr::V4(ip.src_addr()),
+                IpAddr::V4(ip.dst_addr()),
+                ip.protocol(),
+                &ip_bytes[ip.header_len()..ip.total_len() as usize],
+            )
+        }
+        6 => {
+            let ip = ipv6::Packet::new_checked(ip_bytes)?;
+            let total = ipv6::HEADER_LEN + ip.payload_len() as usize;
+            (
+                IpAddr::V6(ip.src_addr()),
+                IpAddr::V6(ip.dst_addr()),
+                ip.next_header(),
+                &ip_bytes[ipv6::HEADER_LEN..total],
+            )
+        }
+        _ => return Err(Error::Malformed),
+    };
+    match protocol {
+        Protocol::Udp => {
+            let u = udp::Packet::new_checked(transport_bytes)?;
+            let five_tuple = FiveTuple {
+                src_ip,
+                dst_ip,
+                src_port: u.src_port(),
+                dst_port: u.dst_port(),
+                protocol: Protocol::Udp,
+            };
+            let payload = &transport_bytes[udp::HEADER_LEN..u.len() as usize];
+            Ok(Peek {
+                five_tuple,
+                udp_payload: Some(payload),
+            })
+        }
+        Protocol::Tcp => {
+            let t = tcp::Packet::new_checked(transport_bytes)?;
+            Ok(Peek {
+                five_tuple: FiveTuple {
+                    src_ip,
+                    dst_ip,
+                    src_port: t.src_port(),
+                    dst_port: t.dst_port(),
+                    protocol: Protocol::Tcp,
+                },
+                udp_payload: None,
             })
         }
         _ => Err(Error::Unsupported),

@@ -40,8 +40,11 @@ impl fmt::Display for Address {
 /// EtherType values this crate understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EtherType {
+    /// IPv4 (0x0800).
     Ipv4,
+    /// IPv6 (0x86DD).
     Ipv6,
+    /// ARP (0x0806).
     Arp,
     /// Anything else, carried verbatim.
     Unknown(u16),
@@ -146,8 +149,11 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
 /// High-level representation of an Ethernet header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Repr {
+    /// Destination MAC address.
     pub dst_addr: Address,
+    /// Source MAC address.
     pub src_addr: Address,
+    /// Payload EtherType.
     pub ethertype: EtherType,
 }
 

@@ -7,10 +7,15 @@ use std::net::IpAddr;
 /// An IP 5-tuple identifying one direction of a transport flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiveTuple {
+    /// Source IP address.
     pub src_ip: IpAddr,
+    /// Destination IP address.
     pub dst_ip: IpAddr,
+    /// Source transport port.
     pub src_port: u16,
+    /// Destination transport port.
     pub dst_port: u16,
+    /// Transport protocol.
     pub protocol: Protocol,
 }
 
@@ -68,7 +73,9 @@ impl fmt::Display for FiveTuple {
 /// detection registers (§4.1) and the meeting-grouping heuristic (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Endpoint {
+    /// IP address.
     pub ip: IpAddr,
+    /// Transport port.
     pub port: u16,
 }
 

@@ -10,9 +10,13 @@ pub const HEADER_LEN: usize = 20;
 /// IP protocol numbers this crate cares about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Protocol {
+    /// ICMP (1).
     Icmp,
+    /// TCP (6).
     Tcp,
+    /// UDP (17).
     Udp,
+    /// Any other protocol number, carried verbatim.
     Unknown(u8),
 }
 
@@ -232,12 +236,19 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
 /// High-level IPv4 header representation (options-free).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Repr {
+    /// Source address.
     pub src_addr: Ipv4Addr,
+    /// Destination address.
     pub dst_addr: Ipv4Addr,
+    /// Payload protocol.
     pub protocol: Protocol,
+    /// Payload length in bytes (total length minus header).
     pub payload_len: usize,
+    /// Time to live.
     pub ttl: u8,
+    /// DSCP/ECN byte.
     pub dscp_ecn: u8,
+    /// Identification field.
     pub ident: u16,
 }
 

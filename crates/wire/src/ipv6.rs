@@ -138,10 +138,15 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
 /// High-level IPv6 header representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Repr {
+    /// Source address.
     pub src_addr: Ipv6Addr,
+    /// Destination address.
     pub dst_addr: Ipv6Addr,
+    /// Next-header (payload protocol) field.
     pub next_header: Protocol,
+    /// Payload length in bytes.
     pub payload_len: usize,
+    /// Hop limit.
     pub hop_limit: u8,
 }
 

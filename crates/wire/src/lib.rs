@@ -42,6 +42,8 @@
 //! assert_eq!(pkt.payload_type(), 98);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod checksum;
 pub mod compose;
 pub mod dissect;

@@ -15,11 +15,17 @@ pub const HEADER_LEN: usize = 8;
 /// RTCP packet types (RFC 3550 §12.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketType {
+    /// SR (200).
     SenderReport,
+    /// RR (201).
     ReceiverReport,
+    /// SDES (202).
     SourceDescription,
+    /// BYE (203).
     Bye,
+    /// APP (204).
     ApplicationDefined,
+    /// Any other packet type, carried verbatim.
     Other(u8),
 }
 
@@ -69,18 +75,37 @@ pub enum Item {
     /// Sender report: originating SSRC plus sender info. Report blocks are
     /// counted but not decoded (Zoom SRs carry none).
     SenderReport {
+        /// Originating SSRC.
         ssrc: u32,
+        /// NTP/RTP timestamps and sender counters.
         info: SenderInfo,
+        /// Number of report blocks (not decoded).
         report_count: u8,
     },
     /// Receiver report: originating SSRC (Zoom never sends these).
-    ReceiverReport { ssrc: u32, report_count: u8 },
+    ReceiverReport {
+        /// Originating SSRC.
+        ssrc: u32,
+        /// Number of report blocks (not decoded).
+        report_count: u8,
+    },
     /// Source description: list of chunk SSRCs (Zoom's are empty of items).
-    SourceDescription { ssrcs: Vec<u32> },
+    SourceDescription {
+        /// SSRC of each SDES chunk.
+        ssrcs: Vec<u32>,
+    },
     /// BYE with its SSRC list.
-    Bye { ssrcs: Vec<u32> },
+    Bye {
+        /// SSRCs leaving the session.
+        ssrcs: Vec<u32>,
+    },
     /// Anything else, kept opaque.
-    Other { packet_type: u8, len: usize },
+    Other {
+        /// Raw RTCP packet type.
+        packet_type: u8,
+        /// Sub-packet length in bytes.
+        len: usize,
+    },
 }
 
 /// Parse a compound RTCP packet into its items.
@@ -197,7 +222,9 @@ pub fn scan_for_ssrcs(data: &[u8], ssrcs: &[u32]) -> Vec<(usize, u32)> {
 /// Builder for Zoom-style SR (+ optional empty SDES) compounds.
 #[derive(Debug, Clone, Copy)]
 pub struct SenderReportRepr {
+    /// Originating SSRC.
     pub ssrc: u32,
+    /// NTP/RTP timestamps and sender counters.
     pub info: SenderInfo,
     /// Append an SDES chunk naming the same SSRC with no items, as seen in
     /// Zoom type-34 packets.

@@ -203,12 +203,19 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
 /// video packets without modeling their (encrypted) contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Repr {
+    /// Marker bit.
     pub marker: bool,
+    /// Payload type.
     pub payload_type: u8,
+    /// Sequence number.
     pub sequence_number: u16,
+    /// Media timestamp.
     pub timestamp: u32,
+    /// Synchronization source.
     pub ssrc: u32,
+    /// Number of CSRC entries.
     pub csrc_count: u8,
+    /// Extension bit.
     pub has_extension: bool,
 }
 

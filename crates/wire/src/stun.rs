@@ -23,10 +23,15 @@ pub const STUN_PORT: u16 = 3478;
 /// STUN message classes and methods we understand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MessageType {
+    /// Binding request (0x0001).
     BindingRequest,
+    /// Binding success response (0x0101).
     BindingSuccess,
+    /// Binding error response (0x0111).
     BindingError,
+    /// Binding indication (0x0011).
     BindingIndication,
+    /// Any other class/method combination, carried verbatim.
     Other(u16),
 }
 
@@ -188,7 +193,9 @@ impl<'a> Iterator for AttributeIter<'a> {
 /// XOR-MAPPED-ADDRESS are not modeled (the detector does not need them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Repr {
+    /// Message class and method.
     pub message_type: MessageType,
+    /// 96-bit transaction id.
     pub transaction_id: [u8; 12],
     /// When set, an XOR-MAPPED-ADDRESS attribute is emitted.
     pub xor_mapped_address: Option<SocketAddr>,

@@ -15,11 +15,17 @@ pub const HEADER_LEN: usize = 20;
 /// TCP control flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Flags {
+    /// FIN.
     pub fin: bool,
+    /// SYN.
     pub syn: bool,
+    /// RST.
     pub rst: bool,
+    /// PSH.
     pub psh: bool,
+    /// ACK.
     pub ack: bool,
+    /// URG.
     pub urg: bool,
 }
 
@@ -214,12 +220,19 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
 /// High-level TCP header representation (options-free emit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Repr {
+    /// Source port.
     pub src_port: u16,
+    /// Destination port.
     pub dst_port: u16,
+    /// Sequence number.
     pub seq_number: u32,
+    /// Acknowledgment number.
     pub ack_number: u32,
+    /// Control flags.
     pub flags: Flags,
+    /// Receive window.
     pub window: u16,
+    /// Payload length in bytes.
     pub payload_len: usize,
 }
 

@@ -145,8 +145,11 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
 /// High-level UDP header representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Repr {
+    /// Source port.
     pub src_port: u16,
+    /// Destination port.
     pub dst_port: u16,
+    /// Payload length in bytes.
     pub payload_len: usize,
 }
 

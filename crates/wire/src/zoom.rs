@@ -257,8 +257,11 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> SfuEncap<T> {
 /// High-level SFU encapsulation representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SfuEncapRepr {
+    /// Encapsulation type byte (e.g. [`SFU_TYPE_MEDIA`]).
     pub encap_type: u8,
+    /// Outer SFU sequence number.
     pub sequence: u16,
+    /// Direction byte: [`DIR_TO_SFU`] or [`DIR_FROM_SFU`].
     pub direction: u8,
 }
 
@@ -410,8 +413,11 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> MediaEncap<T> {
 /// High-level media encapsulation representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MediaEncapRepr {
+    /// Media encapsulation type.
     pub media_type: MediaType,
+    /// Media-layer sequence number.
     pub sequence: u16,
+    /// Media-layer timestamp.
     pub timestamp: u32,
     /// Video only.
     pub frame_sequence: Option<u16>,
@@ -465,6 +471,7 @@ impl MediaEncapRepr {
 pub struct ZoomPacket {
     /// Present on server-based traffic, absent on P2P.
     pub sfu: Option<SfuEncapRepr>,
+    /// The media encapsulation header.
     pub media: MediaEncapRepr,
     /// Decoded RTP header for media types 13/15/16.
     pub rtp: Option<rtp::Repr>,
@@ -579,8 +586,11 @@ pub fn parse_auto(payload: &[u8]) -> Result<(Framing, ZoomPacket)> {
 /// media encap + RTP header + payload bytes.
 #[derive(Debug, Clone)]
 pub struct Builder {
+    /// Optional SFU encapsulation (server framing when present).
     pub sfu: Option<SfuEncapRepr>,
+    /// Media encapsulation header.
     pub media: MediaEncapRepr,
+    /// Optional inner RTP header.
     pub rtp: Option<rtp::Repr>,
     /// RTP payload bytes (media data, typically "encrypted" noise from the
     /// simulator), or raw bytes for non-RTP types.

@@ -1,0 +1,216 @@
+//! Minimal, dependency-free stand-in for the parts of `criterion` this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so the real crate cannot be
+//! fetched. This stub keeps the same API shape (`Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `Throughput`, `black_box`,
+//! `criterion_group!` / `criterion_main!`) and reports simple wall-clock
+//! means to stdout: no statistics, plots, or baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(
+                std::env::var("BENCH_MEASUREMENT_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(500),
+            ),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            measurement: self.measurement,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-benchmark sample count (accepted for API compatibility;
+    /// this stub sizes runs by wall-clock time instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling rate output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures `f` and prints the mean iteration time (and rate, if a
+    /// throughput was declared).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.elapsed / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let mut line = format!(
+            "{}/{:<32} time: [{}]  ({} iterations)",
+            self.name,
+            id,
+            fmt_duration(mean),
+            b.iters
+        );
+        if let Some(t) = self.throughput {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                match t {
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("  thrpt: [{}]", fmt_rate(n as f64 / secs, "elem/s")));
+                    }
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!(
+                            "  thrpt: [{:.2} MiB/s]",
+                            n as f64 / secs / (1024.0 * 1024.0)
+                        ));
+                    }
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly — a short warm-up, then timed iterations
+    /// until the measurement budget is spent — and records the totals.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_start = Instant::now();
+        let warmup = self.measurement / 5;
+        let mut warm_iters = 0u64;
+        while warm_iters < 1 || (warm_start.elapsed() < warmup && warm_iters < 1_000_000) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement || iters >= 100_000_000 {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Collects benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        std::env::set_var("BENCH_MEASUREMENT_MS", "10");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,449 @@
+//! Minimal, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so the real crate cannot be
+//! fetched. This stub keeps the same API shape — `proptest!`, `prop_assert*`,
+//! `prop_oneof!`, `any::<T>()`, range strategies, `collection::vec` /
+//! `collection::btree_set` — but runs plain randomized testing with a
+//! deterministic per-case seed and **no shrinking**: a failing case panics
+//! with the case index so it can be replayed.
+//!
+//! Case count defaults to 64 and can be overridden with `PROPTEST_CASES`.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generates one value.
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy that always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn pick(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies of the same type
+    /// (the result of `prop_oneof!`).
+    pub struct Union<S>(Vec<S>);
+
+    impl<S: Strategy> Union<S> {
+        /// Builds a union over `options` (must be non-empty).
+        pub fn new(options: Vec<S>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union(options)
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn pick(&self, rng: &mut TestRng) -> S::Value {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].pick(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for core::ops::Range<$t> {
+                    type Value = $t;
+                    fn pick(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let off = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + off as i128) as $t
+                    }
+                }
+                impl Strategy for core::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn pick(&self, rng: &mut TestRng) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty range strategy");
+                        let span = (end as i128 - start as i128) as u128 + 1;
+                        let off = (rng.next_u64() as u128) % span;
+                        (start as i128 + off as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for core::ops::Range<$t> {
+                    type Value = $t;
+                    fn pick(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                    }
+                }
+            )*
+        };
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($S:ident / $idx:tt),+))*) => {
+            $(
+                impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                    type Value = ($($S::Value,)+);
+                    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.pick(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+    tuple_strategy!(
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10)
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10, L/11)
+    );
+}
+
+/// `any::<T>()` and the [`Arbitrary`] trait behind it.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64() * 2e9 - 1e9
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            (rng.unit_f64() * 2e9 - 1e9) as f32
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy yielding unconstrained values of `T`.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies: `vec` and `btree_set`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below((self.max - self.min).max(1) as u64) as usize;
+            (0..len).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values with a length in `len` (exclusive upper bound).
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            element,
+            min: len.start,
+            max: len.end,
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size in a range.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.min + rng.below((self.max - self.min).max(1) as u64) as usize;
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            // A small value space may saturate before `target`; cap attempts.
+            while set.len() < target.max(self.min) && attempts < target * 20 + 40 {
+                set.insert(self.element.pick(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// Set of `element` values with a size in `len` (exclusive upper bound).
+    pub fn btree_set<S: Strategy>(
+        element: S,
+        len: core::ops::Range<usize>,
+    ) -> BTreeSetStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        BTreeSetStrategy {
+            element,
+            min: len.start,
+            max: len.end,
+        }
+    }
+}
+
+/// Deterministic case driver used by the `proptest!` macro.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+
+    /// Deterministic xoshiro256++ generator for case inputs.
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Builds a generator from `seed` (SplitMix64-expanded).
+        pub fn new(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *w = z ^ (z >> 31);
+            }
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            TestRng { s }
+        }
+
+        /// Returns the next random `u64`.
+        pub fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        /// Returns a uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Returns a uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Number of cases per property (`PROPTEST_CASES`, default 64).
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Runs `body` against `cases` generated values of `strategy`.
+    ///
+    /// Each case uses an independent deterministic seed derived from the case
+    /// index, so failures are replayable without a persistence file.
+    pub fn run<S: Strategy, F: FnMut(S::Value)>(strategy: S, mut body: F) {
+        for case in 0..case_count() {
+            let mut rng = TestRng::new(0x70_72_6f_70u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let value = strategy.pick(&mut rng);
+            body(value);
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($s),+])
+    };
+}
+
+/// Defines property tests: each `fn` becomes a `#[test]` that runs its body
+/// against generated inputs. Parameters are `name: Type` (uses `any::<Type>()`)
+/// or `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case!(@parse [] [] ($($params)*) $body);
+            }
+        )*
+    };
+}
+
+/// Internal helper for `proptest!` — munches the parameter list into a tuple
+/// strategy plus a tuple pattern.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (@parse [$($strat:expr;)*] [$($pat:tt)*] () $body:block) => {
+        $crate::test_runner::run(($($strat,)*), |($($pat)*)| $body)
+    };
+    (@parse [$($strat:expr;)*] [$($pat:tt)*] ($name:ident : $t:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!(
+            @parse [$($strat;)* $crate::arbitrary::any::<$t>();] [$($pat)* $name,]
+            ($($rest)*) $body
+        )
+    };
+    (@parse [$($strat:expr;)*] [$($pat:tt)*] ($name:ident : $t:ty) $body:block) => {
+        $crate::__proptest_case!(
+            @parse [$($strat;)* $crate::arbitrary::any::<$t>();] [$($pat)* $name,]
+            () $body
+        )
+    };
+    (@parse [$($strat:expr;)*] [$($pat:tt)*] ($name:ident in $s:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_case!(
+            @parse [$($strat;)* $s;] [$($pat)* $name,]
+            ($($rest)*) $body
+        )
+    };
+    (@parse [$($strat:expr;)*] [$($pat:tt)*] ($name:ident in $s:expr) $body:block) => {
+        $crate::__proptest_case!(
+            @parse [$($strat;)* $s;] [$($pat)* $name,]
+            () $body
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mixed_params(a: u16, b in 3u32..10, v in crate::collection::vec(any::<u8>(), 1..5)) {
+            let _ = a;
+            prop_assert!((3..10).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_arrays(x in prop_oneof![Just(1u8), Just(2), Just(9)], arr: [u8; 12]) {
+            prop_assert!(x == 1 || x == 2 || x == 9);
+            prop_assert_eq!(arr.len(), 12);
+        }
+    }
+
+    #[test]
+    fn btree_set_sizes() {
+        crate::test_runner::run(crate::collection::btree_set(0u8..=32, 1..6), |s| {
+            assert!(!s.is_empty() && s.len() < 6);
+        });
+    }
+}

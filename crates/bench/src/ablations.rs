@@ -28,10 +28,12 @@ pub fn grouping_without_step1(args: &ExpArgs) {
             p.leave_at = 90 * SEC;
         }
         let sim = MeetingSim::new(cfg);
-        let mut analyzer = Analyzer::new(AnalyzerConfig {
-            grouping,
-            ..Default::default()
-        });
+        let mut analyzer = Analyzer::new(
+            AnalyzerConfig::builder()
+                .grouping(grouping)
+                .build()
+                .expect("valid config"),
+        );
         for record in sim {
             analyzer.process_record(&record, LinkType::Ethernet);
         }

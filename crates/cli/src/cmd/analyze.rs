@@ -2,9 +2,18 @@
 //! and print the trace summary, per-meeting breakdown, per-stream metrics,
 //! and latency estimates. Optionally export the per-second ML feature
 //! matrix (§8).
+//!
+//! With `--window`, `--idle-timeout`, or `--follow` the command switches
+//! to the streaming engine: one NDJSON line per closed window on stdout,
+//! followed by the final end-of-trace report. `--follow` keeps polling
+//! the input file for newly appended records (a live capture being
+//! written by another process) until it has been quiet for `--idle-exit`.
 
-use super::{campus_flag, parse_args, CmdResult};
+use super::{campus_flag, parse_args, parse_duration, CmdResult};
+use std::collections::HashMap;
 use std::io::Write as _;
+use std::time::Duration;
+use zoom_analysis::engine::{EngineConfig, StreamingEngine};
 use zoom_analysis::features;
 use zoom_analysis::metrics::stall::{analyze as stall_analyze, StallConfig};
 use zoom_analysis::parallel::ParallelAnalyzer;
@@ -13,7 +22,7 @@ use zoom_wire::pcap::Reader;
 use zoom_wire::zoom::MediaType;
 
 pub fn run(args: &[String]) -> CmdResult {
-    let (pos, flags) = parse_args(args)?;
+    let (pos, flags) = parse_args(args, &["follow", "json"])?;
     let [input] = pos.as_slice() else {
         return Err("analyze needs exactly one input pcap".into());
     };
@@ -27,15 +36,26 @@ pub fn run(args: &[String]) -> CmdResult {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
+    let window = flags.get("window").map(|v| parse_duration(v)).transpose()?;
+    let idle_timeout = flags
+        .get("idle-timeout")
+        .map(|v| parse_duration(v))
+        .transpose()?;
+    let follow = flags.contains_key("follow");
+
+    let config = AnalyzerConfig::builder()
+        .campus_prefix(campus.0, campus.1)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    if window.is_some() || idle_timeout.is_some() || follow {
+        return run_streaming(input, config, shards, window, idle_timeout, follow, &flags);
+    }
 
     let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
     let mut reader =
         Reader::new(std::io::BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
     let link = reader.link_type();
-    let config = AnalyzerConfig {
-        campus: vec![campus],
-        ..Default::default()
-    };
     // The sharded path produces byte-identical results for any shard
     // count; --shards 1 keeps everything on the calling thread.
     let analyzer: Analyzer = if shards > 1 {
@@ -43,6 +63,7 @@ pub fn run(args: &[String]) -> CmdResult {
         while let Some(record) = reader.next_record().map_err(|e| e.to_string())? {
             par.process_record(&record, link);
         }
+        par.finish().map_err(|e| e.to_string())?;
         par.into_analyzer()
     } else {
         let mut seq = Analyzer::new(config);
@@ -51,6 +72,12 @@ pub fn run(args: &[String]) -> CmdResult {
         }
         seq
     };
+
+    if flags.contains_key("json") {
+        println!("{}", analyzer.finish().to_json());
+        export_features(&analyzer, &flags)?;
+        return Ok(());
+    }
 
     let summary = analyzer.summary();
     println!("=== trace summary ===");
@@ -138,28 +165,100 @@ pub fn run(args: &[String]) -> CmdResult {
         );
     }
 
-    // Optional ML feature export.
-    if let Some(path) = flags.get("features") {
-        let mut out = std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?,
-        );
-        let mut total = 0usize;
-        let mut first = true;
-        for s in analyzer.streams().of_type(MediaType::Video) {
-            let rows = features::extract_features(s);
-            total += rows.len();
-            let csv = features::to_csv(&rows);
-            let body = if first {
-                first = false;
-                csv
-            } else {
-                // Skip the header on subsequent streams.
-                csv.split_once('\n').map(|x| x.1).unwrap_or("").to_string()
-            };
-            out.write_all(body.as_bytes()).map_err(|e| e.to_string())?;
+    export_features(&analyzer, &flags)?;
+    Ok(())
+}
+
+/// The streaming path: NDJSON window reports as windows close, then the
+/// final report, all on stdout.
+fn run_streaming(
+    input: &str,
+    config: AnalyzerConfig,
+    shards: usize,
+    window: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    follow: bool,
+    flags: &HashMap<String, String>,
+) -> CmdResult {
+    let idle_exit = flags
+        .get("idle-exit")
+        .map(|v| parse_duration(v))
+        .transpose()?
+        .unwrap_or(Duration::from_secs(5));
+    let mut engine = StreamingEngine::new(EngineConfig {
+        analyzer: config,
+        shards,
+        window,
+        idle_timeout,
+    })
+    .map_err(|e| e.to_string())?;
+
+    let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
+    let mut reader =
+        Reader::new(std::io::BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
+    let link = reader.link_type();
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let poll = Duration::from_millis(200);
+    let mut quiet = Duration::ZERO;
+    loop {
+        match reader.next_record().map_err(|e| e.to_string())? {
+            Some(record) => {
+                quiet = Duration::ZERO;
+                for w in engine.push_record(&record, link).map_err(|e| e.to_string())? {
+                    writeln!(out, "{}", w.to_json()).map_err(|e| e.to_string())?;
+                }
+            }
+            // A pcap reader at a clean record boundary returns `None` and
+            // can be retried once the producer appends more data.
+            None => {
+                if !follow || quiet >= idle_exit {
+                    break;
+                }
+                out.flush().map_err(|e| e.to_string())?;
+                std::thread::sleep(poll);
+                quiet += poll;
+            }
         }
-        out.flush().map_err(|e| e.to_string())?;
-        println!("\nwrote {total} feature rows to {path}");
     }
+
+    let output = engine.drain().map_err(|e| e.to_string())?;
+    writeln!(out, "{}", output.final_window.to_json()).map_err(|e| e.to_string())?;
+    writeln!(out, "{}", output.report.to_json()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "streamed {} packets, peak tracked entries {}",
+        output.report.summary.total_packets, output.peak_tracked_entries
+    );
+    export_features(&output.analyzer, flags)?;
+    Ok(())
+}
+
+/// Optional ML feature export (`--features out.csv`).
+fn export_features(analyzer: &Analyzer, flags: &HashMap<String, String>) -> CmdResult {
+    let Some(path) = flags.get("features") else {
+        return Ok(());
+    };
+    let mut out = std::io::BufWriter::new(
+        std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?,
+    );
+    let mut total = 0usize;
+    let mut first = true;
+    for s in analyzer.streams().of_type(MediaType::Video) {
+        let rows = features::extract_features(s);
+        total += rows.len();
+        let csv = features::to_csv(&rows);
+        let body = if first {
+            first = false;
+            csv
+        } else {
+            // Skip the header on subsequent streams.
+            csv.split_once('\n').map(|x| x.1).unwrap_or("").to_string()
+        };
+        out.write_all(body.as_bytes()).map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!("wrote {total} feature rows to {path}");
     Ok(())
 }

@@ -10,7 +10,7 @@ use zoom_wire::flow::FiveTuple;
 use zoom_wire::pcap::Reader;
 
 pub fn run(args: &[String]) -> CmdResult {
-    let (pos, flags) = parse_args(args)?;
+    let (pos, flags) = parse_args(args, &[])?;
     let [input] = pos.as_slice() else {
         return Err("discover needs exactly one input pcap".into());
     };
@@ -38,7 +38,8 @@ pub fn run(args: &[String]) -> CmdResult {
             }
         }
     }
-    let mut ordered: Vec<(FiveTuple, Vec<(u64, Vec<u8>)>)> = flows.into_iter().collect();
+    type FlowPackets = Vec<(FiveTuple, Vec<(u64, Vec<u8>)>)>;
+    let mut ordered: FlowPackets = flows.into_iter().collect();
     ordered.sort_by_key(|(_, v)| std::cmp::Reverse(v.len()));
 
     for (flow, packets) in ordered.iter().take(5) {

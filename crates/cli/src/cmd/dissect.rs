@@ -6,7 +6,7 @@ use zoom_wire::dissect::{dissect, render_tree, P2pProbe};
 use zoom_wire::pcap::Reader;
 
 pub fn run(args: &[String]) -> CmdResult {
-    let (pos, flags) = parse_args(args)?;
+    let (pos, flags) = parse_args(args, &[])?;
     let [input] = pos.as_slice() else {
         return Err("dissect needs exactly one input pcap".into());
     };

@@ -10,7 +10,7 @@ use zoom_capture::zoom_nets;
 use zoom_wire::pcap::{Reader, Writer};
 
 pub fn run(args: &[String]) -> CmdResult {
-    let (pos, flags) = parse_args(args)?;
+    let (pos, flags) = parse_args(args, &[])?;
     let [input, output] = pos.as_slice() else {
         return Err("filter needs <in.pcap> <out.pcap>".into());
     };

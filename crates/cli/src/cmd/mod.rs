@@ -7,29 +7,68 @@ pub mod filter;
 pub mod simulate;
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Result alias for subcommands.
 pub type CmdResult = Result<(), String>;
 
 /// Split arguments into positional values and `--flag value` pairs.
-pub fn parse_args(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+///
+/// Flags listed in `bool_flags` take no value (`--follow`); they appear
+/// in the map with an empty-string value so `flags.contains_key` works.
+pub fn parse_args(
+    args: &[String],
+    bool_flags: &[&str],
+) -> Result<(Vec<String>, HashMap<String, String>), String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.insert(name.to_string(), value.clone());
-            i += 2;
+            if bool_flags.contains(&name) {
+                flags.insert(name.to_string(), String::new());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
+            }
         } else {
             positional.push(a.clone());
             i += 1;
         }
     }
     Ok((positional, flags))
+}
+
+/// Parse a human-friendly duration: `10s`, `500ms`, `2m`, or a bare
+/// number of seconds (`10`). Fractions are accepted (`1.5s`).
+pub fn parse_duration(spec: &str) -> Result<Duration, String> {
+    let spec = spec.trim();
+    let (num, scale_nanos) = if let Some(v) = spec.strip_suffix("ms") {
+        (v, 1_000_000.0)
+    } else if let Some(v) = spec.strip_suffix('s') {
+        (v, 1e9)
+    } else if let Some(v) = spec.strip_suffix('m') {
+        (v, 60.0 * 1e9)
+    } else {
+        (spec, 1e9)
+    };
+    let value: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration {spec:?} (expected e.g. 10s, 500ms, 2m)"))?;
+    if !value.is_finite() || value <= 0.0 {
+        return Err(format!("duration {spec:?} must be positive"));
+    }
+    let nanos = value * scale_nanos;
+    if nanos > u64::MAX as f64 {
+        return Err(format!("duration {spec:?} is too large"));
+    }
+    Ok(Duration::from_nanos(nanos as u64))
 }
 
 /// Parse a `--campus` CIDR flag into the `(addr, len)` form the analyzer
@@ -39,13 +78,7 @@ pub fn campus_flag(flags: &HashMap<String, String>) -> Result<(std::net::IpAddr,
         .get("campus")
         .map(String::as_str)
         .unwrap_or("10.8.0.0/16");
-    let (addr, len) = spec
-        .split_once('/')
-        .ok_or_else(|| format!("bad CIDR {spec}"))?;
-    Ok((
-        addr.parse().map_err(|e| format!("bad CIDR {spec}: {e}"))?,
-        len.parse().map_err(|e| format!("bad CIDR {spec}: {e}"))?,
-    ))
+    zoom_analysis::pipeline::parse_cidr(spec).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -58,27 +91,51 @@ mod tests {
 
     #[test]
     fn parses_positional_and_flags() {
-        let (pos, flags) = parse_args(&s(&["a.pcap", "--max", "5", "b.pcap"])).unwrap();
+        let (pos, flags) = parse_args(&s(&["a.pcap", "--max", "5", "b.pcap"]), &[]).unwrap();
         assert_eq!(pos, vec!["a.pcap", "b.pcap"]);
         assert_eq!(flags.get("max").unwrap(), "5");
     }
 
     #[test]
     fn missing_flag_value_errors() {
-        assert!(parse_args(&s(&["--max"])).is_err());
+        assert!(parse_args(&s(&["--max"]), &[]).is_err());
+    }
+
+    #[test]
+    fn bool_flags_take_no_value() {
+        let (pos, flags) =
+            parse_args(&s(&["--follow", "a.pcap", "--max", "5"]), &["follow"]).unwrap();
+        assert_eq!(pos, vec!["a.pcap"]);
+        assert!(flags.contains_key("follow"));
+        assert_eq!(flags.get("max").unwrap(), "5");
+    }
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration("10s").unwrap(), Duration::from_secs(10));
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2m").unwrap(), Duration::from_secs(120));
+        assert_eq!(parse_duration("10").unwrap(), Duration::from_secs(10));
+        assert_eq!(
+            parse_duration("1.5s").unwrap(),
+            Duration::from_millis(1_500)
+        );
+        assert!(parse_duration("0s").is_err());
+        assert!(parse_duration("-1s").is_err());
+        assert!(parse_duration("junk").is_err());
     }
 
     #[test]
     fn campus_default_and_custom() {
-        let (_, flags) = parse_args(&s(&[])).unwrap();
+        let (_, flags) = parse_args(&s(&[]), &[]).unwrap();
         let (ip, len) = campus_flag(&flags).unwrap();
         assert_eq!(ip.to_string(), "10.8.0.0");
         assert_eq!(len, 16);
-        let (_, flags) = parse_args(&s(&["--campus", "192.168.0.0/24"])).unwrap();
+        let (_, flags) = parse_args(&s(&["--campus", "192.168.0.0/24"]), &[]).unwrap();
         let (ip, len) = campus_flag(&flags).unwrap();
         assert_eq!(ip.to_string(), "192.168.0.0");
         assert_eq!(len, 24);
-        let (_, flags) = parse_args(&s(&["--campus", "junk"])).unwrap();
+        let (_, flags) = parse_args(&s(&["--campus", "junk"]), &[]).unwrap();
         assert!(campus_flag(&flags).is_err());
     }
 }

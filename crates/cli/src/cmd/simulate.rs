@@ -8,7 +8,7 @@ use zoom_sim::time::SEC;
 use zoom_wire::pcap::{LinkType, Writer};
 
 pub fn run(args: &[String]) -> CmdResult {
-    let (pos, flags) = parse_args(args)?;
+    let (pos, flags) = parse_args(args, &[])?;
     let [output] = pos.as_slice() else {
         return Err("simulate needs exactly one output pcap".into());
     };
@@ -30,25 +30,34 @@ pub fn run(args: &[String]) -> CmdResult {
         .map(String::as_str)
         .unwrap_or("validation");
 
-    let config = match scenario_name {
+    let configs = match scenario_name {
         "validation" => {
             let mut cfg = scenario::validation_experiment(seed);
             for p in &mut cfg.participants {
                 p.leave_at = seconds * SEC;
             }
-            cfg
+            vec![cfg]
         }
-        "p2p" => scenario::p2p_meeting(seed, seconds * SEC),
-        "multi" => scenario::multi_party(seed, seconds * SEC),
-        other => return Err(format!("unknown scenario '{other}' (validation|p2p|multi)")),
+        "p2p" => vec![scenario::p2p_meeting(seed, seconds * SEC)],
+        "multi" => vec![scenario::multi_party(seed, seconds * SEC)],
+        "churn" => scenario::churn(seed, seconds * SEC),
+        other => {
+            return Err(format!(
+                "unknown scenario '{other}' (validation|p2p|multi|churn)"
+            ))
+        }
     };
 
     let file = std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?;
     let mut writer = Writer::new(std::io::BufWriter::new(file), LinkType::Ethernet)
         .map_err(|e| e.to_string())?;
+    // Multi-meeting scenarios interleave by timestamp so the capture
+    // looks like one border tap observing them all.
+    let mut records: Vec<_> = configs.into_iter().flat_map(MeetingSim::new).collect();
+    records.sort_by_key(|r| r.ts_nanos);
     let mut packets = 0u64;
     let mut bytes = 0u64;
-    for record in MeetingSim::new(config) {
+    for record in records {
         packets += 1;
         bytes += record.data.len() as u64;
         writer.write_record(&record).map_err(|e| e.to_string())?;

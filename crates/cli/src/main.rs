@@ -2,7 +2,9 @@
 //! software analysis tools the paper released alongside the study.
 //!
 //! ```text
-//! zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--features out.csv]
+//! zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--window DUR]
+//!                     [--idle-timeout DUR] [--follow] [--idle-exit DUR]
+//!                     [--json] [--features out.csv]
 //! zoom-tools dissect  <in.pcap> [--max N]
 //! zoom-tools discover <in.pcap> [--max-offset N]
 //! zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]
@@ -19,11 +21,12 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--features out.csv]\n  \
+         zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--window DUR] [--idle-timeout DUR]\n  \
+                             [--follow] [--idle-exit DUR] [--json] [--features out.csv]\n  \
          zoom-tools dissect  <in.pcap> [--max N]\n  \
          zoom-tools discover <in.pcap> [--max-offset N]\n  \
          zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]\n  \
-         zoom-tools simulate <out.pcap> [--seconds N] [--seed N] [--scenario validation|p2p|multi]"
+         zoom-tools simulate <out.pcap> [--seconds N] [--seed N] [--scenario validation|p2p|multi|churn]"
     );
     ExitCode::from(2)
 }

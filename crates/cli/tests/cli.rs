@@ -81,6 +81,68 @@ fn full_cli_round_trip() {
 }
 
 #[test]
+fn streaming_analyze_emits_windows_then_final() {
+    let raw = tmp("stream_raw.pcap");
+    let (_, err, ok) = run(&[
+        "simulate",
+        raw.to_str().unwrap(),
+        "--seconds",
+        "25",
+        "--seed",
+        "11",
+        "--scenario",
+        "multi",
+    ]);
+    assert!(ok, "simulate failed: {err}");
+
+    let (out, err, ok) = run(&["analyze", raw.to_str().unwrap(), "--window", "5s"]);
+    assert!(ok, "analyze failed: {err}");
+    let lines: Vec<&str> = out.lines().collect();
+    let windows = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"type\":\"window\""))
+        .count();
+    assert!(windows >= 3, "expected >=3 window lines, got {windows}: {out}");
+    let last = lines.last().expect("non-empty output");
+    assert!(
+        last.starts_with("{\"type\":\"final\""),
+        "last line should be the final report: {last}"
+    );
+    // Every line is one JSON object (NDJSON): starts and ends as one.
+    for l in &lines {
+        assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+    }
+
+    // The churn scenario with eviction enabled still exits cleanly and
+    // reports windowed evictions.
+    let churn = tmp("churn_raw.pcap");
+    let (_, err, ok) = run(&[
+        "simulate",
+        churn.to_str().unwrap(),
+        "--seconds",
+        "40",
+        "--seed",
+        "5",
+        "--scenario",
+        "churn",
+    ]);
+    assert!(ok, "simulate churn failed: {err}");
+    let (out, err, ok) = run(&[
+        "analyze",
+        churn.to_str().unwrap(),
+        "--window",
+        "5s",
+        "--idle-timeout",
+        "5s",
+        "--shards",
+        "2",
+    ]);
+    assert!(ok, "churn analyze failed: {err}");
+    assert!(out.contains("\"evicted\":true"), "no eviction observed: {out}");
+    assert!(err.contains("peak tracked entries"), "stderr: {err}");
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let (_, _, ok) = run(&[]);
     assert!(!ok);

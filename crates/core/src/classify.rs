@@ -129,7 +129,7 @@ impl Classifier {
                 }
             })
             .collect();
-        rows.sort_by(|a, b| b.packets_pct.partial_cmp(&a.packets_pct).unwrap());
+        rows.sort_by(|a, b| b.packets_pct.total_cmp(&a.packets_pct));
         rows
     }
 
@@ -148,7 +148,7 @@ impl Classifier {
                 }
             })
             .collect();
-        rows.sort_by(|a, b| b.packets_pct.partial_cmp(&a.packets_pct).unwrap());
+        rows.sort_by(|a, b| b.packets_pct.total_cmp(&a.packets_pct));
         rows
     }
 

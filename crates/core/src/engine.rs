@@ -1,0 +1,1222 @@
+//! Streaming bounded-memory analysis with windowed reports.
+//!
+//! The batch pipelines ([`Analyzer`], [`crate::parallel::ParallelAnalyzer`])
+//! hold every flow and stream until the trace ends — fine for a finished
+//! capture, unusable on a live link where flows churn forever and results
+//! are wanted *while* traffic flows. [`StreamingEngine`] keeps the exact
+//! same analysis (same sharded routing, same event-replay merge
+//! semantics) but adds three things:
+//!
+//! * **Windowed reports.** With a tumbling window configured, closing a
+//!   window emits a [`WindowReport`]: per-stream counter *deltas*
+//!   (bitrate, frame rate, jitter, loss over just that window) plus
+//!   meeting-level rollups — a live Table 6 row. Deltas are computed from
+//!   monotonic counters, so summing a stream's windows reproduces its
+//!   whole-trace totals exactly.
+//! * **Bounded memory.** With an idle timeout configured, each window
+//!   tick evicts flows, streams, STUN registrations, and RTP-copy RTT
+//!   candidates that have been idle past the timeout. Evicted streams
+//!   flush a final report fragment (`evicted: true`), so end-of-trace
+//!   totals stay exact even for state that was dropped mid-trace.
+//! * **Checkpoint/drain.** [`StreamingEngine::checkpoint`] cuts a partial
+//!   window without ending the run; [`StreamingEngine::drain`] performs
+//!   the final merge and returns the finished [`AnalysisReport`] along
+//!   with the merged [`Analyzer`] for ad-hoc queries.
+//!
+//! With no window and no idle timeout the engine *is* the sharded batch
+//! pipeline: one merge at drain, byte-identical to the sequential
+//! analyzer (asserted by `tests/streaming_differential.rs`).
+//!
+//! Windowed mode assumes capture timestamps are approximately monotonic
+//! (true of pcaps and live captures alike); records may arrive slightly
+//! out of order, but a record older than an already-closed window is
+//! simply accounted to the current one.
+
+use crate::error::Error;
+use crate::meeting::{CandidateState, MeetingGrouper};
+use crate::metrics::latency::{RtpRttEstimator, RttSample};
+use crate::packet::Direction;
+use crate::pipeline::{
+    resolve_stream_endpoints, Analyzer, AnalyzerConfig, FlowStats, MediaEvent,
+};
+use crate::report::{
+    AnalysisReport, MeetingWindow, RttSummaryReport, StreamReport, StreamWindow, WindowReport,
+    WindowTotals,
+};
+use crate::stream::{Stream, StreamKey};
+use std::collections::{BTreeMap, HashMap};
+use std::net::IpAddr;
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use zoom_wire::dissect::peek;
+use zoom_wire::flow::{Endpoint, FiveTuple};
+use zoom_wire::pcap::{LinkType, Record};
+use zoom_wire::zoom::MediaType;
+
+/// Records per message sent to a shard. Batching amortizes the channel
+/// synchronization cost over many packets.
+const BATCH: usize = 256;
+
+/// Bounded channel depth, in batches. Keeps memory bounded and applies
+/// backpressure to the router when a shard falls behind.
+const CHANNEL_DEPTH: usize = 4;
+
+/// One message to a worker: (global sequence number, record, link type,
+/// router's P2P verdict for the record).
+type Msg = (u64, Record, LinkType, bool);
+
+/// Streaming engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The analysis configuration shared by every shard.
+    pub analyzer: AnalyzerConfig,
+    /// Worker shards (clamped to at least 1).
+    pub shards: usize,
+    /// Tumbling window length; `None` disables windowing (one report at
+    /// drain — the batch behavior).
+    pub window: Option<Duration>,
+    /// Evict flows/streams idle longer than this at each window tick;
+    /// `None` disables eviction (exact batch equality).
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            analyzer: AnalyzerConfig::default(),
+            shards: 1,
+            window: None,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Per-stream counter snapshot a worker keeps between ticks; the delta
+/// of two snapshots is one window's activity. Every field is monotonic
+/// (including `missing`, which only grows as holes retire from the
+/// sequence tracker's window), so deltas never go negative.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct StreamSnap {
+    packets: u64,
+    media_bytes: u64,
+    frames: u64,
+    jitter_len: usize,
+    missing: u64,
+    duplicates: u64,
+}
+
+impl StreamSnap {
+    fn of(s: &Stream) -> StreamSnap {
+        let (missing, duplicates) = s
+            .substreams
+            .values()
+            .map(|sub| {
+                let st = sub.seq_stats();
+                (st.missing, st.duplicates)
+            })
+            .fold((0, 0), |(m, d), (sm, sd)| (m + sm, d + sd));
+        StreamSnap {
+            packets: s.packets,
+            media_bytes: s.media_bytes(),
+            frames: s.frames.as_ref().map(|f| f.frames().len()).unwrap_or(0) as u64,
+            jitter_len: s.frame_jitter.samples().len(),
+            missing,
+            duplicates,
+        }
+    }
+}
+
+/// One stream's activity since the previous tick, shipped shard→router.
+struct StreamDelta {
+    key: StreamKey,
+    media_type: MediaType,
+    direction: Direction,
+    packets: u64,
+    media_bytes: u64,
+    frames: u64,
+    jitter_sum: f64,
+    jitter_count: u64,
+    lost: u64,
+    duplicates: u64,
+    evicted: bool,
+}
+
+/// Everything a shard reports at a tick: counter deltas, per-stream
+/// deltas, drained media events, evicted state, and live-entry gauges.
+struct TickReply {
+    total_packets: u64,
+    zoom_packets: u64,
+    zoom_bytes: u64,
+    new_flows: u64,
+    new_streams: u64,
+    live_flows: usize,
+    live_streams: usize,
+    deltas: Vec<StreamDelta>,
+    events: Vec<MediaEvent>,
+    evicted_streams: Vec<Stream>,
+    evicted_flows: Vec<(FiveTuple, FlowStats)>,
+    tcp_new: Vec<RttSample>,
+}
+
+enum ToWorker {
+    Batch(Vec<Msg>),
+    Tick { evict_before: Option<u64> },
+}
+
+/// Worker-thread state: the shard analyzer plus the between-tick
+/// snapshots delta computation needs.
+struct ShardState {
+    analyzer: Analyzer,
+    snaps: HashMap<StreamKey, StreamSnap>,
+    total_packets: u64,
+    zoom_packets: u64,
+    zoom_bytes: u64,
+    flows_seen: u64,
+    streams_seen: u64,
+    evicted_flows_cum: u64,
+    evicted_streams_cum: u64,
+    tcp_len: usize,
+}
+
+impl ShardState {
+    fn new(config: AnalyzerConfig) -> ShardState {
+        ShardState {
+            analyzer: Analyzer::new_sharded(config),
+            snaps: HashMap::new(),
+            total_packets: 0,
+            zoom_packets: 0,
+            zoom_bytes: 0,
+            flows_seen: 0,
+            streams_seen: 0,
+            evicted_flows_cum: 0,
+            evicted_streams_cum: 0,
+            tcp_len: 0,
+        }
+    }
+
+    fn tick(&mut self, evict_before: Option<u64>) -> TickReply {
+        // Per-stream deltas vs. the previous tick's snapshots (and update
+        // the snapshots in the same pass).
+        let mut deltas: Vec<StreamDelta> = Vec::new();
+        let mut delta_idx: HashMap<StreamKey, usize> = HashMap::new();
+        let snaps = &mut self.snaps;
+        for s in self.analyzer.streams.iter() {
+            let prev = snaps.get(&s.key).copied().unwrap_or_default();
+            let cur = StreamSnap::of(s);
+            if cur == prev {
+                continue;
+            }
+            let jitter_new = &s.frame_jitter.samples()[prev.jitter_len..];
+            delta_idx.insert(s.key, deltas.len());
+            deltas.push(StreamDelta {
+                key: s.key,
+                media_type: s.media_type,
+                direction: s.direction,
+                packets: cur.packets - prev.packets,
+                media_bytes: cur.media_bytes - prev.media_bytes,
+                frames: cur.frames - prev.frames,
+                jitter_sum: jitter_new.iter().map(|&(_, j)| j).sum(),
+                jitter_count: jitter_new.len() as u64,
+                lost: cur.missing - prev.missing,
+                duplicates: cur.duplicates - prev.duplicates,
+                evicted: false,
+            });
+            snaps.insert(s.key, cur);
+        }
+
+        // Gauges BEFORE eviction so new_* deltas stay consistent: seen =
+        // live + evicted-so-far is invariant across the eviction below.
+        let flows_seen_now = self.analyzer.flows.len() as u64 + self.evicted_flows_cum;
+        let streams_seen_now = self.analyzer.streams.len() as u64 + self.evicted_streams_cum;
+        let new_flows = flows_seen_now - self.flows_seen;
+        let new_streams = streams_seen_now - self.streams_seen;
+        self.flows_seen = flows_seen_now;
+        self.streams_seen = streams_seen_now;
+
+        // Idle eviction. An evicted stream gets a delta row even when it
+        // was silent this window, flagged as its final fragment.
+        let mut evicted_streams = Vec::new();
+        let mut evicted_flows = Vec::new();
+        if let Some(cutoff) = evict_before {
+            evicted_streams = self.analyzer.streams.evict_idle(cutoff);
+            for s in &evicted_streams {
+                self.snaps.remove(&s.key);
+                match delta_idx.get(&s.key) {
+                    Some(&i) => deltas[i].evicted = true,
+                    None => deltas.push(StreamDelta {
+                        key: s.key,
+                        media_type: s.media_type,
+                        direction: s.direction,
+                        packets: 0,
+                        media_bytes: 0,
+                        frames: 0,
+                        jitter_sum: 0.0,
+                        jitter_count: 0,
+                        lost: 0,
+                        duplicates: 0,
+                        evicted: true,
+                    }),
+                }
+            }
+            self.analyzer.flows.retain(|ft, fs| {
+                if fs.last_seen < cutoff {
+                    evicted_flows.push((*ft, *fs));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.evicted_flows_cum += evicted_flows.len() as u64;
+        self.evicted_streams_cum += evicted_streams.len() as u64;
+
+        let reply = TickReply {
+            total_packets: self.analyzer.total_packets - self.total_packets,
+            zoom_packets: self.analyzer.zoom_packets - self.zoom_packets,
+            zoom_bytes: self.analyzer.zoom_bytes - self.zoom_bytes,
+            new_flows,
+            new_streams,
+            live_flows: self.analyzer.flows.len(),
+            live_streams: self.analyzer.streams.len(),
+            deltas,
+            events: self
+                .analyzer
+                .event_log
+                .as_mut()
+                .map(std::mem::take)
+                .unwrap_or_default(),
+            evicted_streams,
+            evicted_flows,
+            tcp_new: self.analyzer.tcp_rtt.samples()[self.tcp_len..].to_vec(),
+        };
+        self.total_packets = self.analyzer.total_packets;
+        self.zoom_packets = self.analyzer.zoom_packets;
+        self.zoom_bytes = self.analyzer.zoom_bytes;
+        self.tcp_len = self.analyzer.tcp_rtt.samples().len();
+        reply
+    }
+}
+
+struct Worker {
+    tx: Option<SyncSender<ToWorker>>,
+    /// Per-worker reply channel: if one worker dies, the others' replies
+    /// still arrive and the dead one surfaces as a recv error instead of
+    /// a deadlock.
+    reply_rx: Receiver<TickReply>,
+    batch: Vec<Msg>,
+    handle: Option<JoinHandle<Analyzer>>,
+}
+
+/// Per-stream replica of the candidate state the grouping heuristic's
+/// lookup closure reads sequentially: per payload type the running packet
+/// count and last RTP sequence/timestamp, plus the stream's last-seen
+/// time. Rebuilt incrementally from the shards' event logs. Replicas are
+/// *not* evicted with their streams — they are what lets a stream that
+/// goes idle and returns keep its meeting assignment.
+#[derive(Default)]
+struct Replica {
+    /// payload type → (packets, last RTP seq, last RTP timestamp).
+    subs: HashMap<u8, (u64, u16, u32)>,
+    last_seen: u64,
+}
+
+impl Replica {
+    /// Mirror of `Stream::candidate_state`: the dominant sub-stream by
+    /// (packets, payload type).
+    fn candidate(&self) -> Option<CandidateState> {
+        self.subs
+            .iter()
+            .max_by_key(|&(&pt, &(packets, _, _))| (packets, pt))
+            .map(|(_, &(_, last_seq, last_rtp_ts))| CandidateState {
+                last_rtp_ts,
+                last_seq,
+                last_seen: self.last_seen,
+            })
+    }
+}
+
+/// Everything [`StreamingEngine::drain`] produces.
+pub struct EngineOutput {
+    /// The last (usually partial) window's report.
+    pub final_window: WindowReport,
+    /// The exact end-of-trace report, evicted fragments included.
+    pub report: AnalysisReport,
+    /// The merged analyzer over the still-live state, for ad-hoc queries
+    /// (media samples, Fig. 16 data, classifier tables).
+    pub analyzer: Analyzer,
+    /// Highest tracked-entry count observed at any tick — the
+    /// bounded-memory gauge benches and tests assert on.
+    pub peak_tracked_entries: usize,
+}
+
+/// Incremental sharded analyzer: one record in, zero or more
+/// [`WindowReport`]s out, bounded state in between.
+///
+/// ```no_run
+/// use std::time::Duration;
+/// use zoom_analysis::engine::{EngineConfig, StreamingEngine};
+/// use zoom_wire::pcap::LinkType;
+///
+/// let mut engine = StreamingEngine::new(EngineConfig {
+///     shards: 4,
+///     window: Some(Duration::from_secs(10)),
+///     idle_timeout: Some(Duration::from_secs(60)),
+///     ..Default::default()
+/// })
+/// .expect("valid config");
+/// // for each record: for w in engine.push_record(&record, LinkType::Ethernet)? { ... }
+/// let output = engine.drain().expect("drain");
+/// println!("{}", output.report.to_json());
+/// # Ok::<(), zoom_analysis::Error>(())
+/// ```
+pub struct StreamingEngine {
+    analyzer_config: AnalyzerConfig,
+    shard_count: usize,
+    window_nanos: Option<u64>,
+    idle_nanos: Option<u64>,
+    stun_timeout_nanos: u64,
+    campus: Vec<(IpAddr, u8)>,
+    /// The authoritative STUN endpoint registry (§4.1), maintained by the
+    /// router with the sequential analyzer's exact insert/refresh rules.
+    registry: HashMap<Endpoint, u64>,
+    seq: u64,
+    workers: Vec<Worker>,
+    // -------- cross-flow trackers, fed by per-tick event replay --------
+    grouper: MeetingGrouper,
+    rtp_rtt: RtpRttEstimator,
+    /// Samples before this index were already reported in a window.
+    rtt_mark: usize,
+    replicas: HashMap<StreamKey, Replica>,
+    creation_order: Vec<StreamKey>,
+    tcp_samples: Vec<RttSample>,
+    // -------- evicted-state pools (compact fragments, not Streams) -----
+    evicted_streams: HashMap<StreamKey, Vec<StreamReport>>,
+    evicted_flows: HashMap<FiveTuple, FlowStats>,
+    // -------- window bookkeeping --------
+    window_index: u64,
+    window_start: Option<u64>,
+    first_ts: Option<u64>,
+    last_ts: u64,
+    last_tracked: usize,
+    peak_tracked: usize,
+}
+
+impl StreamingEngine {
+    /// Spawn the engine's worker shards.
+    ///
+    /// Fails with [`Error::Config`] on a zero-length window or idle
+    /// timeout, or durations whose nanosecond count overflows `u64`.
+    pub fn new(config: EngineConfig) -> Result<StreamingEngine, Error> {
+        let to_nanos = |d: Duration, what: &str| -> Result<u64, Error> {
+            let n = u64::try_from(d.as_nanos())
+                .map_err(|_| Error::Config(format!("{what} {d:?} too large")))?;
+            if n == 0 {
+                return Err(Error::Config(format!("{what} must be positive")));
+            }
+            Ok(n)
+        };
+        let window_nanos = config.window.map(|d| to_nanos(d, "window")).transpose()?;
+        let idle_nanos = config
+            .idle_timeout
+            .map(|d| to_nanos(d, "idle timeout"))
+            .transpose()?;
+        let analyzer_config = config.analyzer;
+        #[allow(deprecated)]
+        let (campus, stun_timeout_nanos, grouping) = (
+            analyzer_config.campus.clone(),
+            analyzer_config.stun_timeout_nanos,
+            analyzer_config.grouping,
+        );
+        let n = config.shards.max(1);
+        let workers = (0..n)
+            .map(|_| {
+                let (tx, rx) = sync_channel::<ToWorker>(CHANNEL_DEPTH);
+                let (reply_tx, reply_rx) = channel::<TickReply>();
+                let cfg = analyzer_config.clone();
+                let handle = std::thread::spawn(move || {
+                    let mut state = ShardState::new(cfg);
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            ToWorker::Batch(batch) => {
+                                for (seq, record, link, hint) in batch {
+                                    state.analyzer.process_record_sharded(seq, &record, link, hint);
+                                }
+                            }
+                            ToWorker::Tick { evict_before } => {
+                                if reply_tx.send(state.tick(evict_before)).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    state.analyzer
+                });
+                Worker {
+                    tx: Some(tx),
+                    reply_rx,
+                    batch: Vec::with_capacity(BATCH),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Ok(StreamingEngine {
+            analyzer_config,
+            shard_count: n,
+            window_nanos,
+            idle_nanos,
+            stun_timeout_nanos,
+            campus,
+            registry: HashMap::new(),
+            seq: 0,
+            workers,
+            grouper: MeetingGrouper::with_config(grouping),
+            rtp_rtt: RtpRttEstimator::default(),
+            rtt_mark: 0,
+            replicas: HashMap::new(),
+            creation_order: Vec::new(),
+            tcp_samples: Vec::new(),
+            evicted_streams: HashMap::new(),
+            evicted_flows: HashMap::new(),
+            window_index: 0,
+            window_start: None,
+            first_ts: None,
+            last_ts: 0,
+            last_tracked: 0,
+            peak_tracked: 0,
+        })
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Tracked entries (flows + streams + STUN registrations + RTP-copy
+    /// RTT candidates) as of the most recent tick.
+    pub fn tracked_entries(&self) -> usize {
+        self.last_tracked
+    }
+
+    /// Highest tracked-entry count observed at any tick so far.
+    pub fn peak_tracked_entries(&self) -> usize {
+        self.peak_tracked
+    }
+
+    /// Feed one capture record. Returns the reports of any windows the
+    /// record's timestamp closed (usually none, one when it crosses a
+    /// window boundary, more after a gap in the trace).
+    pub fn push_record(
+        &mut self,
+        record: &Record,
+        link: LinkType,
+    ) -> Result<Vec<WindowReport>, Error> {
+        let ts = record.ts_nanos;
+        let mut out = Vec::new();
+        if let Some(w) = self.window_nanos {
+            match self.window_start {
+                None => self.window_start = Some(ts - ts % w),
+                Some(start) if ts >= start + w => {
+                    let end = start + w;
+                    let evict = self.idle_nanos.map(|idle| end.saturating_sub(idle));
+                    let replies = self.tick_all(evict)?;
+                    out.push(self.apply_tick(replies, start, end, true));
+                    // Fast-forward through windows the gap left empty.
+                    let mut s = end;
+                    while ts >= s + w {
+                        out.push(self.empty_window(s, s + w));
+                        s += w;
+                    }
+                    self.window_start = Some(s);
+                }
+                Some(_) => {}
+            }
+        }
+        self.first_ts.get_or_insert(ts);
+        self.last_ts = self.last_ts.max(ts);
+
+        let (shard, hint) = self.route(record, link);
+        let seq = self.seq;
+        self.seq += 1;
+        let w = &mut self.workers[shard];
+        w.batch.push((seq, record.clone(), link, hint));
+        if w.batch.len() >= BATCH {
+            let batch = std::mem::replace(&mut w.batch, Vec::with_capacity(BATCH));
+            send(w, ToWorker::Batch(batch))?;
+        }
+        Ok(out)
+    }
+
+    /// Cut a partial window now, without waiting for a boundary record:
+    /// same tick (eviction included) as a window close, but the current
+    /// window keeps its index and stays open — its eventual close covers
+    /// only post-checkpoint activity.
+    pub fn checkpoint(&mut self) -> Result<WindowReport, Error> {
+        let start = self.window_start.or(self.first_ts).unwrap_or(0);
+        let end = self.last_ts.max(start);
+        let evict = self.idle_nanos.map(|idle| end.saturating_sub(idle));
+        let replies = self.tick_all(evict)?;
+        Ok(self.apply_tick(replies, start, end, false))
+    }
+
+    /// Final tick, worker join, and merge: the last window's report, the
+    /// exact end-of-trace [`AnalysisReport`] (evicted fragments
+    /// included), and the merged [`Analyzer`] over still-live state.
+    pub fn drain(mut self) -> Result<EngineOutput, Error> {
+        let start = self.window_start.or(self.first_ts).unwrap_or(0);
+        let end = self.last_ts.max(start);
+        let replies = self.tick_all(None)?;
+        let final_window = self.apply_tick(replies, start, end, false);
+
+        let mut shards = Vec::with_capacity(self.workers.len());
+        for mut w in std::mem::take(&mut self.workers) {
+            drop(w.tx.take()); // closes the channel; the worker returns
+            let analyzer = w
+                .handle
+                .take()
+                .expect("worker joined once")
+                .join()
+                .map_err(|p| Error::ShardPanic(panic_message(&p)))?;
+            shards.push(analyzer);
+        }
+
+        let StreamingEngine {
+            analyzer_config,
+            grouper,
+            rtp_rtt,
+            registry,
+            creation_order,
+            mut tcp_samples,
+            evicted_streams,
+            evicted_flows,
+            peak_tracked,
+            ..
+        } = self;
+
+        // ---- additive merge of shard-local state (as the batch merge
+        // does), minus the event replay — that already happened tick by
+        // tick — and minus shard TCP samples — those were shipped as
+        // per-tick deltas into `tcp_samples`.
+        let mut merged = Analyzer::new(analyzer_config);
+        let mut live_pool = HashMap::new();
+        for mut shard in shards {
+            merged.total_packets += shard.total_packets;
+            merged.zoom_packets += shard.zoom_packets;
+            merged.zoom_bytes += shard.zoom_bytes;
+            merged.undissectable += shard.undissectable;
+            merged.first_zoom_ts = match (merged.first_zoom_ts, shard.first_zoom_ts) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            merged.last_zoom_ts = merged.last_zoom_ts.max(shard.last_zoom_ts);
+            for (ft, fs) in shard.flows.drain() {
+                merge_flow(&mut merged.flows, ft, fs);
+            }
+            merged.classifier.merge(&shard.classifier);
+            live_pool.extend(std::mem::take(&mut shard.streams).into_streams());
+        }
+        tcp_samples.sort_by_key(|s| s.at);
+        merged.tcp_rtt.set_samples(tcp_samples);
+
+        // Adopt live streams in global creation order, stamping the
+        // unique ids the replayed grouper assigned. Keys whose streams
+        // were all evicted have no live entry and are skipped here; their
+        // fragments join the report below.
+        for key in &creation_order {
+            if let Some(mut s) = live_pool.remove(key) {
+                s.unique_id = grouper.assignment(key).map(|(uid, _)| uid);
+                merged.streams.adopt(s);
+            }
+        }
+        debug_assert!(
+            live_pool.is_empty(),
+            "every live shard stream must have at least one logged event"
+        );
+        merged.grouper = grouper;
+        merged.rtp_rtt = rtp_rtt;
+        merged.p2p_endpoints = registry;
+
+        // ---- exact end-of-trace report: live rows interleaved with the
+        // evicted fragments, in creation order; counts restored to
+        // ever-seen totals.
+        let extra_streams = creation_order.len() - merged.streams.len();
+        let extra_flows = evicted_flows
+            .keys()
+            .filter(|k| !merged.flows.contains_key(k))
+            .count();
+        let mut rows = Vec::new();
+        for key in &creation_order {
+            if let Some(frags) = evicted_streams.get(key) {
+                for frag in frags {
+                    let mut frag = frag.clone();
+                    // A merge after eviction may have folded the meeting
+                    // id; re-resolve so fragments and live rows agree.
+                    frag.meeting = merged.grouper.canonical_meeting(key);
+                    rows.push(frag);
+                }
+            }
+            if let Some(s) = merged.streams.get(key) {
+                let uid = merged.grouper.assignment(key).map(|(u, _)| u);
+                let meeting = merged.grouper.canonical_meeting(key);
+                rows.push(StreamReport::from_stream(s, uid, meeting, false));
+            }
+        }
+        let mut summary = merged.summary();
+        summary.zoom_flows += extra_flows;
+        summary.rtp_streams += extra_streams;
+        let report = AnalysisReport {
+            summary,
+            undissectable: merged.undissectable,
+            meetings: merged.meetings(),
+            streams: rows,
+            rtp_rtt: RttSummaryReport::from_samples(merged.rtp_rtt.samples()),
+            tcp_rtt: RttSummaryReport::from_samples(merged.tcp_rtt.samples()),
+        };
+        Ok(EngineOutput {
+            final_window,
+            report,
+            analyzer: merged,
+            peak_tracked_entries: peak_tracked,
+        })
+    }
+
+    // ------------------------------------------------------- internals --
+
+    /// Flush pending batches and tick every shard, collecting replies in
+    /// shard order.
+    fn tick_all(&mut self, evict_before: Option<u64>) -> Result<Vec<TickReply>, Error> {
+        for w in &mut self.workers {
+            if !w.batch.is_empty() {
+                let batch = std::mem::take(&mut w.batch);
+                send(w, ToWorker::Batch(batch))?;
+            }
+            send(w, ToWorker::Tick { evict_before })?;
+        }
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            replies.push(w.reply_rx.recv().map_err(|_| {
+                Error::ShardPanic("shard worker disconnected before replying to a tick".into())
+            })?);
+        }
+        Ok(replies)
+    }
+
+    /// Fold tick replies into the cross-flow trackers and build the
+    /// window's report.
+    fn apply_tick(
+        &mut self,
+        replies: Vec<TickReply>,
+        start: u64,
+        end: u64,
+        advance: bool,
+    ) -> WindowReport {
+        let mut totals = WindowTotals::default();
+        let mut live = 0usize;
+        let mut events = Vec::new();
+        let mut all_deltas = Vec::new();
+        let mut evicted_stream_objs = Vec::new();
+        for mut r in replies {
+            totals.packets += r.total_packets;
+            totals.zoom_packets += r.zoom_packets;
+            totals.zoom_bytes += r.zoom_bytes;
+            totals.new_flows += r.new_flows;
+            totals.new_streams += r.new_streams;
+            totals.evicted_flows += r.evicted_flows.len() as u64;
+            totals.evicted_streams += r.evicted_streams.len() as u64;
+            live += r.live_flows + r.live_streams;
+            events.append(&mut r.events);
+            self.tcp_samples.append(&mut r.tcp_new);
+            for (ft, fs) in r.evicted_flows {
+                merge_flow(&mut self.evicted_flows, ft, fs);
+            }
+            evicted_stream_objs.append(&mut r.evicted_streams);
+            all_deltas.append(&mut r.deltas);
+        }
+
+        // Replay this tick's media events through the persistent
+        // cross-flow trackers. Ticks partition the global sequence range
+        // in order, so incremental replay equals the batch replay.
+        self.replay_events(events);
+
+        // Evicted streams flush their final report fragment now that the
+        // replay has assigned them; the heavyweight Stream is dropped.
+        for s in evicted_stream_objs {
+            let uid = self.grouper.assignment(&s.key).map(|(u, _)| u);
+            let meeting = self.grouper.canonical_meeting(&s.key);
+            self.evicted_streams
+                .entry(s.key)
+                .or_default()
+                .push(StreamReport::from_stream(&s, uid, meeting, true));
+        }
+
+        let dur_secs = end.saturating_sub(start) as f64 / 1e9;
+        let rate = |v: f64| if dur_secs > 0.0 { v / dur_secs } else { 0.0 };
+        let mut streams: Vec<StreamWindow> = all_deltas
+            .iter()
+            .map(|d| StreamWindow {
+                key: d.key,
+                media_type: d.media_type,
+                direction: d.direction,
+                meeting: self.grouper.canonical_meeting(&d.key),
+                packets: d.packets,
+                media_bytes: d.media_bytes,
+                frames: d.frames,
+                bitrate_bps: rate(d.media_bytes as f64 * 8.0),
+                fps: rate(d.frames as f64),
+                jitter_ms: (d.jitter_count > 0).then(|| d.jitter_sum / d.jitter_count as f64),
+                lost: d.lost,
+                duplicates: d.duplicates,
+                evicted: d.evicted,
+            })
+            .collect();
+        streams.sort_by_key(|s| s.key);
+
+        let mut meetings: BTreeMap<u32, MeetingWindow> = BTreeMap::new();
+        for row in &streams {
+            if let Some(id) = row.meeting {
+                let m = meetings.entry(id).or_insert(MeetingWindow {
+                    id,
+                    active_streams: 0,
+                    packets: 0,
+                    media_bytes: 0,
+                });
+                if row.packets > 0 {
+                    m.active_streams += 1;
+                }
+                m.packets += row.packets;
+                m.media_bytes += row.media_bytes;
+            }
+        }
+
+        // Bound the router-side registries too: STUN entries past the
+        // timeout can never match again, and neither can RTT candidates
+        // past the matching window — both prunes are lossless.
+        let stun_cutoff = end.saturating_sub(self.stun_timeout_nanos);
+        self.registry.retain(|_, last| *last >= stun_cutoff);
+        self.rtp_rtt.prune(end);
+
+        totals.active_streams = streams.iter().filter(|r| r.packets > 0).count() as u64;
+        totals.meetings = self.grouper.meeting_count();
+        totals.rtp_rtt = RttSummaryReport::from_samples(&self.rtp_rtt.samples()[self.rtt_mark..]);
+        self.rtt_mark = self.rtp_rtt.samples().len();
+        totals.tracked_entries = live + self.registry.len() + self.rtp_rtt.outstanding();
+        self.last_tracked = totals.tracked_entries;
+        self.peak_tracked = self.peak_tracked.max(totals.tracked_entries);
+
+        let index = self.window_index;
+        if advance {
+            self.window_index += 1;
+        }
+        WindowReport {
+            index,
+            start_nanos: start,
+            end_nanos: end,
+            totals,
+            meetings: meetings.into_values().collect(),
+            streams,
+        }
+    }
+
+    /// A window no record fell into (trace gap): zero deltas, cumulative
+    /// gauges carried forward, no tick.
+    fn empty_window(&mut self, start: u64, end: u64) -> WindowReport {
+        let index = self.window_index;
+        self.window_index += 1;
+        WindowReport {
+            index,
+            start_nanos: start,
+            end_nanos: end,
+            totals: WindowTotals {
+                meetings: self.grouper.meeting_count(),
+                tracked_entries: self.last_tracked,
+                ..Default::default()
+            },
+            meetings: Vec::new(),
+            streams: Vec::new(),
+        }
+    }
+
+    /// Replay media events (global order) through the persistent grouper,
+    /// RTT estimator, and candidate replicas — the incremental version of
+    /// the batch pipeline's merge-time replay.
+    fn replay_events(&mut self, mut events: Vec<MediaEvent>) {
+        events.sort_unstable_by_key(|e| e.seq_no);
+        let grouper = &mut self.grouper;
+        let replicas = &mut self.replicas;
+        let creation_order = &mut self.creation_order;
+        let rtt = &mut self.rtp_rtt;
+        let campus = &self.campus;
+        for ev in &events {
+            rtt.observe(
+                ev.ts_nanos,
+                (ev.ssrc, ev.payload_type, ev.rtp_seq, ev.rtp_ts),
+                ev.direction,
+                ev.flow.src_ip,
+            );
+            let key = StreamKey {
+                flow: ev.flow,
+                ssrc: ev.ssrc,
+            };
+            if !replicas.contains_key(&key) {
+                creation_order.push(key);
+                let (client, server) = resolve_stream_endpoints(&ev.flow, campus);
+                grouper.on_new_stream(
+                    key,
+                    client,
+                    server,
+                    ev.rtp_ts,
+                    ev.rtp_seq,
+                    ev.ts_nanos,
+                    |k| replicas.get(k).and_then(|r| r.candidate()),
+                );
+            }
+            let r = replicas.entry(key).or_default();
+            r.last_seen = ev.ts_nanos;
+            let sub = r.subs.entry(ev.payload_type).or_insert((0, 0, 0));
+            sub.0 += 1;
+            sub.1 = ev.rtp_seq;
+            sub.2 = ev.rtp_ts;
+        }
+    }
+
+    /// Pick the shard and P2P verdict for a record, mirroring the
+    /// dissection and registry decisions the sequential analyzer makes.
+    ///
+    /// The router stays off the Zoom parse path: a header-only
+    /// [`peek`] recovers the 5-tuple, the STUN gate is applied exactly as
+    /// the dissector applies it, and the expensive Zoom-vs-opaque
+    /// question is answered lazily — only when one of the flow's
+    /// endpoints has a fresh registry entry, because only then does the
+    /// classification change what the registry (refresh) and the shard
+    /// (P2P verdict) observe.
+    fn route(&mut self, record: &Record, link: LinkType) -> (usize, bool) {
+        use zoom_wire::{stun, zoom};
+
+        let n = self.shard_count;
+        let Ok(p) = peek(&record.data, link) else {
+            // Undissectable records only touch additive counters; spread
+            // them round-robin.
+            return ((self.seq % n as u64) as usize, false);
+        };
+        let ts = record.ts_nanos;
+        let mut hint = false;
+        'classify: {
+            let Some(payload) = p.udp_payload else {
+                break 'classify; // TCP: no registry interaction
+            };
+            // STUN gate, verbatim from the dissector: port 3478 or a
+            // magic-cookie match, then a successful parse.
+            if p.five_tuple.involves_port(stun::STUN_PORT) || stun::looks_like_stun(payload) {
+                if let Ok(pkt) = stun::Packet::new_checked(payload) {
+                    if stun::Repr::parse(&pkt).is_ok() {
+                        // Register the non-3478 endpoint — §4.1's rule.
+                        let client = if p.five_tuple.dst_port == stun::STUN_PORT {
+                            p.five_tuple.src()
+                        } else {
+                            p.five_tuple.dst()
+                        };
+                        self.registry.insert(client, ts);
+                        break 'classify;
+                    }
+                }
+                // Gate matched but the parse failed: the dissector falls
+                // through to the port-8801 / opaque branches; so do we.
+            }
+            // Non-STUN UDP. The sequential analyzer probes the registry
+            // (refreshing on a hit) only for packets that do NOT parse as
+            // Zoom server traffic. If neither endpoint has a fresh
+            // registry entry, the probe is a no-op either way — skip the
+            // Zoom parse entirely. Otherwise resolve the classification
+            // so refresh semantics stay exact.
+            if self.registry_has_fresh(ts, &p.five_tuple) {
+                let opaque = !p.five_tuple.involves_port(zoom::ZOOM_SFU_PORT)
+                    || zoom::parse(payload, zoom::Framing::Server).is_err();
+                if opaque {
+                    hint = self.probe_p2p(ts, &p.five_tuple);
+                }
+            }
+        }
+        (shard_of(&p.five_tuple, n), hint)
+    }
+
+    /// True when either endpoint of `flow` has a registry entry within
+    /// the STUN timeout. Read-only — refresh happens in `probe_p2p`.
+    fn registry_has_fresh(&self, now: u64, flow: &FiveTuple) -> bool {
+        let timeout = self.stun_timeout_nanos;
+        [flow.src(), flow.dst()].iter().any(|ep| {
+            self.registry
+                .get(ep)
+                .is_some_and(|&last| now.saturating_sub(last) <= timeout)
+        })
+    }
+
+    /// The sequential analyzer's `is_p2p_flow`, applied to the router's
+    /// registry: check `[src, dst]` in order, refresh the first endpoint
+    /// still inside the STUN timeout.
+    fn probe_p2p(&mut self, now: u64, flow: &FiveTuple) -> bool {
+        let timeout = self.stun_timeout_nanos;
+        for ep in [flow.src(), flow.dst()] {
+            if let Some(last) = self.registry.get_mut(&ep) {
+                if now.saturating_sub(*last) <= timeout {
+                    *last = now;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+fn send(w: &mut Worker, msg: ToWorker) -> Result<(), Error> {
+    w.tx.as_ref()
+        .expect("sender alive until drain")
+        .send(msg)
+        .map_err(|_| Error::ShardPanic("shard worker disconnected (channel closed)".into()))
+}
+
+fn merge_flow(into: &mut HashMap<FiveTuple, FlowStats>, ft: FiveTuple, fs: FlowStats) {
+    match into.entry(ft) {
+        std::collections::hash_map::Entry::Vacant(v) => {
+            v.insert(fs);
+        }
+        std::collections::hash_map::Entry::Occupied(mut o) => {
+            let e = o.get_mut();
+            e.packets += fs.packets;
+            e.bytes += fs.bytes;
+            e.first_seen = e.first_seen.min(fs.first_seen);
+            e.last_seen = e.last_seen.max(fs.last_seen);
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".into())
+}
+
+/// FNV-1a over the canonical 5-tuple, reduced modulo the shard count.
+/// Both directions of a conversation hash identically, so every per-flow
+/// and per-stream state machine stays on one shard.
+pub(crate) fn shard_of(flow: &FiveTuple, n: usize) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let c = flow.canonical();
+    let mut h = OFFSET;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match c.src_ip {
+        IpAddr::V4(a) => feed(&a.octets()),
+        IpAddr::V6(a) => feed(&a.octets()),
+    }
+    match c.dst_ip {
+        IpAddr::V4(a) => feed(&a.octets()),
+        IpAddr::V6(a) => feed(&a.octets()),
+    }
+    feed(&c.src_port.to_be_bytes());
+    feed(&c.dst_port.to_be_bytes());
+    feed(&[u8::from(c.protocol)]);
+    // FNV's low bits mix poorly for short, correlated inputs (adjacent
+    // addresses/ports), and `% n` reads exactly those bits; run the hash
+    // through a 64-bit finalizer for good dispersion at any shard count.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    (h % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use zoom_wire::compose;
+    use zoom_wire::ipv4::Protocol;
+    use zoom_wire::rtp;
+    use zoom_wire::zoom;
+
+    const MS: u64 = 1_000_000;
+    const SEC: u64 = 1_000_000_000;
+
+    fn tuple(src: [u8; 4], sport: u16, dst: [u8; 4], dport: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: IpAddr::V4(Ipv4Addr::from(src)),
+            dst_ip: IpAddr::V4(Ipv4Addr::from(dst)),
+            src_port: sport,
+            dst_port: dport,
+            protocol: Protocol::Udp,
+        }
+    }
+
+    #[test]
+    fn both_directions_hash_to_one_shard() {
+        let up = tuple([10, 8, 0, 1], 50_000, [170, 114, 0, 1], 8801);
+        for n in [1usize, 2, 3, 8, 13] {
+            assert_eq!(shard_of(&up, n), shard_of(&up.reversed(), n));
+            assert!(shard_of(&up, n) < n);
+        }
+    }
+
+    #[test]
+    fn distinct_flows_spread_over_shards() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u16 {
+            let ft = tuple(
+                [10, 8, 0, (i % 250) as u8 + 1],
+                50_000 + i,
+                [170, 114, 0, 1],
+                8801,
+            );
+            seen.insert(shard_of(&ft, 8));
+        }
+        assert!(seen.len() >= 6, "poor dispersion: {seen:?}");
+    }
+
+    fn media_record(ts: u64, src_host: u8, ssrc: u32, seq: u16, rtp_ts: u32) -> Record {
+        let payload = zoom::Builder {
+            sfu: Some(zoom::SfuEncapRepr {
+                encap_type: zoom::SFU_TYPE_MEDIA,
+                sequence: seq,
+                direction: zoom::DIR_TO_SFU,
+            }),
+            media: zoom::MediaEncapRepr {
+                media_type: zoom::MediaType::Video,
+                sequence: seq,
+                timestamp: (ts / 1_000_000) as u32,
+                frame_sequence: Some(seq / 2),
+                packets_in_frame: Some(1),
+            },
+            rtp: Some(rtp::Repr {
+                marker: true,
+                payload_type: 98,
+                sequence_number: seq,
+                timestamp: rtp_ts,
+                ssrc,
+                csrc_count: 0,
+                has_extension: false,
+            }),
+            payload: vec![0xA5; 700],
+        }
+        .build();
+        let data = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, src_host),
+            Ipv4Addr::new(170, 114, 0, 1),
+            50_000,
+            8801,
+            &payload,
+        );
+        Record::full(ts, data)
+    }
+
+    #[test]
+    fn windows_close_on_boundaries_and_deltas_sum() {
+        let mut engine = StreamingEngine::new(EngineConfig {
+            window: Some(Duration::from_secs(10)),
+            ..Default::default()
+        })
+        .unwrap();
+        // 30 fps for 25 s: windows [0,10s), [10s,20s) close; the final
+        // [20s,25s) fragment arrives at drain.
+        let mut windows = Vec::new();
+        for i in 0..750u64 {
+            let r = media_record(i * 33 * MS, 1, 0x21, i as u16 + 1, 1_000 + i as u32 * 3_000);
+            windows.extend(engine.push_record(&r, LinkType::Ethernet).unwrap());
+        }
+        let out = engine.drain().unwrap();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].index, 0);
+        assert_eq!(windows[1].index, 1);
+        assert_eq!(windows[0].start_nanos, 0);
+        assert_eq!(windows[0].end_nanos, 10 * SEC);
+        let windowed: u64 = windows
+            .iter()
+            .chain(std::iter::once(&out.final_window))
+            .map(|w| w.totals.zoom_packets)
+            .sum();
+        assert_eq!(windowed, 750);
+        assert_eq!(out.report.summary.zoom_packets, 750);
+        let stream_pkts: u64 = windows
+            .iter()
+            .chain(std::iter::once(&out.final_window))
+            .flat_map(|w| w.streams.iter())
+            .map(|s| s.packets)
+            .sum();
+        assert_eq!(stream_pkts, 750);
+        assert!(windows[0].totals.tracked_entries > 0);
+    }
+
+    #[test]
+    fn idle_streams_evicted_and_fragments_flushed() {
+        let mut engine = StreamingEngine::new(EngineConfig {
+            window: Some(Duration::from_secs(5)),
+            idle_timeout: Some(Duration::from_secs(10)),
+            shards: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        // Stream A: 0–3 s, then silence. Stream B keeps the clock
+        // ticking until A is idle past the timeout.
+        let mut evicted_seen = 0u64;
+        let mut rows = Vec::new();
+        for i in 0..90u64 {
+            let r = media_record(i * 33 * MS, 1, 0xA, i as u16 + 1, 1_000 + i as u32 * 3_000);
+            rows.extend(engine.push_record(&r, LinkType::Ethernet).unwrap());
+        }
+        for i in 0..900u64 {
+            let r = media_record(
+                3 * SEC + i * 33 * MS,
+                2,
+                0xB,
+                i as u16 + 1,
+                1_000 + i as u32 * 3_000,
+            );
+            rows.extend(engine.push_record(&r, LinkType::Ethernet).unwrap());
+        }
+        for w in &rows {
+            evicted_seen += w.totals.evicted_streams;
+        }
+        assert_eq!(evicted_seen, 1, "stream A must be evicted exactly once");
+        let out = engine.drain().unwrap();
+        // The evicted fragment appears in the final report with exact
+        // totals, and the live stream is intact.
+        let frag: Vec<_> = out.report.streams.iter().filter(|s| s.evicted).collect();
+        assert_eq!(frag.len(), 1);
+        assert_eq!(frag[0].packets, 90);
+        assert_eq!(out.report.summary.rtp_streams, 2);
+        assert_eq!(out.report.summary.zoom_packets, 990);
+        assert!(out.peak_tracked_entries >= 2);
+    }
+
+    #[test]
+    fn gap_emits_empty_windows() {
+        let mut engine = StreamingEngine::new(EngineConfig {
+            window: Some(Duration::from_secs(1)),
+            ..Default::default()
+        })
+        .unwrap();
+        let mut windows = Vec::new();
+        windows.extend(
+            engine
+                .push_record(&media_record(0, 1, 0x1, 1, 100), LinkType::Ethernet)
+                .unwrap(),
+        );
+        windows.extend(
+            engine
+                .push_record(&media_record(4 * SEC + 1, 1, 0x1, 2, 200), LinkType::Ethernet)
+                .unwrap(),
+        );
+        // Record at 4.000000001 s closes [0,1) and skips [1,2), [2,3), [3,4).
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0].totals.zoom_packets, 1);
+        assert!(windows[1..].iter().all(|w| w.totals.zoom_packets == 0));
+        let indices: Vec<u64> = windows.iter().map(|w| w.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        engine.drain().unwrap();
+    }
+}

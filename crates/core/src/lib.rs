@@ -16,8 +16,13 @@
 //!   and loss estimators (§5)
 //! * [`meeting`] — the stream→meeting grouping heuristic (§4.3)
 //! * [`pipeline`] — the end-to-end [`pipeline::Analyzer`]
+//! * [`engine`] — the streaming [`engine::StreamingEngine`]: windowed
+//!   reports, idle-timeout eviction, checkpoint/drain
 //! * [`parallel`] — the sharded [`parallel::ParallelAnalyzer`] front-end
 //!   with sequential-identical merge semantics
+//! * [`report`] — owned [`report::AnalysisReport`] / windowed report
+//!   types and their JSON serialization
+//! * [`error`] — the crate-wide [`Error`] type
 //! * [`stats`] — CDFs, time bins, correlation
 //!
 //! ## Quickstart
@@ -26,21 +31,30 @@
 //! use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
 //! use zoom_wire::pcap::LinkType;
 //!
-//! let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+//! let config = AnalyzerConfig::builder()
+//!     .campus("10.8.0.0/16")
+//!     .build()
+//!     .expect("valid config");
+//! let mut analyzer = Analyzer::new(config);
 //! // feed records: analyzer.process_record(&record, LinkType::Ethernet);
-//! let summary = analyzer.summary();
-//! assert_eq!(summary.zoom_packets, 0);
+//! let report = analyzer.finish();
+//! assert_eq!(report.summary.zoom_packets, 0);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod engine;
 pub mod entropy;
+pub mod error;
 pub mod features;
 pub mod meeting;
 pub mod metrics;
 pub mod packet;
 pub mod parallel;
 pub mod pipeline;
+pub mod report;
 pub mod stats;
 pub mod stream;
+
+pub use error::Error;

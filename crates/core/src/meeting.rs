@@ -182,6 +182,7 @@ impl MeetingGrouper {
     /// side resolved by the caller (non-8801 side for server traffic,
     /// campus side for P2P). `lookup` exposes candidate streams' current
     /// state for the step-1 match.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_new_stream(
         &mut self,
         key: StreamKey,
@@ -260,6 +261,15 @@ impl MeetingGrouper {
     /// The unique id and meeting of a stream, if registered.
     pub fn assignment(&self, key: &StreamKey) -> Option<(u32, u32)> {
         self.assignments.get(key).copied()
+    }
+
+    /// The stream's meeting id after all union–find merges — the id
+    /// reports use. [`assignment`](Self::assignment) returns the id as
+    /// first assigned, which a later merge may have folded away.
+    pub fn canonical_meeting(&self, key: &StreamKey) -> Option<u32> {
+        self.assignments
+            .get(key)
+            .map(|&(_, m)| self.meetings.find_ro(m))
     }
 
     /// Number of distinct meetings after all merges.

@@ -122,6 +122,13 @@ impl RtpRttEstimator {
         }
     }
 
+    /// Drop unmatched uplink packets older than the matching window —
+    /// the streaming engine's per-tick bound on candidate state. Lossless
+    /// (the evicted entries could never match again anyway).
+    pub(crate) fn prune(&mut self, now: u64) {
+        self.evict(now);
+    }
+
     /// All samples so far.
     pub fn samples(&self) -> &[RttSample] {
         &self.samples

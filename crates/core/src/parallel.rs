@@ -4,74 +4,31 @@
 //! The paper's campus study processes a 12-hour, 1.8-billion-packet trace
 //! (§6.2); the sequential [`Analyzer`] consumes records one at a time
 //! through a single state machine. Everything keyed by 5-tuple or
-//! (5-tuple, SSRC) — flow accounting, stream/sub-stream tracking, every
-//! §5 per-stream estimator — partitions cleanly across flows, so
-//! [`ParallelAnalyzer`] routes records to N worker shards by a stable
-//! FNV-1a hash of the *canonical* (direction-independent) 5-tuple and
-//! runs one full `Analyzer` per shard over `std::thread` and bounded
-//! `std::sync::mpsc` channels. No external dependencies are involved.
+//! (5-tuple, SSRC) partitions cleanly across flows, so records are routed
+//! to N worker shards by a stable FNV-1a hash of the *canonical*
+//! (direction-independent) 5-tuple, one full `Analyzer` per shard, over
+//! `std::thread` and bounded `std::sync::mpsc` channels — no external
+//! dependencies.
 //!
-//! Two trackers see across flows and cannot shard:
-//!
-//! * the **RTP-copy RTT estimator** (§5.3 method 1) matches an uplink
-//!   packet against its SFU fan-out copy on a *different* flow;
-//! * **meeting grouping** (§4.3) compares each new stream against
-//!   candidate streams on other flows.
-//!
-//! Shard analyzers therefore run in *event-log mode*: they perform all
-//! shard-local analysis but append a compact `MediaEvent` per RTP
-//! packet instead of feeding those two trackers. At [`finish`] the event
-//! logs are merged by router-assigned global sequence number and
-//! replayed — in exactly the order the sequential analyzer would have
-//! seen them — through a fresh grouper and RTT estimator.
-//!
-//! The third piece of cross-flow state is the STUN endpoint registry that
-//! drives P2P flow recognition (§4.1). The router observes every record
-//! in order, so it keeps the one authoritative registry (applying the
-//! same insert/refresh rules as the sequential analyzer) and ships its
-//! per-record verdict to the owning shard alongside the record; shard
-//! registries never need to agree.
-//!
-//! The result is **byte-identical** to the sequential path for any shard
-//! count — `TraceSummary`, flow stats, per-stream metrics, meeting
-//! reports, and RTT samples all compare equal. The differential tests in
-//! `tests/parallel_differential.rs` assert exactly that for 1, 2, and 8
-//! shards.
+//! Since the introduction of the streaming engine, [`ParallelAnalyzer`]
+//! is a thin batch front-end over [`StreamingEngine`] with windowing and
+//! eviction disabled: the engine owns the routing, the event-log replay
+//! of the cross-flow trackers (meeting grouping §4.3, RTP-copy RTT §5.3),
+//! and the authoritative STUN registry — see [`crate::engine`] for the
+//! full design. The result remains **byte-identical** to the sequential
+//! path for any shard count; `tests/parallel_differential.rs` and
+//! `tests/streaming_differential.rs` assert exactly that.
 //!
 //! [`finish`]: ParallelAnalyzer::finish
 
-use crate::meeting::{CandidateState, MeetingGrouper, MeetingReport};
-use crate::metrics::latency::{RtpRttEstimator, RttSample};
-use crate::pipeline::{
-    resolve_stream_endpoints, Analyzer, AnalyzerConfig, MediaEvent, MediaSamples, TraceSummary,
-};
-use crate::stream::StreamKey;
-use std::collections::HashMap;
-use std::net::IpAddr;
-use std::sync::mpsc::{sync_channel, SyncSender};
-use std::thread::JoinHandle;
-use zoom_wire::dissect::peek;
-use zoom_wire::flow::{Endpoint, FiveTuple};
+use crate::engine::{EngineConfig, EngineOutput, StreamingEngine};
+use crate::error::Error;
+use crate::meeting::MeetingReport;
+use crate::metrics::latency::RttSample;
+use crate::pipeline::{Analyzer, AnalyzerConfig, MediaSamples, TraceSummary};
+use crate::report::AnalysisReport;
 use zoom_wire::pcap::{LinkType, Record};
 use zoom_wire::zoom::MediaType;
-
-/// Records per message sent to a shard. Batching amortizes the channel
-/// synchronization cost over many packets.
-const BATCH: usize = 256;
-
-/// Bounded channel depth, in batches. Keeps memory bounded and applies
-/// backpressure to the router when a shard falls behind.
-const CHANNEL_DEPTH: usize = 4;
-
-/// One message to a worker: (global sequence number, record, link type,
-/// router's P2P verdict for the record).
-type Msg = (u64, Record, LinkType, bool);
-
-struct Worker {
-    tx: Option<SyncSender<Vec<Msg>>>,
-    batch: Vec<Msg>,
-    handle: Option<JoinHandle<Analyzer>>,
-}
 
 /// A drop-in parallel front-end for [`Analyzer`]: same accessor surface,
 /// N-way sharded processing, sequential-identical results.
@@ -83,52 +40,34 @@ struct Worker {
 ///
 /// let mut analyzer = ParallelAnalyzer::new(AnalyzerConfig::default(), 8);
 /// // feed records: analyzer.process_record(&record, LinkType::Ethernet);
-/// let summary = analyzer.summary(); // first accessor call joins + merges
+/// let report = analyzer.finish().expect("no shard failed");
+/// println!("{}", report.to_json());
 /// ```
 pub struct ParallelAnalyzer {
-    config: AnalyzerConfig,
+    engine: Option<StreamingEngine>,
+    output: Option<EngineOutput>,
     shard_count: usize,
-    /// The authoritative STUN endpoint registry (§4.1), maintained by the
-    /// router with the sequential analyzer's exact insert/refresh rules.
-    registry: HashMap<Endpoint, u64>,
-    /// Next global sequence number.
-    seq: u64,
-    workers: Vec<Worker>,
-    merged: Option<Analyzer>,
+    /// First failure observed while feeding or draining, kept so later
+    /// calls keep reporting it.
+    error_msg: Option<String>,
 }
 
 impl ParallelAnalyzer {
     /// Spawn `shards` worker threads (at least one), each owning a
     /// shard-mode [`Analyzer`] with this configuration.
     pub fn new(config: AnalyzerConfig, shards: usize) -> ParallelAnalyzer {
-        let n = shards.max(1);
-        let workers = (0..n)
-            .map(|_| {
-                let (tx, rx) = sync_channel::<Vec<Msg>>(CHANNEL_DEPTH);
-                let cfg = config.clone();
-                let handle = std::thread::spawn(move || {
-                    let mut analyzer = Analyzer::new_sharded(cfg);
-                    while let Ok(batch) = rx.recv() {
-                        for (seq, record, link, hint) in batch {
-                            analyzer.process_record_sharded(seq, &record, link, hint);
-                        }
-                    }
-                    analyzer
-                });
-                Worker {
-                    tx: Some(tx),
-                    batch: Vec::with_capacity(BATCH),
-                    handle: Some(handle),
-                }
-            })
-            .collect();
+        let engine = StreamingEngine::new(EngineConfig {
+            analyzer: config,
+            shards,
+            window: None,
+            idle_timeout: None,
+        })
+        .expect("batch engine config has nothing to validate");
         ParallelAnalyzer {
-            config,
-            shard_count: n,
-            registry: HashMap::new(),
-            seq: 0,
-            workers,
-            merged: None,
+            shard_count: engine.shards(),
+            engine: Some(engine),
+            output: None,
+            error_msg: None,
         }
     }
 
@@ -137,344 +76,109 @@ impl ParallelAnalyzer {
         self.shard_count
     }
 
-    /// Route one capture record to its shard.
+    /// Route one capture record to its shard. A shard failure is
+    /// remembered and surfaced by [`ParallelAnalyzer::finish`].
     ///
     /// # Panics
     /// Panics if called after [`ParallelAnalyzer::finish`] — the workers
     /// have already been joined at that point.
     pub fn process_record(&mut self, record: &Record, link: LinkType) {
-        assert!(
-            self.merged.is_none(),
-            "process_record called after finish()"
-        );
-        let (shard, hint) = self.route(record, link);
-        let seq = self.seq;
-        self.seq += 1;
-        let w = &mut self.workers[shard];
-        w.batch.push((seq, record.clone(), link, hint));
-        if w.batch.len() >= BATCH {
-            let batch = std::mem::replace(&mut w.batch, Vec::with_capacity(BATCH));
-            // An Err means the worker panicked; surfaced on join.
-            let _ = w.tx.as_ref().expect("sender alive before finish").send(batch);
+        let engine = self
+            .engine
+            .as_mut()
+            .expect("process_record called after finish()");
+        if let Err(e) = engine.push_record(record, link) {
+            if self.error_msg.is_none() {
+                self.error_msg = Some(e.to_string());
+            }
         }
     }
 
-    /// Pick the shard and P2P verdict for a record, mirroring the
-    /// dissection and registry decisions the sequential analyzer makes.
-    ///
-    /// The router stays off the Zoom parse path: a header-only
-    /// [`peek`] recovers the 5-tuple, the STUN gate is applied exactly as
-    /// the dissector applies it, and the expensive Zoom-vs-opaque
-    /// question is answered lazily — only when one of the flow's
-    /// endpoints has a fresh registry entry, because only then does the
-    /// classification change what the registry (refresh) and the shard
-    /// (P2P verdict) observe.
-    fn route(&mut self, record: &Record, link: LinkType) -> (usize, bool) {
-        use zoom_wire::{stun, zoom};
-
-        let n = self.shard_count;
-        let Ok(p) = peek(&record.data, link) else {
-            // Undissectable records only touch additive counters; spread
-            // them round-robin.
-            return ((self.seq % n as u64) as usize, false);
-        };
-        let ts = record.ts_nanos;
-        let mut hint = false;
-        'classify: {
-            let Some(payload) = p.udp_payload else {
-                break 'classify; // TCP: no registry interaction
-            };
-            // STUN gate, verbatim from the dissector: port 3478 or a
-            // magic-cookie match, then a successful parse.
-            if p.five_tuple.involves_port(stun::STUN_PORT) || stun::looks_like_stun(payload) {
-                if let Ok(pkt) = stun::Packet::new_checked(payload) {
-                    if stun::Repr::parse(&pkt).is_ok() {
-                        // Register the non-3478 endpoint — §4.1's rule.
-                        let client = if p.five_tuple.dst_port == stun::STUN_PORT {
-                            p.five_tuple.src()
-                        } else {
-                            p.five_tuple.dst()
-                        };
-                        self.registry.insert(client, ts);
-                        break 'classify;
-                    }
-                }
-                // Gate matched but the parse failed: the dissector falls
-                // through to the port-8801 / opaque branches; so do we.
-            }
-            // Non-STUN UDP. The sequential analyzer probes the registry
-            // (refreshing on a hit) only for packets that do NOT parse as
-            // Zoom server traffic. If neither endpoint has a fresh
-            // registry entry, the probe is a no-op either way — skip the
-            // Zoom parse entirely. Otherwise resolve the classification
-            // so refresh semantics stay exact.
-            if self.registry_has_fresh(ts, &p.five_tuple) {
-                let opaque = !p.five_tuple.involves_port(zoom::ZOOM_SFU_PORT)
-                    || zoom::parse(payload, zoom::Framing::Server).is_err();
-                if opaque {
-                    hint = self.probe_p2p(ts, &p.five_tuple);
-                }
-            }
-        }
-        (shard_of(&p.five_tuple, n), hint)
-    }
-
-    /// True when either endpoint of `flow` has a registry entry within
-    /// the STUN timeout. Read-only — refresh happens in `probe_p2p`.
-    fn registry_has_fresh(&self, now: u64, flow: &FiveTuple) -> bool {
-        let timeout = self.config.stun_timeout_nanos;
-        [flow.src(), flow.dst()].iter().any(|ep| {
-            self.registry
-                .get(ep)
-                .is_some_and(|&last| now.saturating_sub(last) <= timeout)
-        })
-    }
-
-    /// The sequential analyzer's `is_p2p_flow`, applied to the router's
-    /// registry: check `[src, dst]` in order, refresh the first endpoint
-    /// still inside the STUN timeout.
-    fn probe_p2p(&mut self, now: u64, flow: &FiveTuple) -> bool {
-        let timeout = self.config.stun_timeout_nanos;
-        for ep in [flow.src(), flow.dst()] {
-            if let Some(last) = self.registry.get_mut(&ep) {
-                if now.saturating_sub(*last) <= timeout {
-                    *last = now;
-                    return true;
-                }
-            }
-        }
-        false
-    }
-
-    /// Flush all batches, join the workers, and merge shard state into a
-    /// sequential-identical [`Analyzer`]. Idempotent: further calls (and
-    /// the accessors below) return the already-merged analyzer.
-    pub fn finish(&mut self) -> &Analyzer {
-        if self.merged.is_none() {
-            let mut shards = Vec::with_capacity(self.workers.len());
-            for mut w in std::mem::take(&mut self.workers) {
-                if let Some(tx) = w.tx.take() {
-                    if !w.batch.is_empty() {
-                        let _ = tx.send(std::mem::take(&mut w.batch));
-                    }
-                    drop(tx); // closes the channel; the worker drains and returns
-                }
-                let analyzer = w
-                    .handle
-                    .take()
-                    .expect("worker joined once")
-                    .join()
-                    .expect("shard worker panicked");
-                shards.push(analyzer);
-            }
-            let registry = std::mem::take(&mut self.registry);
-            self.merged = Some(merge(self.config.clone(), shards, registry));
-        }
-        self.merged.as_ref().expect("merged above")
+    /// Flush all batches, join the workers, merge shard state, and return
+    /// the owned end-of-trace report. Idempotent: further calls (and the
+    /// accessors below) reuse the already-merged state.
+    pub fn finish(&mut self) -> Result<AnalysisReport, Error> {
+        self.ensure_drained()?;
+        Ok(self.output.as_ref().expect("drained above").report.clone())
     }
 
     /// Consume the pipeline, returning the merged analyzer.
+    ///
+    /// # Panics
+    /// Panics if a shard worker panicked; call
+    /// [`ParallelAnalyzer::finish`] first to handle that as an error.
     pub fn into_analyzer(mut self) -> Analyzer {
-        self.finish();
-        self.merged.take().expect("finish() populated merged")
+        if let Err(e) = self.ensure_drained() {
+            panic!("parallel analysis failed: {e}");
+        }
+        self.output.take().expect("drained above").analyzer
+    }
+
+    fn ensure_drained(&mut self) -> Result<(), Error> {
+        if self.output.is_some() {
+            return Ok(());
+        }
+        if let Some(msg) = &self.error_msg {
+            return Err(Error::ShardPanic(msg.clone()));
+        }
+        let engine = self.engine.take().expect("engine alive until drained");
+        match engine.drain() {
+            Ok(out) => {
+                self.output = Some(out);
+                Ok(())
+            }
+            Err(e) => {
+                self.error_msg = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// The merged analyzer, draining first if needed.
+    ///
+    /// # Panics
+    /// Panics if a shard worker panicked (the accessors below share this
+    /// behavior); use [`ParallelAnalyzer::finish`] to handle it as an
+    /// error instead.
+    fn merged(&mut self) -> &Analyzer {
+        if let Err(e) = self.ensure_drained() {
+            panic!("parallel analysis failed: {e}");
+        }
+        &self.output.as_ref().expect("drained above").analyzer
     }
 
     // ---- the sequential accessor surface (each finishes if needed) ----
 
     /// Trace summary (Table 6) — identical to the sequential analyzer's.
     pub fn summary(&mut self) -> TraceSummary {
-        self.finish().summary()
+        self.merged().summary()
     }
 
     /// Meeting reports (§4.3) — identical to the sequential analyzer's.
     pub fn meetings(&mut self) -> Vec<MeetingReport> {
-        self.finish().meetings()
+        self.merged().meetings()
     }
 
     /// One-second metric samples for one media type (Fig. 15's inputs).
     pub fn media_samples(&mut self, media: MediaType) -> MediaSamples {
-        self.finish().media_samples(media)
+        self.merged().media_samples(media)
     }
 
     /// Joined per-(stream, second) (jitter, bit rate, fps) video samples
     /// — the scatter data of Fig. 16.
     pub fn fig16_samples(&mut self) -> Vec<(f64, f64, f64)> {
-        self.finish().fig16_samples()
+        self.merged().fig16_samples()
     }
 
     /// RTP-copy RTT samples (§5.3 method 1).
     pub fn rtp_rtt_samples(&mut self) -> &[RttSample] {
-        self.finish().rtp_rtt_samples()
+        self.merged().rtp_rtt_samples()
     }
 
     /// TCP control-connection RTT samples (§5.3 method 2).
     pub fn tcp_rtt_samples(&mut self) -> &[RttSample] {
-        self.finish().tcp_rtt_samples()
+        self.merged().tcp_rtt_samples()
     }
-}
-
-/// FNV-1a over the canonical 5-tuple, reduced modulo the shard count.
-/// Both directions of a conversation hash identically, so every per-flow
-/// and per-stream state machine stays on one shard.
-fn shard_of(flow: &FiveTuple, n: usize) -> usize {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let c = flow.canonical();
-    let mut h = OFFSET;
-    let mut feed = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    match c.src_ip {
-        IpAddr::V4(a) => feed(&a.octets()),
-        IpAddr::V6(a) => feed(&a.octets()),
-    }
-    match c.dst_ip {
-        IpAddr::V4(a) => feed(&a.octets()),
-        IpAddr::V6(a) => feed(&a.octets()),
-    }
-    feed(&c.src_port.to_be_bytes());
-    feed(&c.dst_port.to_be_bytes());
-    feed(&[u8::from(c.protocol)]);
-    // FNV's low bits mix poorly for short, correlated inputs (adjacent
-    // addresses/ports), and `% n` reads exactly those bits; run the hash
-    // through a 64-bit finalizer for good dispersion at any shard count.
-    h ^= h >> 33;
-    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    h ^= h >> 33;
-    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-    h ^= h >> 33;
-    (h % n as u64) as usize
-}
-
-/// Per-stream replica of the candidate state the grouping heuristic's
-/// lookup closure reads sequentially: per payload type the running packet
-/// count and last RTP sequence/timestamp, plus the stream's last-seen
-/// time. Rebuilt from the event log during replay.
-#[derive(Default)]
-struct Replica {
-    /// payload type → (packets, last RTP seq, last RTP timestamp).
-    subs: HashMap<u8, (u64, u16, u32)>,
-    last_seen: u64,
-}
-
-impl Replica {
-    /// Mirror of `Stream::candidate_state`: the dominant sub-stream by
-    /// (packets, payload type).
-    fn candidate(&self) -> Option<CandidateState> {
-        self.subs
-            .iter()
-            .max_by_key(|&(&pt, &(packets, _, _))| (packets, pt))
-            .map(|(_, &(_, last_seq, last_rtp_ts))| CandidateState {
-                last_rtp_ts,
-                last_seq,
-                last_seen: self.last_seen,
-            })
-    }
-}
-
-/// Merge shard analyzers into one sequential-identical analyzer.
-fn merge(
-    config: AnalyzerConfig,
-    shards: Vec<Analyzer>,
-    registry: HashMap<Endpoint, u64>,
-) -> Analyzer {
-    let mut merged = Analyzer::new(config);
-
-    // ---- additive state + concatenations ----
-    let mut events: Vec<MediaEvent> = Vec::new();
-    let mut pool = HashMap::new();
-    let mut tcp_samples: Vec<RttSample> = Vec::new();
-    for mut shard in shards {
-        merged.total_packets += shard.total_packets;
-        merged.zoom_packets += shard.zoom_packets;
-        merged.zoom_bytes += shard.zoom_bytes;
-        merged.undissectable += shard.undissectable;
-        merged.first_zoom_ts = match (merged.first_zoom_ts, shard.first_zoom_ts) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        merged.last_zoom_ts = merged.last_zoom_ts.max(shard.last_zoom_ts);
-        // Flows are shard-exclusive under canonical routing, but merge
-        // defensively (min first-seen / max last-seen, summed counters).
-        for (ft, fs) in shard.flows.drain() {
-            match merged.flows.entry(ft) {
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(fs);
-                }
-                std::collections::hash_map::Entry::Occupied(mut o) => {
-                    let e = o.get_mut();
-                    e.packets += fs.packets;
-                    e.bytes += fs.bytes;
-                    e.first_seen = e.first_seen.min(fs.first_seen);
-                    e.last_seen = e.last_seen.max(fs.last_seen);
-                }
-            }
-        }
-        merged.classifier.merge(&shard.classifier);
-        // Per-shard TCP samples are already time-ordered; the stable sort
-        // below k-way merges them.
-        tcp_samples.extend_from_slice(shard.tcp_rtt.samples());
-        if let Some(log) = shard.event_log.take() {
-            events.extend(log);
-        }
-        pool.extend(std::mem::take(&mut shard.streams).into_streams());
-    }
-    tcp_samples.sort_by_key(|s| s.at);
-    merged.tcp_rtt.set_samples(tcp_samples);
-
-    // ---- global-order replay of cross-flow trackers ----
-    events.sort_unstable_by_key(|e| e.seq_no);
-    let campus = merged.config.campus.clone();
-    let mut grouper = MeetingGrouper::with_config(merged.config.grouping);
-    let mut rtt = RtpRttEstimator::default();
-    let mut replicas: HashMap<StreamKey, Replica> = HashMap::new();
-    let mut creation_order: Vec<StreamKey> = Vec::new();
-    for ev in &events {
-        rtt.observe(
-            ev.ts_nanos,
-            (ev.ssrc, ev.payload_type, ev.rtp_seq, ev.rtp_ts),
-            ev.direction,
-            ev.flow.src_ip,
-        );
-        let key = StreamKey {
-            flow: ev.flow,
-            ssrc: ev.ssrc,
-        };
-        if !replicas.contains_key(&key) {
-            creation_order.push(key);
-            let (client, server) = resolve_stream_endpoints(&ev.flow, &campus);
-            grouper.on_new_stream(key, client, server, ev.rtp_ts, ev.rtp_seq, ev.ts_nanos, |k| {
-                replicas.get(k).and_then(|r| r.candidate())
-            });
-        }
-        let r = replicas.entry(key).or_default();
-        r.last_seen = ev.ts_nanos;
-        let sub = r.subs.entry(ev.payload_type).or_insert((0, 0, 0));
-        sub.0 += 1;
-        sub.1 = ev.rtp_seq;
-        sub.2 = ev.rtp_ts;
-    }
-
-    // Adopt shard streams in global creation order, stamping the unique
-    // ids the replayed grouper assigned.
-    for key in creation_order {
-        if let Some(mut s) = pool.remove(&key) {
-            s.unique_id = grouper.assignment(&key).map(|(uid, _)| uid);
-            merged.streams.adopt(s);
-        }
-    }
-    debug_assert!(
-        pool.is_empty(),
-        "every shard stream must have at least one logged event"
-    );
-
-    merged.grouper = grouper;
-    merged.rtp_rtt = rtt;
-    merged.p2p_endpoints = registry;
-    merged
 }
 
 #[cfg(test)]
@@ -482,47 +186,21 @@ mod tests {
     use super::*;
     use std::net::Ipv4Addr;
     use zoom_wire::compose;
-    use zoom_wire::ipv4::Protocol;
     use zoom_wire::rtp;
     use zoom_wire::zoom;
 
     const MS: u64 = 1_000_000;
-
-    fn tuple(src: [u8; 4], sport: u16, dst: [u8; 4], dport: u16) -> FiveTuple {
-        FiveTuple {
-            src_ip: IpAddr::V4(Ipv4Addr::from(src)),
-            dst_ip: IpAddr::V4(Ipv4Addr::from(dst)),
-            src_port: sport,
-            dst_port: dport,
-            protocol: Protocol::Udp,
-        }
-    }
-
-    #[test]
-    fn both_directions_hash_to_one_shard() {
-        let up = tuple([10, 8, 0, 1], 50_000, [170, 114, 0, 1], 8801);
-        for n in [1usize, 2, 3, 8, 13] {
-            assert_eq!(shard_of(&up, n), shard_of(&up.reversed(), n));
-            assert!(shard_of(&up, n) < n);
-        }
-    }
-
-    #[test]
-    fn distinct_flows_spread_over_shards() {
-        let mut seen = std::collections::HashSet::new();
-        for i in 0..64u16 {
-            let ft = tuple([10, 8, 0, (i % 250) as u8 + 1], 50_000 + i, [170, 114, 0, 1], 8801);
-            seen.insert(shard_of(&ft, 8));
-        }
-        assert!(seen.len() >= 6, "poor dispersion: {seen:?}");
-    }
 
     fn media_record(ts: u64, up: bool, ssrc: u32, seq: u16, rtp_ts: u32) -> Record {
         let payload = zoom::Builder {
             sfu: Some(zoom::SfuEncapRepr {
                 encap_type: zoom::SFU_TYPE_MEDIA,
                 sequence: seq,
-                direction: if up { zoom::DIR_TO_SFU } else { zoom::DIR_FROM_SFU },
+                direction: if up {
+                    zoom::DIR_TO_SFU
+                } else {
+                    zoom::DIR_FROM_SFU
+                },
             }),
             media: zoom::MediaEncapRepr {
                 media_type: zoom::MediaType::Video,
@@ -613,11 +291,13 @@ mod tests {
                 LinkType::Ethernet,
             );
         }
-        let first = par.summary();
-        let second = par.summary();
-        assert_eq!(first, second);
+        let first = par.finish().expect("no shard failure");
+        let second = par.finish().expect("still no shard failure");
+        assert_eq!(first.to_json(), second.to_json());
+        let summary = par.summary();
         let merged = par.into_analyzer();
-        assert_eq!(merged.summary(), first);
+        assert_eq!(merged.summary(), summary);
+        assert_eq!(merged.finish().to_json(), first.to_json());
     }
 
     #[test]
@@ -626,8 +306,8 @@ mod tests {
         for i in 0..30u64 {
             par.process_record(&Record::full(i, vec![1, 2, 3]), LinkType::Ethernet);
         }
-        let merged = par.finish();
-        assert_eq!(merged.undissectable(), 30);
-        assert_eq!(merged.summary().total_packets, 30);
+        let report = par.finish().expect("no shard failure");
+        assert_eq!(report.undissectable, 30);
+        assert_eq!(report.summary.total_packets, 30);
     }
 }

@@ -8,35 +8,51 @@
 //! (§4.3) → trace-level reports (Table 6, Figs. 14–16).
 
 use crate::classify::Classifier;
+use crate::error::Error;
 use crate::meeting::{
     client_endpoint_of, CandidateState, GroupingConfig, MeetingGrouper, MeetingReport,
 };
 use crate::metrics::latency::{RtpRttEstimator, RttSample, TcpRttEstimator};
 use crate::packet::{extract, in_campus, meta_from_zoom, Extracted, PacketMeta};
+use crate::report::{build_report, AnalysisReport};
 use crate::stats::Samples;
 use crate::stream::{Stream, StreamKey, StreamTracker};
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::time::Duration;
 use zoom_wire::dissect::{dissect, App, Dissection, P2pProbe, Transport};
 use zoom_wire::flow::{Endpoint, FiveTuple};
 use zoom_wire::pcap::{LinkType, Record};
 use zoom_wire::zoom::{Framing, MediaType};
 
 /// Analyzer configuration.
+///
+/// Construct via [`AnalyzerConfig::builder`] (typed durations, validated
+/// CIDR input) or take [`AnalyzerConfig::default`]. The public fields are
+/// deprecated shims kept for one release so downstream field-bag
+/// construction keeps compiling; read settings through the accessor
+/// methods instead.
 #[derive(Debug, Clone)]
 pub struct AnalyzerConfig {
     /// Campus prefixes — orient P2P flows and pick the "client" side.
+    #[deprecated(note = "construct via AnalyzerConfig::builder(); read via campus_prefixes()")]
     pub campus: Vec<(IpAddr, u8)>,
     /// Zoom server prefixes; when non-empty, TCP RTT probing is limited
     /// to connections touching these (the control connections).
+    #[deprecated(
+        note = "construct via AnalyzerConfig::builder(); read via zoom_server_prefixes()"
+    )]
     pub zoom_servers: Vec<(IpAddr, u8)>,
     /// How long a STUN exchange marks its endpoint as a future P2P flow.
+    #[deprecated(note = "construct via AnalyzerConfig::builder(); read via stun_timeout()")]
     pub stun_timeout_nanos: u64,
     /// Thresholds of the meeting-grouping heuristic (§4.3).
+    #[deprecated(note = "construct via AnalyzerConfig::builder(); read via grouping_config()")]
     pub grouping: GroupingConfig,
 }
 
 impl Default for AnalyzerConfig {
+    #[allow(deprecated)]
     fn default() -> Self {
         AnalyzerConfig {
             campus: vec![(IpAddr::V4(std::net::Ipv4Addr::new(10, 8, 0, 0)), 16)],
@@ -44,6 +60,190 @@ impl Default for AnalyzerConfig {
             stun_timeout_nanos: 120 * 1_000_000_000,
             grouping: GroupingConfig::default(),
         }
+    }
+}
+
+#[allow(deprecated)] // the accessors are the one sanctioned field access
+impl AnalyzerConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> AnalyzerConfigBuilder {
+        AnalyzerConfigBuilder::new()
+    }
+
+    /// Campus prefixes — orient P2P flows and pick the "client" side.
+    pub fn campus_prefixes(&self) -> &[(IpAddr, u8)] {
+        &self.campus
+    }
+
+    /// Zoom server prefixes gating TCP RTT probing.
+    pub fn zoom_server_prefixes(&self) -> &[(IpAddr, u8)] {
+        &self.zoom_servers
+    }
+
+    /// How long a STUN exchange marks its endpoint as a future P2P flow.
+    pub fn stun_timeout(&self) -> Duration {
+        Duration::from_nanos(self.stun_timeout_nanos)
+    }
+
+    /// Thresholds of the meeting-grouping heuristic (§4.3).
+    pub fn grouping_config(&self) -> GroupingConfig {
+        self.grouping
+    }
+}
+
+/// Parse a `prefix/len` CIDR spec (a bare address means a host prefix).
+///
+/// Shared by [`AnalyzerConfigBuilder`] and the CLI's `--campus` /
+/// `--zoom-servers` flags so both reject the same inputs.
+pub fn parse_cidr(spec: &str) -> Result<(IpAddr, u8), Error> {
+    let (addr, len) = match spec.split_once('/') {
+        Some((a, l)) => {
+            let len: u8 = l
+                .parse()
+                .map_err(|_| Error::Config(format!("bad prefix length in {spec:?}")))?;
+            (a, Some(len))
+        }
+        None => (spec, None),
+    };
+    let ip: IpAddr = addr
+        .parse()
+        .map_err(|_| Error::Config(format!("bad address in {spec:?}")))?;
+    let max = if ip.is_ipv4() { 32 } else { 128 };
+    let len = len.unwrap_or(max);
+    if len > max {
+        return Err(Error::Config(format!(
+            "prefix length {len} exceeds {max} in {spec:?}"
+        )));
+    }
+    Ok((ip, len))
+}
+
+/// Builder for [`AnalyzerConfig`]: typed durations, validated CIDR
+/// prefixes, defaults from [`AnalyzerConfig::default`].
+///
+/// Parse failures are recorded and surfaced by [`build`]
+/// (`Err(`[`Error::Config`]`)`), keeping call chains fluent:
+///
+/// ```
+/// use zoom_analysis::pipeline::AnalyzerConfig;
+/// let cfg = AnalyzerConfig::builder()
+///     .campus("192.168.0.0/16")
+///     .stun_timeout(std::time::Duration::from_secs(60))
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.campus_prefixes().len(), 1);
+/// ```
+///
+/// [`build`]: AnalyzerConfigBuilder::build
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzerConfigBuilder {
+    campus: Vec<(IpAddr, u8)>,
+    /// False until the caller touches the campus list; the first explicit
+    /// prefix then *replaces* the default instead of appending to it.
+    campus_set: bool,
+    zoom_servers: Vec<(IpAddr, u8)>,
+    stun_timeout: Option<Duration>,
+    grouping: Option<GroupingConfig>,
+    invalid: Option<String>,
+}
+
+impl AnalyzerConfigBuilder {
+    fn new() -> AnalyzerConfigBuilder {
+        AnalyzerConfigBuilder::default()
+    }
+
+    fn record_invalid(&mut self, msg: String) {
+        if self.invalid.is_none() {
+            self.invalid = Some(msg);
+        }
+    }
+
+    /// Add a campus prefix from a CIDR string; the first call replaces
+    /// the default `10.8.0.0/16`, later calls append.
+    pub fn campus(mut self, cidr: &str) -> Self {
+        match parse_cidr(cidr) {
+            Ok((ip, len)) => {
+                self.campus_set = true;
+                self.campus.push((ip, len));
+            }
+            Err(e) => self.record_invalid(e.to_string()),
+        }
+        self
+    }
+
+    /// Add a pre-parsed campus prefix.
+    pub fn campus_prefix(mut self, ip: IpAddr, len: u8) -> Self {
+        self.campus_set = true;
+        self.campus.push((ip, len));
+        self
+    }
+
+    /// Treat every flow as on-campus (empty campus list: orientation
+    /// falls back to the packet's source side).
+    pub fn everything_on_campus(mut self) -> Self {
+        self.campus_set = true;
+        self.campus.clear();
+        self
+    }
+
+    /// Add a Zoom server prefix from a CIDR string (gates TCP RTT
+    /// probing to control connections).
+    pub fn zoom_server(mut self, cidr: &str) -> Self {
+        match parse_cidr(cidr) {
+            Ok((ip, len)) => self.zoom_servers.push((ip, len)),
+            Err(e) => self.record_invalid(e.to_string()),
+        }
+        self
+    }
+
+    /// Add a pre-parsed Zoom server prefix.
+    pub fn zoom_server_prefix(mut self, ip: IpAddr, len: u8) -> Self {
+        self.zoom_servers.push((ip, len));
+        self
+    }
+
+    /// STUN registration lifetime (§4.1).
+    pub fn stun_timeout(mut self, timeout: Duration) -> Self {
+        self.stun_timeout = Some(timeout);
+        self
+    }
+
+    /// Meeting-grouping thresholds (§4.3).
+    pub fn grouping(mut self, grouping: GroupingConfig) -> Self {
+        self.grouping = Some(grouping);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<AnalyzerConfig, Error> {
+        if let Some(msg) = self.invalid {
+            return Err(Error::Config(msg));
+        }
+        for &(ip, len) in self.campus.iter().chain(self.zoom_servers.iter()) {
+            let max = if ip.is_ipv4() { 32 } else { 128 };
+            if len > max {
+                return Err(Error::Config(format!(
+                    "prefix length {len} exceeds {max} for {ip}"
+                )));
+            }
+        }
+        let stun_timeout_nanos = match self.stun_timeout {
+            Some(d) => u64::try_from(d.as_nanos())
+                .map_err(|_| Error::Config(format!("stun timeout {d:?} too large")))?,
+            None => 120 * 1_000_000_000,
+        };
+        let defaults = AnalyzerConfig::default();
+        #[allow(deprecated)]
+        Ok(AnalyzerConfig {
+            campus: if self.campus_set {
+                self.campus
+            } else {
+                defaults.campus
+            },
+            zoom_servers: self.zoom_servers,
+            stun_timeout_nanos,
+            grouping: self.grouping.unwrap_or_default(),
+        })
     }
 }
 
@@ -149,7 +349,7 @@ pub struct Analyzer {
 impl Analyzer {
     /// Analyzer with the given configuration.
     pub fn new(config: AnalyzerConfig) -> Analyzer {
-        let grouper = MeetingGrouper::with_config(config.grouping);
+        let grouper = MeetingGrouper::with_config(config.grouping_config());
         Analyzer {
             config,
             classifier: Classifier::new(),
@@ -206,7 +406,7 @@ impl Analyzer {
 
     /// Process a pre-dissected packet.
     pub fn process_dissection(&mut self, d: &Dissection<'_>) {
-        match extract(d, &self.config.campus) {
+        match extract(d, self.config.campus_prefixes()) {
             Extracted::Stun {
                 ts_nanos,
                 five_tuple,
@@ -223,9 +423,9 @@ impl Analyzer {
             }
             Extracted::Zoom(meta) => self.on_zoom(meta),
             Extracted::Tcp(t) => {
-                let is_control = self.config.zoom_servers.is_empty()
-                    || in_campus(&self.config.zoom_servers, t.five_tuple.src_ip)
-                    || in_campus(&self.config.zoom_servers, t.five_tuple.dst_ip);
+                let is_control = self.config.zoom_server_prefixes().is_empty()
+                    || in_campus(self.config.zoom_server_prefixes(), t.five_tuple.src_ip)
+                    || in_campus(self.config.zoom_server_prefixes(), t.five_tuple.dst_ip);
                 if is_control {
                     self.note_zoom(t.ts_nanos, &t.five_tuple, t.ip_len);
                     self.tcp_rtt.on_segment(&t);
@@ -246,7 +446,7 @@ impl Analyzer {
                                     d.ip_total_len,
                                     Framing::P2p,
                                     &z,
-                                    &self.config.campus,
+                                    self.config.campus_prefixes(),
                                 );
                                 self.on_zoom(meta);
                                 return;
@@ -271,7 +471,7 @@ impl Analyzer {
             return self.p2p_hint;
         }
         let now = d.ts_nanos;
-        let timeout = self.config.stun_timeout_nanos;
+        let timeout = self.config.stun_timeout().as_nanos() as u64;
         for ep in [d.five_tuple.src(), d.five_tuple.dst()] {
             if let Some(last) = self.p2p_endpoints.get_mut(&ep) {
                 if now.saturating_sub(*last) <= timeout {
@@ -327,7 +527,7 @@ impl Analyzer {
         if let Some((key, created)) = self.streams.on_packet(&meta) {
             if created && !sharded {
                 let (client, server) =
-                    resolve_stream_endpoints(&meta.five_tuple, &self.config.campus);
+                    resolve_stream_endpoints(&meta.five_tuple, self.config.campus_prefixes());
                 let rtp = meta.rtp.as_ref().expect("stream implies rtp");
                 let streams = &self.streams;
                 let (uid, _meeting) = self.grouper.on_new_stream(
@@ -355,6 +555,15 @@ impl Analyzer {
     }
 
     // ---------------------------- reports ----------------------------
+
+    /// Finish the analysis: an owned [`AnalysisReport`] with the trace
+    /// summary, per-meeting and per-stream breakdowns, and RTT summaries.
+    ///
+    /// Non-consuming — the analyzer stays queryable afterwards (and more
+    /// records may still be fed; `finish` simply snapshots).
+    pub fn finish(&self) -> AnalysisReport {
+        build_report(self, self.streams.iter().map(|s| (s, false)), 0, 0)
+    }
 
     /// Trace summary (Table 6).
     pub fn summary(&self) -> TraceSummary {
@@ -706,6 +915,8 @@ mod tests {
     }
 
     #[test]
+    // Intentionally exercises the deprecated field shim.
+    #[allow(deprecated, clippy::field_reassign_with_default)]
     fn tcp_filtered_by_server_list() {
         let mut cfg = AnalyzerConfig::default();
         cfg.zoom_servers = vec![(IpAddr::V4(Ipv4Addr::new(170, 114, 0, 0)), 16)];

@@ -1,0 +1,599 @@
+//! Owned analysis reports and their JSON serialization.
+//!
+//! [`AnalysisReport`] is the value-typed result of a finished analysis —
+//! trace summary, per-meeting breakdown, per-stream metrics, and RTT
+//! summaries — returned by [`crate::pipeline::Analyzer::finish`] and
+//! [`crate::parallel::ParallelAnalyzer::finish`] instead of a borrow of
+//! the analyzer itself. [`WindowReport`] is the per-window variant the
+//! [`crate::engine::StreamingEngine`] emits while a trace is still
+//! flowing: per-stream *deltas* over one tumbling window plus
+//! meeting-level rollups, mirroring a live Table 6 row.
+//!
+//! Serialization is hand-rolled JSON (the workspace takes no external
+//! dependencies): deterministic field order, sorted collections, and
+//! integer-domain aggregation wherever exactness matters, so two reports
+//! built from the same underlying state serialize byte-identically — the
+//! property `tests/streaming_differential.rs` leans on.
+
+use crate::meeting::MeetingReport;
+use crate::packet::Direction;
+use crate::pipeline::{Analyzer, TraceSummary};
+use crate::stream::{Stream, StreamKey};
+use zoom_wire::zoom::MediaType;
+
+// ---------------------------------------------------------------- JSON --
+
+/// Minimal JSON object writer: deterministic field order, no trailing
+/// commas, numbers via Rust's shortest round-trip `Display`.
+pub(crate) struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObj {
+    pub(crate) fn new() -> JsonObj {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    pub(crate) fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    pub(crate) fn usize(&mut self, k: &str, v: usize) -> &mut Self {
+        self.u64(k, v as u64)
+    }
+
+    pub(crate) fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            self.buf.push_str(&v.to_string());
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    pub(crate) fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+        self
+    }
+
+    /// Insert pre-serialized JSON (an array or nested object) verbatim.
+    pub(crate) fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub(crate) fn opt_u32(&mut self, k: &str, v: Option<u32>) -> &mut Self {
+        self.key(k);
+        match v {
+            Some(v) => self.buf.push_str(&v.to_string()),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    pub(crate) fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+// ------------------------------------------------------------- reports --
+
+/// Order-independent summary of a set of RTT samples.
+///
+/// Aggregation happens in the integer nanosecond domain (sum of `u64`,
+/// then one division), so the result is bit-identical regardless of the
+/// order samples were collected in — the batch and streaming paths may
+/// interleave shard samples differently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttSummaryReport {
+    /// Number of samples.
+    pub samples: usize,
+    /// Mean RTT, milliseconds.
+    pub mean_ms: f64,
+    /// Median RTT, milliseconds (nearest rank).
+    pub p50_ms: f64,
+    /// 95th-percentile RTT, milliseconds (nearest rank).
+    pub p95_ms: f64,
+}
+
+impl RttSummaryReport {
+    /// Summarize a slice of samples (any order).
+    pub fn from_samples(samples: &[crate::metrics::latency::RttSample]) -> RttSummaryReport {
+        let mut nanos: Vec<u64> = samples.iter().map(|s| s.rtt_nanos).collect();
+        nanos.sort_unstable();
+        let n = nanos.len();
+        if n == 0 {
+            return RttSummaryReport {
+                samples: 0,
+                mean_ms: 0.0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+            };
+        }
+        let sum: u128 = nanos.iter().map(|&v| u128::from(v)).sum();
+        let rank = |q: f64| nanos[((n - 1) as f64 * q).round() as usize] as f64 / 1e6;
+        RttSummaryReport {
+            samples: n,
+            mean_ms: (sum / n as u128) as f64 / 1e6,
+            p50_ms: rank(0.5),
+            p95_ms: rank(0.95),
+        }
+    }
+
+    fn to_json(self) -> String {
+        let mut o = JsonObj::new();
+        o.usize("samples", self.samples)
+            .f64("mean_ms", self.mean_ms)
+            .f64("p50_ms", self.p50_ms)
+            .f64("p95_ms", self.p95_ms);
+        o.finish()
+    }
+}
+
+/// Whole-trace metrics of one media stream (one row of the per-stream
+/// report; an evicted stream that reappeared contributes one row per
+/// tracked fragment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// The stream's identity: (flow, SSRC).
+    pub key: StreamKey,
+    /// Zoom media encapsulation type.
+    pub media_type: MediaType,
+    /// Uplink/downlink orientation.
+    pub direction: Direction,
+    /// Identifier shared by all copies of the same media (grouping
+    /// step 1).
+    pub unique_id: Option<u32>,
+    /// Canonical meeting id (grouping step 2).
+    pub meeting: Option<u32>,
+    /// First packet timestamp, nanoseconds.
+    pub first_seen_nanos: u64,
+    /// Last packet timestamp, nanoseconds.
+    pub last_seen_nanos: u64,
+    /// Packets observed.
+    pub packets: u64,
+    /// Media payload bytes across sub-streams.
+    pub media_bytes: u64,
+    /// Reconstructed frames (video/screen-share streams).
+    pub frames: u64,
+    /// Mean media bit rate over the stream's lifetime, bits/s.
+    pub mean_bitrate_bps: f64,
+    /// Frame-level jitter estimate, milliseconds.
+    pub jitter_ms: f64,
+    /// Sequence numbers confirmed missing, summed over sub-streams.
+    pub lost: u64,
+    /// Duplicate (retransmitted) packets, summed over sub-streams.
+    pub duplicates: u64,
+    /// True when this row was flushed by the streaming engine's idle
+    /// eviction rather than at end of trace.
+    pub evicted: bool,
+}
+
+impl StreamReport {
+    pub(crate) fn from_stream(
+        s: &Stream,
+        unique_id: Option<u32>,
+        meeting: Option<u32>,
+        evicted: bool,
+    ) -> StreamReport {
+        let (lost, duplicates) = s
+            .substreams
+            .values()
+            .map(|sub| {
+                let st = sub.seq_stats();
+                (st.missing, st.duplicates)
+            })
+            .fold((0, 0), |(l, d), (sl, sd)| (l + sl, d + sd));
+        StreamReport {
+            key: s.key,
+            media_type: s.media_type,
+            direction: s.direction,
+            unique_id,
+            meeting,
+            first_seen_nanos: s.first_seen,
+            last_seen_nanos: s.last_seen,
+            packets: s.packets,
+            media_bytes: s.media_bytes(),
+            frames: s.frames.as_ref().map(|f| f.frames().len()).unwrap_or(0) as u64,
+            mean_bitrate_bps: s.mean_media_bitrate(),
+            jitter_ms: s.frame_jitter.jitter_ms(),
+            lost,
+            duplicates,
+            evicted,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("flow", &self.key.flow.to_string())
+            .u64("ssrc", u64::from(self.key.ssrc))
+            .str("media", self.media_type.label())
+            .str("direction", direction_label(self.direction))
+            .opt_u32("unique_id", self.unique_id)
+            .opt_u32("meeting", self.meeting)
+            .u64("first_seen_nanos", self.first_seen_nanos)
+            .u64("last_seen_nanos", self.last_seen_nanos)
+            .u64("packets", self.packets)
+            .u64("media_bytes", self.media_bytes)
+            .u64("frames", self.frames)
+            .f64("mean_bitrate_bps", self.mean_bitrate_bps)
+            .f64("jitter_ms", self.jitter_ms)
+            .u64("lost", self.lost)
+            .u64("duplicates", self.duplicates)
+            .bool("evicted", self.evicted);
+        o.finish()
+    }
+}
+
+fn direction_label(d: Direction) -> &'static str {
+    match d {
+        Direction::ToServer => "up",
+        Direction::FromServer => "down",
+        Direction::Unknown => "unknown",
+    }
+}
+
+fn meeting_to_json(m: &MeetingReport) -> String {
+    let mut clients: Vec<String> = m.clients.iter().map(|ip| ip.to_string()).collect();
+    clients.sort();
+    let mut servers: Vec<String> = m.servers.iter().map(|ip| ip.to_string()).collect();
+    servers.sort();
+    let mut o = JsonObj::new();
+    o.u64("id", u64::from(m.id))
+        .usize("participant_estimate", m.participant_estimate)
+        .raw(
+            "stream_uids",
+            &json_array(m.stream_uids.iter().map(|u| u.to_string())),
+        )
+        .raw(
+            "clients",
+            &json_array(clients.into_iter().map(|s| format!("\"{s}\""))),
+        )
+        .raw(
+            "servers",
+            &json_array(servers.into_iter().map(|s| format!("\"{s}\""))),
+        )
+        .usize("streams", m.streams.len());
+    o.finish()
+}
+
+fn summary_to_json(s: &TraceSummary) -> String {
+    let mut o = JsonObj::new();
+    o.u64("total_packets", s.total_packets)
+        .u64("zoom_packets", s.zoom_packets)
+        .u64("zoom_bytes", s.zoom_bytes)
+        .usize("zoom_flows", s.zoom_flows)
+        .usize("rtp_streams", s.rtp_streams)
+        .usize("meetings", s.meetings)
+        .u64("duration_nanos", s.duration_nanos);
+    o.finish()
+}
+
+/// The value-typed result of a finished analysis: everything the batch
+/// CLI prints and the streaming engine's final drain emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Trace summary (Table 6).
+    pub summary: TraceSummary,
+    /// Records that failed link/IP dissection.
+    pub undissectable: u64,
+    /// Reconstructed meetings (§4.3), sorted by id.
+    pub meetings: Vec<MeetingReport>,
+    /// Per-stream rows in global creation order; evicted fragments appear
+    /// in place with `evicted: true`.
+    pub streams: Vec<StreamReport>,
+    /// RTP-copy RTT summary (§5.3 method 1).
+    pub rtp_rtt: RttSummaryReport,
+    /// TCP control-connection RTT summary (§5.3 method 2).
+    pub tcp_rtt: RttSummaryReport,
+}
+
+impl AnalysisReport {
+    /// Serialize as one NDJSON-friendly line, tagged `"type":"final"`.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("type", "final")
+            .raw("summary", &summary_to_json(&self.summary))
+            .u64("undissectable", self.undissectable)
+            .raw("rtp_rtt", &self.rtp_rtt.to_json())
+            .raw("tcp_rtt", &self.tcp_rtt.to_json())
+            .raw(
+                "meetings",
+                &json_array(self.meetings.iter().map(meeting_to_json)),
+            )
+            .raw(
+                "streams",
+                &json_array(self.streams.iter().map(|s| s.to_json())),
+            );
+        o.finish()
+    }
+}
+
+/// Build a report from an analyzer plus an explicit stream sequence. The
+/// batch path passes the tracker's live streams; the streaming engine
+/// interleaves evicted fragments and adds the evicted-entity counts that
+/// the live tracker no longer holds.
+pub(crate) fn build_report<'a>(
+    analyzer: &Analyzer,
+    streams: impl Iterator<Item = (&'a Stream, bool)>,
+    extra_flows: usize,
+    extra_streams: usize,
+) -> AnalysisReport {
+    let mut summary = analyzer.summary();
+    summary.zoom_flows += extra_flows;
+    summary.rtp_streams += extra_streams;
+    let meetings = analyzer.meetings();
+    let rows = streams
+        .map(|(s, evicted)| {
+            let (uid, meeting) = match analyzer.grouper.assignment(&s.key) {
+                Some((u, _)) => (Some(u), analyzer.grouper.canonical_meeting(&s.key)),
+                None => (None, None),
+            };
+            StreamReport::from_stream(s, uid, meeting, evicted)
+        })
+        .collect();
+    AnalysisReport {
+        summary,
+        undissectable: analyzer.undissectable,
+        meetings,
+        streams: rows,
+        rtp_rtt: RttSummaryReport::from_samples(analyzer.rtp_rtt.samples()),
+        tcp_rtt: RttSummaryReport::from_samples(analyzer.tcp_rtt.samples()),
+    }
+}
+
+// ------------------------------------------------------------- windows --
+
+/// Trace-level deltas over one tumbling window, plus the cumulative
+/// meeting count — a live Table 6 row.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowTotals {
+    /// Records processed in the window (Zoom or not).
+    pub packets: u64,
+    /// Records recognized as Zoom.
+    pub zoom_packets: u64,
+    /// IP bytes across the window's Zoom packets.
+    pub zoom_bytes: u64,
+    /// Flows first seen in the window.
+    pub new_flows: u64,
+    /// Streams first seen in the window.
+    pub new_streams: u64,
+    /// Streams with at least one packet in the window.
+    pub active_streams: u64,
+    /// Cumulative distinct meetings at window close.
+    pub meetings: usize,
+    /// Flows evicted at this window's tick.
+    pub evicted_flows: u64,
+    /// Streams evicted at this window's tick.
+    pub evicted_streams: u64,
+    /// Tracked entries (flows + streams + STUN registrations + RTT
+    /// candidates) right after the tick — the bounded-memory gauge.
+    pub tracked_entries: usize,
+    /// RTP-copy RTT over samples collected in this window.
+    pub rtp_rtt: RttSummaryReport,
+}
+
+impl Default for RttSummaryReport {
+    fn default() -> Self {
+        RttSummaryReport::from_samples(&[])
+    }
+}
+
+/// One stream's activity within one window (counter deltas, not
+/// cumulative totals). Summing a stream's deltas over all windows
+/// reproduces its whole-trace counters exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamWindow {
+    /// The stream's identity: (flow, SSRC).
+    pub key: StreamKey,
+    /// Zoom media encapsulation type.
+    pub media_type: MediaType,
+    /// Uplink/downlink orientation.
+    pub direction: Direction,
+    /// Canonical meeting id at window close.
+    pub meeting: Option<u32>,
+    /// Packets in the window.
+    pub packets: u64,
+    /// Media payload bytes in the window.
+    pub media_bytes: u64,
+    /// Frames completed in the window.
+    pub frames: u64,
+    /// Media bit rate over the window, bits/s.
+    pub bitrate_bps: f64,
+    /// Delivered frame rate over the window, frames/s.
+    pub fps: f64,
+    /// Mean frame-level jitter over the window's samples, ms (`None`
+    /// when the window produced no jitter samples).
+    pub jitter_ms: Option<f64>,
+    /// Sequence numbers newly confirmed missing in the window.
+    pub lost: u64,
+    /// Duplicate packets observed in the window.
+    pub duplicates: u64,
+    /// True when the stream was evicted at this window's tick (this is
+    /// its final fragment).
+    pub evicted: bool,
+}
+
+impl StreamWindow {
+    fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.str("flow", &self.key.flow.to_string())
+            .u64("ssrc", u64::from(self.key.ssrc))
+            .str("media", self.media_type.label())
+            .str("direction", direction_label(self.direction))
+            .opt_u32("meeting", self.meeting)
+            .u64("packets", self.packets)
+            .u64("media_bytes", self.media_bytes)
+            .u64("frames", self.frames)
+            .f64("bitrate_bps", self.bitrate_bps)
+            .f64("fps", self.fps);
+        match self.jitter_ms {
+            Some(j) => o.f64("jitter_ms", j),
+            None => o.raw("jitter_ms", "null"),
+        };
+        o.u64("lost", self.lost)
+            .u64("duplicates", self.duplicates)
+            .bool("evicted", self.evicted);
+        o.finish()
+    }
+}
+
+/// Per-meeting rollup of one window's stream activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeetingWindow {
+    /// Canonical meeting id.
+    pub id: u32,
+    /// Member streams active in the window.
+    pub active_streams: u64,
+    /// Packets across those streams.
+    pub packets: u64,
+    /// Media payload bytes across those streams.
+    pub media_bytes: u64,
+}
+
+impl MeetingWindow {
+    fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("id", u64::from(self.id))
+            .u64("active_streams", self.active_streams)
+            .u64("packets", self.packets)
+            .u64("media_bytes", self.media_bytes);
+        o.finish()
+    }
+}
+
+/// One closed tumbling window of streaming analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Zero-based window index. Checkpoint fragments share the index of
+    /// the window they cut short.
+    pub index: u64,
+    /// Window start, nanoseconds (aligned to the window length).
+    pub start_nanos: u64,
+    /// Window end, nanoseconds (exclusive; the final window of a trace
+    /// ends at the last record instead).
+    pub end_nanos: u64,
+    /// Trace-level deltas and gauges.
+    pub totals: WindowTotals,
+    /// Per-meeting rollups, sorted by meeting id.
+    pub meetings: Vec<MeetingWindow>,
+    /// Per-stream deltas, sorted by stream key.
+    pub streams: Vec<StreamWindow>,
+}
+
+impl WindowReport {
+    /// Serialize as one NDJSON line, tagged `"type":"window"`.
+    pub fn to_json(&self) -> String {
+        let mut totals = JsonObj::new();
+        totals
+            .u64("packets", self.totals.packets)
+            .u64("zoom_packets", self.totals.zoom_packets)
+            .u64("zoom_bytes", self.totals.zoom_bytes)
+            .u64("new_flows", self.totals.new_flows)
+            .u64("new_streams", self.totals.new_streams)
+            .u64("active_streams", self.totals.active_streams)
+            .usize("meetings", self.totals.meetings)
+            .u64("evicted_flows", self.totals.evicted_flows)
+            .u64("evicted_streams", self.totals.evicted_streams)
+            .usize("tracked_entries", self.totals.tracked_entries)
+            .raw("rtp_rtt", &self.totals.rtp_rtt.to_json());
+        let mut o = JsonObj::new();
+        o.str("type", "window")
+            .u64("index", self.index)
+            .u64("start_nanos", self.start_nanos)
+            .u64("end_nanos", self.end_nanos)
+            .raw("totals", &totals.finish())
+            .raw(
+                "meetings",
+                &json_array(self.meetings.iter().map(|m| m.to_json())),
+            )
+            .raw(
+                "streams",
+                &json_array(self.streams.iter().map(|s| s.to_json())),
+            );
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_summary_is_order_independent() {
+        use crate::metrics::latency::RttSample;
+        use std::net::{IpAddr, Ipv4Addr};
+        let to = IpAddr::V4(Ipv4Addr::new(1, 2, 3, 4));
+        let mk = |rtt| RttSample {
+            at: 0,
+            rtt_nanos: rtt,
+            to,
+        };
+        let a = RttSummaryReport::from_samples(&[mk(10_000_000), mk(30_000_000), mk(20_000_000)]);
+        let b = RttSummaryReport::from_samples(&[mk(30_000_000), mk(10_000_000), mk(20_000_000)]);
+        assert_eq!(a, b);
+        assert_eq!(a.samples, 3);
+        assert!((a.mean_ms - 20.0).abs() < 1e-9);
+        assert!((a.p50_ms - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_escapes_and_nulls() {
+        let mut o = JsonObj::new();
+        o.str("s", "a\"b\\c\n")
+            .f64("nan", f64::NAN)
+            .opt_u32("m", None);
+        let s = o.finish();
+        let expected = "{\"s\":\"a\\\"b\\\\c\\u000a\",\"nan\":null,\"m\":null}";
+        assert_eq!(s, expected);
+    }
+}

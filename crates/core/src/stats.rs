@@ -43,8 +43,7 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -248,7 +247,7 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert_eq!(b.sorted(), vec![(0, 3.0), (5_000_000_000, 4.0)]);
         let mut rates = b.rate_samples();
-        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rates.sort_by(f64::total_cmp);
         assert_eq!(rates, vec![3.0, 4.0]);
         assert!(!b.is_empty());
     }

@@ -296,6 +296,23 @@ impl StreamTracker {
             self.order.push(key);
         }
     }
+
+    /// Remove and return every stream idle since before `cutoff`
+    /// (`last_seen < cutoff`), preserving creation order among both the
+    /// evicted and the survivors. The streaming engine's bounded-memory
+    /// tick; a stream that reappears later is tracked as a fresh one.
+    pub(crate) fn evict_idle(&mut self, cutoff: u64) -> Vec<Stream> {
+        let mut evicted = Vec::new();
+        let streams = &mut self.streams;
+        self.order.retain(|k| match streams.get(k) {
+            Some(s) if s.last_seen < cutoff => {
+                evicted.push(streams.remove(k).expect("checked present"));
+                false
+            }
+            _ => true,
+        });
+        evicted
+    }
 }
 
 #[cfg(test)]

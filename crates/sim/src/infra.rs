@@ -194,7 +194,7 @@ fn carve(base: u8, budget: u64) -> Vec<Cidr> {
         // Largest power of two ≤ remaining, capped at /16 (65,536) and
         // floored at /27 (32).
         let mut block = 1u64 << (63 - remaining.leading_zeros() as u64);
-        block = block.min(65_536).max(32);
+        block = block.clamp(32, 65_536);
         if block > remaining {
             block = 32; // final sliver: one /27 (budgets are /27-aligned)
         }
@@ -351,7 +351,7 @@ impl Infrastructure {
             .into_iter()
             .map(|(loc, (m, z))| (loc.to_string(), m, z))
             .collect();
-        rows.sort_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
 }

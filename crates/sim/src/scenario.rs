@@ -128,6 +128,46 @@ pub fn multi_party(seed: u64, duration: Nanos) -> MeetingConfig {
     }
 }
 
+/// Meeting churn: several short, staggered meetings that start and end
+/// throughout the trace, each with its own SFU and client subnet.
+///
+/// Streams from early meetings go permanently silent long before the
+/// trace ends, which is exactly the workload the streaming engine's
+/// idle-timeout eviction is for — `tests/streaming_differential.rs` uses
+/// this to verify that evicted-stream report fragments still sum to the
+/// batch totals and that the tracked-entry count stays bounded.
+pub fn churn(seed: u64, duration: Nanos) -> Vec<MeetingConfig> {
+    let n: u64 = 6;
+    // Each meeting runs for a quarter of the trace; starts are spread so
+    // the last one still finishes inside the trace.
+    let dwell = duration / 4;
+    let step = duration.saturating_sub(dwell) / (n - 1).max(1);
+    (0..n)
+        .map(|i| {
+            let start = i * step;
+            let end = start + dwell;
+            let subnet = (i + 1) as u8;
+            MeetingConfig {
+                id: 100 + i as u32,
+                sfu_ip: Ipv4Addr::new(170, 114, 1, 10 + i as u8),
+                zc_ip: DEFAULT_ZC,
+                participants: vec![
+                    ParticipantConfig::standard(Ipv4Addr::new(10, 8, subnet, 1), start, end),
+                    ParticipantConfig::standard(
+                        Ipv4Addr::new(10, 8, subnet, 2),
+                        start + SEC / 2,
+                        end,
+                    ),
+                ],
+                p2p_switch_at: None,
+                control_tcp: true,
+                keepalives: true,
+                seed: seed.wrapping_add(i),
+            }
+        })
+        .collect()
+}
+
 /// The 12-hour campus study (Table 6, Figs. 14–17) at the given load
 /// scale. `background_ratio > 0` adds non-Zoom traffic for capture-
 /// pipeline experiments.

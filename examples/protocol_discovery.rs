@@ -93,7 +93,7 @@ fn main() {
         );
         let mut by_offset: Vec<(usize, usize)> =
             find_rtcp_by_ssrc(&non_rtp, &ssrcs).into_iter().collect();
-        by_offset.sort_by(|a, b| b.1.cmp(&a.1));
+        by_offset.sort_by_key(|r| std::cmp::Reverse(r.1));
         for (offset, count) in by_offset.iter().take(5) {
             println!("  SSRC value found at offset {offset} in {count} packets");
         }

@@ -33,7 +33,11 @@ fn main() -> std::io::Result<()> {
     let file = std::fs::File::open(&path)?;
     let mut reader = Reader::new(std::io::BufReader::new(file))?;
     let link = reader.link_type();
-    let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+    let analyzer_config = AnalyzerConfig::builder()
+        .campus(scenario::CAMPUS_NET)
+        .build()
+        .expect("valid campus CIDR");
+    let mut analyzer = Analyzer::new(analyzer_config);
     while let Some(record) = reader.next_record()? {
         analyzer.process_record(&record, link);
     }
@@ -103,6 +107,15 @@ fn main() -> std::io::Result<()> {
             mean
         );
     }
+    // 4. The same results as one owned, machine-readable report — what
+    //    `zoom-tools analyze --json` and the streaming engine emit.
+    let report = analyzer.finish();
+    println!(
+        "\nfinal report: {} stream row(s), {} JSON bytes",
+        report.streams.len(),
+        report.to_json().len()
+    );
+
     std::fs::remove_file(&path).ok();
     Ok(())
 }

@@ -86,10 +86,12 @@ fn anonymized_output_remains_fully_analyzable() {
             stun_timeout_nanos: 120 * SEC,
             anonymizer: anon,
         });
-        let mut analyzer = Analyzer::new(AnalyzerConfig {
-            campus: vec![campus],
-            ..Default::default()
-        });
+        let mut analyzer = Analyzer::new(
+            AnalyzerConfig::builder()
+                .campus_prefix(campus.0, campus.1)
+                .build()
+                .expect("valid config"),
+        );
         for record in stream {
             let (_, out) = capture.process_record(&record, LinkType::Ethernet);
             if let Some(out) = out {

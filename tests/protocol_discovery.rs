@@ -11,14 +11,18 @@ use zoom_wire::dissect::{dissect, P2pProbe, Transport};
 use zoom_wire::flow::FiveTuple;
 use zoom_wire::pcap::LinkType;
 
+/// Per-flow raw payloads: the Zoom media type (if any) plus timestamped
+/// UDP payload bytes.
+type FlowPayloads = HashMap<FiveTuple, (Option<u8>, Vec<(u64, Vec<u8>)>)>;
+
 /// Collect raw UDP payloads per flow from a simulated meeting, with the
 /// Zoom media type recorded per flow so the test can select flows (the
 /// discovery functions themselves never see it).
-fn flows_by_payload(duration: u64) -> HashMap<FiveTuple, (Option<u8>, Vec<(u64, Vec<u8>)>)> {
+fn flows_by_payload(duration: u64) -> FlowPayloads {
     let mut cfg = scenario::multi_party(23, duration * SEC);
     cfg.participants.truncate(3); // drop the passive participant
     let sim = MeetingSim::new(cfg);
-    let mut flows: HashMap<FiveTuple, (Option<u8>, Vec<(u64, Vec<u8>)>)> = HashMap::new();
+    let mut flows: FlowPayloads = HashMap::new();
     for record in sim {
         let Ok(d) = dissect(
             record.ts_nanos,

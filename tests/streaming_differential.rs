@@ -1,0 +1,235 @@
+//! Differential tests for the streaming engine: windowed, bounded-memory
+//! analysis must not change what gets measured.
+//!
+//! * With no window and no eviction, `StreamingEngine::drain` must emit a
+//!   report **byte-identical** to the sequential `Analyzer::finish` for
+//!   any shard count (the `ParallelAnalyzer` equivalence, restated at the
+//!   JSON layer).
+//! * With windows enabled, every windowed counter is a delta: summing a
+//!   stream's deltas over all windows reproduces its whole-trace counters
+//!   exactly, and the end-of-trace report is still byte-identical.
+//! * With idle eviction enabled on a meeting-churn workload, evicted
+//!   report fragments plus live rows still sum to the batch totals, and
+//!   the peak tracked-entry count is strictly lower than without
+//!   eviction.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+use zoom_analysis::engine::{EngineConfig, EngineOutput, StreamingEngine};
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::report::{AnalysisReport, WindowReport};
+use zoom_analysis::stream::StreamKey;
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::pcap::{LinkType, Record};
+
+fn batch_report(records: &[Record]) -> AnalysisReport {
+    let mut a = Analyzer::new(AnalyzerConfig::default());
+    for r in records {
+        a.process_record(r, LinkType::Ethernet);
+    }
+    a.finish()
+}
+
+fn stream_run(
+    records: &[Record],
+    shards: usize,
+    window: Option<Duration>,
+    idle_timeout: Option<Duration>,
+) -> (Vec<WindowReport>, EngineOutput) {
+    let mut engine = StreamingEngine::new(EngineConfig {
+        analyzer: AnalyzerConfig::default(),
+        shards,
+        window,
+        idle_timeout,
+    })
+    .expect("valid engine config");
+    let mut windows = Vec::new();
+    for r in records {
+        windows.extend(engine.push_record(r, LinkType::Ethernet).expect("push"));
+    }
+    let out = engine.drain().expect("drain");
+    (windows, out)
+}
+
+fn churn_records(seed: u64, duration_secs: u64) -> Vec<Record> {
+    let mut records: Vec<Record> = scenario::churn(seed, duration_secs * SEC)
+        .into_iter()
+        .flat_map(MeetingSim::new)
+        .collect();
+    records.sort_by_key(|r| r.ts_nanos);
+    records
+}
+
+/// Per-key counter totals, summed over report rows or window deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct Totals {
+    packets: u64,
+    media_bytes: u64,
+    frames: u64,
+    lost: u64,
+    duplicates: u64,
+}
+
+fn report_totals(report: &AnalysisReport) -> BTreeMap<StreamKey, Totals> {
+    let mut map: BTreeMap<StreamKey, Totals> = BTreeMap::new();
+    for s in &report.streams {
+        let t = map.entry(s.key).or_default();
+        t.packets += s.packets;
+        t.media_bytes += s.media_bytes;
+        t.frames += s.frames;
+        t.lost += s.lost;
+        t.duplicates += s.duplicates;
+    }
+    map
+}
+
+fn window_totals<'a>(
+    windows: impl Iterator<Item = &'a WindowReport>,
+) -> BTreeMap<StreamKey, Totals> {
+    let mut map: BTreeMap<StreamKey, Totals> = BTreeMap::new();
+    for w in windows {
+        for s in &w.streams {
+            let t = map.entry(s.key).or_default();
+            t.packets += s.packets;
+            t.media_bytes += s.media_bytes;
+            t.frames += s.frames;
+            t.lost += s.lost;
+            t.duplicates += s.duplicates;
+        }
+    }
+    map
+}
+
+#[test]
+fn unwindowed_streaming_report_is_byte_identical_to_batch() {
+    let records: Vec<Record> = MeetingSim::new(scenario::multi_party(3, 60 * SEC)).collect();
+    assert!(records.len() > 1_000);
+    let batch = batch_report(&records);
+    assert!(batch.summary.rtp_streams > 0);
+    for shards in [1usize, 8] {
+        let (windows, out) = stream_run(&records, shards, None, None);
+        assert!(windows.is_empty(), "{shards} shards: no window configured");
+        assert_eq!(
+            out.report.to_json(),
+            batch.to_json(),
+            "{shards} shards: final JSON"
+        );
+    }
+}
+
+#[test]
+fn window_deltas_sum_to_batch_totals_without_eviction() {
+    let records: Vec<Record> = MeetingSim::new(scenario::multi_party(9, 45 * SEC)).collect();
+    let batch = batch_report(&records);
+    let per_key = report_totals(&batch);
+    for shards in [1usize, 8] {
+        let (windows, out) = stream_run(&records, shards, Some(Duration::from_secs(10)), None);
+        assert!(windows.len() >= 4, "{shards} shards: {}", windows.len());
+        // Window indices are consecutive from zero; the drain fragment
+        // continues past the last closed window.
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.index, i as u64, "{shards} shards");
+        }
+
+        let all = windows.iter().chain(std::iter::once(&out.final_window));
+        let packets: u64 = all.clone().map(|w| w.totals.packets).sum();
+        let zoom_packets: u64 = all.clone().map(|w| w.totals.zoom_packets).sum();
+        let zoom_bytes: u64 = all.clone().map(|w| w.totals.zoom_bytes).sum();
+        let new_streams: u64 = all.clone().map(|w| w.totals.new_streams).sum();
+        assert_eq!(packets, batch.summary.total_packets, "{shards} shards");
+        assert_eq!(zoom_packets, batch.summary.zoom_packets, "{shards} shards");
+        assert_eq!(zoom_bytes, batch.summary.zoom_bytes, "{shards} shards");
+        assert_eq!(
+            new_streams,
+            batch.summary.rtp_streams as u64,
+            "{shards} shards"
+        );
+        assert_eq!(window_totals(all), per_key, "{shards} shards: per-stream");
+
+        // Windowing must not perturb the end-of-trace report at all.
+        assert_eq!(
+            out.report.to_json(),
+            batch.to_json(),
+            "{shards} shards: final JSON"
+        );
+    }
+}
+
+#[test]
+fn eviction_fragments_sum_to_batch_totals_and_bound_memory() {
+    let records = churn_records(5, 120);
+    assert!(records.len() > 5_000);
+    let batch = batch_report(&records);
+    assert!(batch.summary.meetings >= 4, "{}", batch.summary.meetings);
+    let per_key = report_totals(&batch);
+
+    // A no-eviction run establishes the unbounded peak to beat.
+    let (_, unbounded) = stream_run(&records, 2, Some(Duration::from_secs(5)), None);
+
+    for shards in [1usize, 2] {
+        let (windows, out) = stream_run(
+            &records,
+            shards,
+            Some(Duration::from_secs(5)),
+            Some(Duration::from_secs(5)),
+        );
+        let evicted: u64 = windows.iter().map(|w| w.totals.evicted_streams).sum();
+        assert!(evicted > 0, "{shards} shards: churn forced no evictions");
+
+        // Exactness: evicted fragments + live rows reproduce every batch
+        // counter, per stream and in the rollup.
+        assert_eq!(report_totals(&out.report), per_key, "{shards} shards");
+        assert_eq!(out.report.summary.total_packets, batch.summary.total_packets);
+        assert_eq!(out.report.summary.zoom_packets, batch.summary.zoom_packets);
+        assert_eq!(out.report.summary.zoom_bytes, batch.summary.zoom_bytes);
+        assert_eq!(out.report.summary.zoom_flows, batch.summary.zoom_flows);
+        assert_eq!(out.report.summary.rtp_streams, batch.summary.rtp_streams);
+        assert_eq!(out.report.summary.meetings, batch.summary.meetings);
+
+        // Boundedness: idle-out keeps the tracked-entry gauge strictly
+        // below the never-evict peak, and under an absolute cap sized
+        // for the concurrently-active portion of the workload (at most
+        // two of the six meetings overlap, plus STUN/RTT candidates).
+        const TRACKED_ENTRY_CAP: usize = 160;
+        eprintln!(
+            "{shards} shards: evicting peak {}, never-evict peak {}",
+            out.peak_tracked_entries, unbounded.peak_tracked_entries
+        );
+        assert!(
+            out.peak_tracked_entries < unbounded.peak_tracked_entries,
+            "{shards} shards: peak {} !< {}",
+            out.peak_tracked_entries,
+            unbounded.peak_tracked_entries
+        );
+        assert!(
+            out.peak_tracked_entries <= TRACKED_ENTRY_CAP,
+            "{shards} shards: peak {} exceeds cap {TRACKED_ENTRY_CAP}",
+            out.peak_tracked_entries
+        );
+    }
+}
+
+proptest! {
+    /// For randomized window sizes and shard counts, window deltas always
+    /// sum back to the batch totals.
+    #[test]
+    fn randomized_window_sizes_preserve_totals(
+        seed in 0u64..100_000,
+        window_secs in 1u64..30,
+        shards in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let records: Vec<Record> =
+            MeetingSim::new(scenario::multi_party(seed, 30 * SEC)).collect();
+        let batch = batch_report(&records);
+        let (windows, out) =
+            stream_run(&records, shards, Some(Duration::from_secs(window_secs)), None);
+        let all = windows.iter().chain(std::iter::once(&out.final_window));
+        let packets: u64 = all.clone().map(|w| w.totals.packets).sum();
+        prop_assert_eq!(packets, batch.summary.total_packets);
+        prop_assert_eq!(window_totals(all), report_totals(&batch));
+        prop_assert_eq!(out.report.to_json(), batch.to_json());
+    }
+}

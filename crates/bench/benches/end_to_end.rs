@@ -10,7 +10,7 @@ use zoom_capture::zoom_nets::{Owner, ZoomIpList, ZoomNetwork};
 use zoom_sim::meeting::MeetingSim;
 use zoom_sim::scenario;
 use zoom_sim::time::SEC;
-use zoom_wire::pcap::LinkType;
+use zoom_wire::pcap::{LinkType, Reader, RecordBuf, SliceReader, Writer};
 
 fn bench(c: &mut Criterion) {
     // Pre-generate the records: the benchmark measures the consumer side.
@@ -76,6 +76,53 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+
+    // Ingest fast path: the same pcap image through the owning reader,
+    // the buffer-reusing `read_into` loop, and the borrowed-slice
+    // `SliceReader`, each feeding the sequential analyzer. Results are
+    // byte-identical (tests/*_differential.rs); this measures only the
+    // per-record allocation and copy savings.
+    let mut w = Writer::new(Vec::new(), LinkType::Ethernet).expect("header");
+    for r in &records {
+        w.write_record(r).expect("record");
+    }
+    let img = w.finish().expect("flush");
+
+    let mut g = c.benchmark_group("ingest_fast_path");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("owning_reader", |b| {
+        b.iter(|| {
+            let mut reader = Reader::new(&img[..]).expect("header");
+            let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+            while let Some(r) = reader.next_record().expect("record") {
+                analyzer.process_record(&r, LinkType::Ethernet);
+            }
+            analyzer.summary().zoom_packets
+        })
+    });
+    g.bench_function("read_into_reuse", |b| {
+        b.iter(|| {
+            let mut reader = Reader::new(&img[..]).expect("header");
+            let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+            let mut buf = RecordBuf::new();
+            while reader.read_into(&mut buf).expect("record") {
+                analyzer.process_packet(buf.ts_nanos(), buf.data(), LinkType::Ethernet);
+            }
+            analyzer.summary().zoom_packets
+        })
+    });
+    g.bench_function("slice_reader", |b| {
+        b.iter(|| {
+            let mut reader = SliceReader::new(&img).expect("header");
+            let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+            while let Some(r) = reader.next_record().expect("record") {
+                analyzer.process_packet(r.ts_nanos, r.data, LinkType::Ethernet);
+            }
+            analyzer.summary().zoom_packets
+        })
+    });
     g.finish();
 }
 

@@ -95,6 +95,26 @@ fn bench(c: &mut Criterion) {
             b.iter(|| run_streaming(&records, shards, Some(Duration::from_secs(10)), None).0)
         });
     }
+    // The zero-copy entry point: same engine, records fed as borrowed
+    // slices via push_packet (what a SliceReader/read_into loop does)
+    // instead of owned Records via push_record.
+    g.bench_function("streaming_unwindowed_push_packet", |b| {
+        b.iter(|| {
+            let mut engine = StreamingEngine::new(EngineConfig {
+                analyzer: AnalyzerConfig::default(),
+                shards: 1,
+                window: None,
+                idle_timeout: None,
+            })
+            .expect("valid config");
+            for r in &records {
+                engine
+                    .push_packet(r.ts_nanos, &r.data, LinkType::Ethernet)
+                    .expect("push");
+            }
+            engine.drain().expect("drain").report.summary.zoom_packets
+        })
+    });
     g.finish();
 }
 

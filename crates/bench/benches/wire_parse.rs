@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use std::net::Ipv4Addr;
-use zoom_wire::dissect::{dissect, P2pProbe};
+use zoom_wire::dissect::{dissect, dissect_from, peek, P2pProbe};
 use zoom_wire::pcap::LinkType;
 use zoom_wire::{compose, rtp, stun, zoom};
 
@@ -48,6 +48,17 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(pkt.len() as u64));
     g.bench_function("dissect_full_stack", |b| {
         b.iter(|| dissect(0, black_box(&pkt), LinkType::Ethernet, P2pProbe::Off).unwrap())
+    });
+    // The one-pass fast path: a header-only peek (what the shard router
+    // pays per packet) and a dissection resumed from its offsets (what a
+    // shard pays) — together they equal dissect_full_stack by
+    // construction.
+    g.bench_function("peek_header_only", |b| {
+        b.iter(|| peek(black_box(&pkt), LinkType::Ethernet).unwrap().info)
+    });
+    let peeked = peek(&pkt, LinkType::Ethernet).unwrap().info;
+    g.bench_function("dissect_from_peek", |b| {
+        b.iter(|| dissect_from(black_box(&peeked), 0, black_box(&pkt), P2pProbe::Off))
     });
     let udp_payload = &pkt[14 + 20 + 8..];
     g.bench_function("zoom_parse_server", |b| {

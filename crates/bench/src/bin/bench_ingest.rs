@@ -1,0 +1,252 @@
+//! Writes `BENCH_ingest.json`: packet rates and allocations per record
+//! for the three pcap ingest paths (owning `Reader`, buffer-reusing
+//! `read_into`, borrowed `SliceReader`), measured under a counting
+//! global allocator. This file starts the `BENCH_*.json` perf
+//! trajectory so later PRs have numbers to compare against; the schema
+//! is documented in `docs/PERFORMANCE.md`.
+//!
+//! Usage: `cargo run --release -p zoom-bench --bin bench_ingest [out.json]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::pcap::{LinkType, Reader, Record, RecordBuf, SliceReader, Writer};
+
+/// Counts every heap allocation (and growth) made by the process so the
+/// measured loops can report allocations per record.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One measured ingest path.
+struct PathResult {
+    name: &'static str,
+    /// Reader-only loop: records per second.
+    reader_pkts_per_sec: f64,
+    /// Reader-only loop: heap allocations per record, cold start.
+    reader_allocs_per_record: f64,
+    /// Reader-only loop: total allocations on a second pass with warm
+    /// state (the `read_into` buffer already grown). Target 0 for the
+    /// fast paths.
+    steady_state_reader_allocs: u64,
+    /// Reader feeding the sequential analyzer: records per second.
+    pipeline_pkts_per_sec: f64,
+}
+
+/// Runs `f` over the image, returning (records, seconds, allocs).
+fn measured(f: impl FnOnce() -> u64) -> (u64, f64, u64) {
+    let a0 = allocs();
+    let t0 = Instant::now();
+    let n = f();
+    let secs = t0.elapsed().as_secs_f64();
+    (n, secs, allocs() - a0)
+}
+
+fn read_owning(img: &[u8]) -> u64 {
+    let mut r = Reader::new(img).expect("pcap header");
+    let mut n = 0u64;
+    let mut sum = 0usize;
+    while let Some(rec) = r.next_record().expect("record") {
+        sum += rec.data.len();
+        n += 1;
+    }
+    black_box(sum);
+    n
+}
+
+fn read_reuse(img: &[u8], buf: &mut RecordBuf) -> u64 {
+    let mut r = Reader::new(img).expect("pcap header");
+    let mut n = 0u64;
+    let mut sum = 0usize;
+    while r.read_into(buf).expect("record") {
+        sum += buf.data().len();
+        n += 1;
+    }
+    black_box(sum);
+    n
+}
+
+fn read_slice(img: &[u8]) -> u64 {
+    let mut r = SliceReader::new(img).expect("pcap header");
+    let mut n = 0u64;
+    let mut sum = 0usize;
+    while let Some(rec) = r.next_record().expect("record") {
+        sum += rec.data.len();
+        n += 1;
+    }
+    black_box(sum);
+    n
+}
+
+fn analyze_via(img: &[u8], name: &str) -> (u64, f64) {
+    let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+    let t0 = Instant::now();
+    let n = match name {
+        "owning_reader" => {
+            let mut r = Reader::new(img).expect("pcap header");
+            let link = r.link_type();
+            let mut n = 0u64;
+            while let Some(rec) = r.next_record().expect("record") {
+                analyzer.process_record(&rec, link);
+                n += 1;
+            }
+            n
+        }
+        "read_into_reuse" => {
+            let mut r = Reader::new(img).expect("pcap header");
+            let link = r.link_type();
+            let mut buf = RecordBuf::new();
+            let mut n = 0u64;
+            while r.read_into(&mut buf).expect("record") {
+                analyzer.process_packet(buf.ts_nanos(), buf.data(), link);
+                n += 1;
+            }
+            n
+        }
+        _ => {
+            let mut r = SliceReader::new(img).expect("pcap header");
+            let link = r.link_type();
+            let mut n = 0u64;
+            while let Some(rec) = r.next_record().expect("record") {
+                analyzer.process_packet(rec.ts_nanos, rec.data, link);
+                n += 1;
+            }
+            n
+        }
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    black_box(analyzer.summary().zoom_packets);
+    (n, secs)
+}
+
+fn measure_path(img: &[u8], name: &'static str) -> PathResult {
+    // Cold reader-only pass: rate and allocations per record.
+    let mut reuse_buf = RecordBuf::new();
+    let (n, secs, cold_allocs) = match name {
+        "owning_reader" => measured(|| read_owning(img)),
+        "read_into_reuse" => measured(|| read_reuse(img, &mut reuse_buf)),
+        _ => measured(|| read_slice(img)),
+    };
+    // Warm second pass: the reuse buffer is already at capacity, so the
+    // fast paths should not touch the allocator at all.
+    let (_, _, steady) = match name {
+        "owning_reader" => measured(|| read_owning(img)),
+        "read_into_reuse" => measured(|| read_reuse(img, &mut reuse_buf)),
+        _ => measured(|| read_slice(img)),
+    };
+    let (pn, psecs) = analyze_via(img, name);
+    assert_eq!(pn, n, "{name}: pipeline saw a different record count");
+    PathResult {
+        name,
+        reader_pkts_per_sec: n as f64 / secs,
+        reader_allocs_per_record: cold_allocs as f64 / n as f64,
+        steady_state_reader_allocs: steady,
+        pipeline_pkts_per_sec: pn as f64 / psecs,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+
+    let records: Vec<Record> = MeetingSim::new(scenario::multi_party(5, 60 * SEC)).collect();
+    let mut w = Writer::new(Vec::new(), LinkType::Ethernet).expect("header");
+    for r in &records {
+        w.write_record(r).expect("record");
+    }
+    let img = w.finish().expect("flush");
+    eprintln!(
+        "[bench_ingest] {} records, {} pcap bytes",
+        records.len(),
+        img.len()
+    );
+
+    let results: Vec<PathResult> = ["owning_reader", "read_into_reuse", "slice_reader"]
+        .into_iter()
+        .map(|name| measure_path(&img, name))
+        .collect();
+
+    for r in &results {
+        eprintln!(
+            "[bench_ingest] {:<16} reader {:>12.0} pkts/s  {:.4} allocs/record \
+             (steady-state {})  pipeline {:>10.0} pkts/s",
+            r.name,
+            r.reader_pkts_per_sec,
+            r.reader_allocs_per_record,
+            r.steady_state_reader_allocs,
+            r.pipeline_pkts_per_sec,
+        );
+    }
+
+    // The point of the fast path: strictly fewer allocations per record
+    // than the owning reader, and a steady state that never allocates.
+    let owning = &results[0];
+    for fast in &results[1..] {
+        assert!(
+            fast.reader_allocs_per_record < owning.reader_allocs_per_record,
+            "{} allocates as much as the owning reader",
+            fast.name
+        );
+        assert_eq!(
+            fast.steady_state_reader_allocs, 0,
+            "{} allocated in steady state",
+            fast.name
+        );
+    }
+
+    let mut json = String::with_capacity(1024);
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"ingest\",\n");
+    json.push_str(&format!("  \"records\": {},\n", records.len()));
+    json.push_str(&format!("  \"pcap_bytes\": {},\n", img.len()));
+    json.push_str("  \"paths\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"reader_pkts_per_sec\": {:.1}, \
+             \"reader_allocs_per_record\": {:.6}, \
+             \"steady_state_reader_allocs\": {}, \
+             \"pipeline_pkts_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.reader_pkts_per_sec,
+            r.reader_allocs_per_record,
+            r.steady_state_reader_allocs,
+            r.pipeline_pkts_per_sec,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("[json] {out_path}");
+}

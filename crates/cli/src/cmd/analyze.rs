@@ -18,7 +18,7 @@ use zoom_analysis::features;
 use zoom_analysis::metrics::stall::{analyze as stall_analyze, StallConfig};
 use zoom_analysis::parallel::ParallelAnalyzer;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
-use zoom_wire::pcap::Reader;
+use zoom_wire::pcap::{Reader, RecordBuf};
 use zoom_wire::zoom::MediaType;
 
 pub fn run(args: &[String]) -> CmdResult {
@@ -57,21 +57,30 @@ pub fn run(args: &[String]) -> CmdResult {
         Reader::new(std::io::BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
     let link = reader.link_type();
     // The sharded path produces byte-identical results for any shard
-    // count; --shards 1 keeps everything on the calling thread.
+    // count; --shards 1 keeps everything on the calling thread. Both
+    // loops reuse one record buffer — zero steady-state allocations in
+    // the read loop.
+    let mut buf = RecordBuf::new();
     let analyzer: Analyzer = if shards > 1 {
         let mut par = ParallelAnalyzer::new(config, shards);
-        while let Some(record) = reader.next_record().map_err(|e| e.to_string())? {
-            par.process_record(&record, link);
+        while reader.read_into(&mut buf).map_err(|e| e.to_string())? {
+            par.process_packet(buf.ts_nanos(), buf.data(), link);
         }
         par.finish().map_err(|e| e.to_string())?;
         par.into_analyzer()
     } else {
         let mut seq = Analyzer::new(config);
-        while let Some(record) = reader.next_record().map_err(|e| e.to_string())? {
-            seq.process_record(&record, link);
+        while reader.read_into(&mut buf).map_err(|e| e.to_string())? {
+            seq.process_packet(buf.ts_nanos(), buf.data(), link);
         }
         seq
     };
+    if reader.truncated_records() > 0 {
+        eprintln!(
+            "warning: {} truncated record(s) at end of {input} ignored",
+            reader.truncated_records()
+        );
+    }
 
     if flags.contains_key("json") {
         println!("{}", analyzer.finish().to_json());
@@ -202,25 +211,35 @@ fn run_streaming(
     let mut out = stdout.lock();
     let poll = Duration::from_millis(200);
     let mut quiet = Duration::ZERO;
+    let mut buf = RecordBuf::new();
     loop {
-        match reader.next_record().map_err(|e| e.to_string())? {
-            Some(record) => {
-                quiet = Duration::ZERO;
-                for w in engine.push_record(&record, link).map_err(|e| e.to_string())? {
-                    writeln!(out, "{}", w.to_json()).map_err(|e| e.to_string())?;
-                }
+        if reader.read_into(&mut buf).map_err(|e| e.to_string())? {
+            quiet = Duration::ZERO;
+            let windows = engine
+                .push_packet(buf.ts_nanos(), buf.data(), link)
+                .map_err(|e| e.to_string())?;
+            for w in windows {
+                writeln!(out, "{}", w.to_json()).map_err(|e| e.to_string())?;
             }
-            // A pcap reader at a clean record boundary returns `None` and
-            // can be retried once the producer appends more data.
-            None => {
-                if !follow || quiet >= idle_exit {
-                    break;
-                }
-                out.flush().map_err(|e| e.to_string())?;
-                std::thread::sleep(poll);
-                quiet += poll;
+        } else {
+            // A pcap reader at a clean record boundary returns false and
+            // can be retried once the producer appends more data. (A torn
+            // mid-record write is counted in `truncated_records` instead
+            // of erroring; the producer finishing it later is racy either
+            // way — `--idle-exit` bounds how long we wait.)
+            if !follow || quiet >= idle_exit {
+                break;
             }
+            out.flush().map_err(|e| e.to_string())?;
+            std::thread::sleep(poll);
+            quiet += poll;
         }
+    }
+    if reader.truncated_records() > 0 {
+        eprintln!(
+            "warning: {} truncated record(s) at end of {input} ignored",
+            reader.truncated_records()
+        );
     }
 
     let output = engine.drain().map_err(|e| e.to_string())?;

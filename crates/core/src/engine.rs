@@ -33,6 +33,7 @@
 //! simply accounted to the current one.
 
 use crate::error::Error;
+use crate::fxhash::FxHashMap;
 use crate::meeting::{CandidateState, MeetingGrouper};
 use crate::metrics::latency::{RtpRttEstimator, RttSample};
 use crate::packet::Direction;
@@ -44,12 +45,12 @@ use crate::report::{
     WindowTotals,
 };
 use crate::stream::{Stream, StreamKey};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::IpAddr;
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use zoom_wire::dissect::peek;
+use zoom_wire::dissect::{peek, PeekInfo};
 use zoom_wire::flow::{Endpoint, FiveTuple};
 use zoom_wire::pcap::{LinkType, Record};
 use zoom_wire::zoom::MediaType;
@@ -62,9 +63,12 @@ const BATCH: usize = 256;
 /// backpressure to the router when a shard falls behind.
 const CHANNEL_DEPTH: usize = 4;
 
-/// One message to a worker: (global sequence number, record, link type,
-/// router's P2P verdict for the record).
-type Msg = (u64, Record, LinkType, bool);
+/// One message to a worker: (global sequence number, record, the router's
+/// [`PeekInfo`] — `None` when the peek failed and the record is
+/// undissectable — and the router's P2P verdict for the record). Shipping
+/// the peek means the shard resumes dissection from the recorded offsets
+/// instead of re-scanning Ethernet/IP/UDP a second time.
+type Msg = (u64, Record, Option<PeekInfo>, bool);
 
 /// Streaming engine configuration.
 #[derive(Debug, Clone)]
@@ -168,7 +172,7 @@ enum ToWorker {
 /// snapshots delta computation needs.
 struct ShardState {
     analyzer: Analyzer,
-    snaps: HashMap<StreamKey, StreamSnap>,
+    snaps: FxHashMap<StreamKey, StreamSnap>,
     total_packets: u64,
     zoom_packets: u64,
     zoom_bytes: u64,
@@ -183,7 +187,7 @@ impl ShardState {
     fn new(config: AnalyzerConfig) -> ShardState {
         ShardState {
             analyzer: Analyzer::new_sharded(config),
-            snaps: HashMap::new(),
+            snaps: FxHashMap::default(),
             total_packets: 0,
             zoom_packets: 0,
             zoom_bytes: 0,
@@ -199,7 +203,7 @@ impl ShardState {
         // Per-stream deltas vs. the previous tick's snapshots (and update
         // the snapshots in the same pass).
         let mut deltas: Vec<StreamDelta> = Vec::new();
-        let mut delta_idx: HashMap<StreamKey, usize> = HashMap::new();
+        let mut delta_idx: FxHashMap<StreamKey, usize> = FxHashMap::default();
         let snaps = &mut self.snaps;
         for s in self.analyzer.streams.iter() {
             let prev = snaps.get(&s.key).copied().unwrap_or_default();
@@ -317,7 +321,7 @@ struct Worker {
 #[derive(Default)]
 struct Replica {
     /// payload type → (packets, last RTP seq, last RTP timestamp).
-    subs: HashMap<u8, (u64, u16, u32)>,
+    subs: FxHashMap<u8, (u64, u16, u32)>,
     last_seen: u64,
 }
 
@@ -379,7 +383,7 @@ pub struct StreamingEngine {
     campus: Vec<(IpAddr, u8)>,
     /// The authoritative STUN endpoint registry (§4.1), maintained by the
     /// router with the sequential analyzer's exact insert/refresh rules.
-    registry: HashMap<Endpoint, u64>,
+    registry: FxHashMap<Endpoint, u64>,
     seq: u64,
     workers: Vec<Worker>,
     // -------- cross-flow trackers, fed by per-tick event replay --------
@@ -387,12 +391,12 @@ pub struct StreamingEngine {
     rtp_rtt: RtpRttEstimator,
     /// Samples before this index were already reported in a window.
     rtt_mark: usize,
-    replicas: HashMap<StreamKey, Replica>,
+    replicas: FxHashMap<StreamKey, Replica>,
     creation_order: Vec<StreamKey>,
     tcp_samples: Vec<RttSample>,
     // -------- evicted-state pools (compact fragments, not Streams) -----
-    evicted_streams: HashMap<StreamKey, Vec<StreamReport>>,
-    evicted_flows: HashMap<FiveTuple, FlowStats>,
+    evicted_streams: FxHashMap<StreamKey, Vec<StreamReport>>,
+    evicted_flows: FxHashMap<FiveTuple, FlowStats>,
     // -------- window bookkeeping --------
     window_index: u64,
     window_start: Option<u64>,
@@ -439,8 +443,14 @@ impl StreamingEngine {
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             ToWorker::Batch(batch) => {
-                                for (seq, record, link, hint) in batch {
-                                    state.analyzer.process_record_sharded(seq, &record, link, hint);
+                                for (seq, record, info, hint) in batch {
+                                    state.analyzer.process_record_routed(
+                                        seq,
+                                        record.ts_nanos,
+                                        &record.data,
+                                        info.as_ref(),
+                                        hint,
+                                    );
                                 }
                             }
                             ToWorker::Tick { evict_before } => {
@@ -467,17 +477,17 @@ impl StreamingEngine {
             idle_nanos,
             stun_timeout_nanos,
             campus,
-            registry: HashMap::new(),
+            registry: FxHashMap::default(),
             seq: 0,
             workers,
             grouper: MeetingGrouper::with_config(grouping),
             rtp_rtt: RtpRttEstimator::default(),
             rtt_mark: 0,
-            replicas: HashMap::new(),
+            replicas: FxHashMap::default(),
             creation_order: Vec::new(),
             tcp_samples: Vec::new(),
-            evicted_streams: HashMap::new(),
-            evicted_flows: HashMap::new(),
+            evicted_streams: FxHashMap::default(),
+            evicted_flows: FxHashMap::default(),
             window_index: 0,
             window_start: None,
             first_ts: None,
@@ -511,7 +521,21 @@ impl StreamingEngine {
         record: &Record,
         link: LinkType,
     ) -> Result<Vec<WindowReport>, Error> {
-        let ts = record.ts_nanos;
+        self.push_packet(record.ts_nanos, &record.data, link)
+    }
+
+    /// Feed one packet from a borrowed byte slice — the zero-copy twin of
+    /// [`StreamingEngine::push_record`] for
+    /// [`zoom_wire::pcap::Reader::read_into`] /
+    /// [`zoom_wire::pcap::SliceReader`] loops. The bytes are copied once,
+    /// into the shard batch; nothing else allocates per packet.
+    pub fn push_packet(
+        &mut self,
+        ts_nanos: u64,
+        data: &[u8],
+        link: LinkType,
+    ) -> Result<Vec<WindowReport>, Error> {
+        let ts = ts_nanos;
         let mut out = Vec::new();
         if let Some(w) = self.window_nanos {
             match self.window_start {
@@ -535,11 +559,11 @@ impl StreamingEngine {
         self.first_ts.get_or_insert(ts);
         self.last_ts = self.last_ts.max(ts);
 
-        let (shard, hint) = self.route(record, link);
+        let (shard, info, hint) = self.route(ts, data, link);
         let seq = self.seq;
         self.seq += 1;
         let w = &mut self.workers[shard];
-        w.batch.push((seq, record.clone(), link, hint));
+        w.batch.push((seq, Record::full(ts, data.to_vec()), info, hint));
         if w.batch.len() >= BATCH {
             let batch = std::mem::replace(&mut w.batch, Vec::with_capacity(BATCH));
             send(w, ToWorker::Batch(batch))?;
@@ -598,7 +622,7 @@ impl StreamingEngine {
         // tick — and minus shard TCP samples — those were shipped as
         // per-tick deltas into `tcp_samples`.
         let mut merged = Analyzer::new(analyzer_config);
-        let mut live_pool = HashMap::new();
+        let mut live_pool = FxHashMap::default();
         for mut shard in shards {
             merged.total_packets += shard.total_packets;
             merged.zoom_packets += shard.zoom_packets;
@@ -879,26 +903,28 @@ impl StreamingEngine {
         }
     }
 
-    /// Pick the shard and P2P verdict for a record, mirroring the
-    /// dissection and registry decisions the sequential analyzer makes.
+    /// Pick the shard, the peek to resume dissection from, and the P2P
+    /// verdict for a record, mirroring the dissection and registry
+    /// decisions the sequential analyzer makes.
     ///
     /// The router stays off the Zoom parse path: a header-only
-    /// [`peek`] recovers the 5-tuple, the STUN gate is applied exactly as
-    /// the dissector applies it, and the expensive Zoom-vs-opaque
-    /// question is answered lazily — only when one of the flow's
-    /// endpoints has a fresh registry entry, because only then does the
-    /// classification change what the registry (refresh) and the shard
-    /// (P2P verdict) observe.
-    fn route(&mut self, record: &Record, link: LinkType) -> (usize, bool) {
+    /// [`peek`] recovers the 5-tuple and header offsets (shipped to the
+    /// shard so it never re-scans Ethernet/IP/UDP), the STUN gate is
+    /// applied exactly as the dissector applies it, and the expensive
+    /// Zoom-vs-opaque question is answered lazily — only when one of the
+    /// flow's endpoints has a fresh registry entry, because only then does
+    /// the classification change what the registry (refresh) and the
+    /// shard (P2P verdict) observe.
+    fn route(&mut self, ts: u64, data: &[u8], link: LinkType) -> (usize, Option<PeekInfo>, bool) {
         use zoom_wire::{stun, zoom};
 
         let n = self.shard_count;
-        let Ok(p) = peek(&record.data, link) else {
+        let Ok(p) = peek(data, link) else {
             // Undissectable records only touch additive counters; spread
             // them round-robin.
-            return ((self.seq % n as u64) as usize, false);
+            return ((self.seq % n as u64) as usize, None, false);
         };
-        let ts = record.ts_nanos;
+        let flow = &p.info.five_tuple;
         let mut hint = false;
         'classify: {
             let Some(payload) = p.udp_payload else {
@@ -906,14 +932,14 @@ impl StreamingEngine {
             };
             // STUN gate, verbatim from the dissector: port 3478 or a
             // magic-cookie match, then a successful parse.
-            if p.five_tuple.involves_port(stun::STUN_PORT) || stun::looks_like_stun(payload) {
+            if flow.involves_port(stun::STUN_PORT) || stun::looks_like_stun(payload) {
                 if let Ok(pkt) = stun::Packet::new_checked(payload) {
                     if stun::Repr::parse(&pkt).is_ok() {
                         // Register the non-3478 endpoint — §4.1's rule.
-                        let client = if p.five_tuple.dst_port == stun::STUN_PORT {
-                            p.five_tuple.src()
+                        let client = if flow.dst_port == stun::STUN_PORT {
+                            flow.src()
                         } else {
-                            p.five_tuple.dst()
+                            flow.dst()
                         };
                         self.registry.insert(client, ts);
                         break 'classify;
@@ -928,15 +954,15 @@ impl StreamingEngine {
             // registry entry, the probe is a no-op either way — skip the
             // Zoom parse entirely. Otherwise resolve the classification
             // so refresh semantics stay exact.
-            if self.registry_has_fresh(ts, &p.five_tuple) {
-                let opaque = !p.five_tuple.involves_port(zoom::ZOOM_SFU_PORT)
+            if self.registry_has_fresh(ts, flow) {
+                let opaque = !flow.involves_port(zoom::ZOOM_SFU_PORT)
                     || zoom::parse(payload, zoom::Framing::Server).is_err();
                 if opaque {
-                    hint = self.probe_p2p(ts, &p.five_tuple);
+                    hint = self.probe_p2p(ts, flow);
                 }
             }
         }
-        (shard_of(&p.five_tuple, n), hint)
+        (shard_of(flow, n), Some(p.info), hint)
     }
 
     /// True when either endpoint of `flow` has a registry entry within
@@ -974,7 +1000,7 @@ fn send(w: &mut Worker, msg: ToWorker) -> Result<(), Error> {
         .map_err(|_| Error::ShardPanic("shard worker disconnected (channel closed)".into()))
 }
 
-fn merge_flow(into: &mut HashMap<FiveTuple, FlowStats>, ft: FiveTuple, fs: FlowStats) {
+fn merge_flow(into: &mut FxHashMap<FiveTuple, FlowStats>, ft: FiveTuple, fs: FlowStats) {
     match into.entry(ft) {
         std::collections::hash_map::Entry::Vacant(v) => {
             v.insert(fs);

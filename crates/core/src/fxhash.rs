@@ -1,0 +1,166 @@
+//! A small vendored FxHash-style hasher for the per-packet state tables.
+//!
+//! Every packet touches several `HashMap`s (flows, streams, the STUN
+//! registry, RTT candidates); with std's default SipHash the hashing
+//! itself is a measurable slice of the per-packet cost floor. Keys here
+//! are short, fixed-shape, and attacker-free (they come from our own
+//! dissector over traces the operator chose to analyze), so a fast
+//! non-cryptographic hash is appropriate. This is the classic
+//! multiply-rotate construction used by the Firefox/rustc "FxHash"
+//! (public domain algorithm), re-implemented locally because the build
+//! environment is offline — no new crates.io dependencies.
+//!
+//! Determinism of *reports* never depends on hasher iteration order:
+//! every emit site sorts (or walks a creation-order index) first — see
+//! `report.rs`'s ordering test and the `StreamTracker` order vector.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiply constant from the original FxHash: a 64-bit truncation of
+/// π's fractional bits, chosen for good avalanche on short keys.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A [`HashMap`] keyed with [`FxHasher`] — drop-in for std's, minus
+/// SipHash's per-lookup cost.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] hashed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s (zero-sized, no per-map seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The rustc/Firefox multiply-rotate hasher: one rotate, one xor, one
+/// multiply per 8 bytes of input.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some(chunk) = bytes.first_chunk::<8>() {
+            self.add_to_hash(u64::from_le_bytes(*chunk));
+            bytes = &bytes[8..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<4>() {
+            self.add_to_hash(u64::from(u32::from_le_bytes(*chunk)));
+            bytes = &bytes[4..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<2>() {
+            self.add_to_hash(u64::from(u16::from_le_bytes(*chunk)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        // BuildHasherDefault carries no random per-map seed: the same key
+        // hashes identically in every table and every process.
+        let k = (0x0a08_0001_u32, 50_000u16, 8801u16);
+        assert_eq!(hash_of(&k), hash_of(&k));
+        assert_eq!(hash_of(&"flow"), hash_of(&"flow"));
+    }
+
+    #[test]
+    fn nearby_keys_disperse() {
+        // Sequential ports/addresses (the common trace shape) must not
+        // collapse onto a few buckets.
+        let mut low_bits = HashSet::new();
+        for port in 0u16..1024 {
+            low_bits.insert(hash_of(&port) & 0xFF);
+        }
+        assert!(low_bits.len() > 200, "only {} distinct", low_bits.len());
+    }
+
+    #[test]
+    fn write_paths_cover_all_tails() {
+        // 8-, 4-, 2-, and 1-byte tails all feed the state. (All-zero
+        // input is FxHash's fixed point, so start the bytes at 1.)
+        for len in 0..=17 {
+            let bytes: Vec<u8> = (1..=len as u8).collect();
+            let mut a = FxHasher::default();
+            a.write(&bytes);
+            let mut b = FxHasher::default();
+            b.write(&bytes);
+            assert_eq!(a.finish(), b.finish());
+            if len > 0 {
+                let mut empty = FxHasher::default();
+                empty.write(&[]);
+                assert_ne!(a.finish(), empty.finish(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn fx_map_behaves_like_std_map() {
+        let mut fx: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut std_map = HashMap::new();
+        for i in 0..1000u64 {
+            fx.insert(i * 7, i);
+            std_map.insert(i * 7, i);
+        }
+        assert_eq!(fx.len(), std_map.len());
+        for (k, v) in &std_map {
+            assert_eq!(fx.get(k), Some(v));
+        }
+    }
+}

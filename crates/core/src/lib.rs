@@ -24,6 +24,8 @@
 //!   types and their JSON serialization
 //! * [`error`] — the crate-wide [`Error`] type
 //! * [`stats`] — CDFs, time bins, correlation
+//! * [`fxhash`] — the vendored fast hasher behind every per-packet state
+//!   table (reports stay deterministic: ordering is fixed at emit time)
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub mod engine;
 pub mod entropy;
 pub mod error;
 pub mod features;
+pub mod fxhash;
 pub mod meeting;
 pub mod metrics;
 pub mod packet;

@@ -21,9 +21,11 @@
 //! participants outside the vantage are invisible, and campus-side NAT can
 //! over-merge meetings.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::net::IpAddr;
 use zoom_wire::flow::{Endpoint, FiveTuple};
+
+use crate::fxhash::FxHashMap;
 
 use crate::stream::StreamKey;
 
@@ -140,18 +142,18 @@ pub struct MeetingGrouper {
     config: GroupingConfig,
     next_uid: u32,
     /// SSRC → streams carrying it (step-1 candidate index).
-    by_ssrc: HashMap<u32, Vec<StreamKey>>,
+    by_ssrc: FxHashMap<u32, Vec<StreamKey>>,
     /// Per-stream: (unique id, meeting id as assigned).
-    assignments: HashMap<StreamKey, (u32, u32)>,
+    assignments: FxHashMap<StreamKey, (u32, u32)>,
     /// Step-2 mappings.
-    by_uid: HashMap<u32, u32>,
-    by_client_ip: HashMap<IpAddr, u32>,
-    by_client_endpoint: HashMap<Endpoint, u32>,
+    by_uid: FxHashMap<u32, u32>,
+    by_client_ip: FxHashMap<IpAddr, u32>,
+    by_client_endpoint: FxHashMap<Endpoint, u32>,
     meetings: UnionFind,
     /// Meeting metadata accumulated at the canonical-at-insert id (merged
     /// at report time through the union-find).
-    clients: HashMap<StreamKey, IpAddr>,
-    servers: HashMap<StreamKey, IpAddr>,
+    clients: FxHashMap<StreamKey, IpAddr>,
+    servers: FxHashMap<StreamKey, IpAddr>,
 }
 
 impl MeetingGrouper {
@@ -165,14 +167,14 @@ impl MeetingGrouper {
         MeetingGrouper {
             config,
             next_uid: 0,
-            by_ssrc: HashMap::new(),
-            assignments: HashMap::new(),
-            by_uid: HashMap::new(),
-            by_client_ip: HashMap::new(),
-            by_client_endpoint: HashMap::new(),
+            by_ssrc: FxHashMap::default(),
+            assignments: FxHashMap::default(),
+            by_uid: FxHashMap::default(),
+            by_client_ip: FxHashMap::default(),
+            by_client_endpoint: FxHashMap::default(),
             meetings: UnionFind::default(),
-            clients: HashMap::new(),
-            servers: HashMap::new(),
+            clients: FxHashMap::default(),
+            servers: FxHashMap::default(),
         }
     }
 
@@ -284,7 +286,7 @@ impl MeetingGrouper {
 
     /// Build the final meeting reports.
     pub fn reports(&self) -> Vec<MeetingReport> {
-        let mut by_root: HashMap<u32, MeetingReport> = HashMap::new();
+        let mut by_root: FxHashMap<u32, MeetingReport> = FxHashMap::default();
         let assignments: Vec<(StreamKey, u32, u32)> = self
             .assignments
             .iter()

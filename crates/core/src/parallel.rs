@@ -12,12 +12,15 @@
 //!
 //! Since the introduction of the streaming engine, [`ParallelAnalyzer`]
 //! is a thin batch front-end over [`StreamingEngine`] with windowing and
-//! eviction disabled: the engine owns the routing, the event-log replay
-//! of the cross-flow trackers (meeting grouping §4.3, RTP-copy RTT §5.3),
-//! and the authoritative STUN registry — see [`crate::engine`] for the
-//! full design. The result remains **byte-identical** to the sequential
-//! path for any shard count; `tests/parallel_differential.rs` and
-//! `tests/streaming_differential.rs` assert exactly that.
+//! eviction disabled: the engine owns the routing (a single header
+//! `zoom_wire::dissect::peek` whose offsets ride to the shard, so each
+//! packet's Ethernet/IP/UDP headers are parsed exactly once), the
+//! event-log replay of the cross-flow trackers (meeting grouping §4.3,
+//! RTP-copy RTT §5.3), and the authoritative STUN registry — see
+//! [`crate::engine`] for the full design. The result remains
+//! **byte-identical** to the sequential path for any shard count;
+//! `tests/parallel_differential.rs` and `tests/streaming_differential.rs`
+//! assert exactly that.
 //!
 //! [`finish`]: ParallelAnalyzer::finish
 
@@ -83,11 +86,23 @@ impl ParallelAnalyzer {
     /// Panics if called after [`ParallelAnalyzer::finish`] — the workers
     /// have already been joined at that point.
     pub fn process_record(&mut self, record: &Record, link: LinkType) {
+        self.process_packet(record.ts_nanos, &record.data, link);
+    }
+
+    /// Route one packet from a borrowed byte slice — the zero-copy twin
+    /// of [`ParallelAnalyzer::process_record`] for
+    /// [`zoom_wire::pcap::Reader::read_into`] /
+    /// [`zoom_wire::pcap::SliceReader`] loops.
+    ///
+    /// # Panics
+    /// Panics if called after [`ParallelAnalyzer::finish`] — the workers
+    /// have already been joined at that point.
+    pub fn process_packet(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) {
         let engine = self
             .engine
             .as_mut()
-            .expect("process_record called after finish()");
-        if let Err(e) = engine.push_record(record, link) {
+            .expect("process_packet called after finish()");
+        if let Err(e) = engine.push_packet(ts_nanos, data, link) {
             if self.error_msg.is_none() {
                 self.error_msg = Some(e.to_string());
             }

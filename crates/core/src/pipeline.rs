@@ -9,6 +9,7 @@
 
 use crate::classify::Classifier;
 use crate::error::Error;
+use crate::fxhash::FxHashMap;
 use crate::meeting::{
     client_endpoint_of, CandidateState, GroupingConfig, MeetingGrouper, MeetingReport,
 };
@@ -20,7 +21,7 @@ use crate::stream::{Stream, StreamKey, StreamTracker};
 use std::collections::HashMap;
 use std::net::IpAddr;
 use std::time::Duration;
-use zoom_wire::dissect::{dissect, App, Dissection, P2pProbe, Transport};
+use zoom_wire::dissect::{dissect, dissect_from, App, Dissection, P2pProbe, PeekInfo, Transport};
 use zoom_wire::flow::{Endpoint, FiveTuple};
 use zoom_wire::pcap::{LinkType, Record};
 use zoom_wire::zoom::{Framing, MediaType};
@@ -327,8 +328,8 @@ pub struct Analyzer {
     pub(crate) rtp_rtt: RtpRttEstimator,
     pub(crate) tcp_rtt: TcpRttEstimator,
     /// STUN-registered endpoints → last exchange time (§4.1 registers).
-    pub(crate) p2p_endpoints: HashMap<Endpoint, u64>,
-    pub(crate) flows: HashMap<FiveTuple, FlowStats>,
+    pub(crate) p2p_endpoints: FxHashMap<Endpoint, u64>,
+    pub(crate) flows: FxHashMap<FiveTuple, FlowStats>,
     pub(crate) total_packets: u64,
     pub(crate) zoom_packets: u64,
     pub(crate) zoom_bytes: u64,
@@ -357,8 +358,8 @@ impl Analyzer {
             grouper,
             rtp_rtt: RtpRttEstimator::default(),
             tcp_rtt: TcpRttEstimator::default(),
-            p2p_endpoints: HashMap::new(),
-            flows: HashMap::new(),
+            p2p_endpoints: FxHashMap::default(),
+            flows: FxHashMap::default(),
             total_packets: 0,
             zoom_packets: 0,
             zoom_bytes: 0,
@@ -380,24 +381,43 @@ impl Analyzer {
         a
     }
 
-    /// Shard-mode entry point: process one record under the given global
-    /// sequence number and router-determined P2P verdict.
-    pub(crate) fn process_record_sharded(
+    /// Shard-mode entry point: process one record whose headers the router
+    /// already located. `info` is the router's [`PeekInfo`] (`None` when the
+    /// peek failed — the record counts as undissectable without a second
+    /// scan), under the given global sequence number and router-determined
+    /// P2P verdict.
+    pub(crate) fn process_record_routed(
         &mut self,
         seq: u64,
-        record: &Record,
-        link: LinkType,
+        ts_nanos: u64,
+        data: &[u8],
+        info: Option<&PeekInfo>,
         p2p_hint: bool,
     ) {
         self.current_seq = seq;
         self.p2p_hint = p2p_hint;
-        self.process_record(record, link);
+        self.total_packets += 1;
+        match info {
+            Some(pi) => {
+                let d = dissect_from(pi, ts_nanos, data, P2pProbe::Off);
+                self.process_dissection(&d);
+            }
+            None => self.undissectable += 1,
+        }
     }
 
     /// Process one capture record.
     pub fn process_record(&mut self, record: &Record, link: LinkType) {
+        self.process_packet(record.ts_nanos, &record.data, link);
+    }
+
+    /// Process one packet from a borrowed byte slice — the zero-copy twin
+    /// of [`Analyzer::process_record`], for use with
+    /// [`zoom_wire::pcap::Reader::read_into`] and
+    /// [`zoom_wire::pcap::SliceReader`] where no owned [`Record`] exists.
+    pub fn process_packet(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) {
         self.total_packets += 1;
-        let Ok(d) = dissect(record.ts_nanos, &record.data, link, P2pProbe::Off) else {
+        let Ok(d) = dissect(ts_nanos, data, link, P2pProbe::Off) else {
             self.undissectable += 1;
             return;
         };
@@ -591,7 +611,7 @@ impl Analyzer {
     }
 
     /// Per-flow statistics.
-    pub fn flows(&self) -> &HashMap<FiveTuple, FlowStats> {
+    pub fn flows(&self) -> &FxHashMap<FiveTuple, FlowStats> {
         &self.flows
     }
 

@@ -587,6 +587,33 @@ mod tests {
     }
 
     #[test]
+    fn meeting_json_sorts_sets_at_emit() {
+        // Clients/servers live in hash sets whose iteration order is an
+        // implementation detail of the hasher; the emitted JSON must not
+        // depend on it (this is what lets the state tables swap hashers
+        // without changing a byte of output).
+        use crate::meeting::MeetingReport;
+        use std::net::{IpAddr, Ipv4Addr};
+        let ip = |a, b, c, d| IpAddr::V4(Ipv4Addr::new(a, b, c, d));
+        let make = |insert_order: &[IpAddr]| MeetingReport {
+            id: 7,
+            stream_uids: vec![2, 0, 1],
+            clients: insert_order.iter().copied().collect(),
+            servers: insert_order.iter().copied().collect(),
+            streams: Vec::new(),
+            participant_estimate: 3,
+        };
+        let ips = [ip(10, 8, 0, 9), ip(10, 8, 0, 1), ip(170, 114, 0, 1)];
+        let mut reversed = ips;
+        reversed.reverse();
+        let a = meeting_to_json(&make(&ips));
+        let b = meeting_to_json(&make(&reversed));
+        assert_eq!(a, b);
+        // And the order is the *sorted* one, pinned exactly.
+        assert!(a.contains("\"clients\":[\"10.8.0.1\",\"10.8.0.9\",\"170.114.0.1\"]"));
+    }
+
+    #[test]
     fn json_escapes_and_nulls() {
         let mut o = JsonObj::new();
         o.str("s", "a\"b\\c\n")

@@ -7,12 +7,12 @@
 //! [`crate::metrics::frame::FrameTracker`]; every stream also accumulates
 //! per-second media bit rates and the frame-level jitter estimate.
 
+use crate::fxhash::FxHashMap;
 use crate::metrics::frame::FrameTracker;
 use crate::metrics::jitter::JitterEstimator;
 use crate::metrics::loss::{SeqStats, SeqTracker};
 use crate::packet::{Direction, PacketMeta};
 use crate::stats::SparseBins;
-use std::collections::HashMap;
 use zoom_wire::flow::FiveTuple;
 use zoom_wire::zoom::{MediaType, RtpPayloadKind};
 
@@ -70,7 +70,7 @@ pub struct Stream {
     /// grouping heuristic's step 1).
     pub unique_id: Option<u32>,
     /// Sub-streams keyed by RTP payload type.
-    pub substreams: HashMap<u8, SubStream>,
+    pub substreams: FxHashMap<u8, SubStream>,
     /// Frame reconstruction (video and screen share only).
     pub frames: Option<FrameTracker>,
     /// Frame-level jitter over the main sub-stream.
@@ -105,7 +105,7 @@ impl Stream {
             first_seen: now,
             last_seen: now,
             unique_id: None,
-            substreams: HashMap::new(),
+            substreams: FxHashMap::default(),
             frames,
             frame_jitter: JitterEstimator::video(),
             media_rate: SparseBins::per_second(),
@@ -221,7 +221,7 @@ impl Stream {
 /// Tracks all streams in a trace.
 #[derive(Default)]
 pub struct StreamTracker {
-    streams: HashMap<StreamKey, Stream>,
+    streams: FxHashMap<StreamKey, Stream>,
     /// Keys in creation order (stable reporting).
     order: Vec<StreamKey>,
 }
@@ -284,7 +284,7 @@ impl StreamTracker {
 
     /// Take ownership of all streams (sharded merge moves per-shard
     /// streams into the merged tracker).
-    pub(crate) fn into_streams(self) -> HashMap<StreamKey, Stream> {
+    pub(crate) fn into_streams(self) -> FxHashMap<StreamKey, Stream> {
         self.streams
     }
 

@@ -103,18 +103,84 @@ pub enum P2pProbe {
     Auto,
 }
 
-/// Dissect one capture record.
+/// Everything [`peek`] learns about a record's headers, as plain values
+/// and byte offsets into the original record — no borrows, `Copy`, so it
+/// can be shipped across threads alongside the record it describes.
 ///
-/// Returns `Err` only for packets that cannot be interpreted at the IP
-/// layer or below; an unparseable application payload simply yields
-/// [`App::Opaque`].
-pub fn dissect<'a>(
-    ts_nanos: u64,
-    data: &'a [u8],
-    link_type: LinkType,
-    probe: P2pProbe,
-) -> Result<Dissection<'a>> {
-    let (link, ip_bytes) = match link_type {
+/// [`dissect_from`] resumes a full dissection from a `PeekInfo` without
+/// re-scanning the Ethernet/IP/UDP/TCP headers: the sharded pipeline
+/// peeks once on the router thread and finishes the (application-layer)
+/// dissection on the shard, instead of parsing the whole stack twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeekInfo {
+    /// Link header, when the trace has one.
+    pub link: Option<ethernet::Repr>,
+    /// The IP 5-tuple.
+    pub five_tuple: FiveTuple,
+    /// Bytes in the IP packet (header + payload).
+    pub ip_total_len: usize,
+    /// Transport header fields plus the payload's byte range.
+    pub transport: PeekTransport,
+}
+
+/// Transport part of a [`PeekInfo`]: pre-parsed header fields and the
+/// byte range of the transport payload within the original record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeekTransport {
+    /// UDP datagram; payload spans `payload_off .. payload_off + payload_len`.
+    Udp {
+        /// Payload start, bytes from the beginning of the record.
+        payload_off: usize,
+        /// Payload length in bytes.
+        payload_len: usize,
+    },
+    /// TCP segment; payload spans `payload_off .. payload_off + payload_len`.
+    Tcp {
+        /// Sequence number.
+        seq: u32,
+        /// Acknowledgment number.
+        ack: u32,
+        /// Control flags.
+        flags: tcp::Flags,
+        /// Receive window.
+        window: u16,
+        /// Payload start, bytes from the beginning of the record.
+        payload_off: usize,
+        /// Payload length in bytes.
+        payload_len: usize,
+    },
+}
+
+/// A header-only view of a record: the parsed header summary plus, for
+/// UDP, the borrowed payload slice.
+///
+/// [`peek`] applies exactly the link/IP/transport validation of
+/// [`dissect`] — it returns `Err` for precisely the records `dissect`
+/// rejects (guaranteed by construction: `dissect` *is* `peek` followed by
+/// [`dissect_from`]) — but never touches application payloads, making it
+/// an order of magnitude cheaper. The sharded analysis pipeline uses it
+/// to route records by flow, shipping [`Peek::info`] to the shard so the
+/// header walk happens exactly once per record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peek<'a> {
+    /// Header fields and payload offsets; [`dissect_from`] resumes here.
+    pub info: PeekInfo,
+    /// UDP payload bytes; `None` when the packet is TCP.
+    pub udp_payload: Option<&'a [u8]>,
+}
+
+impl Peek<'_> {
+    /// The IP 5-tuple.
+    pub fn five_tuple(&self) -> &FiveTuple {
+        &self.info.five_tuple
+    }
+}
+
+/// Parse the link/IP/transport headers once, recording payload byte
+/// offsets so the dissection can be resumed later by [`dissect_from`].
+/// Accepts and rejects exactly the records [`dissect`] does.
+pub fn peek(data: &[u8], link_type: LinkType) -> Result<Peek<'_>> {
+    let (link, ip_off) = match link_type {
         LinkType::Ethernet => {
             let eth = ethernet::Packet::new_checked(data)?;
             let repr = ethernet::Repr::parse(&eth);
@@ -122,153 +188,39 @@ pub fn dissect<'a>(
                 EtherType::Ipv4 | EtherType::Ipv6 => {}
                 _ => return Err(Error::Unsupported),
             }
-            (Some(repr), &data[ethernet::HEADER_LEN..])
+            (Some(repr), ethernet::HEADER_LEN)
         }
-        LinkType::RawIp => (None, data),
+        LinkType::RawIp => (None, 0),
         LinkType::Other(_) => return Err(Error::Unsupported),
     };
-
+    let ip_bytes = &data[ip_off..];
     if ip_bytes.is_empty() {
         return Err(Error::Truncated);
     }
-    let (src_ip, dst_ip, protocol, transport_bytes, ip_total_len) = match ip_bytes[0] >> 4 {
+    let (src_ip, dst_ip, protocol, transport_off, ip_total_len) = match ip_bytes[0] >> 4 {
         4 => {
             let ip = ipv4::Packet::new_checked(ip_bytes)?;
             (
                 IpAddr::V4(ip.src_addr()),
                 IpAddr::V4(ip.dst_addr()),
                 ip.protocol(),
-                &ip_bytes[ip.header_len()..ip.total_len() as usize],
+                ip_off + ip.header_len(),
                 ip.total_len() as usize,
             )
         }
         6 => {
             let ip = ipv6::Packet::new_checked(ip_bytes)?;
-            let total = ipv6::HEADER_LEN + ip.payload_len() as usize;
             (
                 IpAddr::V6(ip.src_addr()),
                 IpAddr::V6(ip.dst_addr()),
                 ip.next_header(),
-                &ip_bytes[ipv6::HEADER_LEN..total],
-                total,
+                ip_off + ipv6::HEADER_LEN,
+                ipv6::HEADER_LEN + ip.payload_len() as usize,
             )
         }
         _ => return Err(Error::Malformed),
     };
-
-    match protocol {
-        Protocol::Udp => {
-            let u = udp::Packet::new_checked(transport_bytes)?;
-            let five_tuple = FiveTuple {
-                src_ip,
-                dst_ip,
-                src_port: u.src_port(),
-                dst_port: u.dst_port(),
-                protocol: Protocol::Udp,
-            };
-            let payload_off = udp::HEADER_LEN;
-            let payload_end = u.len() as usize;
-            let payload = &transport_bytes[payload_off..payload_end];
-            let app = classify_udp(&five_tuple, payload, probe);
-            Ok(Dissection {
-                ts_nanos,
-                link,
-                five_tuple,
-                ip_total_len,
-                transport: Transport::Udp {
-                    payload_len: payload.len(),
-                },
-                app,
-                payload,
-            })
-        }
-        Protocol::Tcp => {
-            let t = tcp::Packet::new_checked(transport_bytes)?;
-            let five_tuple = FiveTuple {
-                src_ip,
-                dst_ip,
-                src_port: t.src_port(),
-                dst_port: t.dst_port(),
-                protocol: Protocol::Tcp,
-            };
-            let hl = t.header_len();
-            let payload = &transport_bytes[hl..];
-            Ok(Dissection {
-                ts_nanos,
-                link,
-                five_tuple,
-                ip_total_len,
-                transport: Transport::Tcp {
-                    seq: t.seq_number(),
-                    ack: t.ack_number(),
-                    flags: t.flags(),
-                    window: t.window(),
-                    payload_len: payload.len(),
-                },
-                app: App::Opaque,
-                payload,
-            })
-        }
-        _ => Err(Error::Unsupported),
-    }
-}
-
-/// A header-only view of a record: the 5-tuple plus the raw UDP payload.
-///
-/// [`peek`] applies exactly the link/IP/transport validation of
-/// [`dissect`] — it returns `Err` for precisely the records `dissect`
-/// rejects — but never touches application payloads, making it an order
-/// of magnitude cheaper. The sharded analysis pipeline uses it to route
-/// records by flow without paying for a second full dissection.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Peek<'a> {
-    /// The IP 5-tuple.
-    pub five_tuple: FiveTuple,
-    /// UDP payload bytes; `None` when the packet is TCP.
-    pub udp_payload: Option<&'a [u8]>,
-}
-
-/// Parse just far enough to recover the 5-tuple (and, for UDP, the
-/// payload slice). Accepts and rejects exactly the records [`dissect`]
-/// does.
-pub fn peek<'a>(data: &'a [u8], link_type: LinkType) -> Result<Peek<'a>> {
-    let ip_bytes = match link_type {
-        LinkType::Ethernet => {
-            let eth = ethernet::Packet::new_checked(data)?;
-            match ethernet::Repr::parse(&eth).ethertype {
-                EtherType::Ipv4 | EtherType::Ipv6 => {}
-                _ => return Err(Error::Unsupported),
-            }
-            &data[ethernet::HEADER_LEN..]
-        }
-        LinkType::RawIp => data,
-        LinkType::Other(_) => return Err(Error::Unsupported),
-    };
-    if ip_bytes.is_empty() {
-        return Err(Error::Truncated);
-    }
-    let (src_ip, dst_ip, protocol, transport_bytes) = match ip_bytes[0] >> 4 {
-        4 => {
-            let ip = ipv4::Packet::new_checked(ip_bytes)?;
-            (
-                IpAddr::V4(ip.src_addr()),
-                IpAddr::V4(ip.dst_addr()),
-                ip.protocol(),
-                &ip_bytes[ip.header_len()..ip.total_len() as usize],
-            )
-        }
-        6 => {
-            let ip = ipv6::Packet::new_checked(ip_bytes)?;
-            let total = ipv6::HEADER_LEN + ip.payload_len() as usize;
-            (
-                IpAddr::V6(ip.src_addr()),
-                IpAddr::V6(ip.dst_addr()),
-                ip.next_header(),
-                &ip_bytes[ipv6::HEADER_LEN..total],
-            )
-        }
-        _ => return Err(Error::Malformed),
-    };
+    let transport_bytes = &data[transport_off..ip_off + ip_total_len];
     match protocol {
         Protocol::Udp => {
             let u = udp::Packet::new_checked(transport_bytes)?;
@@ -281,25 +233,119 @@ pub fn peek<'a>(data: &'a [u8], link_type: LinkType) -> Result<Peek<'a>> {
             };
             let payload = &transport_bytes[udp::HEADER_LEN..u.len() as usize];
             Ok(Peek {
-                five_tuple,
+                info: PeekInfo {
+                    link,
+                    five_tuple,
+                    ip_total_len,
+                    transport: PeekTransport::Udp {
+                        payload_off: transport_off + udp::HEADER_LEN,
+                        payload_len: payload.len(),
+                    },
+                },
                 udp_payload: Some(payload),
             })
         }
         Protocol::Tcp => {
             let t = tcp::Packet::new_checked(transport_bytes)?;
+            let hl = t.header_len();
+            let payload_len = transport_bytes.len() - hl;
             Ok(Peek {
-                five_tuple: FiveTuple {
-                    src_ip,
-                    dst_ip,
-                    src_port: t.src_port(),
-                    dst_port: t.dst_port(),
-                    protocol: Protocol::Tcp,
+                info: PeekInfo {
+                    link,
+                    five_tuple: FiveTuple {
+                        src_ip,
+                        dst_ip,
+                        src_port: t.src_port(),
+                        dst_port: t.dst_port(),
+                        protocol: Protocol::Tcp,
+                    },
+                    ip_total_len,
+                    transport: PeekTransport::Tcp {
+                        seq: t.seq_number(),
+                        ack: t.ack_number(),
+                        flags: t.flags(),
+                        window: t.window(),
+                        payload_off: transport_off + hl,
+                        payload_len,
+                    },
                 },
                 udp_payload: None,
             })
         }
         _ => Err(Error::Unsupported),
     }
+}
+
+/// Resume a full dissection from a [`PeekInfo`] over the *same* record
+/// bytes the peek ran on. Infallible: every validation already happened
+/// in [`peek`], only the application layer (STUN/Zoom classification)
+/// remains.
+///
+/// # Panics
+/// Panics if `data` is not the buffer (or an identical copy of the
+/// buffer) that produced `info` — the recorded offsets would be out of
+/// bounds.
+pub fn dissect_from<'a>(
+    info: &PeekInfo,
+    ts_nanos: u64,
+    data: &'a [u8],
+    probe: P2pProbe,
+) -> Dissection<'a> {
+    match info.transport {
+        PeekTransport::Udp {
+            payload_off,
+            payload_len,
+        } => {
+            let payload = &data[payload_off..payload_off + payload_len];
+            let app = classify_udp(&info.five_tuple, payload, probe);
+            Dissection {
+                ts_nanos,
+                link: info.link,
+                five_tuple: info.five_tuple,
+                ip_total_len: info.ip_total_len,
+                transport: Transport::Udp { payload_len },
+                app,
+                payload,
+            }
+        }
+        PeekTransport::Tcp {
+            seq,
+            ack,
+            flags,
+            window,
+            payload_off,
+            payload_len,
+        } => Dissection {
+            ts_nanos,
+            link: info.link,
+            five_tuple: info.five_tuple,
+            ip_total_len: info.ip_total_len,
+            transport: Transport::Tcp {
+                seq,
+                ack,
+                flags,
+                window,
+                payload_len,
+            },
+            app: App::Opaque,
+            payload: &data[payload_off..payload_off + payload_len],
+        },
+    }
+}
+
+/// Dissect one capture record: [`peek`] + [`dissect_from`] in one call.
+///
+/// Returns `Err` only for packets that cannot be interpreted at the IP
+/// layer or below; an unparseable application payload simply yields
+/// [`App::Opaque`].
+pub fn dissect<'a>(
+    ts_nanos: u64,
+    data: &'a [u8],
+    link_type: LinkType,
+    probe: P2pProbe,
+) -> Result<Dissection<'a>> {
+    let p = peek(data, link_type)?;
+    Ok(dissect_from(&p.info, ts_nanos, data, probe))
 }
 
 fn classify_udp(five_tuple: &FiveTuple, payload: &[u8], probe: P2pProbe) -> App {
@@ -332,7 +378,10 @@ fn classify_udp(five_tuple: &FiveTuple, payload: &[u8], probe: P2pProbe) -> App 
 /// Render a Wireshark-style field tree for a dissection — the textual
 /// counterpart of the plugin screenshot in Fig. 18 of the paper.
 pub fn render_tree(d: &Dissection<'_>) -> String {
-    let mut out = String::new();
+    // Sized for the deepest tree (SFU + media + RTP + RTCP lines, ~12
+    // lines of ≤ 80 chars); one up-front allocation instead of repeated
+    // doubling while the lines accumulate.
+    let mut out = String::with_capacity(1024);
     let _ = writeln!(
         out,
         "Frame: {} bytes on wire, ts={} ns",
@@ -602,6 +651,106 @@ mod tests {
             }
             _ => panic!("expected tcp"),
         }
+    }
+
+    #[test]
+    fn peek_offsets_resume_identical_dissection() {
+        // dissect == peek + dissect_from holds by construction; pin the
+        // recorded offsets against the borrowed slices so a regression in
+        // the offset arithmetic cannot hide behind that identity.
+        let data = server_video_packet();
+        let p = peek(&data, LinkType::Ethernet).unwrap();
+        assert_eq!(p.info.five_tuple.src_port, ZOOM_SFU_PORT);
+        let PeekTransport::Udp {
+            payload_off,
+            payload_len,
+        } = p.info.transport
+        else {
+            panic!("expected udp transport");
+        };
+        assert_eq!(
+            &data[payload_off..payload_off + payload_len],
+            p.udp_payload.unwrap()
+        );
+        let d = dissect_from(&p.info, 42, &data, P2pProbe::Off);
+        assert_eq!(d, dissect(42, &data, LinkType::Ethernet, P2pProbe::Off).unwrap());
+        assert!(d.zoom().is_some());
+
+        // TCP: header fields carried through PeekInfo verbatim.
+        let tcp_data = compose::tcp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 3),
+            Ipv4Addr::new(170, 114, 0, 5),
+            50_000,
+            443,
+            7_000,
+            8_000,
+            tcp::Flags {
+                ack: true,
+                psh: true,
+                ..Default::default()
+            },
+            b"abc",
+        );
+        let p = peek(&tcp_data, LinkType::Ethernet).unwrap();
+        assert!(p.udp_payload.is_none());
+        let d = dissect_from(&p.info, 7, &tcp_data, P2pProbe::Off);
+        assert_eq!(
+            d,
+            dissect(7, &tcp_data, LinkType::Ethernet, P2pProbe::Off).unwrap()
+        );
+        match d.transport {
+            Transport::Tcp {
+                seq,
+                ack,
+                payload_len,
+                ..
+            } => {
+                assert_eq!((seq, ack, payload_len), (7_000, 8_000, 3));
+            }
+            _ => panic!("expected tcp"),
+        }
+    }
+
+    #[test]
+    fn peek_rejects_exactly_what_dissect_rejects() {
+        let mut arp = server_video_packet();
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        for data in [&b"x"[..], &[][..], &arp[..], &[0u8; 64][..]] {
+            for link in [LinkType::Ethernet, LinkType::RawIp, LinkType::Other(9)] {
+                assert_eq!(
+                    peek(data, link).err(),
+                    dissect(0, data, link, P2pProbe::Off).err(),
+                    "link {link:?}, {} bytes",
+                    data.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_tree_known_packet_output() {
+        // A fully deterministic packet → exact rendered tree. compose
+        // derives MACs 02:00:<ip octets> from the addresses.
+        let data = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1234,
+            5678,
+            b"not zoom at all",
+        );
+        let d = dissect(7, &data, LinkType::Ethernet, P2pProbe::Off).unwrap();
+        let tree = render_tree(&d);
+        assert_eq!(
+            tree,
+            "Frame: 43 bytes on wire, ts=7 ns\n\
+             Ethernet II, Src: 02:00:01:01:01:01, Dst: 02:00:02:02:02:02\n\
+             Internet Protocol, Src: 1.1.1.1, Dst: 2.2.2.2\n\
+             User Datagram Protocol, Src Port: 1234, Dst Port: 5678, Payload: 15 bytes\n\
+             Data: 15 bytes\n"
+        );
+        // The pre-reserved capacity covered the whole render: no growth.
+        assert_eq!(tree.capacity(), 1024);
     }
 
     #[test]

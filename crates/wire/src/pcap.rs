@@ -4,6 +4,19 @@
 //! (`0xA1B23C4D`) variants in either byte order, link types Ethernet (1)
 //! and raw IP (101). This is all the paper's offline toolchain needs to
 //! exchange traces with tcpdump/Wireshark.
+//!
+//! Two ingest paths are offered:
+//!
+//! * the **owning** path — [`Reader::next_record`] / [`Reader::records`]
+//!   allocate a fresh [`Record`] per packet (simple, `'static`, clonable);
+//! * the **zero-copy fast path** — [`Reader::read_into`] reuses one
+//!   growable [`RecordBuf`] across records (zero steady-state
+//!   allocations), and [`SliceReader`] yields records *borrowed* straight
+//!   out of an in-memory trace image (e.g. an `mmap`ed file) without
+//!   copying payload bytes at all.
+//!
+//! The owning path is implemented on top of `read_into`, so the two paths
+//! cannot drift: they parse identically by construction.
 
 use crate::Error;
 use std::io::{self, Read, Write};
@@ -68,6 +81,107 @@ impl Record {
     }
 }
 
+/// A reusable record buffer for [`Reader::read_into`]: the data `Vec`
+/// grows to the largest record seen and is then reused, so a steady-state
+/// read loop performs no allocations at all.
+#[derive(Debug, Default, Clone)]
+pub struct RecordBuf {
+    ts_nanos: u64,
+    orig_len: u32,
+    data: Vec<u8>,
+}
+
+impl RecordBuf {
+    /// An empty buffer; the first read sizes it.
+    pub fn new() -> RecordBuf {
+        RecordBuf::default()
+    }
+
+    /// A buffer pre-sized for records up to `cap` bytes.
+    pub fn with_capacity(cap: usize) -> RecordBuf {
+        RecordBuf {
+            data: Vec::with_capacity(cap),
+            ..RecordBuf::default()
+        }
+    }
+
+    /// Capture timestamp of the buffered record, nanoseconds.
+    pub fn ts_nanos(&self) -> u64 {
+        self.ts_nanos
+    }
+
+    /// Original (on-the-wire) length of the buffered record.
+    pub fn orig_len(&self) -> u32 {
+        self.orig_len
+    }
+
+    /// Captured bytes of the buffered record.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Clone the buffered record into an owning [`Record`].
+    pub fn to_record(&self) -> Record {
+        Record {
+            ts_nanos: self.ts_nanos,
+            orig_len: self.orig_len,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Convert into an owning [`Record`], giving up the buffer.
+    pub fn into_record(self) -> Record {
+        Record {
+            ts_nanos: self.ts_nanos,
+            orig_len: self.orig_len,
+            data: self.data,
+        }
+    }
+}
+
+/// Parsed pcap global header: (byte-swapped, nanosecond timestamps,
+/// link type, snap length).
+fn parse_global_header(hdr: &[u8; 24]) -> io::Result<(bool, bool, LinkType, u32)> {
+    let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+    let (swapped, nanos) = match magic {
+        MAGIC_USEC => (false, false),
+        MAGIC_NSEC => (false, true),
+        m if m.swap_bytes() == MAGIC_USEC => (true, false),
+        m if m.swap_bytes() == MAGIC_NSEC => (true, true),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a pcap file (bad magic)",
+            ))
+        }
+    };
+    let rd32 = |o: usize| {
+        let v = u32::from_le_bytes([hdr[o], hdr[o + 1], hdr[o + 2], hdr[o + 3]]);
+        if swapped {
+            v.swap_bytes()
+        } else {
+            v
+        }
+    };
+    Ok((swapped, nanos, LinkType::from(rd32(20)), rd32(16)))
+}
+
+/// Read until `buf` is full or EOF; returns the bytes actually read.
+/// Unlike `read_exact`, a short read is reported by count, not error, so
+/// callers can tell a clean EOF (0) from a truncated tail (0 < n < len).
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut n = 0;
+    while n < buf.len() {
+        match r.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => n += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(n)
+}
+
 /// Streaming pcap reader.
 pub struct Reader<R: Read> {
     inner: R,
@@ -75,6 +189,7 @@ pub struct Reader<R: Read> {
     nanos: bool,
     link_type: LinkType,
     snaplen: u32,
+    truncated: u64,
 }
 
 impl<R: Read> Reader<R> {
@@ -82,35 +197,14 @@ impl<R: Read> Reader<R> {
     pub fn new(mut inner: R) -> io::Result<Self> {
         let mut hdr = [0u8; 24];
         inner.read_exact(&mut hdr)?;
-        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
-        let (swapped, nanos) = match magic {
-            MAGIC_USEC => (false, false),
-            MAGIC_NSEC => (false, true),
-            m if m.swap_bytes() == MAGIC_USEC => (true, false),
-            m if m.swap_bytes() == MAGIC_NSEC => (true, true),
-            _ => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "not a pcap file (bad magic)",
-                ))
-            }
-        };
-        let rd32 = |b: &[u8], o: usize| {
-            let v = u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
-            if swapped {
-                v.swap_bytes()
-            } else {
-                v
-            }
-        };
-        let snaplen = rd32(&hdr, 16);
-        let link_type = LinkType::from(rd32(&hdr, 20));
+        let (swapped, nanos, link_type, snaplen) = parse_global_header(&hdr)?;
         Ok(Reader {
             inner,
             swapped,
             nanos,
             link_type,
             snaplen,
+            truncated: 0,
         })
     }
 
@@ -124,13 +218,27 @@ impl<R: Read> Reader<R> {
         self.snaplen
     }
 
-    /// Read the next record; `Ok(None)` at a clean end of file.
-    pub fn next_record(&mut self) -> io::Result<Option<Record>> {
+    /// Records dropped because the file ended mid-record (a capture cut
+    /// off mid-write). Such a tail yields `Ok(None)` / `Ok(false)` rather
+    /// than an error; this counter is the warning channel.
+    pub fn truncated_records(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Read the next record into `buf`, reusing its storage: the
+    /// zero-copy fast path. Returns `Ok(false)` at end of file (including
+    /// a truncated final record, which also bumps
+    /// [`truncated_records`](Reader::truncated_records)); `buf` holds the
+    /// new record only when `Ok(true)` is returned.
+    pub fn read_into(&mut self, buf: &mut RecordBuf) -> io::Result<bool> {
         let mut hdr = [0u8; 16];
-        match self.inner.read_exact(&mut hdr) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e),
+        let got = read_fully(&mut self.inner, &mut hdr)?;
+        if got == 0 {
+            return Ok(false);
+        }
+        if got < hdr.len() {
+            self.truncated += 1;
+            return Ok(false);
         }
         let rd32 = |b: &[u8], o: usize| {
             let v = u32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
@@ -150,14 +258,32 @@ impl<R: Read> Reader<R> {
                 "pcap record longer than twice the snap length",
             ));
         }
-        let mut data = vec![0u8; incl_len as usize];
-        self.inner.read_exact(&mut data)?;
+        buf.data.resize(incl_len as usize, 0);
+        let got = read_fully(&mut self.inner, &mut buf.data)?;
+        if got < incl_len as usize {
+            self.truncated += 1;
+            buf.data.clear();
+            return Ok(false);
+        }
         let frac_nanos = if self.nanos { ts_frac } else { ts_frac * 1_000 };
-        Ok(Some(Record {
-            ts_nanos: ts_sec * 1_000_000_000 + frac_nanos,
-            orig_len,
-            data,
-        }))
+        buf.ts_nanos = ts_sec * 1_000_000_000 + frac_nanos;
+        buf.orig_len = orig_len;
+        Ok(true)
+    }
+
+    /// Read the next record; `Ok(None)` at a clean end of file *or* at a
+    /// truncated final record (see
+    /// [`truncated_records`](Reader::truncated_records)).
+    ///
+    /// This is the owning path: it allocates a fresh `Vec` per record.
+    /// Hot loops should prefer [`read_into`](Reader::read_into).
+    pub fn next_record(&mut self) -> io::Result<Option<Record>> {
+        let mut buf = RecordBuf::new();
+        if self.read_into(&mut buf)? {
+            Ok(Some(buf.into_record()))
+        } else {
+            Ok(None)
+        }
     }
 
     /// Iterate over all remaining records, stopping at the first error.
@@ -176,6 +302,128 @@ impl<R: Read> Iterator for RecordIter<R> {
 
     fn next(&mut self) -> Option<Self::Item> {
         self.reader.next_record().transpose()
+    }
+}
+
+/// One record borrowed from a [`SliceReader`]'s trace image: no payload
+/// copy, `data` points into the underlying buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceRecord<'a> {
+    /// Nanoseconds since the Unix epoch.
+    pub ts_nanos: u64,
+    /// Original (on-the-wire) length.
+    pub orig_len: u32,
+    /// Captured bytes, borrowed from the trace image.
+    pub data: &'a [u8],
+}
+
+impl SliceRecord<'_> {
+    /// Copy into an owning [`Record`].
+    pub fn to_record(&self) -> Record {
+        Record {
+            ts_nanos: self.ts_nanos,
+            orig_len: self.orig_len,
+            data: self.data.to_vec(),
+        }
+    }
+}
+
+/// Zero-copy pcap reader over an in-memory trace image (a `Vec<u8>`, an
+/// `mmap`ed file, an embedded test trace): records are yielded as
+/// [`SliceRecord`]s borrowing directly from the image.
+///
+/// Semantics mirror [`Reader`] exactly — same magic/byte-order handling,
+/// same sanity limit, and the same truncated-tail policy (`Ok(None)` plus
+/// the [`truncated_records`](SliceReader::truncated_records) counter).
+pub struct SliceReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    swapped: bool,
+    nanos: bool,
+    link_type: LinkType,
+    snaplen: u32,
+    truncated: u64,
+}
+
+impl<'a> SliceReader<'a> {
+    /// Validate the global header of an in-memory trace.
+    pub fn new(data: &'a [u8]) -> io::Result<SliceReader<'a>> {
+        let hdr: &[u8; 24] = data
+            .get(..24)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "pcap image shorter than header")
+            })?;
+        let (swapped, nanos, link_type, snaplen) = parse_global_header(hdr)?;
+        Ok(SliceReader {
+            data,
+            pos: 24,
+            swapped,
+            nanos,
+            link_type,
+            snaplen,
+            truncated: 0,
+        })
+    }
+
+    /// The trace's link type.
+    pub fn link_type(&self) -> LinkType {
+        self.link_type
+    }
+
+    /// The trace's snap length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Records dropped because the image ended mid-record.
+    pub fn truncated_records(&self) -> u64 {
+        self.truncated
+    }
+
+    /// The next borrowed record; `Ok(None)` at the end of the image or at
+    /// a truncated tail (which bumps
+    /// [`truncated_records`](SliceReader::truncated_records)).
+    pub fn next_record(&mut self) -> io::Result<Option<SliceRecord<'a>>> {
+        let rest = &self.data[self.pos..];
+        if rest.is_empty() {
+            return Ok(None);
+        }
+        if rest.len() < 16 {
+            self.truncated += 1;
+            self.pos = self.data.len();
+            return Ok(None);
+        }
+        let rd32 = |o: usize| {
+            let v = u32::from_le_bytes([rest[o], rest[o + 1], rest[o + 2], rest[o + 3]]);
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let ts_sec = u64::from(rd32(0));
+        let ts_frac = u64::from(rd32(4));
+        let incl_len = rd32(8) as usize;
+        let orig_len = rd32(12);
+        if incl_len as u32 > self.snaplen.max(65_535) * 2 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "pcap record longer than twice the snap length",
+            ));
+        }
+        let Some(data) = rest.get(16..16 + incl_len) else {
+            self.truncated += 1;
+            self.pos = self.data.len();
+            return Ok(None);
+        };
+        self.pos += 16 + incl_len;
+        let frac_nanos = if self.nanos { ts_frac } else { ts_frac * 1_000 };
+        Ok(Some(SliceRecord {
+            ts_nanos: ts_sec * 1_000_000_000 + frac_nanos,
+            orig_len,
+            data,
+        }))
     }
 }
 
@@ -198,14 +446,21 @@ impl<W: Write> Writer<W> {
     }
 
     /// Append one record.
+    ///
+    /// The written original length is `max(orig_len, data.len())`: snapped
+    /// records (`orig_len > data.len()`) round-trip exactly, and a record
+    /// whose `orig_len` was left at 0 (or otherwise below the captured
+    /// length — malformed in pcap) is normalized so the file stays
+    /// well-formed for other tools.
     pub fn write_record(&mut self, record: &Record) -> io::Result<()> {
         let mut hdr = [0u8; 16];
         let secs = (record.ts_nanos / 1_000_000_000) as u32;
         let nanos = (record.ts_nanos % 1_000_000_000) as u32;
+        let orig_len = record.orig_len.max(record.data.len() as u32);
         hdr[0..4].copy_from_slice(&secs.to_le_bytes());
         hdr[4..8].copy_from_slice(&nanos.to_le_bytes());
         hdr[8..12].copy_from_slice(&(record.data.len() as u32).to_le_bytes());
-        hdr[12..16].copy_from_slice(&record.orig_len.to_le_bytes());
+        hdr[12..16].copy_from_slice(&orig_len.to_le_bytes());
         self.inner.write_all(&hdr)?;
         self.inner.write_all(&record.data)
     }
@@ -227,15 +482,18 @@ pub fn to_io(e: Error) -> io::Error {
 mod tests {
     use super::*;
 
-    fn roundtrip(records: &[Record]) -> Vec<Record> {
+    fn write_trace(records: &[Record]) -> Vec<u8> {
         let mut buf = Vec::new();
-        {
-            let mut w = Writer::new(&mut buf, LinkType::Ethernet).unwrap();
-            for r in records {
-                w.write_record(r).unwrap();
-            }
-            w.finish().unwrap();
+        let mut w = Writer::new(&mut buf, LinkType::Ethernet).unwrap();
+        for r in records {
+            w.write_record(r).unwrap();
         }
+        w.finish().unwrap();
+        buf
+    }
+
+    fn roundtrip(records: &[Record]) -> Vec<Record> {
+        let buf = write_trace(records);
         let r = Reader::new(&buf[..]).unwrap();
         assert_eq!(r.link_type(), LinkType::Ethernet);
         r.records().map(|x| x.unwrap()).collect()
@@ -268,6 +526,21 @@ mod tests {
     }
 
     #[test]
+    fn undersized_orig_len_normalized_on_write() {
+        // orig_len below the captured length is malformed pcap; the
+        // writer raises it to data.len() so the file round-trips into a
+        // well-formed record.
+        let rec = Record {
+            ts_nanos: 1,
+            orig_len: 0,
+            data: vec![9; 40],
+        };
+        let got = roundtrip(std::slice::from_ref(&rec));
+        assert_eq!(got[0].orig_len, 40);
+        assert_eq!(got[0].data, rec.data);
+    }
+
+    #[test]
     fn microsecond_file_parses() {
         // Hand-built µs-resolution header + one record.
         let mut buf = Vec::new();
@@ -287,6 +560,14 @@ mod tests {
         let recs: Vec<_> = r.records().map(|x| x.unwrap()).collect();
         assert_eq!(recs[0].ts_nanos, 1_000_000_000 + 500_000);
         assert_eq!(recs[0].data, vec![0xAA, 0xBB]);
+
+        // The slice reader agrees on the same image.
+        let mut s = SliceReader::new(&buf).unwrap();
+        assert_eq!(s.link_type(), LinkType::RawIp);
+        let rec = s.next_record().unwrap().unwrap();
+        assert_eq!(rec.ts_nanos, 1_000_000_000 + 500_000);
+        assert_eq!(rec.data, &[0xAA, 0xBB]);
+        assert!(s.next_record().unwrap().is_none());
     }
 
     #[test]
@@ -309,24 +590,99 @@ mod tests {
             .map(|x| x.unwrap())
             .collect();
         assert_eq!(recs[0].data, vec![0x42]);
+        let mut s = SliceReader::new(&buf).unwrap();
+        assert_eq!(s.next_record().unwrap().unwrap().data, &[0x42]);
     }
 
     #[test]
     fn bad_magic_rejected() {
         let buf = [0u8; 24];
         assert!(Reader::new(&buf[..]).is_err());
+        assert!(SliceReader::new(&buf).is_err());
     }
 
     #[test]
-    fn truncated_record_is_error() {
-        let mut buf = Vec::new();
-        {
-            let mut w = Writer::new(&mut buf, LinkType::Ethernet).unwrap();
-            w.write_record(&Record::full(0, vec![1, 2, 3, 4])).unwrap();
-        }
+    fn truncated_final_record_is_clean_eof_with_warning() {
+        // Cut into the record *data*: the reader reports a clean end of
+        // file and counts the dropped tail instead of erroring.
+        let mut buf = write_trace(&[
+            Record::full(0, vec![1, 2, 3, 4]),
+            Record::full(1, vec![5, 6, 7, 8]),
+        ]);
         buf.truncate(buf.len() - 2);
-        let r = Reader::new(&buf[..]).unwrap();
-        let results: Vec<_> = r.records().collect();
-        assert!(results[0].is_err());
+        let mut r = Reader::new(&buf[..]).unwrap();
+        assert_eq!(r.next_record().unwrap().unwrap().data, vec![1, 2, 3, 4]);
+        assert!(r.next_record().unwrap().is_none());
+        assert_eq!(r.truncated_records(), 1);
+
+        let mut s = SliceReader::new(&buf).unwrap();
+        assert_eq!(s.next_record().unwrap().unwrap().data, &[1, 2, 3, 4]);
+        assert!(s.next_record().unwrap().is_none());
+        assert_eq!(s.truncated_records(), 1);
+    }
+
+    #[test]
+    fn truncated_record_header_is_clean_eof_with_warning() {
+        // Cut into the 16-byte per-record header itself.
+        let mut buf = write_trace(&[Record::full(0, vec![1, 2, 3, 4])]);
+        buf.truncate(buf.len() - 4 - 10); // keep 6 of the 16 header bytes
+        let mut r = Reader::new(&buf[..]).unwrap();
+        assert!(r.next_record().unwrap().is_none());
+        assert_eq!(r.truncated_records(), 1);
+
+        let mut s = SliceReader::new(&buf).unwrap();
+        assert!(s.next_record().unwrap().is_none());
+        assert_eq!(s.truncated_records(), 1);
+    }
+
+    #[test]
+    fn read_into_reuses_one_buffer_and_matches_owning_path() {
+        let records = vec![
+            Record::full(10, vec![0xAB; 1400]),
+            Record::full(20, vec![0xCD; 60]),
+            Record {
+                ts_nanos: 30,
+                orig_len: 9000,
+                data: vec![0xEF; 1200],
+            },
+        ];
+        let img = write_trace(&records);
+
+        let owned: Vec<Record> = Reader::new(&img[..])
+            .unwrap()
+            .records()
+            .map(|x| x.unwrap())
+            .collect();
+
+        let mut fast = Vec::new();
+        let mut reader = Reader::new(&img[..]).unwrap();
+        let mut buf = RecordBuf::new();
+        while reader.read_into(&mut buf).unwrap() {
+            assert!(buf.data().len() <= buf.data.capacity());
+            fast.push(buf.to_record());
+        }
+        assert_eq!(fast, owned);
+        // The buffer grew once to the largest record and stayed there.
+        assert_eq!(buf.data.capacity(), 1400);
+        assert_eq!(reader.truncated_records(), 0);
+    }
+
+    #[test]
+    fn slice_reader_yields_borrowed_records_identical_to_owning() {
+        let records = vec![
+            Record::full(7, vec![1; 128]),
+            Record::full(8, (0..=255).collect()),
+        ];
+        let img = write_trace(&records);
+        let mut s = SliceReader::new(&img).unwrap();
+        assert_eq!(s.link_type(), LinkType::Ethernet);
+        let mut got = Vec::new();
+        while let Some(rec) = s.next_record().unwrap() {
+            // Borrowed straight from the image: same backing allocation.
+            let img_range = img.as_ptr_range();
+            assert!(img_range.contains(&rec.data.as_ptr()));
+            got.push(rec.to_record());
+        }
+        assert_eq!(got, records);
     }
 }

@@ -17,7 +17,7 @@ use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
 use zoom_sim::meeting::MeetingSim;
 use zoom_sim::scenario;
 use zoom_sim::time::SEC;
-use zoom_wire::pcap::{LinkType, Record};
+use zoom_wire::pcap::{LinkType, Reader, Record, RecordBuf, SliceReader, Writer};
 use zoom_wire::zoom::MediaType;
 
 fn run_sequential(records: &[Record]) -> Analyzer {
@@ -123,6 +123,91 @@ fn p2p_meeting_identical_at_1_2_8_shards() {
     for shards in [1usize, 2, 8] {
         let par = run_parallel(&records, shards);
         assert_equivalent(&seq, &par, &format!("p2p/{shards} shards"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ingest-path equivalence for the batch front-end: feeding the parallel
+// analyzer from any of the three readers produces identical JSON.
+// ---------------------------------------------------------------------
+
+/// Serialize records into an in-memory classic pcap image so each ingest
+/// path starts from identical bytes.
+fn pcap_image(records: &[Record]) -> Vec<u8> {
+    let mut w = Writer::new(Vec::new(), LinkType::Ethernet).expect("write header");
+    for r in records {
+        w.write_record(r).expect("write record");
+    }
+    w.finish().expect("flush")
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ingest {
+    Owning,
+    ReadInto,
+    Slice,
+}
+
+fn parallel_report_via(img: &[u8], ingest: Ingest, shards: usize) -> String {
+    let mut p = ParallelAnalyzer::new(AnalyzerConfig::default(), shards);
+    match ingest {
+        Ingest::Owning => {
+            let mut r = Reader::new(img).expect("pcap header");
+            let link = r.link_type();
+            while let Some(rec) = r.next_record().expect("record") {
+                p.process_record(&rec, link);
+            }
+        }
+        Ingest::ReadInto => {
+            let mut r = Reader::new(img).expect("pcap header");
+            let link = r.link_type();
+            let mut buf = RecordBuf::new();
+            while r.read_into(&mut buf).expect("record") {
+                p.process_packet(buf.ts_nanos(), buf.data(), link);
+            }
+        }
+        Ingest::Slice => {
+            let mut r = SliceReader::new(img).expect("pcap header");
+            let link = r.link_type();
+            while let Some(rec) = r.next_record().expect("record") {
+                p.process_packet(rec.ts_nanos, rec.data, link);
+            }
+        }
+    }
+    p.finish().expect("no shard failure").to_json()
+}
+
+#[test]
+fn ingest_paths_identical_at_1_2_8_shards() {
+    let records: Vec<Record> = MeetingSim::new(scenario::multi_party(13, 45 * SEC)).collect();
+    assert!(records.len() > 1_000);
+    let img = pcap_image(&records);
+    let sequential = run_sequential(&records).finish().to_json();
+    for shards in [1usize, 2, 8] {
+        let baseline = parallel_report_via(&img, Ingest::Owning, shards);
+        assert_eq!(baseline, sequential, "owning/{shards} shards vs sequential");
+        for ingest in [Ingest::ReadInto, Ingest::Slice] {
+            let json = parallel_report_via(&img, ingest, shards);
+            assert_eq!(json, baseline, "{ingest:?}/{shards} shards");
+        }
+    }
+}
+
+proptest! {
+    /// Randomized traces: every ingest path × shard count serializes the
+    /// same final report.
+    #[test]
+    fn randomized_traces_identical_across_ingest_paths(
+        seed in 0u64..100_000,
+        shards in prop_oneof![Just(1usize), Just(2), Just(8)],
+    ) {
+        let records: Vec<Record> =
+            MeetingSim::new(scenario::multi_party(seed, 15 * SEC)).collect();
+        let img = pcap_image(&records);
+        let baseline = parallel_report_via(&img, Ingest::Owning, shards);
+        for ingest in [Ingest::ReadInto, Ingest::Slice] {
+            prop_assert_eq!(parallel_report_via(&img, ingest, shards), baseline.clone());
+        }
     }
 }
 

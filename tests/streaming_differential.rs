@@ -23,7 +23,7 @@ use zoom_analysis::stream::StreamKey;
 use zoom_sim::meeting::MeetingSim;
 use zoom_sim::scenario;
 use zoom_sim::time::SEC;
-use zoom_wire::pcap::{LinkType, Record};
+use zoom_wire::pcap::{LinkType, Reader, Record, RecordBuf, SliceReader, Writer};
 
 fn batch_report(records: &[Record]) -> AnalysisReport {
     let mut a = Analyzer::new(AnalyzerConfig::default());
@@ -209,6 +209,154 @@ fn eviction_fragments_sum_to_batch_totals_and_bound_memory() {
             "{shards} shards: peak {} exceeds cap {TRACKED_ENTRY_CAP}",
             out.peak_tracked_entries
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ingest-path equivalence: the zero-copy fast paths must not change a
+// byte of output relative to the owning-record path.
+// ---------------------------------------------------------------------
+
+/// Serialize the synthetic records into an in-memory classic pcap image,
+/// so every ingest path starts from identical bytes.
+fn pcap_image(records: &[Record]) -> Vec<u8> {
+    let mut w = Writer::new(Vec::new(), LinkType::Ethernet).expect("write header");
+    for r in records {
+        w.write_record(r).expect("write record");
+    }
+    w.finish().expect("flush")
+}
+
+/// The three ingest paths under differential test: the owning
+/// `next_record` loop, the buffer-reusing `read_into` loop, and the
+/// borrowed-slice `SliceReader` loop.
+#[derive(Clone, Copy, Debug)]
+enum Ingest {
+    Owning,
+    ReadInto,
+    Slice,
+}
+
+fn stream_via(
+    img: &[u8],
+    ingest: Ingest,
+    shards: usize,
+    window: Option<Duration>,
+) -> (Vec<WindowReport>, EngineOutput) {
+    let mut engine = StreamingEngine::new(EngineConfig {
+        analyzer: AnalyzerConfig::default(),
+        shards,
+        window,
+        idle_timeout: None,
+    })
+    .expect("valid engine config");
+    let mut windows = Vec::new();
+    match ingest {
+        Ingest::Owning => {
+            let mut r = Reader::new(img).expect("pcap header");
+            let link = r.link_type();
+            while let Some(rec) = r.next_record().expect("record") {
+                windows.extend(engine.push_record(&rec, link).expect("push"));
+            }
+        }
+        Ingest::ReadInto => {
+            let mut r = Reader::new(img).expect("pcap header");
+            let link = r.link_type();
+            let mut buf = RecordBuf::new();
+            while r.read_into(&mut buf).expect("record") {
+                windows.extend(
+                    engine
+                        .push_packet(buf.ts_nanos(), buf.data(), link)
+                        .expect("push"),
+                );
+            }
+        }
+        Ingest::Slice => {
+            let mut r = SliceReader::new(img).expect("pcap header");
+            let link = r.link_type();
+            while let Some(rec) = r.next_record().expect("record") {
+                windows.extend(engine.push_packet(rec.ts_nanos, rec.data, link).expect("push"));
+            }
+        }
+    }
+    let out = engine.drain().expect("drain");
+    (windows, out)
+}
+
+fn assert_same_run(
+    a: &(Vec<WindowReport>, EngineOutput),
+    b: &(Vec<WindowReport>, EngineOutput),
+    label: &str,
+) {
+    assert_eq!(a.0.len(), b.0.len(), "{label}: window count");
+    for (x, y) in a.0.iter().zip(&b.0) {
+        assert_eq!(x.to_json(), y.to_json(), "{label}: window {}", x.index);
+    }
+    assert_eq!(
+        a.1.final_window.to_json(),
+        b.1.final_window.to_json(),
+        "{label}: final window"
+    );
+    assert_eq!(
+        a.1.report.to_json(),
+        b.1.report.to_json(),
+        "{label}: final report"
+    );
+}
+
+#[test]
+fn ingest_paths_byte_identical_at_1_2_8_shards() {
+    let records: Vec<Record> = MeetingSim::new(scenario::multi_party(11, 45 * SEC)).collect();
+    assert!(records.len() > 1_000);
+    let img = pcap_image(&records);
+    let batch = batch_report(&records);
+    for shards in [1usize, 2, 8] {
+        for window in [None, Some(Duration::from_secs(10))] {
+            let baseline = stream_via(&img, Ingest::Owning, shards, window);
+            // Without eviction the drain report equals the batch report,
+            // whatever the ingest path.
+            assert_eq!(
+                baseline.1.report.to_json(),
+                batch.to_json(),
+                "owning/{shards} shards/{window:?}"
+            );
+            for ingest in [Ingest::ReadInto, Ingest::Slice] {
+                let run = stream_via(&img, ingest, shards, window);
+                assert_same_run(
+                    &run,
+                    &baseline,
+                    &format!("{ingest:?}/{shards} shards/{window:?}"),
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Randomized traces through (owning, read_into, SliceReader) ×
+    /// randomized shard count and windowing: all windows and both final
+    /// reports must serialize identically. (`window_secs` of 0 means
+    /// unwindowed.)
+    #[test]
+    fn randomized_traces_identical_across_ingest_paths(
+        seed in 0u64..100_000,
+        shards in prop_oneof![Just(1usize), Just(2), Just(8)],
+        window_secs in 0u64..20,
+    ) {
+        let records: Vec<Record> =
+            MeetingSim::new(scenario::multi_party(seed, 15 * SEC)).collect();
+        let img = pcap_image(&records);
+        let window = (window_secs > 0).then(|| Duration::from_secs(window_secs));
+        let baseline = stream_via(&img, Ingest::Owning, shards, window);
+        for ingest in [Ingest::ReadInto, Ingest::Slice] {
+            let run = stream_via(&img, ingest, shards, window);
+            prop_assert_eq!(run.0.len(), baseline.0.len());
+            for (x, y) in run.0.iter().zip(&baseline.0) {
+                prop_assert_eq!(x.to_json(), y.to_json());
+            }
+            prop_assert_eq!(run.1.final_window.to_json(), baseline.1.final_window.to_json());
+            prop_assert_eq!(run.1.report.to_json(), baseline.1.report.to_json());
+        }
     }
 }
 

@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut a = Analyzer::new(AnalyzerConfig::default());
             for r in &records {
-                a.process_record(black_box(r), LinkType::Ethernet);
+                a.process_packet(black_box(r).ts_nanos, &r.data, LinkType::Ethernet);
             }
             a.summary().zoom_packets
         })

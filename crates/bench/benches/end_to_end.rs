@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
             for r in &records {
                 let (_, out) = capture.process_record(r, LinkType::Ethernet);
                 if let Some(out) = out {
-                    analyzer.process_record(&out, LinkType::Ethernet);
+                    analyzer.process_packet(out.ts_nanos, &out.data, LinkType::Ethernet);
                 }
             }
             analyzer.summary().zoom_packets
@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut analyzer = Analyzer::new(AnalyzerConfig::default());
             for r in &records {
-                analyzer.process_record(r, LinkType::Ethernet);
+                analyzer.process_packet(r.ts_nanos, &r.data, LinkType::Ethernet);
             }
             analyzer.summary().zoom_packets
         })
@@ -70,7 +70,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut par = ParallelAnalyzer::new(AnalyzerConfig::default(), shards);
                 for r in &records {
-                    par.process_record(r, LinkType::Ethernet);
+                    par.process_packet(r.ts_nanos, &r.data, LinkType::Ethernet);
                 }
                 par.summary().zoom_packets
             })
@@ -97,7 +97,7 @@ fn bench(c: &mut Criterion) {
             let mut reader = Reader::new(&img[..]).expect("header");
             let mut analyzer = Analyzer::new(AnalyzerConfig::default());
             while let Some(r) = reader.next_record().expect("record") {
-                analyzer.process_record(&r, LinkType::Ethernet);
+                analyzer.process_packet(r.ts_nanos, &r.data, LinkType::Ethernet);
             }
             analyzer.summary().zoom_packets
         })

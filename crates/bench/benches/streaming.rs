@@ -34,7 +34,9 @@ fn run_streaming(
     })
     .expect("valid config");
     for r in records {
-        engine.push_record(r, LinkType::Ethernet).expect("push");
+        engine
+            .push_packet(r.ts_nanos, &r.data, LinkType::Ethernet)
+            .expect("push");
     }
     let out = engine.drain().expect("drain");
     (out.report.summary.zoom_packets, out.peak_tracked_entries)
@@ -68,9 +70,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut analyzer = Analyzer::new(AnalyzerConfig::default());
             for r in &records {
-                analyzer.process_record(r, LinkType::Ethernet);
+                analyzer.process_packet(r.ts_nanos, &r.data, LinkType::Ethernet);
             }
-            analyzer.finish().summary.zoom_packets
+            analyzer.finish().expect("finish").summary.zoom_packets
         })
     });
     g.bench_function("streaming_unwindowed", |b| {
@@ -97,7 +99,7 @@ fn bench(c: &mut Criterion) {
     }
     // The zero-copy entry point: same engine, records fed as borrowed
     // slices via push_packet (what a SliceReader/read_into loop does)
-    // instead of owned Records via push_record.
+    // instead of owned Records.
     g.bench_function("streaming_unwindowed_push_packet", |b| {
         b.iter(|| {
             let mut engine = StreamingEngine::new(EngineConfig {

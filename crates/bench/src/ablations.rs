@@ -35,7 +35,7 @@ pub fn grouping_without_step1(args: &ExpArgs) {
                 .expect("valid config"),
         );
         for record in sim {
-            analyzer.process_record(&record, LinkType::Ethernet);
+            analyzer.process_packet(record.ts_nanos, &record.data, LinkType::Ethernet);
         }
         let groups = analyzer.duplicate_stream_groups();
         let multi = groups.values().filter(|g| g.len() >= 2).count();

@@ -13,6 +13,7 @@ use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::PacketSink;
 use zoom_sim::meeting::MeetingSim;
 use zoom_sim::scenario;
 use zoom_sim::time::SEC;
@@ -116,7 +117,7 @@ fn analyze_via(img: &[u8], name: &str) -> (u64, f64) {
             let link = r.link_type();
             let mut n = 0u64;
             while let Some(rec) = r.next_record().expect("record") {
-                analyzer.process_record(&rec, link);
+                analyzer.push(rec.ts_nanos, &rec.data, link).expect("push");
                 n += 1;
             }
             n
@@ -127,7 +128,9 @@ fn analyze_via(img: &[u8], name: &str) -> (u64, f64) {
             let mut buf = RecordBuf::new();
             let mut n = 0u64;
             while r.read_into(&mut buf).expect("record") {
-                analyzer.process_packet(buf.ts_nanos(), buf.data(), link);
+                analyzer
+                    .push(buf.ts_nanos(), buf.data(), link)
+                    .expect("push");
                 n += 1;
             }
             n
@@ -137,7 +140,7 @@ fn analyze_via(img: &[u8], name: &str) -> (u64, f64) {
             let link = r.link_type();
             let mut n = 0u64;
             while let Some(rec) = r.next_record().expect("record") {
-                analyzer.process_packet(rec.ts_nanos, rec.data, link);
+                analyzer.push(rec.ts_nanos, rec.data, link).expect("push");
                 n += 1;
             }
             n

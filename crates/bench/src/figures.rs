@@ -177,7 +177,7 @@ pub fn fig6(args: &ExpArgs) {
     let sim = MeetingSim::new(scenario::multi_party(args.seed, 60 * SEC));
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
     for record in sim {
-        analyzer.process_record(&record, LinkType::Ethernet);
+        analyzer.process_packet(record.ts_nanos, &record.data, LinkType::Ethernet);
     }
     println!("Fig. 6: aggregation levels within a Zoom meeting");
     for meeting in analyzer.meetings() {
@@ -218,7 +218,7 @@ pub fn fig8(args: &ExpArgs) {
     let truth: Vec<_> = scenario_obj.truth.clone();
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
     for record in scenario_obj.into_stream() {
-        analyzer.process_record(&record, LinkType::Ethernet);
+        analyzer.process_packet(record.ts_nanos, &record.data, LinkType::Ethernet);
     }
     let meetings = analyzer.meetings();
     println!("Fig. 8: stream grouping — truth vs heuristic");
@@ -247,7 +247,7 @@ pub fn fig10(args: &ExpArgs) {
     let mut sim = MeetingSim::new(scenario::validation_experiment(args.seed));
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
     for record in &mut sim {
-        analyzer.process_record(&record, LinkType::Ethernet);
+        analyzer.process_packet(record.ts_nanos, &record.data, LinkType::Ethernet);
     }
     let gt = sim.ground_truth();
     let sdk: &[QosSample] = &gt[0];
@@ -337,7 +337,7 @@ pub fn fig11(args: &ExpArgs) {
     let sim = MeetingSim::new(scenario::validation_experiment(args.seed));
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
     for record in sim {
-        analyzer.process_record(&record, LinkType::Ethernet);
+        analyzer.process_packet(record.ts_nanos, &record.data, LinkType::Ethernet);
     }
     let rtp = analyzer.rtp_rtt_samples();
     let server: std::net::IpAddr = "170.114.1.10".parse().unwrap();

@@ -139,7 +139,7 @@ pub fn run_campus(args: &ExpArgs) -> CampusRun {
     for record in stream {
         let (_, out) = capture.process_record(&record, LinkType::Ethernet);
         if let Some(out) = out {
-            analyzer.process_record(&out, LinkType::Ethernet);
+            analyzer.process_packet(out.ts_nanos, &out.data, LinkType::Ethernet);
         }
     }
     CampusRun {

@@ -8,6 +8,13 @@
 //! followed by the final end-of-trace report. `--follow` keeps polling
 //! the input file for newly appended records (a live capture being
 //! written by another process) until it has been quiet for `--idle-exit`.
+//!
+//! All three sinks (sequential, sharded, streaming) are fed through the
+//! one `PacketSink` ingest loop. `--metrics <path>` writes an
+//! observability snapshot file — JSON by default, Prometheus text
+//! exposition when the path ends in `.prom` — rewritten every
+//! `--metrics-interval` (default 5s, works with `--follow`) and once
+//! more when the input is exhausted.
 
 use super::{campus_flag, parse_args, parse_duration, CmdResult};
 use std::collections::HashMap;
@@ -16,10 +23,87 @@ use std::time::Duration;
 use zoom_analysis::engine::{EngineConfig, StreamingEngine};
 use zoom_analysis::features;
 use zoom_analysis::metrics::stall::{analyze as stall_analyze, StallConfig};
+use zoom_analysis::obs::MetricsSnapshot;
 use zoom_analysis::parallel::ParallelAnalyzer;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
-use zoom_wire::pcap::{Reader, RecordBuf};
+use zoom_analysis::PacketSink;
+use zoom_wire::pcap::{LinkType, Reader, RecordBuf};
 use zoom_wire::zoom::MediaType;
+
+/// The `--metrics <path>` snapshot file: rewritten in place every
+/// `--metrics-interval` while records flow, and once more at the end.
+/// A `.prom` extension selects the Prometheus text exposition format;
+/// anything else gets the JSON snapshot.
+struct MetricsFile {
+    path: String,
+    prom: bool,
+    interval: Duration,
+    last: std::time::Instant,
+    pushes: u32,
+}
+
+impl MetricsFile {
+    fn from_flags(flags: &HashMap<String, String>) -> Result<Option<MetricsFile>, String> {
+        let Some(path) = flags.get("metrics") else {
+            return Ok(None);
+        };
+        let interval = flags
+            .get("metrics-interval")
+            .map(|v| parse_duration(v))
+            .transpose()?
+            .unwrap_or(Duration::from_secs(5));
+        Ok(Some(MetricsFile {
+            path: path.clone(),
+            prom: path.ends_with(".prom"),
+            interval,
+            last: std::time::Instant::now(),
+            pushes: 0,
+        }))
+    }
+
+    /// Called once per pushed record; rewrites the file when the interval
+    /// has elapsed. The clock is only consulted every 256 records so the
+    /// per-packet cost stays negligible.
+    fn tick(&mut self, snap: impl FnOnce() -> MetricsSnapshot) -> CmdResult {
+        self.pushes = self.pushes.wrapping_add(1);
+        if !self.pushes.is_multiple_of(256) || self.last.elapsed() < self.interval {
+            return Ok(());
+        }
+        self.last = std::time::Instant::now();
+        self.write(&snap())
+    }
+
+    fn write(&mut self, snap: &MetricsSnapshot) -> CmdResult {
+        let body = if self.prom {
+            snap.to_prom()
+        } else {
+            let mut json = snap.to_json();
+            json.push('\n');
+            json
+        };
+        std::fs::write(&self.path, body).map_err(|e| format!("{}: {e}", self.path))
+    }
+}
+
+/// The one ingest loop every batch sink shares: buffer-reusing reads
+/// pushed through [`PacketSink`], with periodic metrics snapshots.
+fn feed_pcap<S: PacketSink, R: std::io::Read>(
+    reader: &mut Reader<R>,
+    sink: &mut S,
+    link: LinkType,
+    metrics_file: &mut Option<MetricsFile>,
+) -> CmdResult {
+    let mut buf = RecordBuf::new();
+    while reader.read_into(&mut buf).map_err(|e| e.to_string())? {
+        sink.push(buf.ts_nanos(), buf.data(), link)
+            .map_err(|e| e.to_string())?;
+        if let Some(m) = metrics_file {
+            sink.note_pcap_progress(reader.records_read(), reader.bytes_read());
+            m.tick(|| sink.metrics())?;
+        }
+    }
+    Ok(())
+}
 
 pub fn run(args: &[String]) -> CmdResult {
     let (pos, flags) = parse_args(args, &["follow", "json"])?;
@@ -42,6 +126,7 @@ pub fn run(args: &[String]) -> CmdResult {
         .map(|v| parse_duration(v))
         .transpose()?;
     let follow = flags.contains_key("follow");
+    let mut metrics_file = MetricsFile::from_flags(&flags)?;
 
     let config = AnalyzerConfig::builder()
         .campus_prefix(campus.0, campus.1)
@@ -49,7 +134,16 @@ pub fn run(args: &[String]) -> CmdResult {
         .map_err(|e| e.to_string())?;
 
     if window.is_some() || idle_timeout.is_some() || follow {
-        return run_streaming(input, config, shards, window, idle_timeout, follow, &flags);
+        return run_streaming(
+            input,
+            config,
+            shards,
+            window,
+            idle_timeout,
+            follow,
+            &flags,
+            metrics_file,
+        );
     }
 
     let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
@@ -58,20 +152,23 @@ pub fn run(args: &[String]) -> CmdResult {
     let link = reader.link_type();
     // The sharded path produces byte-identical results for any shard
     // count; --shards 1 keeps everything on the calling thread. Both
-    // loops reuse one record buffer — zero steady-state allocations in
-    // the read loop.
-    let mut buf = RecordBuf::new();
+    // sinks go through the same PacketSink feed loop, which reuses one
+    // record buffer — zero steady-state allocations in the read loop.
     let analyzer: Analyzer = if shards > 1 {
         let mut par = ParallelAnalyzer::new(config, shards);
-        while reader.read_into(&mut buf).map_err(|e| e.to_string())? {
-            par.process_packet(buf.ts_nanos(), buf.data(), link);
+        feed_pcap(&mut reader, &mut par, link, &mut metrics_file)?;
+        par.note_pcap_truncated(reader.truncated_records());
+        ParallelAnalyzer::finish(&mut par).map_err(|e| e.to_string())?;
+        if let Some(m) = &mut metrics_file {
+            m.write(&par.metrics())?;
         }
-        par.finish().map_err(|e| e.to_string())?;
         par.into_analyzer()
     } else {
         let mut seq = Analyzer::new(config);
-        while reader.read_into(&mut buf).map_err(|e| e.to_string())? {
-            seq.process_packet(buf.ts_nanos(), buf.data(), link);
+        feed_pcap(&mut reader, &mut seq, link, &mut metrics_file)?;
+        seq.note_pcap_truncated(reader.truncated_records());
+        if let Some(m) = &mut metrics_file {
+            m.write(&seq.metrics())?;
         }
         seq
     };
@@ -83,7 +180,7 @@ pub fn run(args: &[String]) -> CmdResult {
     }
 
     if flags.contains_key("json") {
-        println!("{}", analyzer.finish().to_json());
+        println!("{}", analyzer.report().to_json());
         export_features(&analyzer, &flags)?;
         return Ok(());
     }
@@ -180,6 +277,7 @@ pub fn run(args: &[String]) -> CmdResult {
 
 /// The streaming path: NDJSON window reports as windows close, then the
 /// final report, all on stdout.
+#[allow(clippy::too_many_arguments)]
 fn run_streaming(
     input: &str,
     config: AnalyzerConfig,
@@ -188,6 +286,7 @@ fn run_streaming(
     idle_timeout: Option<Duration>,
     follow: bool,
     flags: &HashMap<String, String>,
+    mut metrics_file: Option<MetricsFile>,
 ) -> CmdResult {
     let idle_exit = flags
         .get("idle-exit")
@@ -215,11 +314,15 @@ fn run_streaming(
     loop {
         if reader.read_into(&mut buf).map_err(|e| e.to_string())? {
             quiet = Duration::ZERO;
-            let windows = engine
-                .push_packet(buf.ts_nanos(), buf.data(), link)
+            engine
+                .push(buf.ts_nanos(), buf.data(), link)
                 .map_err(|e| e.to_string())?;
-            for w in windows {
+            for w in engine.take_windows() {
                 writeln!(out, "{}", w.to_json()).map_err(|e| e.to_string())?;
+            }
+            if let Some(m) = &mut metrics_file {
+                engine.note_pcap_progress(reader.records_read(), reader.bytes_read());
+                m.tick(|| engine.metrics())?;
             }
         } else {
             // A pcap reader at a clean record boundary returns false and
@@ -235,14 +338,19 @@ fn run_streaming(
             quiet += poll;
         }
     }
+    engine.note_pcap_truncated(reader.truncated_records());
     if reader.truncated_records() > 0 {
         eprintln!(
             "warning: {} truncated record(s) at end of {input} ignored",
             reader.truncated_records()
         );
     }
-
     let output = engine.drain().map_err(|e| e.to_string())?;
+    // The final snapshot is written after drain: only once the shard
+    // workers have quiesced does the conservation invariant hold.
+    if let Some(m) = &mut metrics_file {
+        m.write(&output.analyzer.metrics())?;
+    }
     writeln!(out, "{}", output.final_window.to_json()).map_err(|e| e.to_string())?;
     writeln!(out, "{}", output.report.to_json()).map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;

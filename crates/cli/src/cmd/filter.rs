@@ -3,6 +3,7 @@
 //! offline equivalent of the paper's data-plane deployment.
 
 use super::{campus_flag, parse_args, CmdResult};
+use zoom_analysis::obs::{CaptureMetricsSnapshot, PipelineMetrics};
 use zoom_capture::anonymize::{Anonymizer, Mode};
 use zoom_capture::cidr::{Cidr, PrefixMap};
 use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
@@ -57,6 +58,31 @@ pub fn run(args: &[String]) -> CmdResult {
     writer.finish().map_err(|e| e.to_string())?;
 
     let c = pipeline.counters();
+    if let Some(path) = flags.get("metrics") {
+        // The capture stage has no dissect/shard pipeline behind it, so the
+        // base snapshot is empty; only the `capture` section is populated.
+        let mut snap = PipelineMetrics::new(0).snapshot();
+        snap.capture = Some(CaptureMetricsSnapshot {
+            total: c.total,
+            excluded: c.excluded,
+            zoom_ip_matched: c.zoom_ip_matched,
+            stun_registered: c.stun_registered,
+            p2p_matched: c.p2p_matched,
+            dropped: c.dropped,
+            unparseable: c.unparseable,
+            passed: c.passed,
+            passed_bytes: c.passed_bytes,
+            total_bytes: c.total_bytes,
+        });
+        let body = if path.ends_with(".prom") {
+            snap.to_prom()
+        } else {
+            let mut s = snap.to_json();
+            s.push('\n');
+            s
+        };
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+    }
     eprintln!(
         "filtered {} -> {} packets ({:.1} %); server {}, stun {}, p2p {}, dropped {}",
         c.total,

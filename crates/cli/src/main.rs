@@ -5,9 +5,11 @@
 //! zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--window DUR]
 //!                     [--idle-timeout DUR] [--follow] [--idle-exit DUR]
 //!                     [--json] [--features out.csv]
+//!                     [--metrics out.json|out.prom] [--metrics-interval DUR]
 //! zoom-tools dissect  <in.pcap> [--max N]
 //! zoom-tools discover <in.pcap> [--max-offset N]
 //! zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]
+//!                     [--metrics out.json|out.prom]
 //! zoom-tools simulate <out.pcap> [--seconds N] [--seed N] [--scenario NAME]
 //! ```
 //!
@@ -23,9 +25,10 @@ fn usage() -> ExitCode {
         "usage:\n  \
          zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--window DUR] [--idle-timeout DUR]\n  \
                              [--follow] [--idle-exit DUR] [--json] [--features out.csv]\n  \
+                             [--metrics out.json|out.prom] [--metrics-interval DUR]\n  \
          zoom-tools dissect  <in.pcap> [--max N]\n  \
          zoom-tools discover <in.pcap> [--max-offset N]\n  \
-         zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]\n  \
+         zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY] [--metrics out.json]\n  \
          zoom-tools simulate <out.pcap> [--seconds N] [--seed N] [--scenario validation|p2p|multi|churn]"
     );
     ExitCode::from(2)

@@ -36,21 +36,24 @@ use crate::error::Error;
 use crate::fxhash::FxHashMap;
 use crate::meeting::{CandidateState, MeetingGrouper};
 use crate::metrics::latency::{RtpRttEstimator, RttSample};
+use crate::obs::{trace, MetricsSnapshot, PipelineMetrics};
 use crate::packet::Direction;
 use crate::pipeline::{
     resolve_stream_endpoints, Analyzer, AnalyzerConfig, FlowStats, MediaEvent,
 };
 use crate::report::{
-    AnalysisReport, MeetingWindow, RttSummaryReport, StreamReport, StreamWindow, WindowReport,
-    WindowTotals,
+    drops_from_metrics, AnalysisReport, MeetingWindow, RttSummaryReport, StreamReport,
+    StreamWindow, WindowReport, WindowTotals,
 };
+use crate::sink::PacketSink;
 use crate::stream::{Stream, StreamKey};
 use std::collections::BTreeMap;
 use std::net::IpAddr;
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use zoom_wire::dissect::{peek, PeekInfo};
+use zoom_wire::dissect::{drop_stage, peek, PeekInfo};
 use zoom_wire::flow::{Endpoint, FiveTuple};
 use zoom_wire::pcap::{LinkType, Record};
 use zoom_wire::zoom::MediaType;
@@ -184,9 +187,9 @@ struct ShardState {
 }
 
 impl ShardState {
-    fn new(config: AnalyzerConfig) -> ShardState {
+    fn new(config: AnalyzerConfig, metrics: Arc<PipelineMetrics>) -> ShardState {
         ShardState {
-            analyzer: Analyzer::new_sharded(config),
+            analyzer: Analyzer::new_sharded(config, metrics),
             snaps: FxHashMap::default(),
             total_packets: 0,
             zoom_packets: 0,
@@ -369,7 +372,7 @@ pub struct EngineOutput {
 ///     ..Default::default()
 /// })
 /// .expect("valid config");
-/// // for each record: for w in engine.push_record(&record, LinkType::Ethernet)? { ... }
+/// // for each record: for w in engine.push_packet(ts, &data, LinkType::Ethernet)? { ... }
 /// let output = engine.drain().expect("drain");
 /// println!("{}", output.report.to_json());
 /// # Ok::<(), zoom_analysis::Error>(())
@@ -404,6 +407,13 @@ pub struct StreamingEngine {
     last_ts: u64,
     last_tracked: usize,
     peak_tracked: usize,
+    /// Shared observability registry ([`crate::obs`]): the router writes
+    /// ingest/drop/routing counters, the shard analyzers write
+    /// classification counters through their cloned `Arc`.
+    metrics: Arc<PipelineMetrics>,
+    /// Windows closed by [`PacketSink::push`] calls, held until the next
+    /// [`PacketSink::take_windows`].
+    pending_windows: Vec<WindowReport>,
 }
 
 impl StreamingEngine {
@@ -426,20 +436,19 @@ impl StreamingEngine {
             .map(|d| to_nanos(d, "idle timeout"))
             .transpose()?;
         let analyzer_config = config.analyzer;
-        #[allow(deprecated)]
-        let (campus, stun_timeout_nanos, grouping) = (
-            analyzer_config.campus.clone(),
-            analyzer_config.stun_timeout_nanos,
-            analyzer_config.grouping,
-        );
+        let campus = analyzer_config.campus_prefixes().to_vec();
+        let stun_timeout_nanos = analyzer_config.stun_timeout().as_nanos() as u64;
+        let grouping = analyzer_config.grouping_config();
         let n = config.shards.max(1);
+        let metrics = Arc::new(PipelineMetrics::new(n));
         let workers = (0..n)
             .map(|_| {
                 let (tx, rx) = sync_channel::<ToWorker>(CHANNEL_DEPTH);
                 let (reply_tx, reply_rx) = channel::<TickReply>();
                 let cfg = analyzer_config.clone();
+                let shard_metrics = Arc::clone(&metrics);
                 let handle = std::thread::spawn(move || {
-                    let mut state = ShardState::new(cfg);
+                    let mut state = ShardState::new(cfg, shard_metrics);
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             ToWorker::Batch(batch) => {
@@ -494,6 +503,8 @@ impl StreamingEngine {
             last_ts: 0,
             last_tracked: 0,
             peak_tracked: 0,
+            metrics,
+            pending_windows: Vec::new(),
         })
     }
 
@@ -516,6 +527,9 @@ impl StreamingEngine {
     /// Feed one capture record. Returns the reports of any windows the
     /// record's timestamp closed (usually none, one when it crosses a
     /// window boundary, more after a gap in the trace).
+    #[deprecated(
+        note = "use the PacketSink trait: push(record.ts_nanos, &record.data, link) + take_windows()"
+    )]
     pub fn push_record(
         &mut self,
         record: &Record,
@@ -524,8 +538,8 @@ impl StreamingEngine {
         self.push_packet(record.ts_nanos, &record.data, link)
     }
 
-    /// Feed one packet from a borrowed byte slice — the zero-copy twin of
-    /// [`StreamingEngine::push_record`] for
+    /// Feed one packet from a borrowed byte slice — the zero-copy path
+    /// behind [`PacketSink::push`], for
     /// [`zoom_wire::pcap::Reader::read_into`] /
     /// [`zoom_wire::pcap::SliceReader`] loops. The bytes are copied once,
     /// into the shard batch; nothing else allocates per packet.
@@ -545,10 +559,12 @@ impl StreamingEngine {
                     let evict = self.idle_nanos.map(|idle| end.saturating_sub(idle));
                     let replies = self.tick_all(evict)?;
                     out.push(self.apply_tick(replies, start, end, true));
+                    self.metrics.windows_closed.inc();
                     // Fast-forward through windows the gap left empty.
                     let mut s = end;
                     while ts >= s + w {
                         out.push(self.empty_window(s, s + w));
+                        self.metrics.windows_closed.inc();
                         s += w;
                     }
                     self.window_start = Some(s);
@@ -559,14 +575,21 @@ impl StreamingEngine {
         self.first_ts.get_or_insert(ts);
         self.last_ts = self.last_ts.max(ts);
 
+        self.metrics.record_in(data.len());
         let (shard, info, hint) = self.route(ts, data, link);
         let seq = self.seq;
         self.seq += 1;
         let w = &mut self.workers[shard];
         w.batch.push((seq, Record::full(ts, data.to_vec()), info, hint));
+        let m = &self.metrics.shards[shard];
+        m.routed.inc();
         if w.batch.len() >= BATCH {
             let batch = std::mem::replace(&mut w.batch, Vec::with_capacity(BATCH));
             send(w, ToWorker::Batch(batch))?;
+            m.batches.inc();
+            m.pending.set(0);
+        } else {
+            m.pending.set(w.batch.len() as u64);
         }
         Ok(out)
     }
@@ -576,17 +599,21 @@ impl StreamingEngine {
     /// window keeps its index and stays open — its eventual close covers
     /// only post-checkpoint activity.
     pub fn checkpoint(&mut self) -> Result<WindowReport, Error> {
+        let _span = trace::span("engine.checkpoint");
         let start = self.window_start.or(self.first_ts).unwrap_or(0);
         let end = self.last_ts.max(start);
         let evict = self.idle_nanos.map(|idle| end.saturating_sub(idle));
         let replies = self.tick_all(evict)?;
-        Ok(self.apply_tick(replies, start, end, false))
+        let report = self.apply_tick(replies, start, end, false);
+        self.metrics.checkpoints.inc();
+        Ok(report)
     }
 
     /// Final tick, worker join, and merge: the last window's report, the
     /// exact end-of-trace [`AnalysisReport`] (evicted fragments
     /// included), and the merged [`Analyzer`] over still-live state.
     pub fn drain(mut self) -> Result<EngineOutput, Error> {
+        let _span = trace::span("engine.drain");
         let start = self.window_start.or(self.first_ts).unwrap_or(0);
         let end = self.last_ts.max(start);
         let replies = self.tick_all(None)?;
@@ -614,6 +641,7 @@ impl StreamingEngine {
             evicted_streams,
             evicted_flows,
             peak_tracked,
+            metrics,
             ..
         } = self;
 
@@ -621,7 +649,11 @@ impl StreamingEngine {
         // does), minus the event replay — that already happened tick by
         // tick — and minus shard TCP samples — those were shipped as
         // per-tick deltas into `tcp_samples`.
+        let _merge_span = trace::span("engine.merge");
         let mut merged = Analyzer::new(analyzer_config);
+        // Hand the merged analyzer the engine's registry so ad-hoc
+        // queries (and `merged.report()`) see pipeline-wide accounting.
+        merged.metrics = Arc::clone(&metrics);
         let mut live_pool = FxHashMap::default();
         for mut shard in shards {
             merged.total_packets += shard.total_packets;
@@ -691,6 +723,7 @@ impl StreamingEngine {
         let report = AnalysisReport {
             summary,
             undissectable: merged.undissectable,
+            drops: drops_from_metrics(&metrics),
             meetings: merged.meetings(),
             streams: rows,
             rtp_rtt: RttSummaryReport::from_samples(merged.rtp_rtt.samples()),
@@ -826,6 +859,14 @@ impl StreamingEngine {
         totals.tracked_entries = live + self.registry.len() + self.rtp_rtt.outstanding();
         self.last_tracked = totals.tracked_entries;
         self.peak_tracked = self.peak_tracked.max(totals.tracked_entries);
+        self.metrics.evicted_flows.add(totals.evicted_flows);
+        self.metrics.evicted_streams.add(totals.evicted_streams);
+        self.metrics
+            .tracked_entries
+            .set(totals.tracked_entries as u64);
+        self.metrics
+            .peak_tracked_entries
+            .set_max(totals.tracked_entries as u64);
 
         let index = self.window_index;
         if advance {
@@ -919,10 +960,15 @@ impl StreamingEngine {
         use zoom_wire::{stun, zoom};
 
         let n = self.shard_count;
-        let Ok(p) = peek(data, link) else {
-            // Undissectable records only touch additive counters; spread
-            // them round-robin.
-            return ((self.seq % n as u64) as usize, None, false);
+        let p = match peek(data, link) {
+            Ok(p) => p,
+            Err(e) => {
+                // Undissectable records only touch additive counters;
+                // account the drop here (the shard sees no PeekInfo and
+                // counts nothing) and spread them round-robin.
+                self.metrics.record_drop(drop_stage(data, link, e));
+                return ((self.seq % n as u64) as usize, None, false);
+            }
         };
         let flow = &p.info.five_tuple;
         let mut hint = false;
@@ -990,6 +1036,35 @@ impl StreamingEngine {
             }
         }
         false
+    }
+}
+
+impl PacketSink for StreamingEngine {
+    fn push(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) -> Result<(), Error> {
+        let windows = self.push_packet(ts_nanos, data, link)?;
+        self.pending_windows.extend(windows);
+        Ok(())
+    }
+
+    fn take_windows(&mut self) -> Vec<WindowReport> {
+        std::mem::take(&mut self.pending_windows)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn note_pcap_truncated(&mut self, records: u64) {
+        self.metrics.pcap_truncated_records.set(records);
+    }
+
+    fn note_pcap_progress(&mut self, records: u64, bytes: u64) {
+        self.metrics.pcap_records_read.set(records);
+        self.metrics.pcap_bytes_read.set(bytes);
+    }
+
+    fn finish(self) -> Result<AnalysisReport, Error> {
+        self.drain().map(|o| o.report)
     }
 }
 
@@ -1152,7 +1227,11 @@ mod tests {
         let mut windows = Vec::new();
         for i in 0..750u64 {
             let r = media_record(i * 33 * MS, 1, 0x21, i as u16 + 1, 1_000 + i as u32 * 3_000);
-            windows.extend(engine.push_record(&r, LinkType::Ethernet).unwrap());
+            windows.extend(
+                engine
+                    .push_packet(r.ts_nanos, &r.data, LinkType::Ethernet)
+                    .unwrap(),
+            );
         }
         let out = engine.drain().unwrap();
         assert_eq!(windows.len(), 2);
@@ -1192,7 +1271,11 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..90u64 {
             let r = media_record(i * 33 * MS, 1, 0xA, i as u16 + 1, 1_000 + i as u32 * 3_000);
-            rows.extend(engine.push_record(&r, LinkType::Ethernet).unwrap());
+            rows.extend(
+                engine
+                    .push_packet(r.ts_nanos, &r.data, LinkType::Ethernet)
+                    .unwrap(),
+            );
         }
         for i in 0..900u64 {
             let r = media_record(
@@ -1202,7 +1285,11 @@ mod tests {
                 i as u16 + 1,
                 1_000 + i as u32 * 3_000,
             );
-            rows.extend(engine.push_record(&r, LinkType::Ethernet).unwrap());
+            rows.extend(
+                engine
+                    .push_packet(r.ts_nanos, &r.data, LinkType::Ethernet)
+                    .unwrap(),
+            );
         }
         for w in &rows {
             evicted_seen += w.totals.evicted_streams;
@@ -1227,14 +1314,16 @@ mod tests {
         })
         .unwrap();
         let mut windows = Vec::new();
+        let early = media_record(0, 1, 0x1, 1, 100);
         windows.extend(
             engine
-                .push_record(&media_record(0, 1, 0x1, 1, 100), LinkType::Ethernet)
+                .push_packet(early.ts_nanos, &early.data, LinkType::Ethernet)
                 .unwrap(),
         );
+        let late = media_record(4 * SEC + 1, 1, 0x1, 2, 200);
         windows.extend(
             engine
-                .push_record(&media_record(4 * SEC + 1, 1, 0x1, 2, 200), LinkType::Ethernet)
+                .push_packet(late.ts_nanos, &late.data, LinkType::Ethernet)
                 .unwrap(),
         );
         // Record at 4.000000001 s closes [0,1) and skips [1,2), [2,3), [3,4).

@@ -22,6 +22,10 @@
 //!   with sequential-identical merge semantics
 //! * [`report`] — owned [`report::AnalysisReport`] / windowed report
 //!   types and their JSON serialization
+//! * [`sink`] — the [`sink::PacketSink`] trait: the one ingest API all
+//!   three sinks (batch, sharded, streaming) implement
+//! * [`obs`] — the production observability layer: lock-light metrics
+//!   registry, JSON/Prometheus snapshots, feature-gated tracing
 //! * [`error`] — the crate-wide [`Error`] type
 //! * [`stats`] — CDFs, time bins, correlation
 //! * [`fxhash`] — the vendored fast hasher behind every per-packet state
@@ -31,6 +35,7 @@
 //!
 //! ```
 //! use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+//! use zoom_analysis::PacketSink;
 //! use zoom_wire::pcap::LinkType;
 //!
 //! let config = AnalyzerConfig::builder()
@@ -38,9 +43,10 @@
 //!     .build()
 //!     .expect("valid config");
 //! let mut analyzer = Analyzer::new(config);
-//! // feed records: analyzer.process_record(&record, LinkType::Ethernet);
-//! let report = analyzer.finish();
+//! // feed records: analyzer.push(record.ts_nanos, &record.data, LinkType::Ethernet)?;
+//! let report = analyzer.finish()?;
 //! assert_eq!(report.summary.zoom_packets, 0);
+//! # Ok::<(), zoom_analysis::Error>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -53,11 +59,14 @@ pub mod features;
 pub mod fxhash;
 pub mod meeting;
 pub mod metrics;
+pub mod obs;
 pub mod packet;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
+pub mod sink;
 pub mod stats;
 pub mod stream;
 
 pub use error::Error;
+pub use sink::PacketSink;

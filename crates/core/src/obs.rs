@@ -1,0 +1,972 @@
+//! Production observability: a lock-light metrics registry for the
+//! analysis pipeline, plus feature-gated tracing hooks.
+//!
+//! The paper's toolchain is meant to run unattended against production
+//! campus traffic (§6: a 12-hour, 1.8-billion-packet trace), which
+//! demands the operational visibility a real deployment has: where
+//! packets are dropped, which dissect stage rejected them, how hot each
+//! shard runs, and whether eviction is discarding live streams. This
+//! module provides:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — relaxed-ordering atomics,
+//!   no locks, no allocation after construction, safe to share across the
+//!   router and shard threads through one `Arc<PipelineMetrics>`;
+//! * [`PipelineMetrics`] — the registry every sink
+//!   ([`crate::pipeline::Analyzer`], [`crate::parallel::ParallelAnalyzer`],
+//!   [`crate::engine::StreamingEngine`]) threads through its hot path;
+//! * [`MetricsSnapshot`] — a plain-data copy renderable as JSON
+//!   ([`MetricsSnapshot::to_json`]) or Prometheus text exposition format
+//!   ([`MetricsSnapshot::to_prom`]);
+//! * [`trace`] — span/event hooks around shard merge, checkpoint, and
+//!   drain that compile to nothing unless the `obs-trace` cargo feature
+//!   is enabled.
+//!
+//! Counter updates use `Ordering::Relaxed` throughout: each counter is
+//! independently monotone and snapshots are only read after ingest
+//! quiesces (or as an eventually-consistent live view), so no
+//! cross-counter ordering is required. An uncontended relaxed RMW is a
+//! single lock-prefixed instruction — the full per-packet budget is a
+//! handful of them, which keeps the `bench_ingest` throughput regression
+//! inside the ≤5 % acceptance bound.
+
+use crate::report::JsonObj;
+use std::sync::atomic::{AtomicU64, Ordering};
+use zoom_wire::dissect::DropStage;
+
+// ---------------------------------------------------------- primitives --
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins atomic gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if `v` is larger (peak tracking).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket cumulative histogram (Prometheus semantics: each bucket
+/// counts observations ≤ its bound, plus an implicit `+Inf` bucket).
+///
+/// Bounds are a static slice so construction allocates exactly one `Vec`
+/// of atomics and observation is a branch-free scan of ≤ 8 bounds.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (must be strictly increasing).
+    pub fn new(bounds: &'static [u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.iter().take_while(|&&b| v > b).count();
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-data copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds,
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]. `buckets[i]` counts observations
+/// in `(bounds[i-1], bounds[i]]`; the final entry is the `+Inf` bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets.
+    pub bounds: &'static [u64],
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+// ------------------------------------------------------------ registry --
+
+/// Captured-packet size buckets (bytes): small control frames through
+/// full-MTU media.
+pub const PACKET_SIZE_BOUNDS: &[u64] = &[64, 128, 256, 512, 1024, 1536];
+
+/// Per-shard routing metrics.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Records routed to this shard.
+    pub routed: Counter,
+    /// Batches flushed to this shard's channel.
+    pub batches: Counter,
+    /// Records batched but not yet flushed (queue depth at the router).
+    pub pending: Gauge,
+}
+
+/// The pipeline-wide metrics registry, shared by the router and every
+/// shard through one `Arc`.
+///
+/// All fields are public so instrumentation sites pay exactly one atomic
+/// RMW with no accessor indirection; readers should go through
+/// [`PipelineMetrics::snapshot`].
+#[derive(Debug)]
+pub struct PipelineMetrics {
+    /// Records offered to the sink (accepted or dropped).
+    pub packets_in: Counter,
+    /// Captured bytes across offered records.
+    pub bytes_in: Counter,
+    /// Records that dissected and classified as Zoom traffic.
+    pub packets_classified: Counter,
+    /// Records that dissected but did not classify as Zoom.
+    pub packets_not_zoom: Counter,
+    /// Subset of `packets_not_zoom`: UDP to/from the Zoom media port
+    /// (8801) whose Zoom Media Encapsulation failed to parse.
+    pub malformed_zme: Counter,
+    /// Captured-size distribution of offered records.
+    pub packet_size: Histogram,
+
+    /// Dissect drops: capture link type not decoded.
+    pub drop_unsupported_link: Counter,
+    /// Dissect drops: Ethernet frame that is not IPv4/IPv6.
+    pub drop_non_ip: Counter,
+    /// Dissect drops: IP protocol other than UDP/TCP.
+    pub drop_non_transport: Counter,
+    /// Dissect drops: headers ran past the captured bytes.
+    pub drop_truncated: Counter,
+    /// Dissect drops: structurally invalid header.
+    pub drop_malformed: Counter,
+
+    /// Records the pcap reader dropped at a torn file tail (gauge: set
+    /// from [`zoom_wire::pcap::Reader::truncated_records`] by the ingest
+    /// loop).
+    pub pcap_truncated_records: Gauge,
+    /// Complete records the pcap reader delivered.
+    pub pcap_records_read: Gauge,
+    /// Captured bytes the pcap reader delivered.
+    pub pcap_bytes_read: Gauge,
+
+    /// Per-shard routing metrics (one entry per shard; a sequential
+    /// analyzer has none).
+    pub shards: Vec<ShardMetrics>,
+
+    /// Tumbling windows closed by the streaming engine.
+    pub windows_closed: Counter,
+    /// Explicit checkpoints taken.
+    pub checkpoints: Counter,
+    /// Flows evicted by the idle timeout.
+    pub evicted_flows: Counter,
+    /// Streams evicted by the idle timeout.
+    pub evicted_streams: Counter,
+    /// Entries (flows + streams + STUN registrations + RTT candidates)
+    /// currently tracked across shards.
+    pub tracked_entries: Gauge,
+    /// High-water mark of `tracked_entries`.
+    pub peak_tracked_entries: Gauge,
+}
+
+impl PipelineMetrics {
+    /// A zeroed registry with `shards` per-shard slots (0 for a purely
+    /// sequential sink).
+    pub fn new(shards: usize) -> PipelineMetrics {
+        PipelineMetrics {
+            packets_in: Counter::new(),
+            bytes_in: Counter::new(),
+            packets_classified: Counter::new(),
+            packets_not_zoom: Counter::new(),
+            malformed_zme: Counter::new(),
+            packet_size: Histogram::new(PACKET_SIZE_BOUNDS),
+            drop_unsupported_link: Counter::new(),
+            drop_non_ip: Counter::new(),
+            drop_non_transport: Counter::new(),
+            drop_truncated: Counter::new(),
+            drop_malformed: Counter::new(),
+            pcap_truncated_records: Gauge::new(),
+            pcap_records_read: Gauge::new(),
+            pcap_bytes_read: Gauge::new(),
+            shards: (0..shards).map(|_| ShardMetrics::default()).collect(),
+            windows_closed: Counter::new(),
+            checkpoints: Counter::new(),
+            evicted_flows: Counter::new(),
+            evicted_streams: Counter::new(),
+            tracked_entries: Gauge::new(),
+            peak_tracked_entries: Gauge::new(),
+        }
+    }
+
+    /// Count one dissect rejection at its [`DropStage`].
+    #[inline]
+    pub fn record_drop(&self, stage: DropStage) {
+        match stage {
+            DropStage::UnsupportedLink => self.drop_unsupported_link.inc(),
+            DropStage::NonIp => self.drop_non_ip.inc(),
+            DropStage::NonTransport => self.drop_non_transport.inc(),
+            DropStage::Truncated => self.drop_truncated.inc(),
+            DropStage::Malformed => self.drop_malformed.inc(),
+        }
+    }
+
+    /// Count one offered record (size histogram included).
+    #[inline]
+    pub fn record_in(&self, bytes: usize) {
+        self.packets_in.inc();
+        self.bytes_in.add(bytes as u64);
+        self.packet_size.observe(bytes as u64);
+    }
+
+    /// Sum of all dissect-stage drop counters.
+    pub fn drops_total(&self) -> u64 {
+        self.drop_unsupported_link.get()
+            + self.drop_non_ip.get()
+            + self.drop_non_transport.get()
+            + self.drop_truncated.get()
+            + self.drop_malformed.get()
+    }
+
+    /// Plain-data copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            packets_in: self.packets_in.get(),
+            bytes_in: self.bytes_in.get(),
+            packets_classified: self.packets_classified.get(),
+            packets_not_zoom: self.packets_not_zoom.get(),
+            malformed_zme: self.malformed_zme.get(),
+            packet_size: self.packet_size.snapshot(),
+            drop_unsupported_link: self.drop_unsupported_link.get(),
+            drop_non_ip: self.drop_non_ip.get(),
+            drop_non_transport: self.drop_non_transport.get(),
+            drop_truncated: self.drop_truncated.get(),
+            drop_malformed: self.drop_malformed.get(),
+            pcap_truncated_records: self.pcap_truncated_records.get(),
+            pcap_records_read: self.pcap_records_read.get(),
+            pcap_bytes_read: self.pcap_bytes_read.get(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardSnapshot {
+                    routed: s.routed.get(),
+                    batches: s.batches.get(),
+                    pending: s.pending.get(),
+                })
+                .collect(),
+            windows_closed: self.windows_closed.get(),
+            checkpoints: self.checkpoints.get(),
+            evicted_flows: self.evicted_flows.get(),
+            evicted_streams: self.evicted_streams.get(),
+            tracked_entries: self.tracked_entries.get(),
+            peak_tracked_entries: self.peak_tracked_entries.get(),
+            capture: None,
+        }
+    }
+}
+
+// ------------------------------------------------------------ snapshot --
+
+/// Plain-data copy of one shard's routing metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Records routed to this shard.
+    pub routed: u64,
+    /// Batches flushed to this shard's channel.
+    pub batches: u64,
+    /// Records batched but not yet flushed.
+    pub pending: u64,
+}
+
+/// Capture-pipeline verdict counters (the software Tofino of Fig. 13),
+/// folded into a snapshot by the CLI when the capture stage runs in the
+/// same process. Plain data: `zoom-analysis` does not depend on
+/// `zoom-capture`, so the CLI maps `StageCounters` field by field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureMetricsSnapshot {
+    /// Packets offered to the capture filter.
+    pub total: u64,
+    /// Dropped: campus endpoint in an excluded subnet.
+    pub excluded: u64,
+    /// Passed: either address matched the Zoom server list.
+    pub zoom_ip_matched: u64,
+    /// Passed: STUN exchange with a Zoom server (registers the endpoint).
+    pub stun_registered: u64,
+    /// Passed: P2P media recognized via the STUN registers.
+    pub p2p_matched: u64,
+    /// Dropped: neither a Zoom server nor a registered P2P endpoint.
+    pub dropped: u64,
+    /// Dropped: headers the data plane needs did not parse.
+    pub unparseable: u64,
+    /// Packets that reached the capture output.
+    pub passed: u64,
+    /// Bytes across passing packets.
+    pub passed_bytes: u64,
+    /// Bytes across all offered packets.
+    pub total_bytes: u64,
+}
+
+/// A point-in-time, plain-data copy of [`PipelineMetrics`], renderable
+/// as JSON or Prometheus text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Records offered to the sink.
+    pub packets_in: u64,
+    /// Captured bytes across offered records.
+    pub bytes_in: u64,
+    /// Records classified as Zoom traffic.
+    pub packets_classified: u64,
+    /// Records dissected but not classified as Zoom.
+    pub packets_not_zoom: u64,
+    /// Port-8801 UDP records whose ZME framing failed to parse.
+    pub malformed_zme: u64,
+    /// Captured-size distribution.
+    pub packet_size: HistogramSnapshot,
+    /// Dissect drops: unsupported link type.
+    pub drop_unsupported_link: u64,
+    /// Dissect drops: non-IP ethertype.
+    pub drop_non_ip: u64,
+    /// Dissect drops: non-UDP/TCP protocol.
+    pub drop_non_transport: u64,
+    /// Dissect drops: truncated headers.
+    pub drop_truncated: u64,
+    /// Dissect drops: malformed headers.
+    pub drop_malformed: u64,
+    /// Records dropped at a torn pcap tail.
+    pub pcap_truncated_records: u64,
+    /// Complete records the pcap reader delivered.
+    pub pcap_records_read: u64,
+    /// Captured bytes the pcap reader delivered.
+    pub pcap_bytes_read: u64,
+    /// Per-shard routing snapshots.
+    pub shards: Vec<ShardSnapshot>,
+    /// Tumbling windows closed.
+    pub windows_closed: u64,
+    /// Explicit checkpoints taken.
+    pub checkpoints: u64,
+    /// Flows evicted by the idle timeout.
+    pub evicted_flows: u64,
+    /// Streams evicted by the idle timeout.
+    pub evicted_streams: u64,
+    /// Entries currently tracked.
+    pub tracked_entries: u64,
+    /// High-water mark of tracked entries.
+    pub peak_tracked_entries: u64,
+    /// Capture-filter verdict counters, when the capture stage ran in
+    /// the same process (`cli filter --metrics`).
+    pub capture: Option<CaptureMetricsSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of the dissect-stage drop counters.
+    pub fn drops_total(&self) -> u64 {
+        self.drop_unsupported_link
+            + self.drop_non_ip
+            + self.drop_non_transport
+            + self.drop_truncated
+            + self.drop_malformed
+    }
+
+    /// The conservation invariant every sink maintains once ingest has
+    /// quiesced: every offered record is classified, counted not-Zoom, or
+    /// attributed to exactly one drop stage.
+    pub fn conservation_holds(&self) -> bool {
+        self.packets_in == self.packets_classified + self.packets_not_zoom + self.drops_total()
+    }
+
+    /// Serialize as one NDJSON-friendly line, tagged `"type":"metrics"`.
+    pub fn to_json(&self) -> String {
+        let mut drops = JsonObj::new();
+        drops
+            .u64("unsupported_link", self.drop_unsupported_link)
+            .u64("non_ip", self.drop_non_ip)
+            .u64("non_transport", self.drop_non_transport)
+            .u64("truncated", self.drop_truncated)
+            .u64("malformed", self.drop_malformed);
+        let mut pcap = JsonObj::new();
+        pcap.u64("truncated_records", self.pcap_truncated_records)
+            .u64("records_read", self.pcap_records_read)
+            .u64("bytes_read", self.pcap_bytes_read);
+        let mut engine = JsonObj::new();
+        engine
+            .u64("windows_closed", self.windows_closed)
+            .u64("checkpoints", self.checkpoints)
+            .u64("evicted_flows", self.evicted_flows)
+            .u64("evicted_streams", self.evicted_streams)
+            .u64("tracked_entries", self.tracked_entries)
+            .u64("peak_tracked_entries", self.peak_tracked_entries);
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut o = JsonObj::new();
+                o.u64("routed", s.routed)
+                    .u64("batches", s.batches)
+                    .u64("pending", s.pending);
+                o.finish()
+            })
+            .collect();
+        let mut size = JsonObj::new();
+        size.raw(
+            "bounds",
+            &format!(
+                "[{}]",
+                self.packet_size
+                    .bounds
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        )
+        .raw(
+            "buckets",
+            &format!(
+                "[{}]",
+                self.packet_size
+                    .buckets
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        )
+        .u64("sum", self.packet_size.sum)
+        .u64("count", self.packet_size.count);
+
+        let mut o = JsonObj::new();
+        o.str("type", "metrics")
+            .u64("packets_in", self.packets_in)
+            .u64("bytes_in", self.bytes_in)
+            .u64("packets_classified", self.packets_classified)
+            .u64("packets_not_zoom", self.packets_not_zoom)
+            .u64("malformed_zme", self.malformed_zme)
+            .raw("drops", &drops.finish())
+            .bool("conservation_holds", self.conservation_holds())
+            .raw("pcap", &pcap.finish())
+            .raw("packet_size", &size.finish())
+            .raw("shards", &{
+                let mut buf = String::from("[");
+                for (i, s) in shards.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    buf.push_str(s);
+                }
+                buf.push(']');
+                buf
+            })
+            .raw("engine", &engine.finish());
+        if let Some(c) = &self.capture {
+            let mut cap = JsonObj::new();
+            cap.u64("total", c.total)
+                .u64("excluded", c.excluded)
+                .u64("zoom_ip_matched", c.zoom_ip_matched)
+                .u64("stun_registered", c.stun_registered)
+                .u64("p2p_matched", c.p2p_matched)
+                .u64("dropped", c.dropped)
+                .u64("unparseable", c.unparseable)
+                .u64("passed", c.passed)
+                .u64("passed_bytes", c.passed_bytes)
+                .u64("total_bytes", c.total_bytes);
+            o.raw("capture", &cap.finish());
+        }
+        o.finish()
+    }
+
+    /// Render in the Prometheus text exposition format (version 0.0.4):
+    /// `# HELP` / `# TYPE` per family, `zoom_`-prefixed names, shard
+    /// labels, and cumulative `_bucket{le=...}` histogram series.
+    pub fn to_prom(&self) -> String {
+        use std::fmt::Write as _;
+        fn family(out: &mut String, name: &str, kind: &str, help: &str, v: u64) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        let mut out2 = String::with_capacity(4096);
+        for (name, help, v) in [
+            (
+                "zoom_packets_in_total",
+                "Records offered to the analysis sink.",
+                self.packets_in,
+            ),
+            (
+                "zoom_bytes_in_total",
+                "Captured bytes across offered records.",
+                self.bytes_in,
+            ),
+            (
+                "zoom_packets_classified_total",
+                "Records classified as Zoom traffic.",
+                self.packets_classified,
+            ),
+            (
+                "zoom_packets_not_zoom_total",
+                "Records dissected but not classified as Zoom.",
+                self.packets_not_zoom,
+            ),
+            (
+                "zoom_malformed_zme_total",
+                "Port-8801 UDP records whose Zoom Media Encapsulation failed to parse.",
+                self.malformed_zme,
+            ),
+        ] {
+            family(&mut out2, name, "counter", help, v);
+        }
+        {
+            let _ = writeln!(
+                out2,
+                "# HELP zoom_dissect_drops_total Records rejected by the dissector, by stage."
+            );
+            let _ = writeln!(out2, "# TYPE zoom_dissect_drops_total counter");
+            for (stage, v) in [
+                ("unsupported_link", self.drop_unsupported_link),
+                ("non_ip", self.drop_non_ip),
+                ("non_transport", self.drop_non_transport),
+                ("truncated", self.drop_truncated),
+                ("malformed", self.drop_malformed),
+            ] {
+                let _ = writeln!(out2, "zoom_dissect_drops_total{{stage=\"{stage}\"}} {v}");
+            }
+
+            for (name, help, v) in [
+                (
+                    "zoom_pcap_truncated_records",
+                    "Records dropped at a torn pcap tail.",
+                    self.pcap_truncated_records,
+                ),
+                (
+                    "zoom_pcap_records_read",
+                    "Complete records delivered by the pcap reader.",
+                    self.pcap_records_read,
+                ),
+                (
+                    "zoom_pcap_bytes_read",
+                    "Captured bytes delivered by the pcap reader.",
+                    self.pcap_bytes_read,
+                ),
+            ] {
+                family(&mut out2, name, "gauge", help, v);
+            }
+
+            if !self.shards.is_empty() {
+                let _ = writeln!(
+                    out2,
+                    "# HELP zoom_shard_routed_total Records routed to each shard."
+                );
+                let _ = writeln!(out2, "# TYPE zoom_shard_routed_total counter");
+                for (i, s) in self.shards.iter().enumerate() {
+                    let _ = writeln!(out2, "zoom_shard_routed_total{{shard=\"{i}\"}} {}", s.routed);
+                }
+                let _ = writeln!(
+                    out2,
+                    "# HELP zoom_shard_batches_total Batches flushed to each shard's channel."
+                );
+                let _ = writeln!(out2, "# TYPE zoom_shard_batches_total counter");
+                for (i, s) in self.shards.iter().enumerate() {
+                    let _ =
+                        writeln!(out2, "zoom_shard_batches_total{{shard=\"{i}\"}} {}", s.batches);
+                }
+                let _ = writeln!(
+                    out2,
+                    "# HELP zoom_shard_pending_records Records batched at the router, not yet flushed."
+                );
+                let _ = writeln!(out2, "# TYPE zoom_shard_pending_records gauge");
+                for (i, s) in self.shards.iter().enumerate() {
+                    let _ =
+                        writeln!(out2, "zoom_shard_pending_records{{shard=\"{i}\"}} {}", s.pending);
+                }
+            }
+
+            for (name, help, v) in [
+                (
+                    "zoom_windows_closed_total",
+                    "Tumbling windows closed by the streaming engine.",
+                    self.windows_closed,
+                ),
+                (
+                    "zoom_checkpoints_total",
+                    "Explicit checkpoints taken.",
+                    self.checkpoints,
+                ),
+                (
+                    "zoom_evicted_flows_total",
+                    "Flows evicted by the idle timeout.",
+                    self.evicted_flows,
+                ),
+                (
+                    "zoom_evicted_streams_total",
+                    "Streams evicted by the idle timeout.",
+                    self.evicted_streams,
+                ),
+            ] {
+                family(&mut out2, name, "counter", help, v);
+            }
+            for (name, help, v) in [
+                (
+                    "zoom_tracked_entries",
+                    "Entries currently tracked across shards.",
+                    self.tracked_entries,
+                ),
+                (
+                    "zoom_peak_tracked_entries",
+                    "High-water mark of tracked entries.",
+                    self.peak_tracked_entries,
+                ),
+            ] {
+                family(&mut out2, name, "gauge", help, v);
+            }
+
+            let _ = writeln!(
+                out2,
+                "# HELP zoom_packet_size_bytes Captured-size distribution of offered records."
+            );
+            let _ = writeln!(out2, "# TYPE zoom_packet_size_bytes histogram");
+            let mut cumulative = 0u64;
+            for (i, bound) in self.packet_size.bounds.iter().enumerate() {
+                cumulative += self.packet_size.buckets[i];
+                let _ = writeln!(
+                    out2,
+                    "zoom_packet_size_bytes_bucket{{le=\"{bound}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out2,
+                "zoom_packet_size_bytes_bucket{{le=\"+Inf\"}} {}",
+                self.packet_size.count
+            );
+            let _ = writeln!(out2, "zoom_packet_size_bytes_sum {}", self.packet_size.sum);
+            let _ = writeln!(out2, "zoom_packet_size_bytes_count {}", self.packet_size.count);
+
+            if let Some(c) = &self.capture {
+                let _ = writeln!(
+                    out2,
+                    "# HELP zoom_capture_verdicts_total Capture-filter verdicts, by stage."
+                );
+                let _ = writeln!(out2, "# TYPE zoom_capture_verdicts_total counter");
+                for (stage, v) in [
+                    ("excluded", c.excluded),
+                    ("zoom_ip_matched", c.zoom_ip_matched),
+                    ("stun_registered", c.stun_registered),
+                    ("p2p_matched", c.p2p_matched),
+                    ("dropped", c.dropped),
+                    ("unparseable", c.unparseable),
+                ] {
+                    let _ = writeln!(out2, "zoom_capture_verdicts_total{{stage=\"{stage}\"}} {v}");
+                }
+                for (name, help, v) in [
+                    (
+                        "zoom_capture_packets_total",
+                        "Packets offered to the capture filter.",
+                        c.total,
+                    ),
+                    (
+                        "zoom_capture_passed_total",
+                        "Packets that reached the capture output.",
+                        c.passed,
+                    ),
+                    (
+                        "zoom_capture_passed_bytes_total",
+                        "Bytes across passing packets.",
+                        c.passed_bytes,
+                    ),
+                    (
+                        "zoom_capture_bytes_total",
+                        "Bytes across all offered packets.",
+                        c.total_bytes,
+                    ),
+                ] {
+                    family(&mut out2, name, "counter", help, v);
+                }
+            }
+        }
+        out2
+    }
+}
+
+// ------------------------------------------------------------- tracing --
+
+/// Structured span/event hooks around the engine's coarse operations
+/// (shard merge, checkpoint, drain).
+///
+/// With the `obs-trace` cargo feature enabled, spans time themselves and
+/// emit one structured line to stderr on drop; events emit immediately.
+/// Without the feature every call is an empty `#[inline(always)]` stub
+/// and the whole module compiles to nothing — zero cost on hot paths.
+#[cfg(feature = "obs-trace")]
+pub mod trace {
+    use std::time::Instant;
+
+    /// A timed span; emits `[obs] span=<name> elapsed_us=<n>` on drop.
+    pub struct Span {
+        name: &'static str,
+        start: Instant,
+    }
+
+    /// Open a span around an operation.
+    #[must_use = "a span times until it is dropped"]
+    pub fn span(name: &'static str) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            eprintln!(
+                "[obs] span={} elapsed_us={}",
+                self.name,
+                self.start.elapsed().as_micros()
+            );
+        }
+    }
+
+    /// Emit one structured event line.
+    pub fn event(name: &'static str, detail: &str) {
+        eprintln!("[obs] event={name} {detail}");
+    }
+}
+
+/// Zero-cost stand-ins compiled when the `obs-trace` feature is off.
+#[cfg(not(feature = "obs-trace"))]
+pub mod trace {
+    /// Zero-sized disabled span.
+    pub struct Span;
+
+    /// No-op; returns a zero-sized [`Span`].
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> Span {
+        Span
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn event(_name: &'static str, _detail: &str) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_prom() {
+        let h = Histogram::new(PACKET_SIZE_BOUNDS);
+        for v in [10u64, 64, 65, 200, 2000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 10 + 64 + 65 + 200 + 2000);
+        // ≤64: two (10, 64); (64,128]: one (65); (128,256]: one (200);
+        // +Inf overflow: one (2000).
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(*s.buckets.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn conservation_and_drop_routing() {
+        let m = PipelineMetrics::new(2);
+        m.record_in(100);
+        m.record_in(200);
+        m.record_in(300);
+        m.packets_classified.inc();
+        m.packets_not_zoom.inc();
+        m.record_drop(DropStage::NonIp);
+        let s = m.snapshot();
+        assert_eq!(s.packets_in, 3);
+        assert_eq!(s.bytes_in, 600);
+        assert_eq!(s.drop_non_ip, 1);
+        assert_eq!(s.drops_total(), 1);
+        assert!(s.conservation_holds());
+        m.record_drop(DropStage::Truncated);
+        assert!(!m.snapshot().conservation_holds());
+    }
+
+    /// Snapshot test: the Prometheus text render is pinned byte for byte
+    /// so schema drift (name, label, or HELP changes) is an explicit,
+    /// reviewed diff.
+    #[test]
+    fn prom_render_is_pinned() {
+        let m = PipelineMetrics::new(1);
+        m.record_in(100);
+        m.record_in(1500);
+        m.packets_classified.inc();
+        m.record_drop(DropStage::Truncated);
+        m.packets_not_zoom.inc();
+        m.shards[0].routed.add(2);
+        m.shards[0].batches.inc();
+        m.windows_closed.inc();
+        m.tracked_entries.set(4);
+        m.peak_tracked_entries.set_max(9);
+        let prom = m.snapshot().to_prom();
+        let expected = "\
+# HELP zoom_packets_in_total Records offered to the analysis sink.
+# TYPE zoom_packets_in_total counter
+zoom_packets_in_total 2
+# HELP zoom_bytes_in_total Captured bytes across offered records.
+# TYPE zoom_bytes_in_total counter
+zoom_bytes_in_total 1600
+# HELP zoom_packets_classified_total Records classified as Zoom traffic.
+# TYPE zoom_packets_classified_total counter
+zoom_packets_classified_total 1
+# HELP zoom_packets_not_zoom_total Records dissected but not classified as Zoom.
+# TYPE zoom_packets_not_zoom_total counter
+zoom_packets_not_zoom_total 1
+# HELP zoom_malformed_zme_total Port-8801 UDP records whose Zoom Media Encapsulation failed to parse.
+# TYPE zoom_malformed_zme_total counter
+zoom_malformed_zme_total 0
+# HELP zoom_dissect_drops_total Records rejected by the dissector, by stage.
+# TYPE zoom_dissect_drops_total counter
+zoom_dissect_drops_total{stage=\"unsupported_link\"} 0
+zoom_dissect_drops_total{stage=\"non_ip\"} 0
+zoom_dissect_drops_total{stage=\"non_transport\"} 0
+zoom_dissect_drops_total{stage=\"truncated\"} 1
+zoom_dissect_drops_total{stage=\"malformed\"} 0
+# HELP zoom_pcap_truncated_records Records dropped at a torn pcap tail.
+# TYPE zoom_pcap_truncated_records gauge
+zoom_pcap_truncated_records 0
+# HELP zoom_pcap_records_read Complete records delivered by the pcap reader.
+# TYPE zoom_pcap_records_read gauge
+zoom_pcap_records_read 0
+# HELP zoom_pcap_bytes_read Captured bytes delivered by the pcap reader.
+# TYPE zoom_pcap_bytes_read gauge
+zoom_pcap_bytes_read 0
+# HELP zoom_shard_routed_total Records routed to each shard.
+# TYPE zoom_shard_routed_total counter
+zoom_shard_routed_total{shard=\"0\"} 2
+# HELP zoom_shard_batches_total Batches flushed to each shard's channel.
+# TYPE zoom_shard_batches_total counter
+zoom_shard_batches_total{shard=\"0\"} 1
+# HELP zoom_shard_pending_records Records batched at the router, not yet flushed.
+# TYPE zoom_shard_pending_records gauge
+zoom_shard_pending_records{shard=\"0\"} 0
+# HELP zoom_windows_closed_total Tumbling windows closed by the streaming engine.
+# TYPE zoom_windows_closed_total counter
+zoom_windows_closed_total 1
+# HELP zoom_checkpoints_total Explicit checkpoints taken.
+# TYPE zoom_checkpoints_total counter
+zoom_checkpoints_total 0
+# HELP zoom_evicted_flows_total Flows evicted by the idle timeout.
+# TYPE zoom_evicted_flows_total counter
+zoom_evicted_flows_total 0
+# HELP zoom_evicted_streams_total Streams evicted by the idle timeout.
+# TYPE zoom_evicted_streams_total counter
+zoom_evicted_streams_total 0
+# HELP zoom_tracked_entries Entries currently tracked across shards.
+# TYPE zoom_tracked_entries gauge
+zoom_tracked_entries 4
+# HELP zoom_peak_tracked_entries High-water mark of tracked entries.
+# TYPE zoom_peak_tracked_entries gauge
+zoom_peak_tracked_entries 9
+# HELP zoom_packet_size_bytes Captured-size distribution of offered records.
+# TYPE zoom_packet_size_bytes histogram
+zoom_packet_size_bytes_bucket{le=\"64\"} 0
+zoom_packet_size_bytes_bucket{le=\"128\"} 1
+zoom_packet_size_bytes_bucket{le=\"256\"} 1
+zoom_packet_size_bytes_bucket{le=\"512\"} 1
+zoom_packet_size_bytes_bucket{le=\"1024\"} 1
+zoom_packet_size_bytes_bucket{le=\"1536\"} 2
+zoom_packet_size_bytes_bucket{le=\"+Inf\"} 2
+zoom_packet_size_bytes_sum 1600
+zoom_packet_size_bytes_count 2
+";
+        assert_eq!(prom, expected);
+    }
+
+    #[test]
+    fn json_snapshot_has_schema_keys() {
+        let m = PipelineMetrics::new(2);
+        m.record_in(64);
+        m.packets_classified.inc();
+        let mut s = m.snapshot();
+        s.capture = Some(CaptureMetricsSnapshot {
+            total: 5,
+            passed: 3,
+            ..Default::default()
+        });
+        let json = s.to_json();
+        for key in [
+            "\"type\":\"metrics\"",
+            "\"packets_in\":1",
+            "\"drops\":{",
+            "\"conservation_holds\":true",
+            "\"pcap\":{",
+            "\"packet_size\":{",
+            "\"shards\":[",
+            "\"engine\":{",
+            "\"capture\":{",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn trace_stubs_compile_and_run() {
+        let _s = trace::span("test");
+        trace::event("test", "detail=1");
+    }
+}

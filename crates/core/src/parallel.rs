@@ -28,8 +28,10 @@ use crate::engine::{EngineConfig, EngineOutput, StreamingEngine};
 use crate::error::Error;
 use crate::meeting::MeetingReport;
 use crate::metrics::latency::RttSample;
+use crate::obs::{MetricsSnapshot, PipelineMetrics};
 use crate::pipeline::{Analyzer, AnalyzerConfig, MediaSamples, TraceSummary};
 use crate::report::AnalysisReport;
+use crate::sink::PacketSink;
 use zoom_wire::pcap::{LinkType, Record};
 use zoom_wire::zoom::MediaType;
 
@@ -42,7 +44,7 @@ use zoom_wire::zoom::MediaType;
 /// use zoom_wire::pcap::LinkType;
 ///
 /// let mut analyzer = ParallelAnalyzer::new(AnalyzerConfig::default(), 8);
-/// // feed records: analyzer.process_record(&record, LinkType::Ethernet);
+/// // feed records: analyzer.push(record.ts_nanos, &record.data, LinkType::Ethernet)?;
 /// let report = analyzer.finish().expect("no shard failed");
 /// println!("{}", report.to_json());
 /// ```
@@ -85,12 +87,13 @@ impl ParallelAnalyzer {
     /// # Panics
     /// Panics if called after [`ParallelAnalyzer::finish`] — the workers
     /// have already been joined at that point.
+    #[deprecated(note = "use the PacketSink trait: push(record.ts_nanos, &record.data, link)")]
     pub fn process_record(&mut self, record: &Record, link: LinkType) {
         self.process_packet(record.ts_nanos, &record.data, link);
     }
 
-    /// Route one packet from a borrowed byte slice — the zero-copy twin
-    /// of [`ParallelAnalyzer::process_record`] for
+    /// Route one packet from a borrowed byte slice — the zero-copy path
+    /// behind [`PacketSink::push`], for
     /// [`zoom_wire::pcap::Reader::read_into`] /
     /// [`zoom_wire::pcap::SliceReader`] loops.
     ///
@@ -196,6 +199,41 @@ impl ParallelAnalyzer {
     }
 }
 
+impl PacketSink for ParallelAnalyzer {
+    fn push(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) -> Result<(), Error> {
+        self.process_packet(ts_nanos, data, link);
+        match &self.error_msg {
+            Some(msg) => Err(Error::ShardPanic(msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        match (&self.engine, &self.output) {
+            (Some(engine), _) => engine.metrics(),
+            (None, Some(out)) => out.analyzer.metrics.snapshot(),
+            // Drain failed: no registry survived; report an empty one.
+            (None, None) => PipelineMetrics::new(0).snapshot(),
+        }
+    }
+
+    fn note_pcap_truncated(&mut self, records: u64) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.note_pcap_truncated(records);
+        }
+    }
+
+    fn note_pcap_progress(&mut self, records: u64, bytes: u64) {
+        if let Some(engine) = self.engine.as_mut() {
+            engine.note_pcap_progress(records, bytes);
+        }
+    }
+
+    fn finish(mut self) -> Result<AnalysisReport, Error> {
+        ParallelAnalyzer::finish(&mut self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +243,12 @@ mod tests {
     use zoom_wire::zoom;
 
     const MS: u64 = 1_000_000;
+
+    /// Test shorthand for the PacketSink ingest path.
+    fn feed<S: PacketSink>(sink: &mut S, record: &Record) {
+        sink.push(record.ts_nanos, &record.data, LinkType::Ethernet)
+            .unwrap();
+    }
 
     fn media_record(ts: u64, up: bool, ssrc: u32, seq: u16, rtp_ts: u32) -> Record {
         let payload = zoom::Builder {
@@ -274,12 +318,12 @@ mod tests {
 
         let mut sequential = Analyzer::new(AnalyzerConfig::default());
         for r in &records {
-            sequential.process_record(r, LinkType::Ethernet);
+            feed(&mut sequential, r);
         }
         for shards in [1usize, 2, 4] {
             let mut par = ParallelAnalyzer::new(AnalyzerConfig::default(), shards);
             for r in &records {
-                par.process_record(r, LinkType::Ethernet);
+                feed(&mut par, r);
             }
             assert_eq!(par.summary(), sequential.summary(), "{shards} shards");
             assert_eq!(par.meetings(), sequential.meetings(), "{shards} shards");
@@ -301,25 +345,24 @@ mod tests {
     fn finish_is_idempotent_and_into_analyzer_matches() {
         let mut par = ParallelAnalyzer::new(AnalyzerConfig::default(), 2);
         for i in 0..10u64 {
-            par.process_record(
-                &media_record(i * MS, true, 0x9, i as u16, 100 + i as u32),
-                LinkType::Ethernet,
-            );
+            feed(&mut par, &media_record(i * MS, true, 0x9, i as u16, 100 + i as u32));
         }
-        let first = par.finish().expect("no shard failure");
-        let second = par.finish().expect("still no shard failure");
+        // With `PacketSink` in scope the by-value trait `finish` would
+        // win resolution; name the idempotent inherent one explicitly.
+        let first = ParallelAnalyzer::finish(&mut par).expect("no shard failure");
+        let second = ParallelAnalyzer::finish(&mut par).expect("still no shard failure");
         assert_eq!(first.to_json(), second.to_json());
         let summary = par.summary();
         let merged = par.into_analyzer();
         assert_eq!(merged.summary(), summary);
-        assert_eq!(merged.finish().to_json(), first.to_json());
+        assert_eq!(merged.report().to_json(), first.to_json());
     }
 
     #[test]
     fn undissectable_spread_and_counted() {
         let mut par = ParallelAnalyzer::new(AnalyzerConfig::default(), 3);
         for i in 0..30u64 {
-            par.process_record(&Record::full(i, vec![1, 2, 3]), LinkType::Ethernet);
+            feed(&mut par, &Record::full(i, vec![1, 2, 3]));
         }
         let report = par.finish().expect("no shard failure");
         assert_eq!(report.undissectable, 30);

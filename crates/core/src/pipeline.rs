@@ -14,46 +14,43 @@ use crate::meeting::{
     client_endpoint_of, CandidateState, GroupingConfig, MeetingGrouper, MeetingReport,
 };
 use crate::metrics::latency::{RtpRttEstimator, RttSample, TcpRttEstimator};
+use crate::obs::{MetricsSnapshot, PipelineMetrics};
 use crate::packet::{extract, in_campus, meta_from_zoom, Extracted, PacketMeta};
 use crate::report::{build_report, AnalysisReport};
+use crate::sink::PacketSink;
 use crate::stats::Samples;
 use crate::stream::{Stream, StreamKey, StreamTracker};
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 use std::time::Duration;
-use zoom_wire::dissect::{dissect, dissect_from, App, Dissection, P2pProbe, PeekInfo, Transport};
+use zoom_wire::dissect::{
+    dissect, dissect_from, drop_stage, App, Dissection, P2pProbe, PeekInfo, Transport,
+};
 use zoom_wire::flow::{Endpoint, FiveTuple};
 use zoom_wire::pcap::{LinkType, Record};
-use zoom_wire::zoom::{Framing, MediaType};
+use zoom_wire::zoom::{Framing, MediaType, ZOOM_SFU_PORT};
 
 /// Analyzer configuration.
 ///
 /// Construct via [`AnalyzerConfig::builder`] (typed durations, validated
-/// CIDR input) or take [`AnalyzerConfig::default`]. The public fields are
-/// deprecated shims kept for one release so downstream field-bag
-/// construction keeps compiling; read settings through the accessor
-/// methods instead.
+/// CIDR input) or take [`AnalyzerConfig::default`]; read settings through
+/// the accessor methods. (The PR-2 deprecated public-field shims are
+/// gone: the builder is the only construction path now.)
 #[derive(Debug, Clone)]
 pub struct AnalyzerConfig {
     /// Campus prefixes — orient P2P flows and pick the "client" side.
-    #[deprecated(note = "construct via AnalyzerConfig::builder(); read via campus_prefixes()")]
-    pub campus: Vec<(IpAddr, u8)>,
+    campus: Vec<(IpAddr, u8)>,
     /// Zoom server prefixes; when non-empty, TCP RTT probing is limited
     /// to connections touching these (the control connections).
-    #[deprecated(
-        note = "construct via AnalyzerConfig::builder(); read via zoom_server_prefixes()"
-    )]
-    pub zoom_servers: Vec<(IpAddr, u8)>,
+    zoom_servers: Vec<(IpAddr, u8)>,
     /// How long a STUN exchange marks its endpoint as a future P2P flow.
-    #[deprecated(note = "construct via AnalyzerConfig::builder(); read via stun_timeout()")]
-    pub stun_timeout_nanos: u64,
+    stun_timeout_nanos: u64,
     /// Thresholds of the meeting-grouping heuristic (§4.3).
-    #[deprecated(note = "construct via AnalyzerConfig::builder(); read via grouping_config()")]
-    pub grouping: GroupingConfig,
+    grouping: GroupingConfig,
 }
 
 impl Default for AnalyzerConfig {
-    #[allow(deprecated)]
     fn default() -> Self {
         AnalyzerConfig {
             campus: vec![(IpAddr::V4(std::net::Ipv4Addr::new(10, 8, 0, 0)), 16)],
@@ -64,7 +61,6 @@ impl Default for AnalyzerConfig {
     }
 }
 
-#[allow(deprecated)] // the accessors are the one sanctioned field access
 impl AnalyzerConfig {
     /// Start building a configuration from the defaults.
     pub fn builder() -> AnalyzerConfigBuilder {
@@ -234,7 +230,6 @@ impl AnalyzerConfigBuilder {
             None => 120 * 1_000_000_000,
         };
         let defaults = AnalyzerConfig::default();
-        #[allow(deprecated)]
         Ok(AnalyzerConfig {
             campus: if self.campus_set {
                 self.campus
@@ -345,6 +340,10 @@ pub struct Analyzer {
     pub(crate) current_seq: u64,
     /// Shard mode: the router's `is_p2p_flow` verdict for this record.
     pub(crate) p2p_hint: bool,
+    /// The observability registry ([`crate::obs`]). Sequential analyzers
+    /// own a private one; shard analyzers share the router's `Arc` so
+    /// classification counters aggregate pipeline-wide.
+    pub(crate) metrics: Arc<PipelineMetrics>,
 }
 
 impl Analyzer {
@@ -369,15 +368,18 @@ impl Analyzer {
             event_log: None,
             current_seq: 0,
             p2p_hint: false,
+            metrics: Arc::new(PipelineMetrics::new(0)),
         }
     }
 
     /// A shard-mode analyzer for [`crate::parallel::ParallelAnalyzer`]:
     /// identical to [`Analyzer::new`] except that cross-flow state is
-    /// logged as [`MediaEvent`]s for the merge-time replay.
-    pub(crate) fn new_sharded(config: AnalyzerConfig) -> Analyzer {
+    /// logged as [`MediaEvent`]s for the merge-time replay, and the
+    /// metrics registry is the router's shared one.
+    pub(crate) fn new_sharded(config: AnalyzerConfig, metrics: Arc<PipelineMetrics>) -> Analyzer {
         let mut a = Analyzer::new(config);
         a.event_log = Some(Vec::new());
+        a.metrics = metrics;
         a
     }
 
@@ -400,28 +402,53 @@ impl Analyzer {
         match info {
             Some(pi) => {
                 let d = dissect_from(pi, ts_nanos, data, P2pProbe::Off);
-                self.process_dissection(&d);
+                // The router already counted packets_in/bytes/drops; the
+                // shard adds only the classification outcome.
+                self.process_dissection_counted(&d);
             }
             None => self.undissectable += 1,
         }
     }
 
     /// Process one capture record.
+    #[deprecated(note = "use the PacketSink trait: push(record.ts_nanos, &record.data, link)")]
     pub fn process_record(&mut self, record: &Record, link: LinkType) {
         self.process_packet(record.ts_nanos, &record.data, link);
     }
 
-    /// Process one packet from a borrowed byte slice — the zero-copy twin
-    /// of [`Analyzer::process_record`], for use with
+    /// Process one packet from a borrowed byte slice — the zero-copy
+    /// fast path behind [`PacketSink::push`], for use with
     /// [`zoom_wire::pcap::Reader::read_into`] and
     /// [`zoom_wire::pcap::SliceReader`] where no owned [`Record`] exists.
     pub fn process_packet(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) {
         self.total_packets += 1;
-        let Ok(d) = dissect(ts_nanos, data, link, P2pProbe::Off) else {
-            self.undissectable += 1;
-            return;
-        };
-        self.process_dissection(&d);
+        self.metrics.record_in(data.len());
+        match dissect(ts_nanos, data, link, P2pProbe::Off) {
+            Ok(d) => self.process_dissection_counted(&d),
+            Err(e) => {
+                self.undissectable += 1;
+                self.metrics.record_drop(drop_stage(data, link, e));
+            }
+        }
+    }
+
+    /// [`Analyzer::process_dissection`] plus classification accounting:
+    /// did this record end up counted as Zoom traffic or not?
+    fn process_dissection_counted(&mut self, d: &Dissection<'_>) {
+        let zoom_before = self.zoom_packets;
+        self.process_dissection(d);
+        if self.zoom_packets > zoom_before {
+            self.metrics.packets_classified.inc();
+        } else {
+            self.metrics.packets_not_zoom.inc();
+            // A UDP record on the Zoom media port that still failed to
+            // classify means its Zoom Media Encapsulation did not parse.
+            if matches!(d.transport, Transport::Udp { .. })
+                && d.five_tuple.involves_port(ZOOM_SFU_PORT)
+            {
+                self.metrics.malformed_zme.inc();
+            }
+        }
     }
 
     /// Process a pre-dissected packet.
@@ -576,12 +603,21 @@ impl Analyzer {
 
     // ---------------------------- reports ----------------------------
 
-    /// Finish the analysis: an owned [`AnalysisReport`] with the trace
-    /// summary, per-meeting and per-stream breakdowns, and RTT summaries.
-    ///
-    /// Non-consuming — the analyzer stays queryable afterwards (and more
-    /// records may still be fed; `finish` simply snapshots).
-    pub fn finish(&self) -> AnalysisReport {
+    /// Finish the analysis, consuming the analyzer: an owned
+    /// [`AnalysisReport`] with the trace summary, per-meeting and
+    /// per-stream breakdowns, RTT summaries, and drop accounting —
+    /// matching the [`PacketSink`] shape shared with
+    /// [`crate::parallel::ParallelAnalyzer`] and
+    /// [`crate::engine::StreamingEngine`]. To snapshot a report while
+    /// keeping the analyzer queryable, use [`Analyzer::report`].
+    pub fn finish(self) -> Result<AnalysisReport, Error> {
+        Ok(self.report())
+    }
+
+    /// Snapshot the current analysis state as an owned
+    /// [`AnalysisReport`] without consuming the analyzer (more records
+    /// may still be fed afterwards).
+    pub fn report(&self) -> AnalysisReport {
         build_report(self, self.streams.iter().map(|s| (s, false)), 0, 0)
     }
 
@@ -718,6 +754,30 @@ impl Analyzer {
     }
 }
 
+impl PacketSink for Analyzer {
+    fn push(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) -> Result<(), Error> {
+        self.process_packet(ts_nanos, data, link);
+        Ok(())
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn note_pcap_truncated(&mut self, records: u64) {
+        self.metrics.pcap_truncated_records.set(records);
+    }
+
+    fn note_pcap_progress(&mut self, records: u64, bytes: u64) {
+        self.metrics.pcap_records_read.set(records);
+        self.metrics.pcap_bytes_read.set(bytes);
+    }
+
+    fn finish(self) -> Result<AnalysisReport, Error> {
+        Analyzer::finish(self)
+    }
+}
+
 /// Resolve the (client endpoint, server address) pair of a new stream's
 /// flow: the non-8801 side for server traffic, the campus side for P2P
 /// (with an empty campus list, the *source* side — see
@@ -744,6 +804,11 @@ pub(crate) fn resolve_stream_endpoints(
 mod tests {
     use super::*;
     use std::net::Ipv4Addr;
+
+    /// Test shorthand for the PacketSink ingest path.
+    fn feed(a: &mut Analyzer, record: &Record) {
+        a.push(record.ts_nanos, &record.data, LinkType::Ethernet).unwrap();
+    }
     use zoom_wire::compose;
     use zoom_wire::rtp;
     use zoom_wire::zoom;
@@ -820,14 +885,8 @@ mod tests {
         for i in 0..100u64 {
             let seq = i as u16 + 1;
             let rtp_ts = 1_000 + (i as u32) * 3_000;
-            a.process_record(
-                &media_record(i * 33 * MS, true, 0x21, seq, rtp_ts, 1, true),
-                LinkType::Ethernet,
-            );
-            a.process_record(
-                &media_record(i * 33 * MS + 40 * MS, false, 0x21, seq, rtp_ts, 1, true),
-                LinkType::Ethernet,
-            );
+            feed(&mut a, &media_record(i * 33 * MS, true, 0x21, seq, rtp_ts, 1, true));
+            feed(&mut a, &media_record(i * 33 * MS + 40 * MS, false, 0x21, seq, rtp_ts, 1, true));
         }
         let summary = a.summary();
         assert_eq!(summary.zoom_packets, 200);
@@ -850,10 +909,7 @@ mod tests {
         for i in 0..200u64 {
             let seq = i as u16 + 1;
             let rtp_ts = 1_000 + (i as u32) * 3_000;
-            a.process_record(
-                &media_record(i * 33 * MS, true, 0x21, seq, rtp_ts, 1, true),
-                LinkType::Ethernet,
-            );
+            feed(&mut a, &media_record(i * 33 * MS, true, 0x21, seq, rtp_ts, 1, true));
         }
         let samples = a.media_samples(MediaType::Video);
         assert!(!samples.bitrate_mbps.is_empty());
@@ -906,7 +962,7 @@ mod tests {
             )
         };
         // Without a STUN exchange, nothing is recognized.
-        a.process_record(&mk_media(0), LinkType::Ethernet);
+        feed(&mut a, &mk_media(0));
         assert_eq!(a.summary().zoom_packets, 0);
 
         // STUN from the same client endpoint, then media.
@@ -927,19 +983,19 @@ mod tests {
                 &stun_payload,
             ),
         );
-        a.process_record(&stun_rec, LinkType::Ethernet);
-        a.process_record(&mk_media(2_000 * MS), LinkType::Ethernet);
+        feed(&mut a, &stun_rec);
+        feed(&mut a, &mk_media(2_000 * MS));
         let summary = a.summary();
         assert_eq!(summary.zoom_packets, 2); // STUN + media
         assert_eq!(summary.rtp_streams, 1);
     }
 
     #[test]
-    // Intentionally exercises the deprecated field shim.
-    #[allow(deprecated, clippy::field_reassign_with_default)]
     fn tcp_filtered_by_server_list() {
-        let mut cfg = AnalyzerConfig::default();
-        cfg.zoom_servers = vec![(IpAddr::V4(Ipv4Addr::new(170, 114, 0, 0)), 16)];
+        let cfg = AnalyzerConfig::builder()
+            .zoom_server("170.114.0.0/16")
+            .build()
+            .unwrap();
         let mut a = Analyzer::new(cfg);
         let zoom_tcp = Record::full(
             0,
@@ -975,16 +1031,19 @@ mod tests {
                 b"web",
             ),
         );
-        a.process_record(&zoom_tcp, LinkType::Ethernet);
-        a.process_record(&other_tcp, LinkType::Ethernet);
+        feed(&mut a, &zoom_tcp);
+        feed(&mut a, &other_tcp);
         assert_eq!(a.summary().zoom_packets, 1);
     }
 
     #[test]
     fn garbage_counted_as_undissectable() {
         let mut a = analyzer();
-        a.process_record(&Record::full(0, vec![1, 2, 3]), LinkType::Ethernet);
+        feed(&mut a, &Record::full(0, vec![1, 2, 3]));
         assert_eq!(a.undissectable(), 1);
         assert_eq!(a.summary().total_packets, 1);
+        let m = a.metrics();
+        assert_eq!(m.drops_total(), 1);
+        assert!(m.conservation_holds());
     }
 }

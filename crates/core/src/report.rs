@@ -318,6 +318,45 @@ fn summary_to_json(s: &TraceSummary) -> String {
     o.finish()
 }
 
+/// Per-stage drop accounting surfaced in the final report (the same
+/// counters [`crate::obs::MetricsSnapshot`] exposes, pinned here so lossy
+/// inputs are visible in the report itself, not just on stderr).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DropsReport {
+    /// Torn trailing records the pcap reader discarded.
+    pub pcap_truncated: u64,
+    /// Records on a link type the dissector does not support.
+    pub unsupported_link: u64,
+    /// Ethernet frames carrying a non-IP ethertype.
+    pub non_ip: u64,
+    /// IP packets that are neither UDP nor TCP.
+    pub non_transport: u64,
+    /// Records cut short mid-header.
+    pub truncated: u64,
+    /// Structurally invalid headers (bad version, length, checksum).
+    pub malformed: u64,
+    /// Dissected fine but not recognized as Zoom traffic.
+    pub not_zoom: u64,
+    /// UDP on the Zoom SFU port whose ZME framing failed to parse
+    /// (subset of `not_zoom`).
+    pub malformed_zme: u64,
+}
+
+impl DropsReport {
+    pub(crate) fn to_json(self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("pcap_truncated", self.pcap_truncated)
+            .u64("unsupported_link", self.unsupported_link)
+            .u64("non_ip", self.non_ip)
+            .u64("non_transport", self.non_transport)
+            .u64("truncated", self.truncated)
+            .u64("malformed", self.malformed)
+            .u64("not_zoom", self.not_zoom)
+            .u64("malformed_zme", self.malformed_zme);
+        o.finish()
+    }
+}
+
 /// The value-typed result of a finished analysis: everything the batch
 /// CLI prints and the streaming engine's final drain emits.
 #[derive(Debug, Clone, PartialEq)]
@@ -326,6 +365,8 @@ pub struct AnalysisReport {
     pub summary: TraceSummary,
     /// Records that failed link/IP dissection.
     pub undissectable: u64,
+    /// Per-stage drop accounting (reader + dissector + classifier).
+    pub drops: DropsReport,
     /// Reconstructed meetings (§4.3), sorted by id.
     pub meetings: Vec<MeetingReport>,
     /// Per-stream rows in global creation order; evicted fragments appear
@@ -344,6 +385,7 @@ impl AnalysisReport {
         o.str("type", "final")
             .raw("summary", &summary_to_json(&self.summary))
             .u64("undissectable", self.undissectable)
+            .raw("drops", &self.drops.to_json())
             .raw("rtp_rtt", &self.rtp_rtt.to_json())
             .raw("tcp_rtt", &self.tcp_rtt.to_json())
             .raw(
@@ -384,10 +426,26 @@ pub(crate) fn build_report<'a>(
     AnalysisReport {
         summary,
         undissectable: analyzer.undissectable,
+        drops: drops_from_metrics(&analyzer.metrics),
         meetings,
         streams: rows,
         rtp_rtt: RttSummaryReport::from_samples(analyzer.rtp_rtt.samples()),
         tcp_rtt: RttSummaryReport::from_samples(analyzer.tcp_rtt.samples()),
+    }
+}
+
+/// Read the drop counters out of a live metrics registry. Shared by the
+/// batch path and the streaming drain so both report identical accounting.
+pub(crate) fn drops_from_metrics(m: &crate::obs::PipelineMetrics) -> DropsReport {
+    DropsReport {
+        pcap_truncated: m.pcap_truncated_records.get(),
+        unsupported_link: m.drop_unsupported_link.get(),
+        non_ip: m.drop_non_ip.get(),
+        non_transport: m.drop_non_transport.get(),
+        truncated: m.drop_truncated.get(),
+        malformed: m.drop_malformed.get(),
+        not_zoom: m.packets_not_zoom.get(),
+        malformed_zme: m.malformed_zme.get(),
     }
 }
 

@@ -348,6 +348,71 @@ pub fn dissect<'a>(
     Ok(dissect_from(&p.info, ts_nanos, data, probe))
 }
 
+/// Why a record was rejected by [`peek`]/[`dissect`], at per-stage
+/// granularity for drop accounting.
+///
+/// [`Error`] alone cannot distinguish "not IP" from "not UDP/TCP" (both
+/// surface as [`Error::Unsupported`]); [`drop_stage`] re-examines just the
+/// link header to split them. This runs only on the (rare) drop path, so
+/// the re-check costs nothing on the packet fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropStage {
+    /// The capture's link type is one the dissector does not decode.
+    UnsupportedLink,
+    /// An Ethernet frame whose ethertype is neither IPv4 nor IPv6.
+    NonIp,
+    /// An IP packet carrying a protocol other than UDP or TCP.
+    NonTransport,
+    /// A header claimed more bytes than the record holds.
+    Truncated,
+    /// A structurally invalid header (bad version nibble, length field,
+    /// or checksum).
+    Malformed,
+}
+
+impl DropStage {
+    /// Stable lower-case label, used as the metric name suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropStage::UnsupportedLink => "unsupported_link",
+            DropStage::NonIp => "non_ip",
+            DropStage::NonTransport => "non_transport",
+            DropStage::Truncated => "truncated",
+            DropStage::Malformed => "malformed",
+        }
+    }
+}
+
+/// Classify a [`peek`]/[`dissect`] rejection into its [`DropStage`].
+///
+/// `data` and `link_type` must be the inputs that produced `err`; the
+/// function inspects at most the two ethertype bytes to disambiguate the
+/// [`Error::Unsupported`] cases, so it is O(1).
+pub fn drop_stage(data: &[u8], link_type: LinkType, err: Error) -> DropStage {
+    match err {
+        Error::Truncated => DropStage::Truncated,
+        Error::Malformed | Error::Checksum => DropStage::Malformed,
+        Error::Unsupported => match link_type {
+            LinkType::Other(_) => DropStage::UnsupportedLink,
+            LinkType::Ethernet => {
+                // peek returned Unsupported either at the ethertype check
+                // or at the IP-protocol check; the frame is long enough to
+                // hold an Ethernet header in both cases.
+                match ethernet::Packet::new_checked(data) {
+                    Ok(eth) => match eth.ethertype() {
+                        EtherType::Ipv4 | EtherType::Ipv6 => DropStage::NonTransport,
+                        _ => DropStage::NonIp,
+                    },
+                    Err(_) => DropStage::Truncated,
+                }
+            }
+            // Raw IP has no link header to reject, so Unsupported can only
+            // have come from the IP protocol field.
+            LinkType::RawIp => DropStage::NonTransport,
+        },
+    }
+}
+
 fn classify_udp(five_tuple: &FiveTuple, payload: &[u8], probe: P2pProbe) -> App {
     // STUN first: port 3478 traffic, or anything that passes the magic
     // cookie check (STUN and Zoom framings cannot be confused — the
@@ -762,6 +827,55 @@ mod tests {
             dissect(0, &data, LinkType::Ethernet, P2pProbe::Off).unwrap_err(),
             Error::Unsupported
         );
+    }
+
+    #[test]
+    fn drop_stage_classifies_every_rejection() {
+        // Unknown link type.
+        let err = peek(&[0u8; 64], LinkType::Other(42)).unwrap_err();
+        assert_eq!(
+            drop_stage(&[0u8; 64], LinkType::Other(42), err),
+            DropStage::UnsupportedLink
+        );
+
+        // ARP ethertype: not IP.
+        let mut arp = server_video_packet();
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        let err = peek(&arp, LinkType::Ethernet).unwrap_err();
+        assert_eq!(drop_stage(&arp, LinkType::Ethernet, err), DropStage::NonIp);
+
+        // ICMP protocol inside a valid IPv4 header: not UDP/TCP. Rebuild
+        // the header checksum so the rejection is really the protocol.
+        let mut icmp = server_video_packet();
+        icmp[ethernet::HEADER_LEN + 9] = 1; // protocol = ICMP
+        let mut ip = ipv4::Packet::new_unchecked(&mut icmp[ethernet::HEADER_LEN..]);
+        ip.fill_checksum();
+        let err = peek(&icmp, LinkType::Ethernet).unwrap_err();
+        assert_eq!(
+            drop_stage(&icmp, LinkType::Ethernet, err),
+            DropStage::NonTransport
+        );
+        // Same packet as a raw-IP capture.
+        let raw = &icmp[ethernet::HEADER_LEN..];
+        let err = peek(raw, LinkType::RawIp).unwrap_err();
+        assert_eq!(drop_stage(raw, LinkType::RawIp, err), DropStage::NonTransport);
+
+        // Truncated frame.
+        let err = peek(b"x", LinkType::Ethernet).unwrap_err();
+        assert_eq!(
+            drop_stage(b"x", LinkType::Ethernet, err),
+            DropStage::Truncated
+        );
+
+        // Bad IP version nibble over raw IP: malformed.
+        let junk = [0xF0u8; 40];
+        let err = peek(&junk, LinkType::RawIp).unwrap_err();
+        assert_eq!(drop_stage(&junk, LinkType::RawIp, err), DropStage::Malformed);
+
+        // Labels are stable metric suffixes.
+        assert_eq!(DropStage::NonIp.label(), "non_ip");
+        assert_eq!(DropStage::UnsupportedLink.label(), "unsupported_link");
     }
 }
 

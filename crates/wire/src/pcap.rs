@@ -190,6 +190,8 @@ pub struct Reader<R: Read> {
     link_type: LinkType,
     snaplen: u32,
     truncated: u64,
+    records_read: u64,
+    bytes_read: u64,
 }
 
 impl<R: Read> Reader<R> {
@@ -205,6 +207,8 @@ impl<R: Read> Reader<R> {
             link_type,
             snaplen,
             truncated: 0,
+            records_read: 0,
+            bytes_read: 0,
         })
     }
 
@@ -223,6 +227,18 @@ impl<R: Read> Reader<R> {
     /// than an error; this counter is the warning channel.
     pub fn truncated_records(&self) -> u64 {
         self.truncated
+    }
+
+    /// Complete records delivered so far (all ingest paths funnel through
+    /// [`read_into`](Reader::read_into), so this covers every path).
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Captured payload bytes delivered so far (record data only, not
+    /// pcap framing).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
     }
 
     /// Read the next record into `buf`, reusing its storage: the
@@ -268,6 +284,8 @@ impl<R: Read> Reader<R> {
         let frac_nanos = if self.nanos { ts_frac } else { ts_frac * 1_000 };
         buf.ts_nanos = ts_sec * 1_000_000_000 + frac_nanos;
         buf.orig_len = orig_len;
+        self.records_read += 1;
+        self.bytes_read += u64::from(incl_len);
         Ok(true)
     }
 
@@ -343,6 +361,8 @@ pub struct SliceReader<'a> {
     link_type: LinkType,
     snaplen: u32,
     truncated: u64,
+    records_read: u64,
+    bytes_read: u64,
 }
 
 impl<'a> SliceReader<'a> {
@@ -363,6 +383,8 @@ impl<'a> SliceReader<'a> {
             link_type,
             snaplen,
             truncated: 0,
+            records_read: 0,
+            bytes_read: 0,
         })
     }
 
@@ -379,6 +401,17 @@ impl<'a> SliceReader<'a> {
     /// Records dropped because the image ended mid-record.
     pub fn truncated_records(&self) -> u64 {
         self.truncated
+    }
+
+    /// Complete records delivered so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Captured payload bytes delivered so far (record data only, not
+    /// pcap framing).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
     }
 
     /// The next borrowed record; `Ok(None)` at the end of the image or at
@@ -418,6 +451,8 @@ impl<'a> SliceReader<'a> {
             return Ok(None);
         };
         self.pos += 16 + incl_len;
+        self.records_read += 1;
+        self.bytes_read += incl_len as u64;
         let frac_nanos = if self.nanos { ts_frac } else { ts_frac * 1_000 };
         Ok(Some(SliceRecord {
             ts_nanos: ts_sec * 1_000_000_000 + frac_nanos,
@@ -665,6 +700,34 @@ mod tests {
         // The buffer grew once to the largest record and stayed there.
         assert_eq!(buf.data.capacity(), 1400);
         assert_eq!(reader.truncated_records(), 0);
+    }
+
+    #[test]
+    fn readers_count_records_and_bytes() {
+        let records = vec![
+            Record::full(1, vec![0x11; 100]),
+            Record::full(2, vec![0x22; 60]),
+        ];
+        let img = write_trace(&records);
+
+        let mut r = Reader::new(&img[..]).unwrap();
+        let mut buf = RecordBuf::new();
+        while r.read_into(&mut buf).unwrap() {}
+        assert_eq!(r.records_read(), 2);
+        assert_eq!(r.bytes_read(), 160);
+
+        let mut s = SliceReader::new(&img).unwrap();
+        while s.next_record().unwrap().is_some() {}
+        assert_eq!(s.records_read(), 2);
+        assert_eq!(s.bytes_read(), 160);
+
+        // A truncated tail is not counted as read.
+        let mut cut = img.clone();
+        cut.truncate(cut.len() - 2);
+        let mut r = Reader::new(&cut[..]).unwrap();
+        while r.read_into(&mut buf).unwrap() {}
+        assert_eq!((r.records_read(), r.truncated_records()), (1, 1));
+        assert_eq!(r.bytes_read(), 100);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! e.g. `cargo run --release --example campus_study 30 64`
 
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::PacketSink;
 use zoom_capture::cidr::prefix_set;
 use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
 use zoom_sim::scenario;
@@ -38,7 +39,9 @@ fn main() {
         let (verdict, passed) = capture.process_record(&record, LinkType::Ethernet);
         let _ = verdict;
         if let Some(out) = passed {
-            analyzer.process_record(&out, LinkType::Ethernet);
+            analyzer
+                .push(out.ts_nanos, &out.data, LinkType::Ethernet)
+                .expect("push");
         }
     }
 

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::PacketSink;
 use zoom_analysis::stream::StreamKey;
 use zoom_sim::meeting::MeetingSim;
 use zoom_sim::scenario;
@@ -35,7 +36,9 @@ fn main() {
             );
             next_report += 5 * SEC;
         }
-        analyzer.process_record(&record, LinkType::Ethernet);
+        analyzer
+            .push(record.ts_nanos, &record.data, LinkType::Ethernet)
+            .expect("push");
     }
 
     let summary = analyzer.summary();

@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::PacketSink;
 use zoom_sim::meeting::MeetingSim;
 use zoom_sim::scenario;
 use zoom_sim::time::SEC;
@@ -39,7 +40,9 @@ fn main() -> std::io::Result<()> {
         .expect("valid campus CIDR");
     let mut analyzer = Analyzer::new(analyzer_config);
     while let Some(record) = reader.next_record()? {
-        analyzer.process_record(&record, link);
+        analyzer
+            .push(record.ts_nanos, &record.data, link)
+            .expect("push");
     }
 
     // 3. Report what passive analysis alone could see.
@@ -109,7 +112,7 @@ fn main() -> std::io::Result<()> {
     }
     // 4. The same results as one owned, machine-readable report — what
     //    `zoom-tools analyze --json` and the streaming engine emit.
-    let report = analyzer.finish();
+    let report = analyzer.finish().expect("finish");
     println!(
         "\nfinal report: {} stream row(s), {} JSON bytes",
         report.streams.len(),

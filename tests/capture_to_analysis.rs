@@ -35,7 +35,7 @@ fn pipeline_filters_background_and_keeps_zoom() {
     for record in stream {
         let (_, out) = capture.process_record(&record, LinkType::Ethernet);
         if let Some(out) = out {
-            analyzer.process_record(&out, LinkType::Ethernet);
+            analyzer.process_packet(out.ts_nanos, &out.data, LinkType::Ethernet);
         }
     }
     let c = capture.counters();
@@ -95,7 +95,7 @@ fn anonymized_output_remains_fully_analyzable() {
         for record in stream {
             let (_, out) = capture.process_record(&record, LinkType::Ethernet);
             if let Some(out) = out {
-                analyzer.process_record(&out, LinkType::Ethernet);
+                analyzer.process_packet(out.ts_nanos, &out.data, LinkType::Ethernet);
             }
         }
         analyzer.summary()

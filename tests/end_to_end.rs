@@ -36,7 +36,8 @@ fn multi_party_meeting_full_chain() {
             verdict.passes(),
             "every simulated packet is Zoom traffic, got {verdict:?}"
         );
-        analyzer.process_record(&out.unwrap(), LinkType::Ethernet);
+        let out = out.unwrap();
+        analyzer.process_packet(out.ts_nanos, &out.data, LinkType::Ethernet);
     }
 
     let summary = analyzer.summary();
@@ -92,7 +93,8 @@ fn p2p_meeting_stays_one_meeting_across_switch() {
         if verdict == zoom_capture::pipeline::Verdict::ZoomP2p {
             p2p_passed += 1;
         }
-        analyzer.process_record(&out.unwrap(), LinkType::Ethernet);
+        let out = out.unwrap();
+        analyzer.process_packet(out.ts_nanos, &out.data, LinkType::Ethernet);
     }
     assert!(p2p_passed > 1_000, "p2p packets {p2p_passed}");
 

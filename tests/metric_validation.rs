@@ -23,7 +23,7 @@ fn run() -> Validation {
     let mut sim = MeetingSim::new(scenario::validation_experiment(77));
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
     for record in &mut sim {
-        analyzer.process_record(&record, LinkType::Ethernet);
+        analyzer.process_packet(record.ts_nanos, &record.data, LinkType::Ethernet);
     }
     let mut gt = sim.ground_truth();
     Validation {

@@ -1,0 +1,203 @@
+//! Integration tests for the observability layer: the conservation
+//! invariant (`packets_in == packets_classified + packets_not_zoom +
+//! drops`), identical drop accounting across the sequential, parallel,
+//! and streaming sinks at 1/2/8 shards, and the drop section of the
+//! JSON report.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use zoom_analysis::engine::{EngineConfig, StreamingEngine};
+use zoom_analysis::obs::MetricsSnapshot;
+use zoom_analysis::parallel::ParallelAnalyzer;
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::PacketSink;
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::pcap::{LinkType, Record};
+
+/// A frame too short for an Ethernet header: dissects as a truncated
+/// drop.
+fn truncated_frame() -> Vec<u8> {
+    vec![0u8; 7]
+}
+
+/// A well-formed Ethernet frame carrying ARP: a non-IP drop.
+fn non_ip_frame() -> Vec<u8> {
+    let mut f = vec![0u8; 14];
+    f[12] = 0x08;
+    f[13] = 0x06;
+    f
+}
+
+/// Ethernet + minimal IPv4 header with protocol 1 (ICMP): a
+/// non-transport drop.
+fn non_transport_frame() -> Vec<u8> {
+    let mut f = vec![0u8; 34];
+    f[12] = 0x08; // ethertype IPv4
+    f[13] = 0x00;
+    f[14] = 0x45; // version 4, IHL 5
+    f[16] = 0x00; // total length 20
+    f[17] = 0x14;
+    f[22] = 64; // TTL
+    f[23] = 1; // protocol ICMP
+    f
+}
+
+/// A meeting trace with dissect garbage salted in at `every`-record
+/// intervals, cycling through the three drop stages above. Returns the
+/// records and the number of garbage frames inserted.
+fn salted_records(seed: u64, secs: u64, every: usize) -> (Vec<Record>, u64) {
+    let sim: Vec<Record> = MeetingSim::new(scenario::multi_party(seed, secs * SEC)).collect();
+    let mut out = Vec::with_capacity(sim.len() + sim.len() / every + 1);
+    let mut garbage = 0u64;
+    for (i, r) in sim.into_iter().enumerate() {
+        if i % every == 0 {
+            let frame = match garbage % 3 {
+                0 => truncated_frame(),
+                1 => non_ip_frame(),
+                _ => non_transport_frame(),
+            };
+            out.push(Record::full(r.ts_nanos, frame));
+            garbage += 1;
+        }
+        out.push(r);
+    }
+    (out, garbage)
+}
+
+fn feed<S: PacketSink>(sink: &mut S, records: &[Record]) {
+    for r in records {
+        sink.push(r.ts_nanos, &r.data, LinkType::Ethernet)
+            .expect("push");
+    }
+}
+
+/// The full accounting vector a sink exposes; two sinks that saw the
+/// same trace must agree on every component.
+fn accounting(m: &MetricsSnapshot) -> [u64; 9] {
+    [
+        m.packets_in,
+        m.packets_classified,
+        m.packets_not_zoom,
+        m.malformed_zme,
+        m.drop_unsupported_link,
+        m.drop_non_ip,
+        m.drop_non_transport,
+        m.drop_truncated,
+        m.drop_malformed,
+    ]
+}
+
+#[test]
+fn sequential_sink_conserves_and_attributes_drops() {
+    let (records, garbage) = salted_records(7, 20, 50);
+    let mut a = Analyzer::new(AnalyzerConfig::default());
+    feed(&mut a, &records);
+    let m = a.metrics();
+    assert_eq!(m.packets_in, records.len() as u64);
+    assert_eq!(m.drops_total(), garbage);
+    assert!(m.drop_truncated > 0);
+    assert!(m.drop_non_ip > 0);
+    assert!(m.drop_non_transport > 0);
+    assert!(m.conservation_holds(), "conservation: {m:?}");
+}
+
+#[test]
+fn report_json_surfaces_drop_counters_and_truncation() {
+    let (records, _) = salted_records(11, 15, 40);
+    let mut a = Analyzer::new(AnalyzerConfig::default());
+    feed(&mut a, &records);
+    a.note_pcap_truncated(3);
+    let report = a.finish().expect("finish");
+    assert_eq!(report.drops.pcap_truncated, 3);
+    assert!(report.drops.truncated > 0);
+    let json = report.to_json();
+    assert!(json.contains("\"drops\":{"), "missing drops section");
+    assert!(json.contains("\"pcap_truncated\":3"), "missing truncation");
+}
+
+#[test]
+fn metrics_json_and_prom_agree_on_totals() {
+    let (records, garbage) = salted_records(3, 15, 30);
+    let mut a = Analyzer::new(AnalyzerConfig::default());
+    feed(&mut a, &records);
+    let m = a.metrics();
+    let json = m.to_json();
+    assert!(json.contains("\"conservation_holds\":true"));
+    assert!(json.contains(&format!("\"packets_in\":{}", records.len())));
+    let prom = m.to_prom();
+    assert!(prom.contains("zoom_packets_in_total"));
+    assert!(prom.contains(&format!("zoom_packets_in_total {}", records.len())));
+    let dropped: u64 = prom
+        .lines()
+        .filter(|l| l.starts_with("zoom_dissect_drops_total{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(dropped, garbage);
+}
+
+/// Runs the streaming engine over the records and returns the quiesced
+/// accounting snapshot.
+fn engine_accounting(records: &[Record], shards: usize, window: Option<Duration>) -> [u64; 9] {
+    let mut engine = StreamingEngine::new(EngineConfig {
+        analyzer: AnalyzerConfig::default(),
+        shards,
+        window,
+        idle_timeout: None,
+    })
+    .expect("engine");
+    feed(&mut engine, records);
+    let _ = engine.take_windows();
+    let out = engine.drain().expect("drain");
+    accounting(&out.analyzer.metrics())
+}
+
+proptest! {
+    /// The drop/classification accounting is a property of the trace,
+    /// not of the deployment shape: 1, 2, and 8 shards — windowed or
+    /// not — must produce the identical accounting vector, and every
+    /// vector must satisfy the conservation invariant.
+    #[test]
+    fn drop_accounting_identical_across_shards(
+        seed in 0u64..10_000,
+        secs in 12u64..16,
+        every in 20usize..60,
+        windowed in proptest::arbitrary::any::<bool>(),
+    ) {
+        let (records, garbage) = salted_records(seed, secs, every);
+        let window = windowed.then(|| Duration::from_secs(5));
+
+        let mut seq = Analyzer::new(AnalyzerConfig::default());
+        feed(&mut seq, &records);
+        let baseline = accounting(&seq.metrics());
+        prop_assert_eq!(
+            baseline[4] + baseline[5] + baseline[6] + baseline[7] + baseline[8],
+            garbage
+        );
+        // Conservation: packets_in == classified + not_zoom + Σ drops.
+        prop_assert_eq!(
+            baseline[0],
+            baseline[1] + baseline[2] + baseline[4] + baseline[5]
+                + baseline[6] + baseline[7] + baseline[8]
+        );
+
+        for shards in [1usize, 2, 8] {
+            prop_assert_eq!(
+                engine_accounting(&records, shards, window),
+                baseline,
+                "{} shards, window {:?}",
+                shards,
+                window
+            );
+        }
+
+        let mut par = ParallelAnalyzer::new(AnalyzerConfig::default(), 8);
+        feed(&mut par, &records);
+        // The inherent `finish(&mut self)` quiesces the engine without
+        // consuming the analyzer, so the metrics remain readable.
+        ParallelAnalyzer::finish(&mut par).expect("finish");
+        prop_assert_eq!(accounting(&par.metrics()), baseline, "parallel sink");
+    }
+}

@@ -12,6 +12,7 @@
 use proptest::prelude::*;
 use zoom_analysis::parallel::ParallelAnalyzer;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::PacketSink;
 use zoom_capture::cidr::prefix_set;
 use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
 use zoom_sim::meeting::MeetingSim;
@@ -23,7 +24,7 @@ use zoom_wire::zoom::MediaType;
 fn run_sequential(records: &[Record]) -> Analyzer {
     let mut a = Analyzer::new(AnalyzerConfig::default());
     for r in records {
-        a.process_record(r, LinkType::Ethernet);
+        a.push(r.ts_nanos, &r.data, LinkType::Ethernet).expect("push");
     }
     a
 }
@@ -31,7 +32,7 @@ fn run_sequential(records: &[Record]) -> Analyzer {
 fn run_parallel(records: &[Record], shards: usize) -> Analyzer {
     let mut p = ParallelAnalyzer::new(AnalyzerConfig::default(), shards);
     for r in records {
-        p.process_record(r, LinkType::Ethernet);
+        p.push(r.ts_nanos, &r.data, LinkType::Ethernet).expect("push");
     }
     p.into_analyzer()
 }
@@ -155,7 +156,7 @@ fn parallel_report_via(img: &[u8], ingest: Ingest, shards: usize) -> String {
             let mut r = Reader::new(img).expect("pcap header");
             let link = r.link_type();
             while let Some(rec) = r.next_record().expect("record") {
-                p.process_record(&rec, link);
+                p.push(rec.ts_nanos, &rec.data, link).expect("push");
             }
         }
         Ingest::ReadInto => {
@@ -182,7 +183,7 @@ fn ingest_paths_identical_at_1_2_8_shards() {
     let records: Vec<Record> = MeetingSim::new(scenario::multi_party(13, 45 * SEC)).collect();
     assert!(records.len() > 1_000);
     let img = pcap_image(&records);
-    let sequential = run_sequential(&records).finish().to_json();
+    let sequential = run_sequential(&records).finish().expect("finish").to_json();
     for shards in [1usize, 2, 8] {
         let baseline = parallel_report_via(&img, Ingest::Owning, shards);
         assert_eq!(baseline, sequential, "owning/{shards} shards vs sequential");

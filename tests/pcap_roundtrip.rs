@@ -19,7 +19,7 @@ fn capture(duration_secs: u64) -> Vec<Record> {
 fn analyze(records: impl IntoIterator<Item = Record>) -> zoom_analysis::pipeline::TraceSummary {
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
     for r in records {
-        analyzer.process_record(&r, LinkType::Ethernet);
+        analyzer.process_packet(r.ts_nanos, &r.data, LinkType::Ethernet);
     }
     analyzer.summary()
 }

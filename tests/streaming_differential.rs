@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 use zoom_analysis::engine::{EngineConfig, EngineOutput, StreamingEngine};
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::PacketSink;
 use zoom_analysis::report::{AnalysisReport, WindowReport};
 use zoom_analysis::stream::StreamKey;
 use zoom_sim::meeting::MeetingSim;
@@ -28,9 +29,9 @@ use zoom_wire::pcap::{LinkType, Reader, Record, RecordBuf, SliceReader, Writer};
 fn batch_report(records: &[Record]) -> AnalysisReport {
     let mut a = Analyzer::new(AnalyzerConfig::default());
     for r in records {
-        a.process_record(r, LinkType::Ethernet);
+        a.push(r.ts_nanos, &r.data, LinkType::Ethernet).expect("push");
     }
-    a.finish()
+    a.finish().expect("finish")
 }
 
 fn stream_run(
@@ -48,7 +49,10 @@ fn stream_run(
     .expect("valid engine config");
     let mut windows = Vec::new();
     for r in records {
-        windows.extend(engine.push_record(r, LinkType::Ethernet).expect("push"));
+        engine
+            .push(r.ts_nanos, &r.data, LinkType::Ethernet)
+            .expect("push");
+        windows.extend(engine.take_windows());
     }
     let out = engine.drain().expect("drain");
     (windows, out)
@@ -256,7 +260,8 @@ fn stream_via(
             let mut r = Reader::new(img).expect("pcap header");
             let link = r.link_type();
             while let Some(rec) = r.next_record().expect("record") {
-                windows.extend(engine.push_record(&rec, link).expect("push"));
+                engine.push(rec.ts_nanos, &rec.data, link).expect("push");
+                windows.extend(engine.take_windows());
             }
         }
         Ingest::ReadInto => {

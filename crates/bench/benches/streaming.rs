@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::time::Duration;
-use zoom_analysis::engine::{EngineConfig, StreamingEngine};
+use zoom_analysis::engine::{EngineConfig, QoeThresholds, StreamingEngine};
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
 use zoom_sim::meeting::MeetingSim;
 use zoom_sim::scenario;
@@ -26,17 +26,29 @@ fn run_streaming(
     window: Option<Duration>,
     idle: Option<Duration>,
 ) -> (u64, usize) {
+    run_streaming_qoe(records, shards, window, idle, None)
+}
+
+fn run_streaming_qoe(
+    records: &[Record],
+    shards: usize,
+    window: Option<Duration>,
+    idle: Option<Duration>,
+    qoe: Option<QoeThresholds>,
+) -> (u64, usize) {
     let mut engine = StreamingEngine::new(EngineConfig {
         analyzer: AnalyzerConfig::default(),
         shards,
         window,
         idle_timeout: idle,
+        qoe,
     })
     .expect("valid config");
     for r in records {
         engine
             .push_packet(r.ts_nanos, &r.data, LinkType::Ethernet)
             .expect("push");
+        engine.take_alerts();
     }
     let out = engine.drain().expect("drain");
     (out.report.summary.zoom_packets, out.peak_tracked_entries)
@@ -81,6 +93,22 @@ fn bench(c: &mut Criterion) {
     g.bench_function("streaming_10s_windows", |b| {
         b.iter(|| run_streaming(&records, 1, Some(Duration::from_secs(10)), None).0)
     });
+    // Full QoE telemetry on: labeled series updated and the degradation
+    // detector scored at every window tick. The delta against
+    // streaming_10s_windows is the telemetry-on cost quoted in
+    // docs/PERFORMANCE.md.
+    g.bench_function("streaming_10s_windows_qoe_watch", |b| {
+        b.iter(|| {
+            run_streaming_qoe(
+                &records,
+                1,
+                Some(Duration::from_secs(10)),
+                None,
+                Some(QoeThresholds::default()),
+            )
+            .0
+        })
+    });
     g.bench_function("streaming_10s_windows_evicting", |b| {
         b.iter(|| {
             run_streaming(
@@ -107,6 +135,7 @@ fn bench(c: &mut Criterion) {
                 shards: 1,
                 window: None,
                 idle_timeout: None,
+                qoe: None,
             })
             .expect("valid config");
             for r in &records {

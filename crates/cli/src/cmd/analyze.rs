@@ -15,13 +15,23 @@
 //! exposition when the path ends in `.prom` — rewritten every
 //! `--metrics-interval` (default 5s, works with `--follow`) and once
 //! more when the input is exhausted.
+//!
+//! Streaming mode adds live telemetry: `--serve ADDR` exposes
+//! `GET /metrics` (Prometheus text, including the per-meeting
+//! `zoom_qoe_*` labeled series) and `GET /healthz` on a std-only HTTP
+//! endpoint for the duration of the run, and `--qoe-watch` runs the
+//! degradation detector over every closed window, interleaving
+//! `{"type":"qoe_alert",...}` NDJSON lines with the window reports on
+//! stdout (thresholds: `--qoe-fps-floor`, `--qoe-jitter-ms`,
+//! `--qoe-collapse-ratio`).
 
 use super::{campus_flag, parse_args, parse_duration, CmdResult};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::time::Duration;
-use zoom_analysis::engine::{EngineConfig, StreamingEngine};
+use zoom_analysis::engine::{EngineConfig, QoeThresholds, StreamingEngine};
 use zoom_analysis::features;
+use zoom_analysis::obs::serve;
 use zoom_analysis::metrics::stall::{analyze as stall_analyze, StallConfig};
 use zoom_analysis::obs::MetricsSnapshot;
 use zoom_analysis::parallel::ParallelAnalyzer;
@@ -105,8 +115,31 @@ fn feed_pcap<S: PacketSink, R: std::io::Read>(
     Ok(())
 }
 
+/// Parse the `--qoe-*` flags into detector thresholds. `--qoe-watch`
+/// enables the detector with defaults; any explicit threshold flag also
+/// enables it.
+fn qoe_flags(flags: &HashMap<String, String>) -> Result<Option<QoeThresholds>, String> {
+    let mut t = QoeThresholds::default();
+    let mut enabled = flags.contains_key("qoe-watch");
+    let mut float = |key: &str, slot: &mut f64| -> Result<(), String> {
+        if let Some(v) = flags.get(key) {
+            *slot = v
+                .parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or_else(|| format!("--{key} expects a non-negative number, got {v:?}"))?;
+            enabled = true;
+        }
+        Ok(())
+    };
+    float("qoe-fps-floor", &mut t.fps_floor)?;
+    float("qoe-jitter-ms", &mut t.jitter_ceiling_ms)?;
+    float("qoe-collapse-ratio", &mut t.collapse_ratio)?;
+    Ok(enabled.then_some(t))
+}
+
 pub fn run(args: &[String]) -> CmdResult {
-    let (pos, flags) = parse_args(args, &["follow", "json"])?;
+    let (pos, flags) = parse_args(args, &["follow", "json", "qoe-watch"])?;
     let [input] = pos.as_slice() else {
         return Err("analyze needs exactly one input pcap".into());
     };
@@ -126,6 +159,7 @@ pub fn run(args: &[String]) -> CmdResult {
         .map(|v| parse_duration(v))
         .transpose()?;
     let follow = flags.contains_key("follow");
+    let qoe = qoe_flags(&flags)?;
     let mut metrics_file = MetricsFile::from_flags(&flags)?;
 
     let config = AnalyzerConfig::builder()
@@ -133,7 +167,14 @@ pub fn run(args: &[String]) -> CmdResult {
         .build()
         .map_err(|e| e.to_string())?;
 
-    if window.is_some() || idle_timeout.is_some() || follow {
+    let streaming = window.is_some() || idle_timeout.is_some() || follow;
+    if qoe.is_some() && window.is_none() {
+        return Err("--qoe-watch needs --window: the detector evaluates closed windows".into());
+    }
+    if flags.contains_key("serve") && !streaming {
+        return Err("--serve needs streaming mode (--window, --idle-timeout, or --follow)".into());
+    }
+    if streaming {
         return run_streaming(
             input,
             config,
@@ -141,6 +182,7 @@ pub fn run(args: &[String]) -> CmdResult {
             window,
             idle_timeout,
             follow,
+            qoe,
             &flags,
             metrics_file,
         );
@@ -285,6 +327,7 @@ fn run_streaming(
     window: Option<Duration>,
     idle_timeout: Option<Duration>,
     follow: bool,
+    qoe: Option<QoeThresholds>,
     flags: &HashMap<String, String>,
     mut metrics_file: Option<MetricsFile>,
 ) -> CmdResult {
@@ -298,8 +341,20 @@ fn run_streaming(
         shards,
         window,
         idle_timeout,
+        qoe,
     })
     .map_err(|e| e.to_string())?;
+
+    // The scrape endpoint holds only the metrics Arc, so it serves live
+    // snapshots for the whole run and stops when the handle drops.
+    let serve_handle = flags
+        .get("serve")
+        .map(|addr| serve::serve(addr.as_str(), engine.metrics_handle()))
+        .transpose()
+        .map_err(|e| format!("--serve: {e}"))?;
+    if let Some(h) = &serve_handle {
+        eprintln!("serving /metrics and /healthz on http://{}", h.addr());
+    }
 
     let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
     let mut reader =
@@ -319,6 +374,9 @@ fn run_streaming(
                 .map_err(|e| e.to_string())?;
             for w in engine.take_windows() {
                 writeln!(out, "{}", w.to_json()).map_err(|e| e.to_string())?;
+            }
+            for a in engine.take_alerts() {
+                writeln!(out, "{}", a.to_json()).map_err(|e| e.to_string())?;
             }
             if let Some(m) = &mut metrics_file {
                 engine.note_pcap_progress(reader.records_read(), reader.bytes_read());
@@ -344,6 +402,11 @@ fn run_streaming(
             "warning: {} truncated record(s) at end of {input} ignored",
             reader.truncated_records()
         );
+    }
+    // Alerts from windows the last pushes closed; drain itself cuts a
+    // partial window the detector deliberately skips.
+    for a in engine.take_alerts() {
+        writeln!(out, "{}", a.to_json()).map_err(|e| e.to_string())?;
     }
     let output = engine.drain().map_err(|e| e.to_string())?;
     // The final snapshot is written after drain: only once the shard

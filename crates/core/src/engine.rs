@@ -32,6 +32,10 @@
 //! out of order, but a record older than an already-closed window is
 //! simply accounted to the current one.
 
+pub mod qoe_watch;
+
+pub use qoe_watch::{AlertState, QoeAlert, QoeThresholds, QoeWatch};
+
 use crate::error::Error;
 use crate::fxhash::FxHashMap;
 use crate::meeting::{CandidateState, MeetingGrouper};
@@ -66,6 +70,11 @@ const BATCH: usize = 256;
 /// backpressure to the router when a shard falls behind.
 const CHANNEL_DEPTH: usize = 4;
 
+/// Sample the push path's wall-clock cost on one record in this many
+/// (`zoom_stage_latency_nanos{stage="push"}`). Merge and checkpoint are
+/// per-window operations and are always timed.
+const LATENCY_SAMPLE: u64 = 64;
+
 /// One message to a worker: (global sequence number, record, the router's
 /// [`PeekInfo`] — `None` when the peek failed and the record is
 /// undissectable — and the router's P2P verdict for the record). Shipping
@@ -86,6 +95,10 @@ pub struct EngineConfig {
     /// Evict flows/streams idle longer than this at each window tick;
     /// `None` disables eviction (exact batch equality).
     pub idle_timeout: Option<Duration>,
+    /// Run the [`QoeWatch`] degradation detector over every closed
+    /// window with these thresholds; `None` disables alerting (the QoE
+    /// gauge series are still emitted).
+    pub qoe: Option<QoeThresholds>,
 }
 
 impl Default for EngineConfig {
@@ -95,6 +108,7 @@ impl Default for EngineConfig {
             shards: 1,
             window: None,
             idle_timeout: None,
+            qoe: None,
         }
     }
 }
@@ -414,6 +428,12 @@ pub struct StreamingEngine {
     /// Windows closed by [`PacketSink::push`] calls, held until the next
     /// [`PacketSink::take_windows`].
     pending_windows: Vec<WindowReport>,
+    /// Degradation detector, present when [`EngineConfig::qoe`] was set.
+    qoe_watch: Option<QoeWatch>,
+    /// Alerts emitted by closed windows, held until [`take_alerts`].
+    ///
+    /// [`take_alerts`]: StreamingEngine::take_alerts
+    pending_alerts: Vec<QoeAlert>,
 }
 
 impl StreamingEngine {
@@ -505,6 +525,8 @@ impl StreamingEngine {
             peak_tracked: 0,
             metrics,
             pending_windows: Vec::new(),
+            qoe_watch: config.qoe.map(QoeWatch::new),
+            pending_alerts: Vec::new(),
         })
     }
 
@@ -524,18 +546,22 @@ impl StreamingEngine {
         self.peak_tracked
     }
 
-    /// Feed one capture record. Returns the reports of any windows the
-    /// record's timestamp closed (usually none, one when it crosses a
-    /// window boundary, more after a gap in the trace).
-    #[deprecated(
-        note = "use the PacketSink trait: push(record.ts_nanos, &record.data, link) + take_windows()"
-    )]
-    pub fn push_record(
-        &mut self,
-        record: &Record,
-        link: LinkType,
-    ) -> Result<Vec<WindowReport>, Error> {
-        self.push_packet(record.ts_nanos, &record.data, link)
+    /// Drain the degradation alerts emitted by windows closed so far.
+    ///
+    /// Empty unless [`EngineConfig::qoe`] configured a detector. Alerts
+    /// appear in window order, and within a window in deterministic
+    /// `(meeting, media, kind)` order; render each with
+    /// [`QoeAlert::to_json`] for the NDJSON alert stream.
+    pub fn take_alerts(&mut self) -> Vec<QoeAlert> {
+        std::mem::take(&mut self.pending_alerts)
+    }
+
+    /// The engine's shared observability registry, for wiring external
+    /// consumers such as the `obs::serve` scrape endpoint (feature
+    /// `obs-http`) — the endpoint holds the `Arc` and snapshots per
+    /// request while the engine keeps pushing.
+    pub fn metrics_handle(&self) -> Arc<PipelineMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Feed one packet from a borrowed byte slice — the zero-copy path
@@ -549,6 +575,10 @@ impl StreamingEngine {
         data: &[u8],
         link: LinkType,
     ) -> Result<Vec<WindowReport>, Error> {
+        // Stage-latency sampling, 1 in [`LATENCY_SAMPLE`] pushes: one
+        // monotonic-clock read pair and no allocation on sampled calls,
+        // nothing at all on the rest.
+        let sampled_at = self.seq.is_multiple_of(LATENCY_SAMPLE).then(std::time::Instant::now);
         let ts = ts_nanos;
         let mut out = Vec::new();
         if let Some(w) = self.window_nanos {
@@ -591,6 +621,11 @@ impl StreamingEngine {
         } else {
             m.pending.set(w.batch.len() as u64);
         }
+        if let Some(t0) = sampled_at {
+            self.metrics
+                .stage_push_nanos
+                .observe(t0.elapsed().as_nanos() as u64);
+        }
         Ok(out)
     }
 
@@ -600,12 +635,16 @@ impl StreamingEngine {
     /// only post-checkpoint activity.
     pub fn checkpoint(&mut self) -> Result<WindowReport, Error> {
         let _span = trace::span("engine.checkpoint");
+        let t0 = std::time::Instant::now();
         let start = self.window_start.or(self.first_ts).unwrap_or(0);
         let end = self.last_ts.max(start);
         let evict = self.idle_nanos.map(|idle| end.saturating_sub(idle));
         let replies = self.tick_all(evict)?;
         let report = self.apply_tick(replies, start, end, false);
         self.metrics.checkpoints.inc();
+        self.metrics
+            .stage_checkpoint_nanos
+            .observe(t0.elapsed().as_nanos() as u64);
         Ok(report)
     }
 
@@ -650,6 +689,7 @@ impl StreamingEngine {
         // tick — and minus shard TCP samples — those were shipped as
         // per-tick deltas into `tcp_samples`.
         let _merge_span = trace::span("engine.merge");
+        let merge_t0 = std::time::Instant::now();
         let mut merged = Analyzer::new(analyzer_config);
         // Hand the merged analyzer the engine's registry so ad-hoc
         // queries (and `merged.report()`) see pipeline-wide accounting.
@@ -729,6 +769,9 @@ impl StreamingEngine {
             rtp_rtt: RttSummaryReport::from_samples(merged.rtp_rtt.samples()),
             tcp_rtt: RttSummaryReport::from_samples(merged.tcp_rtt.samples()),
         };
+        metrics
+            .stage_merge_nanos
+            .observe(merge_t0.elapsed().as_nanos() as u64);
         Ok(EngineOutput {
             final_window,
             report,
@@ -767,6 +810,7 @@ impl StreamingEngine {
         end: u64,
         advance: bool,
     ) -> WindowReport {
+        let merge_t0 = std::time::Instant::now();
         let mut totals = WindowTotals::default();
         let mut live = 0usize;
         let mut events = Vec::new();
@@ -872,13 +916,68 @@ impl StreamingEngine {
         if advance {
             self.window_index += 1;
         }
-        WindowReport {
+        let report = WindowReport {
             index,
             start_nanos: start,
             end_nanos: end,
             totals,
             meetings: meetings.into_values().collect(),
             streams,
+        };
+
+        self.update_qoe_series(&report);
+        // The detector only sees real window closes: checkpoint and
+        // drain cut partial windows whose timing depends on when the
+        // caller asked, which would make the alert stream nondeterministic.
+        if advance {
+            if let Some(watch) = &mut self.qoe_watch {
+                let alerts = watch.observe(&report);
+                for a in &alerts {
+                    let v = match a.state {
+                        AlertState::Degraded => 1,
+                        AlertState::Recovered => 0,
+                    };
+                    self.metrics
+                        .qoe
+                        .degraded
+                        .with(&[&a.meeting, a.kind], |g| g.set(v));
+                }
+                self.pending_alerts.extend(alerts);
+            }
+        }
+        self.metrics
+            .stage_merge_nanos
+            .observe(merge_t0.elapsed().as_nanos() as u64);
+        report
+    }
+
+    /// Refresh the `zoom_qoe_*` labeled families from a just-built
+    /// window. Runs once per window close/checkpoint — never on the
+    /// per-packet path — so the `with()` label allocations are
+    /// amortized to nothing.
+    fn update_qoe_series(&self, report: &WindowReport) {
+        let qoe = &self.metrics.qoe;
+        for ((meeting, media), agg) in qoe_watch::aggregate(report) {
+            let labels = [meeting.as_str(), media];
+            qoe.bitrate_bps.with(&labels, |g| g.set(agg.bitrate_bps));
+            qoe.fps.with(&labels, |g| g.set(agg.fps_mean));
+            if let Some(j) = agg.jitter_mean {
+                qoe.jitter_ms.with(&labels, |g| g.set(j));
+            }
+            if agg.duplicates > 0 {
+                qoe.retransmissions.with(&labels, |c| c.add(agg.duplicates));
+            }
+        }
+        for s in &report.streams {
+            if s.frames > 0 {
+                qoe.frame_size_bytes
+                    .with(&[crate::obs::media_slug(s.media_type)], |h| {
+                        h.observe(s.media_bytes / s.frames)
+                    });
+            }
+        }
+        if report.totals.rtp_rtt.samples > 0 {
+            qoe.estimated_rtt_ms.set(report.totals.rtp_rtt.mean_ms);
         }
     }
 

@@ -30,8 +30,14 @@
 //! inside the ≤5 % acceptance bound.
 
 use crate::report::JsonObj;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use zoom_wire::dissect::DropStage;
+use zoom_wire::zoom::MediaType;
+
+#[cfg(feature = "obs-http")]
+pub mod serve;
 
 // ---------------------------------------------------------- primitives --
 
@@ -90,6 +96,31 @@ impl Gauge {
     #[inline]
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge holding an `f64` (stored as its bit pattern
+/// in an `AtomicU64`), for rate-style QoE values — bits per second,
+/// frames per second, milliseconds of jitter.
+#[derive(Debug, Default)]
+pub struct FloatGauge(AtomicU64);
+
+impl FloatGauge {
+    /// A gauge at `0.0`.
+    pub const fn new() -> FloatGauge {
+        FloatGauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
 
@@ -152,11 +183,565 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket holding the target rank — the same estimator
+    /// Prometheus's `histogram_quantile` uses.
+    ///
+    /// Bias, documented: values inside a bucket are assumed uniformly
+    /// distributed over `(lo, hi]`, so the result can be off by up to one
+    /// bucket width; a rank that lands in the `+Inf` overflow bucket is
+    /// clamped to the largest finite bound. An empty histogram reports
+    /// `0.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (cum + n) as f64 >= target {
+                if i >= self.bounds.len() {
+                    // +Inf bucket: no finite upper edge to interpolate to.
+                    return self.bounds.last().copied().unwrap_or(0) as f64;
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] as f64 };
+                let hi = self.bounds[i] as f64;
+                let frac = ((target - cum as f64) / n as f64).max(0.0);
+                return lo + frac * (hi - lo);
+            }
+            cum += n;
+        }
+        self.bounds.last().copied().unwrap_or(0) as f64
+    }
+}
+
+// ----------------------------------------------------- labeled families --
+
+/// A metric type usable as the per-series value of a [`LabeledFamily`].
+///
+/// Sealed in practice: implemented by [`Counter`], [`Gauge`],
+/// [`FloatGauge`], and [`Histogram`].
+pub trait FamilyMetric: std::fmt::Debug {
+    /// Plain-data copy of one series' value.
+    type Snap: Clone + PartialEq + std::fmt::Debug;
+    /// Snapshot this series.
+    fn snap(&self) -> Self::Snap;
+}
+
+impl FamilyMetric for Counter {
+    type Snap = u64;
+    fn snap(&self) -> u64 {
+        self.get()
+    }
+}
+
+impl FamilyMetric for Gauge {
+    type Snap = u64;
+    fn snap(&self) -> u64 {
+        self.get()
+    }
+}
+
+impl FamilyMetric for FloatGauge {
+    type Snap = f64;
+    fn snap(&self) -> f64 {
+        self.get()
+    }
+}
+
+impl FamilyMetric for Histogram {
+    type Snap = HistogramSnapshot;
+    fn snap(&self) -> HistogramSnapshot {
+        self.snapshot()
+    }
+}
+
+/// One series of a labeled-family snapshot: the label *values* (in the
+/// family's label-name order) and the series' value.
+pub type LabeledSeries<S> = (Vec<String>, S);
+
+#[derive(Debug)]
+struct FamilyInner<M> {
+    /// Label values → (metric, last-touch stamp). A `BTreeMap` keeps
+    /// snapshot/render order deterministic regardless of insert order.
+    series: BTreeMap<Vec<String>, (M, u64)>,
+    /// Monotone stamp; bumped on every touch, used for LRU eviction.
+    touch: u64,
+}
+
+/// A bounded set of labeled series over one metric type: the label
+/// registry behind `zoom_qoe_*{meeting=…,media=…}`.
+///
+/// Cardinality is hard-capped: creating a series beyond `cap` evicts the
+/// least-recently-updated one and counts it in
+/// [`series_evicted`](LabeledFamily::series_evicted), so a meeting churn
+/// storm can never grow the registry without bound (the same discipline
+/// the engine applies to flow/stream state). Updates take an uncontended
+/// `Mutex` — families are written only at window boundaries, never on
+/// the per-packet path.
+#[derive(Debug)]
+pub struct LabeledFamily<M> {
+    /// Label names, in the order label values must be supplied.
+    names: &'static [&'static str],
+    cap: usize,
+    make: fn() -> M,
+    evicted: Counter,
+    inner: Mutex<FamilyInner<M>>,
+}
+
+impl<M: FamilyMetric> LabeledFamily<M> {
+    /// An empty family with the given label names, series cap, and
+    /// per-series constructor.
+    pub fn new(names: &'static [&'static str], cap: usize, make: fn() -> M) -> LabeledFamily<M> {
+        LabeledFamily {
+            names,
+            cap: cap.max(1),
+            make,
+            evicted: Counter::new(),
+            inner: Mutex::new(FamilyInner {
+                series: BTreeMap::new(),
+                touch: 0,
+            }),
+        }
+    }
+
+    /// Label names, in declaration order.
+    pub fn label_names(&self) -> &'static [&'static str] {
+        self.names
+    }
+
+    /// Update (creating if needed) the series for `labels`, which must
+    /// match [`label_names`](LabeledFamily::label_names) in length. If
+    /// the family is at its cap, the least-recently-updated series is
+    /// evicted first and counted.
+    pub fn with(&self, labels: &[&str], f: impl FnOnce(&M)) {
+        debug_assert_eq!(labels.len(), self.names.len());
+        let key: Vec<String> = labels.iter().map(|s| (*s).to_string()).collect();
+        let mut inner = self.inner.lock().expect("family lock");
+        inner.touch += 1;
+        let stamp = inner.touch;
+        if let Some((metric, last)) = inner.series.get_mut(&key) {
+            *last = stamp;
+            f(metric);
+            return;
+        }
+        if inner.series.len() >= self.cap {
+            let lru = inner
+                .series
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty at cap");
+            inner.series.remove(&lru);
+            self.evicted.inc();
+        }
+        let metric = (self.make)();
+        f(&metric);
+        inner.series.insert(key, (metric, stamp));
+    }
+
+    /// Series evicted by the cardinality cap so far.
+    pub fn series_evicted(&self) -> u64 {
+        self.evicted.get()
+    }
+
+    /// Live series count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("family lock").series.len()
+    }
+
+    /// True when no series exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Plain-data copy of every series, sorted by label values.
+    pub fn snapshot(&self) -> Vec<LabeledSeries<M::Snap>> {
+        self.inner
+            .lock()
+            .expect("family lock")
+            .series
+            .iter()
+            .map(|(k, (m, _))| (k.clone(), m.snap()))
+            .collect()
+    }
+}
+
+/// Short machine-readable slug for a media type, used as the `media`
+/// label value of the QoE series (the human label has spaces/colons).
+pub fn media_slug(mt: MediaType) -> &'static str {
+    match mt {
+        MediaType::ScreenShare => "screen",
+        MediaType::Audio => "audio",
+        MediaType::Video => "video",
+        MediaType::RtcpSr => "rtcp_sr",
+        MediaType::RtcpSrSdes => "rtcp_sr_sdes",
+        MediaType::Other(_) => "other",
+    }
+}
+
 // ------------------------------------------------------------ registry --
 
 /// Captured-packet size buckets (bytes): small control frames through
 /// full-MTU media.
 pub const PACKET_SIZE_BOUNDS: &[u64] = &[64, 128, 256, 512, 1024, 1536];
+
+/// Reconstructed-frame size buckets (bytes): audio frames through large
+/// screen-share keyframes (Fig. 15b's range).
+pub const FRAME_SIZE_BOUNDS: &[u64] = &[256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+/// Stage-latency buckets (nanoseconds): 1 µs through 100 ms, one decade
+/// per bucket — wide enough to separate a healthy push (~1 µs) from a
+/// window tick (~ms) without paying for fine resolution.
+pub const STAGE_LATENCY_BOUNDS: &[u64] =
+    &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// Default hard cap on series per labeled QoE family. Each (meeting ×
+/// media type) pair is one series, so 64 covers dozens of concurrent
+/// meetings; beyond it the least-recently-updated series is evicted and
+/// counted in `zoom_qoe_series_evicted_total`.
+pub const QOE_SERIES_CAP: usize = 64;
+
+/// The per-meeting / per-media-type QoE series registry: the paper's §5
+/// estimators (bitrate, frame rate, jitter, frame size, retransmissions,
+/// RTT) as live labeled time series, updated by the streaming engine at
+/// every window boundary and rendered by
+/// [`MetricsSnapshot::to_prom`]/[`MetricsSnapshot::to_json`].
+#[derive(Debug)]
+pub struct QoeMetrics {
+    /// `zoom_qoe_bitrate_bps{meeting,media}` — media bit rate over the
+    /// last closed window.
+    pub bitrate_bps: LabeledFamily<FloatGauge>,
+    /// `zoom_qoe_fps{meeting,media}` — delivered frame rate over the
+    /// last closed window.
+    pub fps: LabeledFamily<FloatGauge>,
+    /// `zoom_qoe_jitter_ms{meeting,media}` — mean frame-level jitter
+    /// over the last closed window's samples.
+    pub jitter_ms: LabeledFamily<FloatGauge>,
+    /// `zoom_qoe_frame_size_bytes{media}` — histogram of per-stream mean
+    /// frame sizes, one observation per active stream per window.
+    pub frame_size_bytes: LabeledFamily<Histogram>,
+    /// `zoom_qoe_retransmissions_total{meeting,media}` — duplicate
+    /// (retransmitted) packets, accumulated across windows.
+    pub retransmissions: LabeledFamily<Counter>,
+    /// `zoom_qoe_degraded{meeting,kind}` — 1 while the degradation
+    /// detector holds an alert for the meeting, 0 once it clears.
+    pub degraded: LabeledFamily<Gauge>,
+    /// `zoom_qoe_estimated_rtt_ms` — mean RTP-copy RTT over the last
+    /// window that produced samples.
+    pub estimated_rtt_ms: FloatGauge,
+}
+
+impl QoeMetrics {
+    fn new(cap: usize) -> QoeMetrics {
+        QoeMetrics {
+            bitrate_bps: LabeledFamily::new(&["meeting", "media"], cap, FloatGauge::new),
+            fps: LabeledFamily::new(&["meeting", "media"], cap, FloatGauge::new),
+            jitter_ms: LabeledFamily::new(&["meeting", "media"], cap, FloatGauge::new),
+            frame_size_bytes: LabeledFamily::new(&["media"], cap, || {
+                Histogram::new(FRAME_SIZE_BOUNDS)
+            }),
+            retransmissions: LabeledFamily::new(&["meeting", "media"], cap, Counter::new),
+            degraded: LabeledFamily::new(&["meeting", "kind"], cap, Gauge::new),
+            estimated_rtt_ms: FloatGauge::new(),
+        }
+    }
+
+    /// Series evicted by the cardinality cap, per family (family name,
+    /// count) — rendered as `zoom_qoe_series_evicted_total{family=…}`.
+    pub fn evictions(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("bitrate_bps", self.bitrate_bps.series_evicted()),
+            ("fps", self.fps.series_evicted()),
+            ("jitter_ms", self.jitter_ms.series_evicted()),
+            ("frame_size_bytes", self.frame_size_bytes.series_evicted()),
+            ("retransmissions", self.retransmissions.series_evicted()),
+            ("degraded", self.degraded.series_evicted()),
+        ]
+    }
+
+    /// Plain-data copy of every family.
+    pub fn snapshot(&self) -> QoeSnapshot {
+        QoeSnapshot {
+            bitrate_bps: self.bitrate_bps.snapshot(),
+            fps: self.fps.snapshot(),
+            jitter_ms: self.jitter_ms.snapshot(),
+            frame_size_bytes: self.frame_size_bytes.snapshot(),
+            retransmissions: self.retransmissions.snapshot(),
+            degraded: self.degraded.snapshot(),
+            estimated_rtt_ms: self.estimated_rtt_ms.get(),
+            series_evicted: self.evictions(),
+        }
+    }
+}
+
+/// Plain-data copy of [`QoeMetrics`]: each family as sorted
+/// (label values, value) pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QoeSnapshot {
+    /// Bitrate series, labels `[meeting, media]`.
+    pub bitrate_bps: Vec<LabeledSeries<f64>>,
+    /// Frame-rate series, labels `[meeting, media]`.
+    pub fps: Vec<LabeledSeries<f64>>,
+    /// Jitter series, labels `[meeting, media]`.
+    pub jitter_ms: Vec<LabeledSeries<f64>>,
+    /// Frame-size histograms, labels `[media]`.
+    pub frame_size_bytes: Vec<LabeledSeries<HistogramSnapshot>>,
+    /// Retransmission counters, labels `[meeting, media]`.
+    pub retransmissions: Vec<LabeledSeries<u64>>,
+    /// Degradation flags, labels `[meeting, kind]`.
+    pub degraded: Vec<LabeledSeries<u64>>,
+    /// Mean RTP-copy RTT, milliseconds (0 until a window yields samples).
+    pub estimated_rtt_ms: f64,
+    /// Per-family cardinality-cap evictions.
+    pub series_evicted: Vec<(&'static str, u64)>,
+}
+
+impl QoeSnapshot {
+    /// Sum of cap evictions across every family.
+    pub fn series_evicted_total(&self) -> u64 {
+        self.series_evicted.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Append the QoE families in Prometheus exposition format.
+    ///
+    /// Labeled families render only when they carry at least one series;
+    /// `zoom_qoe_estimated_rtt_ms` and the per-family
+    /// `zoom_qoe_series_evicted_total` counters render unconditionally so
+    /// scrapers always see the cap pressure and the RTT gauge.
+    pub(crate) fn render_prom(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        fn float_family(
+            out: &mut String,
+            name: &str,
+            help: &str,
+            label_names: &[&str],
+            series: &[LabeledSeries<f64>],
+        ) {
+            if series.is_empty() {
+                return;
+            }
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for (values, v) in series {
+                let _ = writeln!(out, "{name}{} {v}", prom_labels(label_names, values));
+            }
+        }
+        float_family(
+            out,
+            "zoom_qoe_bitrate_bps",
+            "Media bitrate over the last closed window.",
+            &["meeting", "media"],
+            &self.bitrate_bps,
+        );
+        float_family(
+            out,
+            "zoom_qoe_fps",
+            "Frame rate over the last closed window.",
+            &["meeting", "media"],
+            &self.fps,
+        );
+        float_family(
+            out,
+            "zoom_qoe_jitter_ms",
+            "RFC 3550 interarrival jitter at the last closed window.",
+            &["meeting", "media"],
+            &self.jitter_ms,
+        );
+        if !self.frame_size_bytes.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP zoom_qoe_frame_size_bytes Per-frame media payload size distribution."
+            );
+            let _ = writeln!(out, "# TYPE zoom_qoe_frame_size_bytes histogram");
+            for (values, h) in &self.frame_size_bytes {
+                let labels = prom_labels(&["media"], values);
+                prom_histogram(
+                    out,
+                    "zoom_qoe_frame_size_bytes",
+                    &labels[1..labels.len() - 1],
+                    h,
+                );
+            }
+        }
+        if !self.retransmissions.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP zoom_qoe_retransmissions_total Duplicate RTP sequence numbers observed."
+            );
+            let _ = writeln!(out, "# TYPE zoom_qoe_retransmissions_total counter");
+            for (values, v) in &self.retransmissions {
+                let _ = writeln!(
+                    out,
+                    "zoom_qoe_retransmissions_total{} {v}",
+                    prom_labels(&["meeting", "media"], values)
+                );
+            }
+        }
+        if !self.degraded.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP zoom_qoe_degraded Active QoE degradation verdicts (1 = degraded)."
+            );
+            let _ = writeln!(out, "# TYPE zoom_qoe_degraded gauge");
+            for (values, v) in &self.degraded {
+                let _ = writeln!(
+                    out,
+                    "zoom_qoe_degraded{} {v}",
+                    prom_labels(&["meeting", "kind"], values)
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP zoom_qoe_estimated_rtt_ms Mean RTP-copy RTT over the last closed window."
+        );
+        let _ = writeln!(out, "# TYPE zoom_qoe_estimated_rtt_ms gauge");
+        let _ = writeln!(out, "zoom_qoe_estimated_rtt_ms {}", self.estimated_rtt_ms);
+        let _ = writeln!(
+            out,
+            "# HELP zoom_qoe_series_evicted_total Labeled series dropped at the cardinality cap."
+        );
+        let _ = writeln!(out, "# TYPE zoom_qoe_series_evicted_total counter");
+        for (fam, v) in &self.series_evicted {
+            let _ = writeln!(out, "zoom_qoe_series_evicted_total{{family=\"{fam}\"}} {v}");
+        }
+    }
+
+    /// Serialize as one JSON object (the snapshot's `"qoe"` section).
+    pub fn to_json(&self) -> String {
+        fn arr(items: impl IntoIterator<Item = String>) -> String {
+            let mut buf = String::from("[");
+            for (i, item) in items.into_iter().enumerate() {
+                if i > 0 {
+                    buf.push(',');
+                }
+                buf.push_str(&item);
+            }
+            buf.push(']');
+            buf
+        }
+        fn labels(names: &[&str], values: &[String]) -> String {
+            let mut o = JsonObj::new();
+            for (n, v) in names.iter().zip(values) {
+                o.str(n, v);
+            }
+            o.finish()
+        }
+        let floats = |names: &'static [&'static str], s: &[LabeledSeries<f64>]| {
+            arr(s.iter().map(|(lv, v)| {
+                let mut o = JsonObj::new();
+                o.raw("labels", &labels(names, lv)).f64("value", *v);
+                o.finish()
+            }))
+        };
+        let counts = |names: &'static [&'static str], s: &[LabeledSeries<u64>]| {
+            arr(s.iter().map(|(lv, v)| {
+                let mut o = JsonObj::new();
+                o.raw("labels", &labels(names, lv)).u64("value", *v);
+                o.finish()
+            }))
+        };
+        let mut evicted = JsonObj::new();
+        for (fam, n) in &self.series_evicted {
+            evicted.u64(fam, *n);
+        }
+        let mut o = JsonObj::new();
+        o.raw("bitrate_bps", &floats(&["meeting", "media"], &self.bitrate_bps))
+            .raw("fps", &floats(&["meeting", "media"], &self.fps))
+            .raw("jitter_ms", &floats(&["meeting", "media"], &self.jitter_ms))
+            .raw(
+                "frame_size_bytes",
+                &arr(self.frame_size_bytes.iter().map(|(lv, h)| {
+                    let mut o = JsonObj::new();
+                    o.raw("labels", &labels(&["media"], lv))
+                        .raw("histogram", &hist_json(h));
+                    o.finish()
+                })),
+            )
+            .raw(
+                "retransmissions",
+                &counts(&["meeting", "media"], &self.retransmissions),
+            )
+            .raw("degraded", &counts(&["meeting", "kind"], &self.degraded))
+            .f64("estimated_rtt_ms", self.estimated_rtt_ms)
+            .raw("series_evicted", &evicted.finish());
+        o.finish()
+    }
+}
+
+/// Histogram snapshot as a JSON object, with interpolated quantile
+/// summaries (see [`HistogramSnapshot::quantile`] for the bias).
+fn hist_json(h: &HistogramSnapshot) -> String {
+    fn arr(vals: &[u64]) -> String {
+        format!(
+            "[{}]",
+            vals.iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+    let mut o = JsonObj::new();
+    o.raw("bounds", &arr(h.bounds))
+        .raw("buckets", &arr(&h.buckets))
+        .u64("sum", h.sum)
+        .u64("count", h.count)
+        .f64("p50", h.quantile(0.5))
+        .f64("p95", h.quantile(0.95))
+        .f64("p99", h.quantile(0.99));
+    o.finish()
+}
+
+/// Render one `{a="x",b="y"}` label block (no braces when empty is not a
+/// case here — QoE families always carry labels). Values are escaped per
+/// the Prometheus exposition rules.
+fn prom_labels(names: &[&str], values: &[String]) -> String {
+    let mut out = String::from("{");
+    for (i, (n, v)) in names.iter().zip(values).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(n);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Render one histogram in exposition format. `labels` is a
+/// pre-rendered `name="value"` list *without* braces (empty for an
+/// unlabeled histogram); `le` is appended to it on bucket lines.
+fn prom_histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    use std::fmt::Write as _;
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (i, bound) in h.bounds.iter().enumerate() {
+        cumulative += h.buckets[i];
+        let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", h.count);
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum);
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count);
+    }
+}
 
 /// Per-shard routing metrics.
 #[derive(Debug, Default)]
@@ -228,6 +813,17 @@ pub struct PipelineMetrics {
     pub tracked_entries: Gauge,
     /// High-water mark of `tracked_entries`.
     pub peak_tracked_entries: Gauge,
+
+    /// Sampled latency of [`crate::sink::PacketSink::push`] (1-in-N
+    /// clock samples; always on, unlike the verbose `obs-trace` tier).
+    pub stage_push_nanos: Histogram,
+    /// Latency of window-close/drain ticks (shard flush + reply merge).
+    pub stage_merge_nanos: Histogram,
+    /// Latency of explicit checkpoints.
+    pub stage_checkpoint_nanos: Histogram,
+
+    /// Live QoE series, labeled per meeting and media type.
+    pub qoe: QoeMetrics,
 }
 
 impl PipelineMetrics {
@@ -256,6 +852,10 @@ impl PipelineMetrics {
             evicted_streams: Counter::new(),
             tracked_entries: Gauge::new(),
             peak_tracked_entries: Gauge::new(),
+            stage_push_nanos: Histogram::new(STAGE_LATENCY_BOUNDS),
+            stage_merge_nanos: Histogram::new(STAGE_LATENCY_BOUNDS),
+            stage_checkpoint_nanos: Histogram::new(STAGE_LATENCY_BOUNDS),
+            qoe: QoeMetrics::new(QOE_SERIES_CAP),
         }
     }
 
@@ -320,6 +920,10 @@ impl PipelineMetrics {
             evicted_streams: self.evicted_streams.get(),
             tracked_entries: self.tracked_entries.get(),
             peak_tracked_entries: self.peak_tracked_entries.get(),
+            stage_push_nanos: self.stage_push_nanos.snapshot(),
+            stage_merge_nanos: self.stage_merge_nanos.snapshot(),
+            stage_checkpoint_nanos: self.stage_checkpoint_nanos.snapshot(),
+            qoe: self.qoe.snapshot(),
             capture: None,
         }
     }
@@ -412,6 +1016,14 @@ pub struct MetricsSnapshot {
     pub tracked_entries: u64,
     /// High-water mark of tracked entries.
     pub peak_tracked_entries: u64,
+    /// Sampled `push` latency distribution.
+    pub stage_push_nanos: HistogramSnapshot,
+    /// Window-close/drain tick latency distribution.
+    pub stage_merge_nanos: HistogramSnapshot,
+    /// Explicit-checkpoint latency distribution.
+    pub stage_checkpoint_nanos: HistogramSnapshot,
+    /// Live QoE series, labeled per meeting and media type.
+    pub qoe: QoeSnapshot,
     /// Capture-filter verdict counters, when the capture stage ran in
     /// the same process (`cli filter --metrics`).
     pub capture: Option<CaptureMetricsSnapshot>,
@@ -466,33 +1078,12 @@ impl MetricsSnapshot {
                 o.finish()
             })
             .collect();
-        let mut size = JsonObj::new();
-        size.raw(
-            "bounds",
-            &format!(
-                "[{}]",
-                self.packet_size
-                    .bounds
-                    .iter()
-                    .map(|b| b.to_string())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            ),
-        )
-        .raw(
-            "buckets",
-            &format!(
-                "[{}]",
-                self.packet_size
-                    .buckets
-                    .iter()
-                    .map(|b| b.to_string())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            ),
-        )
-        .u64("sum", self.packet_size.sum)
-        .u64("count", self.packet_size.count);
+        let size = hist_json(&self.packet_size);
+        let mut stage = JsonObj::new();
+        stage
+            .raw("push", &hist_json(&self.stage_push_nanos))
+            .raw("merge", &hist_json(&self.stage_merge_nanos))
+            .raw("checkpoint", &hist_json(&self.stage_checkpoint_nanos));
 
         let mut o = JsonObj::new();
         o.str("type", "metrics")
@@ -504,7 +1095,7 @@ impl MetricsSnapshot {
             .raw("drops", &drops.finish())
             .bool("conservation_holds", self.conservation_holds())
             .raw("pcap", &pcap.finish())
-            .raw("packet_size", &size.finish())
+            .raw("packet_size", &size)
             .raw("shards", &{
                 let mut buf = String::from("[");
                 for (i, s) in shards.iter().enumerate() {
@@ -516,7 +1107,9 @@ impl MetricsSnapshot {
                 buf.push(']');
                 buf
             })
-            .raw("engine", &engine.finish());
+            .raw("engine", &engine.finish())
+            .raw("stage_latency", &stage.finish())
+            .raw("qoe", &self.qoe.to_json());
         if let Some(c) = &self.capture {
             let mut cap = JsonObj::new();
             cap.u64("total", c.total)
@@ -683,21 +1276,27 @@ impl MetricsSnapshot {
                 "# HELP zoom_packet_size_bytes Captured-size distribution of offered records."
             );
             let _ = writeln!(out2, "# TYPE zoom_packet_size_bytes histogram");
-            let mut cumulative = 0u64;
-            for (i, bound) in self.packet_size.bounds.iter().enumerate() {
-                cumulative += self.packet_size.buckets[i];
-                let _ = writeln!(
-                    out2,
-                    "zoom_packet_size_bytes_bucket{{le=\"{bound}\"}} {cumulative}"
-                );
-            }
+            prom_histogram(&mut out2, "zoom_packet_size_bytes", "", &self.packet_size);
+
             let _ = writeln!(
                 out2,
-                "zoom_packet_size_bytes_bucket{{le=\"+Inf\"}} {}",
-                self.packet_size.count
+                "# HELP zoom_stage_latency_nanos Sampled wall-clock cost of pipeline stages."
             );
-            let _ = writeln!(out2, "zoom_packet_size_bytes_sum {}", self.packet_size.sum);
-            let _ = writeln!(out2, "zoom_packet_size_bytes_count {}", self.packet_size.count);
+            let _ = writeln!(out2, "# TYPE zoom_stage_latency_nanos histogram");
+            for (stage, h) in [
+                ("push", &self.stage_push_nanos),
+                ("merge", &self.stage_merge_nanos),
+                ("checkpoint", &self.stage_checkpoint_nanos),
+            ] {
+                prom_histogram(
+                    &mut out2,
+                    "zoom_stage_latency_nanos",
+                    &format!("stage=\"{stage}\""),
+                    h,
+                );
+            }
+
+            self.qoe.render_prom(&mut out2);
 
             if let Some(c) = &self.capture {
                 let _ = writeln!(
@@ -862,6 +1461,12 @@ mod tests {
         m.windows_closed.inc();
         m.tracked_entries.set(4);
         m.peak_tracked_entries.set_max(9);
+        m.stage_push_nanos.observe(5_000);
+        m.qoe.bitrate_bps.with(&["3", "video"], |g| g.set(640_000.0));
+        m.qoe.frame_size_bytes.with(&["video"], |h| h.observe(1_200));
+        m.qoe.retransmissions.with(&["3", "video"], |c| c.add(2));
+        m.qoe.degraded.with(&["3", "low_fps"], |g| g.set(1));
+        m.qoe.estimated_rtt_ms.set(23.5);
         let prom = m.snapshot().to_prom();
         let expected = "\
 # HELP zoom_packets_in_total Records offered to the analysis sink.
@@ -933,6 +1538,68 @@ zoom_packet_size_bytes_bucket{le=\"1536\"} 2
 zoom_packet_size_bytes_bucket{le=\"+Inf\"} 2
 zoom_packet_size_bytes_sum 1600
 zoom_packet_size_bytes_count 2
+# HELP zoom_stage_latency_nanos Sampled wall-clock cost of pipeline stages.
+# TYPE zoom_stage_latency_nanos histogram
+zoom_stage_latency_nanos_bucket{stage=\"push\",le=\"1000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"push\",le=\"10000\"} 1
+zoom_stage_latency_nanos_bucket{stage=\"push\",le=\"100000\"} 1
+zoom_stage_latency_nanos_bucket{stage=\"push\",le=\"1000000\"} 1
+zoom_stage_latency_nanos_bucket{stage=\"push\",le=\"10000000\"} 1
+zoom_stage_latency_nanos_bucket{stage=\"push\",le=\"100000000\"} 1
+zoom_stage_latency_nanos_bucket{stage=\"push\",le=\"+Inf\"} 1
+zoom_stage_latency_nanos_sum{stage=\"push\"} 5000
+zoom_stage_latency_nanos_count{stage=\"push\"} 1
+zoom_stage_latency_nanos_bucket{stage=\"merge\",le=\"1000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"merge\",le=\"10000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"merge\",le=\"100000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"merge\",le=\"1000000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"merge\",le=\"10000000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"merge\",le=\"100000000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"merge\",le=\"+Inf\"} 0
+zoom_stage_latency_nanos_sum{stage=\"merge\"} 0
+zoom_stage_latency_nanos_count{stage=\"merge\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"checkpoint\",le=\"1000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"checkpoint\",le=\"10000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"checkpoint\",le=\"100000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"checkpoint\",le=\"1000000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"checkpoint\",le=\"10000000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"checkpoint\",le=\"100000000\"} 0
+zoom_stage_latency_nanos_bucket{stage=\"checkpoint\",le=\"+Inf\"} 0
+zoom_stage_latency_nanos_sum{stage=\"checkpoint\"} 0
+zoom_stage_latency_nanos_count{stage=\"checkpoint\"} 0
+# HELP zoom_qoe_bitrate_bps Media bitrate over the last closed window.
+# TYPE zoom_qoe_bitrate_bps gauge
+zoom_qoe_bitrate_bps{meeting=\"3\",media=\"video\"} 640000
+# HELP zoom_qoe_frame_size_bytes Per-frame media payload size distribution.
+# TYPE zoom_qoe_frame_size_bytes histogram
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"256\"} 0
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"512\"} 0
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"1024\"} 0
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"2048\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"4096\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"8192\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"16384\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"32768\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"+Inf\"} 1
+zoom_qoe_frame_size_bytes_sum{media=\"video\"} 1200
+zoom_qoe_frame_size_bytes_count{media=\"video\"} 1
+# HELP zoom_qoe_retransmissions_total Duplicate RTP sequence numbers observed.
+# TYPE zoom_qoe_retransmissions_total counter
+zoom_qoe_retransmissions_total{meeting=\"3\",media=\"video\"} 2
+# HELP zoom_qoe_degraded Active QoE degradation verdicts (1 = degraded).
+# TYPE zoom_qoe_degraded gauge
+zoom_qoe_degraded{meeting=\"3\",kind=\"low_fps\"} 1
+# HELP zoom_qoe_estimated_rtt_ms Mean RTP-copy RTT over the last closed window.
+# TYPE zoom_qoe_estimated_rtt_ms gauge
+zoom_qoe_estimated_rtt_ms 23.5
+# HELP zoom_qoe_series_evicted_total Labeled series dropped at the cardinality cap.
+# TYPE zoom_qoe_series_evicted_total counter
+zoom_qoe_series_evicted_total{family=\"bitrate_bps\"} 0
+zoom_qoe_series_evicted_total{family=\"fps\"} 0
+zoom_qoe_series_evicted_total{family=\"jitter_ms\"} 0
+zoom_qoe_series_evicted_total{family=\"frame_size_bytes\"} 0
+zoom_qoe_series_evicted_total{family=\"retransmissions\"} 0
+zoom_qoe_series_evicted_total{family=\"degraded\"} 0
 ";
         assert_eq!(prom, expected);
     }
@@ -958,10 +1625,100 @@ zoom_packet_size_bytes_count 2
             "\"packet_size\":{",
             "\"shards\":[",
             "\"engine\":{",
+            "\"stage_latency\":{",
+            "\"qoe\":{",
+            "\"series_evicted\":{",
             "\"capture\":{",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[10, 20, 40]);
+        // Ten observations spread evenly through the (0, 10] bucket.
+        for _ in 0..10 {
+            h.observe(5);
+        }
+        let s = h.snapshot();
+        // target = 0.5 * 10 = 5 observations into a 10-deep bucket that
+        // spans (0, 10]: 0 + (5/10) * 10 = 5.
+        assert_eq!(s.quantile(0.5), 5.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+        assert_eq!(s.quantile(0.0), 0.0);
+
+        let h = Histogram::new(&[10, 20, 40]);
+        h.observe(5); // (0, 10]
+        h.observe(15); // (10, 20]
+        h.observe(15);
+        h.observe(30); // (20, 40]
+        let s = h.snapshot();
+        // p50: target 2.0; first bucket holds 1, so 1.0 into the 2-deep
+        // (10, 20] bucket: 10 + (1/2) * 10 = 15.
+        assert_eq!(s.quantile(0.5), 15.0);
+        // p75: target 3.0; exactly consumes the second bucket: 20.
+        assert_eq!(s.quantile(0.75), 20.0);
+        // p100 lands in (20, 40]: 20 + (1/1) * 20 = 40.
+        assert_eq!(s.quantile(1.0), 40.0);
+        // Out-of-range q clamps.
+        assert_eq!(s.quantile(2.0), 40.0);
+
+        // Overflow observations clamp to the last finite bound.
+        let h = Histogram::new(&[10]);
+        h.observe(1_000);
+        assert_eq!(h.snapshot().quantile(0.99), 10.0);
+
+        // Empty histogram reports 0.
+        assert_eq!(Histogram::new(&[10]).snapshot().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn labeled_family_caps_cardinality_with_lru_eviction() {
+        let fam: LabeledFamily<Counter> = LabeledFamily::new(&["meeting"], 2, Counter::new);
+        fam.with(&["1"], |c| c.inc());
+        fam.with(&["2"], |c| c.inc());
+        assert_eq!(fam.len(), 2);
+        assert_eq!(fam.series_evicted(), 0);
+        // Touch "1" so "2" becomes the least recently used.
+        fam.with(&["1"], |c| c.inc());
+        fam.with(&["3"], |c| c.inc());
+        assert_eq!(fam.len(), 2);
+        assert_eq!(fam.series_evicted(), 1);
+        let snap = fam.snapshot();
+        let keys: Vec<&str> = snap.iter().map(|(k, _)| k[0].as_str()).collect();
+        assert_eq!(keys, ["1", "3"], "LRU series evicted, not newest");
+        assert_eq!(snap[0].1, 2);
+    }
+
+    #[test]
+    fn labeled_family_snapshot_order_is_deterministic() {
+        let fam: LabeledFamily<Gauge> = LabeledFamily::new(&["meeting", "media"], 8, Gauge::new);
+        for labels in [["2", "video"], ["1", "video"], ["1", "audio"]] {
+            fam.with(&labels, |g| g.set(7));
+        }
+        let keys: Vec<Vec<String>> = fam.snapshot().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            [
+                vec!["1".to_string(), "audio".to_string()],
+                vec!["1".to_string(), "video".to_string()],
+                vec!["2".to_string(), "video".to_string()],
+            ],
+            "snapshot sorts lexicographically by label values"
+        );
+    }
+
+    #[test]
+    fn qoe_prom_render_skips_empty_families() {
+        let q = QoeMetrics::new(4);
+        let mut out = String::new();
+        q.snapshot().render_prom(&mut out);
+        assert!(!out.contains("zoom_qoe_bitrate_bps{"));
+        assert!(!out.contains("zoom_qoe_degraded{"));
+        // Always-on lines are present even with no series.
+        assert!(out.contains("zoom_qoe_estimated_rtt_ms 0"));
+        assert!(out.contains("zoom_qoe_series_evicted_total{family=\"fps\"} 0"));
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Std-only HTTP scrape endpoint for [`PipelineMetrics`].
+//!
+//! A hand-rolled single-threaded `TcpListener` responder — no external
+//! HTTP crates, per the offline-vendoring rule — answering exactly two
+//! routes:
+//!
+//! * `GET /metrics` — the live [`MetricsSnapshot::to_prom`] render,
+//!   `Content-Type: text/plain; version=0.0.4`;
+//! * `GET /healthz` — `ok` once the listener is up (liveness only; it
+//!   does not assert that packets are flowing).
+//!
+//! Everything else is `404`, non-`GET` methods are `405`. Each request
+//! is served on the accept thread with a short read timeout, which is
+//! plenty for the intended single-scraper (Prometheus) deployment and
+//! keeps the implementation free of any thread-pool machinery.
+//!
+//! The server holds only an `Arc<PipelineMetrics>`, so it can run next
+//! to any sink — including [`StreamingEngine`](crate::engine::StreamingEngine),
+//! which is not itself `Sync` — and snapshots are taken per request.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use zoom_analysis::obs::{serve, PipelineMetrics};
+//!
+//! let metrics = Arc::new(PipelineMetrics::new(1));
+//! let handle = serve::serve("127.0.0.1:9184", Arc::clone(&metrics)).unwrap();
+//! println!("scrape http://{}/metrics", handle.addr());
+//! // ... run the pipeline ...
+//! handle.shutdown();
+//! ```
+//!
+//! [`MetricsSnapshot::to_prom`]: super::MetricsSnapshot::to_prom
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use super::PipelineMetrics;
+
+/// How long the accept loop naps when no connection is pending. Bounds
+/// both idle CPU cost and shutdown latency.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection read/write timeout; a scraper that stalls longer
+/// forfeits the request rather than wedging the accept loop.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A running scrape endpoint; stops serving when shut down or dropped.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The locally bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Bind `addr` and serve `GET /metrics` + `GET /healthz` from a
+/// background thread until the returned [`ServeHandle`] is shut down.
+///
+/// Binding errors (port in use, bad address) surface immediately;
+/// per-connection I/O errors after that are swallowed — a misbehaving
+/// scraper must not take the pipeline down.
+pub fn serve<A: ToSocketAddrs>(addr: A, metrics: Arc<PipelineMetrics>) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = thread::Builder::new()
+        .name("obs-serve".into())
+        .spawn(move || accept_loop(listener, metrics, stop2))?;
+    Ok(ServeHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, metrics: Arc<PipelineMetrics>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_conn(stream, &metrics);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, metrics: &PipelineMetrics) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    // Read until the end of the request head (or the timeout). The
+    // request body, if any, is irrelevant to both routes.
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "method not allowed\n".to_string())
+    } else {
+        // Ignore any query string: `/metrics?x=y` is still `/metrics`.
+        match path.split('?').next().unwrap_or("") {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                metrics.snapshot().to_prom(),
+            ),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let metrics = Arc::new(PipelineMetrics::new(1));
+        metrics.record_in(100);
+        metrics.packets_classified.inc();
+        let handle = serve("127.0.0.1:0", Arc::clone(&metrics)).unwrap();
+        let addr = handle.addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let prom = get(addr, "/metrics");
+        assert!(prom.contains("text/plain; version=0.0.4"), "{prom}");
+        assert!(prom.contains("zoom_packets_in_total 1"), "{prom}");
+        assert!(prom.contains("zoom_qoe_series_evicted_total"), "{prom}");
+
+        // The render is live: a second scrape sees new traffic.
+        metrics.record_in(100);
+        assert!(get(addr, "/metrics").contains("zoom_packets_in_total 2"));
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+
+        handle.shutdown();
+        assert!(TcpStream::connect(addr).is_err() || {
+            // A race on some platforms may allow one last connect; a
+            // subsequent one must fail once the listener is gone.
+            thread::sleep(Duration::from_millis(50));
+            TcpStream::connect(addr).is_err()
+        });
+    }
+}

@@ -32,7 +32,7 @@ use crate::obs::{MetricsSnapshot, PipelineMetrics};
 use crate::pipeline::{Analyzer, AnalyzerConfig, MediaSamples, TraceSummary};
 use crate::report::AnalysisReport;
 use crate::sink::PacketSink;
-use zoom_wire::pcap::{LinkType, Record};
+use zoom_wire::pcap::LinkType;
 use zoom_wire::zoom::MediaType;
 
 /// A drop-in parallel front-end for [`Analyzer`]: same accessor surface,
@@ -66,6 +66,7 @@ impl ParallelAnalyzer {
             shards,
             window: None,
             idle_timeout: None,
+            qoe: None,
         })
         .expect("batch engine config has nothing to validate");
         ParallelAnalyzer {
@@ -79,17 +80,6 @@ impl ParallelAnalyzer {
     /// Number of worker shards.
     pub fn shards(&self) -> usize {
         self.shard_count
-    }
-
-    /// Route one capture record to its shard. A shard failure is
-    /// remembered and surfaced by [`ParallelAnalyzer::finish`].
-    ///
-    /// # Panics
-    /// Panics if called after [`ParallelAnalyzer::finish`] — the workers
-    /// have already been joined at that point.
-    #[deprecated(note = "use the PacketSink trait: push(record.ts_nanos, &record.data, link)")]
-    pub fn process_record(&mut self, record: &Record, link: LinkType) {
-        self.process_packet(record.ts_nanos, &record.data, link);
     }
 
     /// Route one packet from a borrowed byte slice — the zero-copy path
@@ -238,6 +228,7 @@ impl PacketSink for ParallelAnalyzer {
 mod tests {
     use super::*;
     use std::net::Ipv4Addr;
+    use zoom_wire::pcap::Record;
     use zoom_wire::compose;
     use zoom_wire::rtp;
     use zoom_wire::zoom;

@@ -28,7 +28,7 @@ use zoom_wire::dissect::{
     dissect, dissect_from, drop_stage, App, Dissection, P2pProbe, PeekInfo, Transport,
 };
 use zoom_wire::flow::{Endpoint, FiveTuple};
-use zoom_wire::pcap::{LinkType, Record};
+use zoom_wire::pcap::LinkType;
 use zoom_wire::zoom::{Framing, MediaType, ZOOM_SFU_PORT};
 
 /// Analyzer configuration.
@@ -410,17 +410,14 @@ impl Analyzer {
         }
     }
 
-    /// Process one capture record.
-    #[deprecated(note = "use the PacketSink trait: push(record.ts_nanos, &record.data, link)")]
-    pub fn process_record(&mut self, record: &Record, link: LinkType) {
-        self.process_packet(record.ts_nanos, &record.data, link);
-    }
-
     /// Process one packet from a borrowed byte slice — the zero-copy
     /// fast path behind [`PacketSink::push`], for use with
     /// [`zoom_wire::pcap::Reader::read_into`] and
-    /// [`zoom_wire::pcap::SliceReader`] where no owned [`Record`] exists.
+    /// [`zoom_wire::pcap::SliceReader`] where no owned [`Record`](zoom_wire::pcap::Record) exists.
     pub fn process_packet(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) {
+        // Same 1-in-64 stage-latency sampling as the streaming engine's
+        // push path; a clock read pair on sampled calls, nothing else.
+        let sampled_at = self.total_packets.is_multiple_of(64).then(std::time::Instant::now);
         self.total_packets += 1;
         self.metrics.record_in(data.len());
         match dissect(ts_nanos, data, link, P2pProbe::Off) {
@@ -429,6 +426,11 @@ impl Analyzer {
                 self.undissectable += 1;
                 self.metrics.record_drop(drop_stage(data, link, e));
             }
+        }
+        if let Some(t0) = sampled_at {
+            self.metrics
+                .stage_push_nanos
+                .observe(t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -804,6 +806,7 @@ pub(crate) fn resolve_stream_endpoints(
 mod tests {
     use super::*;
     use std::net::Ipv4Addr;
+    use zoom_wire::pcap::Record;
 
     /// Test shorthand for the PacketSink ingest path.
     fn feed(a: &mut Analyzer, record: &Record) {

@@ -4,7 +4,8 @@
 //! points — `Analyzer::process_record`, `ParallelAnalyzer::process_record`
 //! and `StreamingEngine::push_record` — with incompatible shapes (borrow
 //! vs. owned records, infallible vs. `Result`, report-by-reference vs.
-//! owned report). [`PacketSink`] pins one shape:
+//! owned report). Those record-taking methods have since been removed;
+//! [`PacketSink`] pins the one remaining shape:
 //!
 //! * [`push`](PacketSink::push) — borrowed bytes in, `Result` out: the
 //!   zero-copy fast path every sink already had inherently
@@ -19,10 +20,10 @@
 //!   observability surface ([`crate::obs`]), written once at the sink
 //!   boundary instead of three times.
 //!
-//! ## Migration
+//! ## Migration (the old entry points no longer exist)
 //!
 //! ```text
-//! before                                   after
+//! removed                                  replacement
 //! ---------------------------------------  -------------------------------------
 //! a.process_record(&rec, link)             a.push(rec.ts_nanos, &rec.data, link)?
 //! a.finish() (borrowing snapshot)          a.finish()? (consuming) / a.report()

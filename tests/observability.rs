@@ -1,13 +1,14 @@
 //! Integration tests for the observability layer: the conservation
 //! invariant (`packets_in == packets_classified + packets_not_zoom +
 //! drops`), identical drop accounting across the sequential, parallel,
-//! and streaming sinks at 1/2/8 shards, and the drop section of the
-//! JSON report.
+//! and streaming sinks at 1/2/8 shards, the drop section of the JSON
+//! report, and the QoE degradation detector (exact alert NDJSON
+//! sequence, gauge recovery, shard-count determinism).
 
 use std::time::Duration;
 
 use proptest::prelude::*;
-use zoom_analysis::engine::{EngineConfig, StreamingEngine};
+use zoom_analysis::engine::{EngineConfig, QoeThresholds, StreamingEngine};
 use zoom_analysis::obs::MetricsSnapshot;
 use zoom_analysis::parallel::ParallelAnalyzer;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
@@ -146,12 +147,200 @@ fn engine_accounting(records: &[Record], shards: usize, window: Option<Duration>
         shards,
         window,
         idle_timeout: None,
+        qoe: None,
     })
     .expect("engine");
     feed(&mut engine, records);
     let _ = engine.take_windows();
     let out = engine.drain().expect("drain");
     accounting(&out.analyzer.metrics())
+}
+
+// ------------------------------------------------------ QoE detector --
+
+/// One ZME-wrapped video packet toward the SFU: the same shape as the
+/// engine's unit-test traffic, with caller-controlled arrival time and
+/// RTP timestamp so the scenario can script fps drops and jitter
+/// spikes.
+fn qoe_video_record(ts: u64, seq: u16, rtp_ts: u32) -> Record {
+    use zoom_wire::{compose, rtp, zoom};
+    let payload = zoom::Builder {
+        sfu: Some(zoom::SfuEncapRepr {
+            encap_type: zoom::SFU_TYPE_MEDIA,
+            sequence: seq,
+            direction: zoom::DIR_TO_SFU,
+        }),
+        media: zoom::MediaEncapRepr {
+            media_type: zoom::MediaType::Video,
+            sequence: seq,
+            timestamp: (ts / 1_000_000) as u32,
+            frame_sequence: Some(seq),
+            packets_in_frame: Some(1),
+        },
+        rtp: Some(rtp::Repr {
+            marker: true,
+            payload_type: 98,
+            sequence_number: seq,
+            timestamp: rtp_ts,
+            ssrc: 0x77,
+            csrc_count: 0,
+            has_extension: false,
+        }),
+        payload: vec![0xA5; 700],
+    }
+    .build();
+    let data = compose::udp_ipv4_ethernet(
+        std::net::Ipv4Addr::new(10, 8, 0, 1),
+        std::net::Ipv4Addr::new(170, 114, 0, 1),
+        50_000,
+        8801,
+        &payload,
+    );
+    Record::full(ts, data)
+}
+
+const MS: u64 = 1_000_000;
+
+/// A scripted churn-style vignette on one video stream, 2-second
+/// windows:
+///
+/// * windows 0–1 (0–4 s): healthy — 30 fps, clean 33 ms cadence;
+/// * windows 2–3 (4–8 s): degraded — 5 fps with ±150 ms arrival
+///   displacement against a steady RTP clock (fps floor break, jitter
+///   spike, and a >50% bitrate collapse all at once);
+/// * windows 4–5 (8–12 s): recovered — healthy cadence again.
+fn qoe_scenario() -> Vec<Record> {
+    let mut out = Vec::new();
+    let mut seq: u16 = 0;
+    let mut push = |ts: u64, rtp_ts: u32| {
+        seq += 1;
+        out.push(qoe_video_record(ts, seq, rtp_ts));
+    };
+    for i in 0..120u64 {
+        // 90 kHz RTP clock tracking arrival exactly.
+        push(i * 33 * MS, (i * 33 * 90) as u32);
+    }
+    let deg_base = 4_000 * MS;
+    let deg_rtp = 120 * 33 * 90;
+    for i in 0..20u64 {
+        // Nominal 200 ms cadence; odd packets arrive 150 ms late with an
+        // on-schedule RTP timestamp -> transit swings of 150 ms.
+        let displace = if i % 2 == 1 { 150 * MS } else { 0 };
+        push(
+            deg_base + i * 200 * MS + displace,
+            (deg_rtp + i * 200 * 90) as u32,
+        );
+    }
+    let rec_base = 8_000 * MS;
+    let rec_rtp = deg_rtp + 20 * 200 * 90;
+    for i in 0..182u64 {
+        // Runs past 12 s so window 5 (10–12 s) closes and the jitter
+        // estimator has decayed back under the ceiling.
+        push(rec_base + i * 33 * MS, (rec_rtp + i * 33 * 90) as u32);
+    }
+    out
+}
+
+/// Feed the scenario through a QoE-watching engine; returns each
+/// alert's NDJSON line (in emission order), the degraded-gauge state
+/// observed right after the alert fired, and the quiesced metrics.
+fn run_qoe(records: &[Record], shards: usize) -> (Vec<String>, Vec<(String, u64)>, MetricsSnapshot) {
+    let mut engine = StreamingEngine::new(EngineConfig {
+        analyzer: AnalyzerConfig::default(),
+        shards,
+        window: Some(Duration::from_secs(2)),
+        idle_timeout: None,
+        qoe: Some(QoeThresholds::default()),
+    })
+    .expect("engine");
+    let mut ndjson = Vec::new();
+    let mut gauge_trail = Vec::new();
+    for r in records {
+        engine
+            .push(r.ts_nanos, &r.data, LinkType::Ethernet)
+            .expect("push");
+        let alerts = engine.take_alerts();
+        if !alerts.is_empty() {
+            for a in &alerts {
+                ndjson.push(a.to_json());
+            }
+            // Observe the gauge family as the operator would, right
+            // after the alerts fired.
+            for (labels, v) in engine.metrics().qoe.degraded {
+                gauge_trail.push((labels.join("/"), v));
+            }
+        }
+    }
+    let _ = engine.take_windows();
+    let out = engine.drain().expect("drain");
+    (ndjson, gauge_trail, out.analyzer.metrics())
+}
+
+#[test]
+fn qoe_alert_ndjson_sequence_is_exact_and_gauge_clears() {
+    let records = qoe_scenario();
+    let (ndjson, gauge_trail, metrics) = run_qoe(&records, 1);
+    // The scenario is fully scripted, so the alert stream is pinned
+    // byte-for-byte: the fps drop and bitrate collapse trip in the first
+    // fully-degraded window (window 2), the RFC 3550 jitter estimator
+    // crosses its ceiling one window later, and everything recovers once
+    // the healthy cadence resumes (jitter last, since the estimator
+    // decays with a 1/16 gain).
+    assert_eq!(
+        ndjson,
+        [
+            r#"{"type":"qoe_alert","window":2,"end_nanos":6000000000,"meeting":"0","media":"video","kind":"low_fps","state":"degraded","value":5,"threshold":10}"#,
+            r#"{"type":"qoe_alert","window":2,"end_nanos":6000000000,"meeting":"0","media":"video","kind":"bitrate_collapse","state":"degraded","value":28000,"threshold":82600}"#,
+            r#"{"type":"qoe_alert","window":3,"end_nanos":8000000000,"meeting":"0","media":"video","kind":"high_jitter","state":"degraded","value":83.30987503628202,"threshold":50}"#,
+            r#"{"type":"qoe_alert","window":4,"end_nanos":10000000000,"meeting":"0","media":"video","kind":"low_fps","state":"recovered","value":30.5,"threshold":10}"#,
+            r#"{"type":"qoe_alert","window":4,"end_nanos":10000000000,"meeting":"0","media":"video","kind":"bitrate_collapse","state":"recovered","value":170800,"threshold":82600}"#,
+            r#"{"type":"qoe_alert","window":5,"end_nanos":12000000000,"meeting":"0","media":"video","kind":"high_jitter","state":"recovered","value":1.2214434597768484,"threshold":50}"#,
+        ]
+    );
+    // The zoom_qoe_degraded gauge tracks the alert stream: each kind
+    // goes to 1 when it degrades and clears to 0 on recovery, ending
+    // with every series at 0.
+    let g = |kind: &str, v: u64| (format!("0/{kind}"), v);
+    assert_eq!(
+        gauge_trail,
+        [
+            // after window 2: fps + bitrate degraded
+            g("bitrate_collapse", 1),
+            g("low_fps", 1),
+            // after window 3: jitter joins them
+            g("bitrate_collapse", 1),
+            g("high_jitter", 1),
+            g("low_fps", 1),
+            // after window 4: fps + bitrate recovered
+            g("bitrate_collapse", 0),
+            g("high_jitter", 1),
+            g("low_fps", 0),
+            // after window 5: everything clear
+            g("bitrate_collapse", 0),
+            g("high_jitter", 0),
+            g("low_fps", 0),
+        ]
+    );
+    assert!(metrics.conservation_holds());
+}
+
+#[test]
+fn qoe_alerts_byte_identical_across_shards() {
+    let records = qoe_scenario();
+    let (baseline, _, m1) = run_qoe(&records, 1);
+    assert!(
+        !baseline.is_empty(),
+        "scenario must produce at least one alert"
+    );
+    assert!(
+        m1.conservation_holds(),
+        "conservation with telemetry enabled"
+    );
+    for shards in [2usize, 8] {
+        let (alerts, _, m) = run_qoe(&records, shards);
+        assert_eq!(alerts, baseline, "{shards} shards");
+        assert!(m.conservation_holds(), "{shards} shards conservation");
+    }
 }
 
 proptest! {

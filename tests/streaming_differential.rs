@@ -45,6 +45,7 @@ fn stream_run(
         shards,
         window,
         idle_timeout,
+        qoe: None,
     })
     .expect("valid engine config");
     let mut windows = Vec::new();
@@ -252,6 +253,7 @@ fn stream_via(
         shards,
         window,
         idle_timeout: None,
+        qoe: None,
     })
     .expect("valid engine config");
     let mut windows = Vec::new();

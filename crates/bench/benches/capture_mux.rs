@@ -1,0 +1,122 @@
+//! Multi-source capture fan-in throughput: N replay sources merged by
+//! `CaptureMux` through the bounded SPSC rings, measured bare (merge
+//! only) and feeding the sequential analyzer, against the single-loop
+//! direct push baseline the fan-in must not regress.
+//!
+//! Run on a single-core CI box the threaded fan-in can come in below
+//! the inline loop — the honest numbers live in `BENCH_ingest.json` and
+//! `EXPERIMENTS.md`; nothing here asserts a ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::PacketSink;
+use zoom_capture::mux::{CaptureMux, MuxConfig, Overflow};
+use zoom_capture::source::{PacketSource, ReplaySource};
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::pcap::{LinkType, Record};
+
+/// Round-robin deal of one trace to `n` per-source record vectors (each
+/// stays timestamp-ordered, as the source contract requires).
+fn deal(records: &[Record], n: usize) -> Vec<Vec<Record>> {
+    let mut parts = vec![Vec::new(); n];
+    for (i, r) in records.iter().enumerate() {
+        parts[i % n].push(r.clone());
+    }
+    parts
+}
+
+fn sources_from(parts: Vec<Vec<Record>>) -> Vec<Box<dyn PacketSource>> {
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            Box::new(ReplaySource::new(
+                &format!("bench:{i}"),
+                LinkType::Ethernet,
+                p,
+            )) as Box<dyn PacketSource>
+        })
+        .collect()
+}
+
+/// Merge all sources, counting records (no analysis behind the mux).
+fn merge_only(sources: Vec<Box<dyn PacketSource>>) -> u64 {
+    let mut mux = CaptureMux::start(
+        sources,
+        MuxConfig {
+            ring_capacity: 8,
+            overflow: Overflow::Block,
+        },
+        None,
+    );
+    let mut n = 0u64;
+    let mut sum = 0usize;
+    while let Some(r) = mux.next_record().expect("mux record") {
+        sum += r.data.len();
+        n += 1;
+    }
+    std::hint::black_box(sum);
+    mux.finish().expect("teardown");
+    n
+}
+
+/// Merge all sources into the sequential analyzer.
+fn merge_to_analyzer(sources: Vec<Box<dyn PacketSource>>) -> u64 {
+    let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+    let mut mux = CaptureMux::start(
+        sources,
+        MuxConfig {
+            ring_capacity: 8,
+            overflow: Overflow::Block,
+        },
+        None,
+    );
+    while let Some(r) = mux.next_record().expect("mux record") {
+        analyzer.push(r.ts_nanos, r.data, r.link).expect("push");
+    }
+    mux.finish().expect("teardown");
+    std::hint::black_box(analyzer.summary().zoom_packets)
+}
+
+fn bench(c: &mut Criterion) {
+    let records: Vec<Record> = MeetingSim::new(scenario::multi_party(5, 30 * SEC)).collect();
+
+    let mut g = c.benchmark_group("capture_mux");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(records.len() as u64));
+
+    // Baseline: the inline single-loop push the mux competes with.
+    g.bench_function("direct_push_baseline", |b| {
+        b.iter(|| {
+            let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+            for r in &records {
+                analyzer
+                    .push(r.ts_nanos, &r.data, LinkType::Ethernet)
+                    .expect("push");
+            }
+            std::hint::black_box(analyzer.summary().zoom_packets)
+        })
+    });
+
+    // Replay sources are consumed per run, so each iteration re-deals
+    // (clones) the trace; this bench isolates that setup cost so the
+    // merge numbers below can be read net of it.
+    g.bench_function("deal_clone_overhead_2_sources", |b| {
+        b.iter(|| std::hint::black_box(sources_from(deal(&records, 2)).len()))
+    });
+
+    for n in [1usize, 2, 4] {
+        g.bench_function(&format!("merge_only_{n}_sources"), |b| {
+            b.iter(|| merge_only(sources_from(deal(&records, n))))
+        });
+        g.bench_function(&format!("merge_to_analyzer_{n}_sources"), |b| {
+            b.iter(|| merge_to_analyzer(sources_from(deal(&records, n))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -14,6 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
 use zoom_analysis::PacketSink;
+use zoom_capture::mux::{CaptureMux, MuxConfig, Overflow};
+use zoom_capture::source::{PacketSource, ReplaySource};
 use zoom_sim::meeting::MeetingSim;
 use zoom_sim::scenario;
 use zoom_sim::time::SEC;
@@ -177,6 +179,75 @@ fn measure_path(img: &[u8], name: &'static str) -> PathResult {
     }
 }
 
+/// Deal the trace round-robin to `n` replay sources (untimed setup;
+/// sources are consumed per run).
+fn deal_sources(records: &[Record], n: usize) -> Vec<Box<dyn PacketSource>> {
+    let mut parts = vec![Vec::new(); n];
+    for (i, r) in records.iter().enumerate() {
+        parts[i % n].push(r.clone());
+    }
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            Box::new(ReplaySource::new(
+                &format!("bench:{i}"),
+                LinkType::Ethernet,
+                p,
+            )) as Box<dyn PacketSource>
+        })
+        .collect()
+}
+
+fn start_mux(sources: Vec<Box<dyn PacketSource>>) -> CaptureMux {
+    CaptureMux::start(
+        sources,
+        MuxConfig {
+            ring_capacity: 8,
+            overflow: Overflow::Block,
+        },
+        None,
+    )
+}
+
+/// One measured multi-source run: `n_sources` in-memory replay sources
+/// merged by `CaptureMux` through the lossless bounded rings. Returns
+/// (records, pipeline pkts/s feeding the analyzer, capture-side
+/// allocations per record). The allocation figure comes from a
+/// merge-only pass so it isolates the fan-in — threads, rings, and the
+/// first round of arena batches, amortized over the trace; once the
+/// recycle rings are warm the hand-off allocates nothing per record.
+fn analyze_multi_source(records: &[Record], n_sources: usize) -> (u64, f64, f64) {
+    // Pass 1, merge only: capture-side allocations per record.
+    let sources = deal_sources(records, n_sources);
+    let a0 = allocs();
+    let mut mux = start_mux(sources);
+    let mut sum = 0usize;
+    while let Some(r) = mux.next_record().expect("mux record") {
+        sum += r.data.len();
+    }
+    mux.finish().expect("capture teardown");
+    let fanin_allocs = allocs() - a0;
+    black_box(sum);
+
+    // Pass 2, merged stream feeding the sequential analyzer: pkts/s to
+    // compare against the single-source pipeline rates above.
+    let sources = deal_sources(records, n_sources);
+    let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+    let t0 = Instant::now();
+    let mut mux = start_mux(sources);
+    let mut n = 0u64;
+    while let Some(r) = mux.next_record().expect("mux record") {
+        analyzer.push(r.ts_nanos, r.data, r.link).expect("push");
+        n += 1;
+    }
+    assert_eq!(mux.ring_full_drops(), 0, "lossless rings must not drop");
+    mux.finish().expect("capture teardown");
+    let secs = t0.elapsed().as_secs_f64();
+    black_box(analyzer.summary().zoom_packets);
+    (n, n as f64 / secs, fanin_allocs as f64 / n as f64)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -227,6 +298,18 @@ fn main() {
         );
     }
 
+    // Multi-source fan-in: the same trace dealt to two replay sources
+    // and merged back by CaptureMux into the same analyzer. On a
+    // multi-core box this should meet or beat the single-source pipeline
+    // rate (capture overlaps analysis); on a single core the thread
+    // hand-off is pure overhead — record the number honestly either way.
+    let (mn, multi_rate, multi_allocs) = analyze_multi_source(&records, 2);
+    assert_eq!(mn, records.len() as u64, "multi-source lost records");
+    eprintln!(
+        "[bench_ingest] multi_source_2   pipeline {multi_rate:>10.0} pkts/s  \
+         {multi_allocs:.4} fan-in allocs/record (setup amortized)"
+    );
+
     let mut json = String::with_capacity(1024);
     json.push_str("{\n");
     json.push_str("  \"bench\": \"ingest\",\n");
@@ -247,7 +330,13 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"multi_source\": {{\"sources\": 2, \"pipeline_pkts_per_sec\": {:.1}, \
+         \"fanin_allocs_per_record\": {:.6}}}\n",
+        multi_rate, multi_allocs,
+    ));
+    json.push_str("}\n");
 
     let mut f = std::fs::File::create(&out_path).expect("create output file");
     f.write_all(json.as_bytes()).expect("write json");

@@ -16,10 +16,31 @@
 //! semantics ([`pipeline::CapturePipeline`]) and adds a hardware resource
 //! accounting model ([`resources`]) that reproduces the structure of the
 //! paper's Table 5.
+//!
+//! ## Capture front-end
+//!
+//! Beyond the filter pipeline, the crate provides the live multi-source
+//! ingest front-end that feeds the analysis engine (`docs/CAPTURE.md`):
+//!
+//! * [`source`] — the [`PacketSource`](source::PacketSource) abstraction
+//!   with pcap-file, in-memory replay, and simulated AF_PACKET-style
+//!   live-ring adapters,
+//! * [`ring`] — the bounded lock-free SPSC ring used for every
+//!   capture→analysis hand-off,
+//! * [`mux`] — the N-sources→one-engine fan-in
+//!   ([`CaptureMux`](mux::CaptureMux)): one capture thread per source,
+//!   a deterministic timestamp merge on the consuming side, and exact
+//!   `ring_full_drops` accounting threaded into
+//!   [`zoom_analysis::obs`].
+
+#![warn(missing_docs)]
 
 pub mod anonymize;
 pub mod cidr;
+pub mod mux;
 pub mod pipeline;
 pub mod resources;
+pub mod ring;
+pub mod source;
 pub mod stun_tracker;
 pub mod zoom_nets;

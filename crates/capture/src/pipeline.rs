@@ -88,15 +88,25 @@ impl Verdict {
 /// Per-stage counters for Fig. 13 / Fig. 17-style reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageCounters {
+    /// Packets offered to the filter.
     pub total: u64,
+    /// Dropped: campus endpoint in an excluded subnet.
     pub excluded: u64,
+    /// Passed: either address matched the Zoom server list.
     pub zoom_ip_matched: u64,
+    /// Passed: STUN exchange with a Zoom server (registers the endpoint).
     pub stun_registered: u64,
+    /// Passed: P2P media recognized via the STUN registers.
     pub p2p_matched: u64,
+    /// Dropped: neither a Zoom server nor a registered P2P endpoint.
     pub dropped: u64,
+    /// Dropped: headers the data plane needs did not parse.
     pub unparseable: u64,
+    /// Packets that reached the capture output.
     pub passed: u64,
+    /// Bytes across passing packets.
     pub passed_bytes: u64,
+    /// Bytes across all offered packets.
     pub total_bytes: u64,
 }
 

@@ -18,11 +18,17 @@
 /// per-pipeline budget (as Table 5 reports), plus the number of stages.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentUsage {
+    /// Component name as Table 5 labels it.
     pub name: &'static str,
+    /// Pipeline stages the component occupies.
     pub stages: u32,
+    /// TCAM blocks consumed, in percent of the per-pipeline budget.
     pub tcam_pct: f64,
+    /// SRAM blocks consumed, in percent of the per-pipeline budget.
     pub sram_pct: f64,
+    /// Instruction words consumed, in percent of the budget.
     pub instructions_pct: f64,
+    /// Hash units consumed, in percent of the budget.
     pub hash_units_pct: f64,
 }
 

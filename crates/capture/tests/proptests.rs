@@ -88,3 +88,84 @@ proptest! {
         prop_assert_eq!(c.passed, c.zoom_ip_matched + c.stun_registered + c.p2p_matched);
     }
 }
+
+proptest! {
+    /// The SPSC ring behaves exactly like a bounded FIFO queue: an
+    /// arbitrary interleaving of pushes and pops — over arbitrary
+    /// capacities including 1 — matches a `VecDeque` model op for op,
+    /// with overflow rejections accounted exactly
+    /// (`pushed == popped + dropped + in_flight`).
+    #[test]
+    fn spsc_ring_matches_bounded_fifo_model(
+        capacity in 1usize..=8,
+        ops in proptest::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let (mut tx, mut rx) = zoom_capture::ring::spsc::<u32>(capacity);
+        let mut model = std::collections::VecDeque::new();
+        let (mut pushed, mut dropped, mut popped) = (0u32, 0u64, 0u64);
+        for op in ops {
+            if op {
+                let v = pushed;
+                pushed += 1;
+                match tx.try_push(v) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < capacity, "accepted past capacity");
+                        model.push_back(v);
+                    }
+                    Err(back) => {
+                        prop_assert_eq!(back, v, "rejected value must come back");
+                        prop_assert_eq!(model.len(), capacity, "rejected below capacity");
+                        dropped += 1;
+                    }
+                }
+            } else {
+                let got = rx.try_pop();
+                prop_assert_eq!(got, model.pop_front());
+                if got.is_some() {
+                    popped += 1;
+                }
+            }
+            prop_assert_eq!(tx.len(), model.len());
+            prop_assert_eq!(rx.len(), model.len());
+        }
+        prop_assert_eq!(u64::from(pushed), popped + dropped + model.len() as u64);
+        while let Some(v) = rx.try_pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+        prop_assert!(rx.is_empty());
+    }
+
+    /// Cross-thread delivery preserves order for arbitrary capacities: a
+    /// producer thread spinning on a full ring delivers every item
+    /// exactly once, in order — nothing lost, duplicated, or reordered
+    /// at any capacity/backlog combination.
+    #[test]
+    fn spsc_ring_cross_thread_fifo(capacity in 1usize..=8, n in 1usize..600) {
+        let (mut tx, mut rx) = zoom_capture::ring::spsc::<usize>(capacity);
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match tx.try_push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut got = Vec::with_capacity(n);
+        while got.len() < n {
+            match rx.try_pop() {
+                Some(v) => got.push(v),
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+        prop_assert!(rx.try_pop().is_none());
+    }
+}

@@ -1,13 +1,23 @@
-//! `zoom-tools analyze` — run the full passive analysis over a pcap file
-//! and print the trace summary, per-meeting breakdown, per-stream metrics,
-//! and latency estimates. Optionally export the per-second ML feature
-//! matrix (§8).
+//! `zoom-tools analyze` — run the full passive analysis over one or more
+//! packet sources and print the trace summary, per-meeting breakdown,
+//! per-stream metrics, and latency estimates. Optionally export the
+//! per-second ML feature matrix (§8).
+//!
+//! Input is either a positional pcap path (the classic single-file
+//! shape) or any number of repeatable `--source` specs (`pcap:FILE`,
+//! `sim:SCENARIO[,seed=N][,secs=N]`); both can be mixed. Multiple
+//! sources are captured concurrently — one capture thread per source,
+//! hand-off through bounded lock-free rings — and merged into one
+//! deterministic timestamp-ordered stream, so an N-source run is
+//! byte-identical to the equivalent single-source run (see
+//! `docs/CAPTURE.md`).
 //!
 //! With `--window`, `--idle-timeout`, or `--follow` the command switches
 //! to the streaming engine: one NDJSON line per closed window on stdout,
 //! followed by the final end-of-trace report. `--follow` keeps polling
-//! the input file for newly appended records (a live capture being
-//! written by another process) until it has been quiet for `--idle-exit`.
+//! every pcap source for newly appended records (a live capture being
+//! written by another process) until it has been quiet for `--idle-exit`
+//! — the follow loop is source-agnostic, not tied to a single file.
 //!
 //! All three sinks (sequential, sharded, streaming) are fed through the
 //! one `PacketSink` ingest loop. `--metrics <path>` writes an
@@ -25,7 +35,8 @@
 //! stdout (thresholds: `--qoe-fps-floor`, `--qoe-jitter-ms`,
 //! `--qoe-collapse-ratio`).
 
-use super::{campus_flag, parse_args, parse_duration, CmdResult};
+use super::sources::{build_sources, mux_flags};
+use super::{campus_flag, parse_args_repeat, parse_duration, CmdResult};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::time::Duration;
@@ -37,6 +48,8 @@ use zoom_analysis::obs::MetricsSnapshot;
 use zoom_analysis::parallel::ParallelAnalyzer;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
 use zoom_analysis::PacketSink;
+use zoom_capture::mux::{CaptureMux, MuxConfig};
+use zoom_capture::source::{FollowConfig, PacketSource};
 use zoom_wire::pcap::{LinkType, Reader, RecordBuf};
 use zoom_wire::zoom::MediaType;
 
@@ -115,6 +128,44 @@ fn feed_pcap<S: PacketSink, R: std::io::Read>(
     Ok(())
 }
 
+/// The multi-source ingest loop: records arrive pre-merged in timestamp
+/// order from the capture fan-in; progress gauges come from the mux's
+/// delivered counts instead of a single reader's.
+fn feed_mux<S: PacketSink>(
+    mux: &mut CaptureMux,
+    sink: &mut S,
+    metrics_file: &mut Option<MetricsFile>,
+) -> CmdResult {
+    loop {
+        let Some(r) = mux.next_record().map_err(|e| e.to_string())? else {
+            return Ok(());
+        };
+        sink.push(r.ts_nanos, r.data, r.link)
+            .map_err(|e| e.to_string())?;
+        if let Some(m) = metrics_file {
+            sink.note_pcap_progress(mux.records_delivered(), mux.bytes_delivered());
+            m.tick(|| sink.metrics())?;
+        }
+    }
+}
+
+/// Tear down the fan-in after ingest: surface capture errors, fold
+/// source-side truncation into the sink's gauges, and warn like the
+/// single-reader path always has.
+fn finish_mux<S: PacketSink>(mux: CaptureMux, sink: &mut S) -> CmdResult {
+    let truncated = mux.truncated_records();
+    let drops = mux.ring_full_drops();
+    mux.finish().map_err(|e| e.to_string())?;
+    sink.note_pcap_truncated(truncated);
+    if truncated > 0 {
+        eprintln!("warning: {truncated} truncated record(s) at source tails ignored");
+    }
+    if drops > 0 {
+        eprintln!("warning: {drops} record(s) dropped at full capture rings (see ring_full_drops)");
+    }
+    Ok(())
+}
+
 /// Parse the `--qoe-*` flags into detector thresholds. `--qoe-watch`
 /// enables the detector with defaults; any explicit threshold flag also
 /// enables it.
@@ -139,10 +190,8 @@ fn qoe_flags(flags: &HashMap<String, String>) -> Result<Option<QoeThresholds>, S
 }
 
 pub fn run(args: &[String]) -> CmdResult {
-    let (pos, flags) = parse_args(args, &["follow", "json", "qoe-watch"])?;
-    let [input] = pos.as_slice() else {
-        return Err("analyze needs exactly one input pcap".into());
-    };
+    let (pos, flags, source_specs) =
+        parse_args_repeat(args, &["follow", "json", "qoe-watch", "lossy"], &["source"])?;
     let campus = campus_flag(&flags)?;
     let shards: usize = match flags.get("shards") {
         Some(v) => v
@@ -159,7 +208,13 @@ pub fn run(args: &[String]) -> CmdResult {
         .map(|v| parse_duration(v))
         .transpose()?;
     let follow = flags.contains_key("follow");
+    let idle_exit = flags
+        .get("idle-exit")
+        .map(|v| parse_duration(v))
+        .transpose()?
+        .unwrap_or(Duration::from_secs(5));
     let qoe = qoe_flags(&flags)?;
+    let mux_config = mux_flags(&flags)?;
     let mut metrics_file = MetricsFile::from_flags(&flags)?;
 
     let config = AnalyzerConfig::builder()
@@ -175,19 +230,36 @@ pub fn run(args: &[String]) -> CmdResult {
         return Err("--serve needs streaming mode (--window, --idle-timeout, or --follow)".into());
     }
     if streaming {
+        // Streaming always goes through the capture fan-in, so follow
+        // mode is source-agnostic: every pcap source polls its own file.
+        let follow_cfg = follow.then_some(FollowConfig {
+            poll: Duration::from_millis(200),
+            idle_exit,
+        });
+        let sources = build_sources(&pos, &source_specs, follow_cfg)?;
         return run_streaming(
-            input,
+            sources,
             config,
             shards,
             window,
             idle_timeout,
-            follow,
             qoe,
             &flags,
             metrics_file,
+            mux_config,
         );
     }
+    if !source_specs.is_empty() || pos.len() > 1 {
+        let sources = build_sources(&pos, &source_specs, None)?;
+        return run_batch_mux(sources, config, shards, &flags, metrics_file, mux_config);
+    }
 
+    // Legacy single-file batch path: a direct buffer-reusing reader loop
+    // with no capture threads — the zero-copy fast path benchmarked in
+    // BENCH_ingest.json stays intact.
+    let [input] = pos.as_slice() else {
+        return Err("no input: give a pcap path or at least one --source".into());
+    };
     let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
     let mut reader =
         Reader::new(std::io::BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
@@ -221,9 +293,52 @@ pub fn run(args: &[String]) -> CmdResult {
         );
     }
 
+    print_report(&analyzer, &flags)
+}
+
+/// The multi-source batch path: capture threads fan records into the
+/// analysis sink through the lock-free rings, then the same report as
+/// the single-file path is printed — byte-identical for equivalent
+/// inputs (see `tests/multi_source_differential.rs`).
+fn run_batch_mux(
+    sources: Vec<Box<dyn PacketSource>>,
+    config: AnalyzerConfig,
+    shards: usize,
+    flags: &HashMap<String, String>,
+    mut metrics_file: Option<MetricsFile>,
+    mux_config: MuxConfig,
+) -> CmdResult {
+    let analyzer: Analyzer = if shards > 1 {
+        let mut par = ParallelAnalyzer::new(config, shards);
+        let mh = par.metrics_handle();
+        let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
+        feed_mux(&mut mux, &mut par, &mut metrics_file)?;
+        finish_mux(mux, &mut par)?;
+        ParallelAnalyzer::finish(&mut par).map_err(|e| e.to_string())?;
+        if let Some(m) = &mut metrics_file {
+            m.write(&par.metrics())?;
+        }
+        par.into_analyzer()
+    } else {
+        let mut seq = Analyzer::new(config);
+        let mh = seq.metrics_handle();
+        let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
+        feed_mux(&mut mux, &mut seq, &mut metrics_file)?;
+        finish_mux(mux, &mut seq)?;
+        if let Some(m) = &mut metrics_file {
+            m.write(&seq.metrics())?;
+        }
+        seq
+    };
+    print_report(&analyzer, flags)
+}
+
+/// The human-readable (or `--json`) end-of-run report, shared by the
+/// legacy single-file path and the multi-source fan-in path.
+fn print_report(analyzer: &Analyzer, flags: &HashMap<String, String>) -> CmdResult {
     if flags.contains_key("json") {
         println!("{}", analyzer.report().to_json());
-        export_features(&analyzer, &flags)?;
+        export_features(analyzer, flags)?;
         return Ok(());
     }
 
@@ -313,29 +428,27 @@ pub fn run(args: &[String]) -> CmdResult {
         );
     }
 
-    export_features(&analyzer, &flags)?;
+    export_features(analyzer, flags)?;
     Ok(())
 }
 
 /// The streaming path: NDJSON window reports as windows close, then the
-/// final report, all on stdout.
+/// final report, all on stdout. All sources — including a followed,
+/// still-growing pcap — are captured concurrently and merged through
+/// the fan-in, so the ingest loop below never knows (or cares) how many
+/// files or simulated taps are behind it.
 #[allow(clippy::too_many_arguments)]
 fn run_streaming(
-    input: &str,
+    sources: Vec<Box<dyn PacketSource>>,
     config: AnalyzerConfig,
     shards: usize,
     window: Option<Duration>,
     idle_timeout: Option<Duration>,
-    follow: bool,
     qoe: Option<QoeThresholds>,
     flags: &HashMap<String, String>,
     mut metrics_file: Option<MetricsFile>,
+    mux_config: MuxConfig,
 ) -> CmdResult {
-    let idle_exit = flags
-        .get("idle-exit")
-        .map(|v| parse_duration(v))
-        .transpose()?
-        .unwrap_or(Duration::from_secs(5));
     let mut engine = StreamingEngine::new(EngineConfig {
         analyzer: config,
         shards,
@@ -356,53 +469,38 @@ fn run_streaming(
         eprintln!("serving /metrics and /healthz on http://{}", h.addr());
     }
 
-    let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
-    let mut reader =
-        Reader::new(std::io::BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
-    let link = reader.link_type();
+    let mh = engine.metrics_handle();
+    let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let poll = Duration::from_millis(200);
-    let mut quiet = Duration::ZERO;
-    let mut buf = RecordBuf::new();
-    loop {
-        if reader.read_into(&mut buf).map_err(|e| e.to_string())? {
-            quiet = Duration::ZERO;
-            engine
-                .push(buf.ts_nanos(), buf.data(), link)
-                .map_err(|e| e.to_string())?;
-            for w in engine.take_windows() {
-                writeln!(out, "{}", w.to_json()).map_err(|e| e.to_string())?;
-            }
-            for a in engine.take_alerts() {
-                writeln!(out, "{}", a.to_json()).map_err(|e| e.to_string())?;
-            }
-            if let Some(m) = &mut metrics_file {
-                engine.note_pcap_progress(reader.records_read(), reader.bytes_read());
-                m.tick(|| engine.metrics())?;
-            }
-        } else {
-            // A pcap reader at a clean record boundary returns false and
-            // can be retried once the producer appends more data. (A torn
-            // mid-record write is counted in `truncated_records` instead
-            // of erroring; the producer finishing it later is racy either
-            // way — `--idle-exit` bounds how long we wait.)
-            if !follow || quiet >= idle_exit {
-                break;
-            }
+    // next_record blocks (sleeping) while live sources are quiet — a
+    // followed pcap keeps its lane alive until its own idle-exit
+    // elapses, so follow semantics are per source, not global.
+    while let Some(r) = mux.next_record().map_err(|e| e.to_string())? {
+        engine
+            .push(r.ts_nanos, r.data, r.link)
+            .map_err(|e| e.to_string())?;
+        let mut wrote = false;
+        for w in engine.take_windows() {
+            writeln!(out, "{}", w.to_json()).map_err(|e| e.to_string())?;
+            wrote = true;
+        }
+        for a in engine.take_alerts() {
+            writeln!(out, "{}", a.to_json()).map_err(|e| e.to_string())?;
+            wrote = true;
+        }
+        if wrote {
+            // Live followers tail this NDJSON; don't sit on closed
+            // windows while the mux waits for quiet sources.
             out.flush().map_err(|e| e.to_string())?;
-            std::thread::sleep(poll);
-            quiet += poll;
+        }
+        if let Some(m) = &mut metrics_file {
+            engine.note_pcap_progress(mux.records_delivered(), mux.bytes_delivered());
+            m.tick(|| engine.metrics())?;
         }
     }
-    engine.note_pcap_truncated(reader.truncated_records());
-    if reader.truncated_records() > 0 {
-        eprintln!(
-            "warning: {} truncated record(s) at end of {input} ignored",
-            reader.truncated_records()
-        );
-    }
+    finish_mux(mux, &mut engine)?;
     // Alerts from windows the last pushes closed; drain itself cuts a
     // partial window the detector deliberately skips.
     for a in engine.take_alerts() {

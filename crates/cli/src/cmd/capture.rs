@@ -1,0 +1,226 @@
+//! `zoom-tools capture` — run the live capture front-end on its own:
+//! N concurrent sources fan into one deterministic timestamp-ordered
+//! stream through bounded lock-free rings, optionally filtered and
+//! anonymized by the capture pipeline (the software Tofino), and written
+//! to a single output pcap.
+//!
+//! This is `filter` generalized to the multi-source world: where
+//! `filter` reads one file inline, `capture` runs one capture thread per
+//! `--source` (pcap files, followed growing files, or `sim:` live taps)
+//! and merges them — the offline stand-in for a port-mirrored
+//! multi-tap deployment. `--no-filter` skips classification and writes
+//! every merged record, turning the command into a pure capture merger.
+//!
+//! Capture-side accounting flows into the same observability registry
+//! `analyze` uses: `--metrics PATH` snapshots per-source
+//! `zoom_source_*` series plus the capture-stage counters, and the
+//! extended conservation invariant (`Σ source_packets == packets_in +
+//! Σ ring_full_drops`) holds over the written file.
+
+use super::sources::{build_sources, mux_flags};
+use super::{campus_flag, parse_args_repeat, parse_duration, CmdResult};
+use std::time::Duration;
+use zoom_analysis::obs::{CaptureMetricsSnapshot, PipelineMetrics};
+use zoom_capture::anonymize::{Anonymizer, Mode};
+use zoom_capture::cidr::{Cidr, PrefixMap};
+use zoom_capture::mux::CaptureMux;
+use zoom_capture::pipeline::{CapturePipeline, PipelineConfig};
+use zoom_capture::source::FollowConfig;
+use zoom_capture::zoom_nets;
+use zoom_wire::pcap::{LinkType, Record, Writer};
+
+pub fn run(args: &[String]) -> CmdResult {
+    let (pos, flags, source_specs) =
+        parse_args_repeat(args, &["follow", "lossy", "no-filter"], &["source"])?;
+    let [output] = pos.as_slice() else {
+        return Err("capture needs exactly one output pcap; give inputs with --source".into());
+    };
+    if source_specs.is_empty() {
+        return Err("capture needs at least one --source (pcap:PATH or sim:SPEC)".into());
+    }
+    let (campus_ip, campus_len) = campus_flag(&flags)?;
+    let anonymizer = flags
+        .get("anonymize")
+        .map(|key| {
+            key.parse::<u64>()
+                .map(|k| Anonymizer::new(k, Mode::PrefixPreserving))
+                .map_err(|_| "--anonymize takes a numeric key".to_string())
+        })
+        .transpose()?;
+    let filtering = !flags.contains_key("no-filter");
+    if !filtering && anonymizer.is_some() {
+        return Err("--anonymize needs the filter pipeline (drop --no-filter)".into());
+    }
+    let follow = flags.contains_key("follow");
+    let idle_exit = flags
+        .get("idle-exit")
+        .map(|v| parse_duration(v))
+        .transpose()?
+        .unwrap_or(Duration::from_secs(5));
+    let follow_cfg = follow.then_some(FollowConfig {
+        poll: Duration::from_millis(200),
+        idle_exit,
+    });
+    let mux_config = mux_flags(&flags)?;
+
+    let mut pipeline = filtering
+        .then(|| -> Result<CapturePipeline, String> {
+            let mut campus_nets = PrefixMap::new();
+            let std::net::IpAddr::V4(v4) = campus_ip else {
+                return Err("campus must be IPv4".into());
+            };
+            campus_nets.insert(Cidr::new(v4, campus_len), ());
+            Ok(CapturePipeline::new(PipelineConfig {
+                campus_nets,
+                excluded_nets: PrefixMap::new(),
+                // The sample of Zoom's published list; swap in the full
+                // feed in a real deployment.
+                zoom_list: zoom_nets::sample_list(),
+                stun_timeout_nanos: 120 * 1_000_000_000,
+                anonymizer,
+            }))
+        })
+        .transpose()?;
+
+    // Per-source series register against this standalone registry; the
+    // verdict counters below keep its conservation invariant intact.
+    let metrics = PipelineMetrics::new(0);
+    let sources = build_sources(&[], &source_specs, follow_cfg)?;
+    let mut mux = CaptureMux::start(sources, mux_config, Some(&metrics));
+
+    // The output link type is pinned by the first merged record; a pcap
+    // file cannot mix link types, so heterogeneous sources are an error.
+    let mut writer: Option<Writer<std::io::BufWriter<std::fs::File>>> = None;
+    let mut out_link = LinkType::Ethernet;
+    let mut rec = Record {
+        ts_nanos: 0,
+        orig_len: 0,
+        data: Vec::new(),
+    };
+    let mut written = 0u64;
+    let mut written_bytes = 0u64;
+    while let Some(r) = mux.next_record().map_err(|e| e.to_string())? {
+        metrics.record_in(r.data.len());
+        match &writer {
+            None => {
+                let outfile =
+                    std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?;
+                writer = Some(
+                    Writer::new(std::io::BufWriter::new(outfile), r.link)
+                        .map_err(|e| format!("{output}: {e}"))?,
+                );
+                out_link = r.link;
+            }
+            Some(_) if r.link != out_link => {
+                return Err(format!(
+                    "sources disagree on link type ({:?} vs {:?}); a pcap holds exactly one",
+                    out_link, r.link
+                ));
+            }
+            Some(_) => {}
+        }
+        let w = writer.as_mut().expect("writer created above");
+        if let Some(p) = &mut pipeline {
+            rec.ts_nanos = r.ts_nanos;
+            rec.orig_len = r.orig_len;
+            rec.data.clear();
+            rec.data.extend_from_slice(r.data);
+            let (verdict, passed) = p.process_record(&rec, r.link);
+            if verdict.passes() {
+                metrics.packets_classified.inc();
+            } else if verdict == zoom_capture::pipeline::Verdict::Unparseable {
+                metrics.drop_malformed.inc();
+            } else {
+                metrics.packets_not_zoom.inc();
+            }
+            if let Some(out) = passed {
+                written += 1;
+                written_bytes += out.data.len() as u64;
+                w.write_record(&out).map_err(|e| e.to_string())?;
+            }
+        } else {
+            // Pass-through merge: every record counts as accepted.
+            metrics.packets_classified.inc();
+            rec.ts_nanos = r.ts_nanos;
+            rec.orig_len = r.orig_len;
+            rec.data.clear();
+            rec.data.extend_from_slice(r.data);
+            written += 1;
+            written_bytes += rec.data.len() as u64;
+            w.write_record(&rec).map_err(|e| e.to_string())?;
+        }
+    }
+    if let Some(w) = writer.take() {
+        w.finish().map_err(|e| e.to_string())?;
+    } else {
+        // No records at all: still produce a valid (empty) pcap.
+        let outfile = std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?;
+        Writer::new(std::io::BufWriter::new(outfile), out_link)
+            .map_err(|e| format!("{output}: {e}"))?
+            .finish()
+            .map_err(|e| e.to_string())?;
+    }
+
+    let truncated = mux.truncated_records();
+    let ring_drops = mux.ring_full_drops();
+    let lane_stats: Vec<_> = (0..mux.sources()).map(|i| mux.lane_stats(i)).collect();
+    let delivered = mux.records_delivered();
+    mux.finish().map_err(|e| e.to_string())?;
+    metrics.pcap_truncated_records.set(truncated);
+    metrics.pcap_records_read.set(delivered);
+
+    if let Some(path) = flags.get("metrics") {
+        let mut snap = metrics.snapshot();
+        if let Some(p) = &pipeline {
+            let c = p.counters();
+            snap.capture = Some(CaptureMetricsSnapshot {
+                total: c.total,
+                excluded: c.excluded,
+                zoom_ip_matched: c.zoom_ip_matched,
+                stun_registered: c.stun_registered,
+                p2p_matched: c.p2p_matched,
+                dropped: c.dropped,
+                unparseable: c.unparseable,
+                passed: c.passed,
+                passed_bytes: c.passed_bytes,
+                total_bytes: c.total_bytes,
+            });
+        }
+        debug_assert!(snap.conservation_holds());
+        let body = if path.ends_with(".prom") {
+            snap.to_prom()
+        } else {
+            let mut s = snap.to_json();
+            s.push('\n');
+            s
+        };
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+    }
+
+    for s in &lane_stats {
+        eprintln!(
+            "source {}: {} packets ({} bytes) in {} batches, {} ring-full drops{}",
+            s.label,
+            s.packets,
+            s.bytes,
+            s.batches,
+            s.ring_full_drops,
+            if s.truncated > 0 {
+                format!(", {} truncated", s.truncated)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if truncated > 0 {
+        eprintln!("warning: {truncated} truncated record(s) at source tails ignored");
+    }
+    if ring_drops > 0 {
+        eprintln!("warning: {ring_drops} record(s) dropped at full capture rings (see ring_full_drops)");
+    }
+    eprintln!(
+        "captured {delivered} merged packets from {} source(s) -> {written} written ({written_bytes} bytes) to {output}",
+        lane_stats.len()
+    );
+    Ok(())
+}

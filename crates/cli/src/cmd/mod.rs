@@ -1,10 +1,12 @@
 //! Subcommand implementations and the tiny shared flag parser.
 
 pub mod analyze;
+pub mod capture;
 pub mod discover;
 pub mod dissect;
 pub mod filter;
 pub mod simulate;
+pub mod sources;
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -20,8 +22,26 @@ pub fn parse_args(
     args: &[String],
     bool_flags: &[&str],
 ) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let (pos, flags, _) = parse_args_repeat(args, bool_flags, &[])?;
+    Ok((pos, flags))
+}
+
+/// Positional arguments, last-one-wins flag map, and repeated flags in
+/// occurrence order — the result shape of [`parse_args_repeat`].
+pub type ParsedArgs = (Vec<String>, HashMap<String, String>, Vec<(String, String)>);
+
+/// Like [`parse_args`], but flags listed in `repeat_flags` may appear
+/// multiple times (`--source a --source b`); their occurrences are
+/// returned in order as `(name, value)` pairs instead of landing in the
+/// last-one-wins map.
+pub fn parse_args_repeat(
+    args: &[String],
+    bool_flags: &[&str],
+    repeat_flags: &[&str],
+) -> Result<ParsedArgs, String> {
     let mut positional = Vec::new();
     let mut flags = HashMap::new();
+    let mut repeated = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -33,7 +53,11 @@ pub fn parse_args(
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                flags.insert(name.to_string(), value.clone());
+                if repeat_flags.contains(&name) {
+                    repeated.push((name.to_string(), value.clone()));
+                } else {
+                    flags.insert(name.to_string(), value.clone());
+                }
                 i += 2;
             }
         } else {
@@ -41,7 +65,7 @@ pub fn parse_args(
             i += 1;
         }
     }
-    Ok((positional, flags))
+    Ok((positional, flags, repeated))
 }
 
 /// Parse a human-friendly duration: `10s`, `500ms`, `2m`, or a bare
@@ -108,6 +132,25 @@ mod tests {
         assert_eq!(pos, vec!["a.pcap"]);
         assert!(flags.contains_key("follow"));
         assert_eq!(flags.get("max").unwrap(), "5");
+    }
+
+    #[test]
+    fn repeat_flags_preserve_order() {
+        let (pos, flags, repeated) = parse_args_repeat(
+            &s(&["--source", "pcap:a", "--shards", "2", "--source", "sim:p2p"]),
+            &[],
+            &["source"],
+        )
+        .unwrap();
+        assert!(pos.is_empty());
+        assert_eq!(flags.get("shards").unwrap(), "2");
+        assert_eq!(
+            repeated,
+            vec![
+                ("source".to_string(), "pcap:a".to_string()),
+                ("source".to_string(), "sim:p2p".to_string()),
+            ]
+        );
     }
 
     #[test]

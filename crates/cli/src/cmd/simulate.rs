@@ -1,10 +1,8 @@
 //! `zoom-tools simulate` — generate a synthetic Zoom capture for testing
 //! downstream tooling (including this repository's own `analyze`).
 
+use super::sources::scenario_records;
 use super::{parse_args, CmdResult};
-use zoom_sim::meeting::MeetingSim;
-use zoom_sim::scenario;
-use zoom_sim::time::SEC;
 use zoom_wire::pcap::{LinkType, Writer};
 
 pub fn run(args: &[String]) -> CmdResult {
@@ -30,31 +28,14 @@ pub fn run(args: &[String]) -> CmdResult {
         .map(String::as_str)
         .unwrap_or("validation");
 
-    let configs = match scenario_name {
-        "validation" => {
-            let mut cfg = scenario::validation_experiment(seed);
-            for p in &mut cfg.participants {
-                p.leave_at = seconds * SEC;
-            }
-            vec![cfg]
-        }
-        "p2p" => vec![scenario::p2p_meeting(seed, seconds * SEC)],
-        "multi" => vec![scenario::multi_party(seed, seconds * SEC)],
-        "churn" => scenario::churn(seed, seconds * SEC),
-        other => {
-            return Err(format!(
-                "unknown scenario '{other}' (validation|p2p|multi|churn)"
-            ))
-        }
-    };
+    // The same generator backs `--source sim:SPEC`, so a simulated file
+    // and a simulated live source with matching parameters are
+    // record-identical.
+    let records = scenario_records(scenario_name, seed, seconds)?;
 
     let file = std::fs::File::create(output).map_err(|e| format!("{output}: {e}"))?;
     let mut writer = Writer::new(std::io::BufWriter::new(file), LinkType::Ethernet)
         .map_err(|e| e.to_string())?;
-    // Multi-meeting scenarios interleave by timestamp so the capture
-    // looks like one border tap observing them all.
-    let mut records: Vec<_> = configs.into_iter().flat_map(MeetingSim::new).collect();
-    records.sort_by_key(|r| r.ts_nanos);
     let mut packets = 0u64;
     let mut bytes = 0u64;
     for record in records {

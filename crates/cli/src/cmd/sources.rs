@@ -1,0 +1,219 @@
+//! Shared `--source SPEC` handling for `analyze` and `capture`.
+//!
+//! A spec selects a [`PacketSource`] backend:
+//!
+//! * `pcap:PATH` — a pcap file ([`PcapFileSource`]); with `--follow` the
+//!   file is polled for appended records per source.
+//! * `sim:SCENARIO[,seed=N][,secs=N]` — a simulated live tap: the
+//!   scenario's records are generated up front, then delivered through
+//!   the AF_PACKET-style [`live_ring`] backend by a feeder thread, so
+//!   the ingest side exercises the same ring hand-off a real socket
+//!   capture would. Scenarios match `simulate`: `validation`, `p2p`,
+//!   `multi`, `churn`.
+//!
+//! A bare positional input (the legacy `analyze trace.pcap` shape) is
+//! equivalent to `--source pcap:trace.pcap`.
+
+use std::collections::HashMap;
+use zoom_capture::mux::{MuxConfig, Overflow};
+use zoom_capture::source::{
+    live_ring, FollowConfig, PacketSource, PcapFileSource, BATCH_RECORDS,
+};
+use zoom_sim::meeting::{MeetingConfig, MeetingSim};
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::pcap::{LinkType, Record};
+
+/// Generates one scenario's records, timestamp-sorted — the same
+/// workloads (and the same `MeetingConfig` tweaks) as `simulate`, so a
+/// `sim:` source is record-identical to analyzing a `simulate` output
+/// file with matching parameters.
+pub fn scenario_records(name: &str, seed: u64, seconds: u64) -> Result<Vec<Record>, String> {
+    let configs: Vec<MeetingConfig> = match name {
+        "validation" => {
+            let mut cfg = scenario::validation_experiment(seed);
+            for p in &mut cfg.participants {
+                p.leave_at = seconds * SEC;
+            }
+            vec![cfg]
+        }
+        "p2p" => vec![scenario::p2p_meeting(seed, seconds * SEC)],
+        "multi" => vec![scenario::multi_party(seed, seconds * SEC)],
+        "churn" => scenario::churn(seed, seconds * SEC),
+        other => {
+            return Err(format!(
+                "unknown scenario '{other}' (validation|p2p|multi|churn)"
+            ))
+        }
+    };
+    // Multi-meeting scenarios interleave by timestamp so the capture
+    // looks like one border tap observing them all.
+    let mut records: Vec<Record> = configs.into_iter().flat_map(MeetingSim::new).collect();
+    records.sort_by_key(|r| r.ts_nanos);
+    Ok(records)
+}
+
+/// Parses `sim:` parameters: `SCENARIO[,seed=N][,secs=N]`.
+fn parse_sim_spec(spec: &str) -> Result<(String, u64, u64), String> {
+    let mut parts = spec.split(',');
+    let name = parts.next().unwrap_or("").trim();
+    if name.is_empty() {
+        return Err("sim: spec needs a scenario (validation|p2p|multi|churn)".into());
+    }
+    let (mut seed, mut secs) = (7u64, 60u64);
+    for part in parts {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad sim option {part:?} (expected key=value)"))?;
+        let v: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("sim option {key}={value:?} is not a number"))?;
+        match key.trim() {
+            "seed" => seed = v,
+            "secs" => secs = v,
+            other => return Err(format!("unknown sim option {other:?} (seed|secs)")),
+        }
+    }
+    Ok((name.to_string(), seed, secs))
+}
+
+/// Builds the source for one spec. `follow` applies to pcap sources
+/// only: a followed file keeps being polled until it has been quiet for
+/// the configured idle-exit.
+pub fn build_source(
+    spec: &str,
+    follow: Option<FollowConfig>,
+) -> Result<Box<dyn PacketSource>, String> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad source {spec:?} (expected pcap:PATH or sim:SPEC)"))?;
+    match kind {
+        "pcap" => {
+            let mut src = PcapFileSource::open(rest).map_err(|e| e.to_string())?;
+            if let Some(cfg) = follow {
+                src = src.follow(cfg);
+            }
+            Ok(Box::new(src))
+        }
+        "sim" => {
+            let (name, seed, secs) = parse_sim_spec(rest)?;
+            let records = scenario_records(&name, seed, secs)?;
+            let (mut handle, source) =
+                live_ring(&format!("sim:{rest}"), LinkType::Ethernet, 8);
+            // The feeder thread stands in for the kernel side of a live
+            // ring: it pushes batches losslessly (the generator can
+            // wait; a real NIC cannot) and exits when the consuming
+            // source is dropped.
+            std::thread::spawn(move || {
+                let mut batch = handle.take_batch();
+                for r in &records {
+                    if batch.len() >= BATCH_RECORDS {
+                        match handle.push_batch_blocking(batch) {
+                            Ok(()) => batch = handle.take_batch(),
+                            Err(_) => return, // consumer gone
+                        }
+                    }
+                    batch.push(r.ts_nanos, r.orig_len, &r.data);
+                }
+                if !batch.is_empty() {
+                    let _ = handle.push_batch_blocking(batch);
+                }
+            });
+            Ok(Box::new(source))
+        }
+        other => Err(format!(
+            "unknown source kind {other:?} (expected pcap:PATH or sim:SPEC)"
+        )),
+    }
+}
+
+/// Builds the full source list for a command invocation: every
+/// `--source` spec in order, preceded by the legacy positional input (as
+/// a pcap source) when one was given.
+pub fn build_sources(
+    positional: &[String],
+    specs: &[(String, String)],
+    follow: Option<FollowConfig>,
+) -> Result<Vec<Box<dyn PacketSource>>, String> {
+    let mut sources = Vec::new();
+    for input in positional {
+        sources.push(build_source(&format!("pcap:{input}"), follow)?);
+    }
+    for (_, spec) in specs {
+        sources.push(build_source(spec, follow)?);
+    }
+    if sources.is_empty() {
+        return Err("no input: give a pcap path or at least one --source".into());
+    }
+    Ok(sources)
+}
+
+/// Parse `--ring-cap` / `--lossy` into the fan-in configuration.
+/// Defaults to lossless (`Overflow::Block`): file replay can wait, so
+/// reports stay deterministic. `--lossy` switches to live semantics —
+/// full rings drop batches with exact `ring_full_drops` accounting.
+pub fn mux_flags(flags: &HashMap<String, String>) -> Result<MuxConfig, String> {
+    let ring_capacity = match flags.get("ring-cap") {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| format!("--ring-cap expects a positive batch count, got {v:?}"))?,
+        None => MuxConfig::default().ring_capacity,
+    };
+    let overflow = if flags.contains_key("lossy") {
+        Overflow::Drop
+    } else {
+        Overflow::Block
+    };
+    Ok(MuxConfig {
+        ring_capacity,
+        overflow,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_spec_parses_options() {
+        assert_eq!(
+            parse_sim_spec("p2p,seed=3,secs=20").unwrap(),
+            ("p2p".into(), 3, 20)
+        );
+        assert_eq!(parse_sim_spec("multi").unwrap(), ("multi".into(), 7, 60));
+        assert!(parse_sim_spec("").is_err());
+        assert!(parse_sim_spec("p2p,bogus=1").is_err());
+        assert!(parse_sim_spec("p2p,seed=x").is_err());
+    }
+
+    #[test]
+    fn bad_specs_error() {
+        assert!(build_source("nocolon", None).is_err());
+        assert!(build_source("ftp:whatever", None).is_err());
+        assert!(build_source("pcap:/definitely/not/there.pcap", None).is_err());
+        assert!(build_source("sim:unknown-scenario", None).is_err());
+    }
+
+    #[test]
+    fn sim_source_delivers_scenario_records() {
+        use zoom_wire::handoff::RecordBatch;
+
+        let expected = scenario_records("p2p", 3, 5).unwrap();
+        let mut src = build_source("sim:p2p,seed=3,secs=5", None).unwrap();
+        assert_eq!(src.label(), "sim:p2p,seed=3,secs=5");
+        let mut got = 0usize;
+        let mut batch = RecordBatch::new();
+        loop {
+            batch.clear();
+            let live = src.next_batch(&mut batch).unwrap();
+            got += batch.len();
+            if !live {
+                break;
+            }
+        }
+        assert_eq!(got, expected.len());
+    }
+}

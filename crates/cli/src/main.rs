@@ -2,10 +2,15 @@
 //! software analysis tools the paper released alongside the study.
 //!
 //! ```text
-//! zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--window DUR]
+//! zoom-tools analyze  [in.pcap] [--source pcap:FILE|sim:SPEC]... [--campus CIDR]
+//!                     [--shards N] [--ring-cap N] [--lossy] [--window DUR]
 //!                     [--idle-timeout DUR] [--follow] [--idle-exit DUR]
-//!                     [--json] [--features out.csv]
+//!                     [--json] [--features out.csv] [--serve ADDR]
 //!                     [--metrics out.json|out.prom] [--metrics-interval DUR]
+//! zoom-tools capture  <out.pcap> --source pcap:FILE|sim:SPEC [--source ...]
+//!                     [--campus CIDR] [--anonymize KEY] [--no-filter]
+//!                     [--ring-cap N] [--lossy] [--follow] [--idle-exit DUR]
+//!                     [--metrics out.json|out.prom]
 //! zoom-tools dissect  <in.pcap> [--max N]
 //! zoom-tools discover <in.pcap> [--max-offset N]
 //! zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]
@@ -23,9 +28,13 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         zoom-tools analyze  <in.pcap> [--campus CIDR] [--shards N] [--window DUR] [--idle-timeout DUR]\n  \
-                             [--follow] [--idle-exit DUR] [--json] [--features out.csv]\n  \
+         zoom-tools analyze  [in.pcap] [--source pcap:FILE|sim:SPEC]... [--campus CIDR] [--shards N]\n  \
+                             [--ring-cap N] [--lossy] [--window DUR] [--idle-timeout DUR]\n  \
+                             [--follow] [--idle-exit DUR] [--json] [--features out.csv] [--serve ADDR]\n  \
                              [--metrics out.json|out.prom] [--metrics-interval DUR]\n  \
+         zoom-tools capture  <out.pcap> --source pcap:FILE|sim:SPEC [--source ...] [--campus CIDR]\n  \
+                             [--anonymize KEY] [--no-filter] [--ring-cap N] [--lossy]\n  \
+                             [--follow] [--idle-exit DUR] [--metrics out.json|out.prom]\n  \
          zoom-tools dissect  <in.pcap> [--max N]\n  \
          zoom-tools discover <in.pcap> [--max-offset N]\n  \
          zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY] [--metrics out.json]\n  \
@@ -42,6 +51,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "analyze" => cmd::analyze::run(rest),
+        "capture" => cmd::capture::run(rest),
         "dissect" => cmd::dissect::run(rest),
         "discover" => cmd::discover::run(rest),
         "filter" => cmd::filter::run(rest),

@@ -32,7 +32,7 @@
 use crate::report::JsonObj;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use zoom_wire::dissect::DropStage;
 use zoom_wire::zoom::MediaType;
 
@@ -824,6 +824,40 @@ pub struct PipelineMetrics {
 
     /// Live QoE series, labeled per meeting and media type.
     pub qoe: QoeMetrics,
+
+    /// Per-source capture-side accounting, one entry per registered
+    /// packet source (see [`PipelineMetrics::register_source`]). Empty
+    /// unless a multi-source capture front-end feeds this sink.
+    sources: Mutex<Vec<Arc<SourceMetrics>>>,
+}
+
+/// Capture-side accounting for one packet source feeding the pipeline.
+///
+/// Registered on a [`PipelineMetrics`] via
+/// [`register_source`](PipelineMetrics::register_source); the capture
+/// thread keeps the returned `Arc` and bumps the counters lock-free. The
+/// drop counter participates in the conservation invariant: packets a
+/// source captured either reach the sink (`packets_in`) or are dropped at
+/// a full hand-off ring (`ring_full_drops`), never silently lost.
+#[derive(Debug)]
+pub struct SourceMetrics {
+    label: String,
+    /// Records this source's capture thread pulled off the source.
+    pub packets: Counter,
+    /// Captured bytes across those records.
+    pub bytes: Counter,
+    /// Batches handed to (or dropped at) the fan-in ring.
+    pub batches: Counter,
+    /// Records dropped because the hand-off ring was full (lossy
+    /// overflow policy only; the lossless policy blocks instead).
+    pub ring_full_drops: Counter,
+}
+
+impl SourceMetrics {
+    /// The source's display label (e.g. `pcap:trace.pcap` or `sim:p2p`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
 }
 
 impl PipelineMetrics {
@@ -856,7 +890,28 @@ impl PipelineMetrics {
             stage_merge_nanos: Histogram::new(STAGE_LATENCY_BOUNDS),
             stage_checkpoint_nanos: Histogram::new(STAGE_LATENCY_BOUNDS),
             qoe: QoeMetrics::new(QOE_SERIES_CAP),
+            sources: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers a packet source and returns its zeroed counter block.
+    ///
+    /// Called once per source at capture start (off the hot path, hence
+    /// the mutex); the capture thread then updates the returned counters
+    /// lock-free. Sources appear in [`MetricsSnapshot::sources`] in
+    /// registration order and, once any source is registered, the
+    /// conservation invariant additionally checks that every captured
+    /// record either reached the sink or was counted as a ring drop.
+    pub fn register_source(&self, label: &str) -> Arc<SourceMetrics> {
+        let m = Arc::new(SourceMetrics {
+            label: label.to_string(),
+            packets: Counter::new(),
+            bytes: Counter::new(),
+            batches: Counter::new(),
+            ring_full_drops: Counter::new(),
+        });
+        self.sources.lock().unwrap().push(Arc::clone(&m));
+        m
     }
 
     /// Count one dissect rejection at its [`DropStage`].
@@ -925,6 +980,19 @@ impl PipelineMetrics {
             stage_checkpoint_nanos: self.stage_checkpoint_nanos.snapshot(),
             qoe: self.qoe.snapshot(),
             capture: None,
+            sources: self
+                .sources
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|s| SourceSnapshot {
+                    label: s.label.clone(),
+                    packets: s.packets.get(),
+                    bytes: s.bytes.get(),
+                    batches: s.batches.get(),
+                    ring_full_drops: s.ring_full_drops.get(),
+                })
+                .collect(),
         }
     }
 }
@@ -1027,6 +1095,24 @@ pub struct MetricsSnapshot {
     /// Capture-filter verdict counters, when the capture stage ran in
     /// the same process (`cli filter --metrics`).
     pub capture: Option<CaptureMetricsSnapshot>,
+    /// Per-source capture accounting, one entry per registered packet
+    /// source (empty for plain single-file ingest).
+    pub sources: Vec<SourceSnapshot>,
+}
+
+/// Plain-data copy of one source's capture-side counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSnapshot {
+    /// The source's display label (e.g. `pcap:trace.pcap`).
+    pub label: String,
+    /// Records the capture thread pulled off this source.
+    pub packets: u64,
+    /// Captured bytes across those records.
+    pub bytes: u64,
+    /// Batches handed to (or dropped at) the fan-in ring.
+    pub batches: u64,
+    /// Records dropped at a full hand-off ring.
+    pub ring_full_drops: u64,
 }
 
 impl MetricsSnapshot {
@@ -1039,11 +1125,30 @@ impl MetricsSnapshot {
             + self.drop_malformed
     }
 
+    /// Sum of records captured across all registered sources.
+    pub fn source_packets_total(&self) -> u64 {
+        self.sources.iter().map(|s| s.packets).sum()
+    }
+
+    /// Sum of ring-full capture drops across all registered sources.
+    pub fn ring_full_drops_total(&self) -> u64 {
+        self.sources.iter().map(|s| s.ring_full_drops).sum()
+    }
+
     /// The conservation invariant every sink maintains once ingest has
     /// quiesced: every offered record is classified, counted not-Zoom, or
-    /// attributed to exactly one drop stage.
+    /// attributed to exactly one drop stage. When capture sources are
+    /// registered the invariant extends upstream: every captured record
+    /// either reached the sink or was counted as a ring-full drop, so
+    /// `Σ source_packets == packets_classified + packets_not_zoom +
+    /// Σ dissect drops + Σ ring_full_drops` — capture loss is part of the
+    /// ledger, never silent.
     pub fn conservation_holds(&self) -> bool {
-        self.packets_in == self.packets_classified + self.packets_not_zoom + self.drops_total()
+        let sink_ok =
+            self.packets_in == self.packets_classified + self.packets_not_zoom + self.drops_total();
+        let capture_ok = self.sources.is_empty()
+            || self.source_packets_total() == self.packets_in + self.ring_full_drops_total();
+        sink_ok && capture_ok
     }
 
     /// Serialize as one NDJSON-friendly line, tagged `"type":"metrics"`.
@@ -1123,6 +1228,23 @@ impl MetricsSnapshot {
                 .u64("passed_bytes", c.passed_bytes)
                 .u64("total_bytes", c.total_bytes);
             o.raw("capture", &cap.finish());
+        }
+        if !self.sources.is_empty() {
+            let mut buf = String::from("[");
+            for (i, s) in self.sources.iter().enumerate() {
+                if i > 0 {
+                    buf.push(',');
+                }
+                let mut so = JsonObj::new();
+                so.str("source", &s.label)
+                    .u64("packets", s.packets)
+                    .u64("bytes", s.bytes)
+                    .u64("batches", s.batches)
+                    .u64("ring_full_drops", s.ring_full_drops);
+                buf.push_str(&so.finish());
+            }
+            buf.push(']');
+            o.raw("sources", &buf);
         }
         o.finish()
     }
@@ -1339,6 +1461,42 @@ impl MetricsSnapshot {
                     family(&mut out2, name, "counter", help, v);
                 }
             }
+
+            if !self.sources.is_empty() {
+                for (name, help, get) in [
+                    (
+                        "zoom_source_packets_total",
+                        "Records pulled off each capture source.",
+                        (|s| s.packets) as fn(&SourceSnapshot) -> u64,
+                    ),
+                    (
+                        "zoom_source_bytes_total",
+                        "Captured bytes across each source's records.",
+                        |s| s.bytes,
+                    ),
+                    (
+                        "zoom_source_batches_total",
+                        "Batches each source handed to the fan-in ring.",
+                        |s| s.batches,
+                    ),
+                    (
+                        "zoom_source_ring_full_drops_total",
+                        "Records dropped at a full hand-off ring, per source.",
+                        |s| s.ring_full_drops,
+                    ),
+                ] {
+                    let _ = writeln!(out2, "# HELP {name} {help}");
+                    let _ = writeln!(out2, "# TYPE {name} counter");
+                    for s in &self.sources {
+                        let _ = writeln!(
+                            out2,
+                            "{name}{} {}",
+                            prom_labels(&["source"], std::slice::from_ref(&s.label)),
+                            get(s)
+                        );
+                    }
+                }
+            }
         }
         out2
     }
@@ -1442,6 +1600,52 @@ mod tests {
         assert_eq!(s.drops_total(), 1);
         assert!(s.conservation_holds());
         m.record_drop(DropStage::Truncated);
+        assert!(!m.snapshot().conservation_holds());
+    }
+
+    #[test]
+    fn source_registry_extends_conservation_and_renders() {
+        let m = PipelineMetrics::new(0);
+        // No sources: the families are absent from both renders.
+        let s = m.snapshot();
+        assert!(s.sources.is_empty());
+        assert!(!s.to_prom().contains("zoom_source_packets_total"));
+        assert!(!s.to_json().contains("\"sources\""));
+
+        let tap = m.register_source("pcap:a.pcap");
+        let live = m.register_source("sim:p2p");
+        // tap captured 3 records; all reached the sink.
+        tap.packets.add(3);
+        tap.bytes.add(300);
+        tap.batches.inc();
+        // live captured 4 records; one was dropped at a full ring.
+        live.packets.add(4);
+        live.bytes.add(400);
+        live.batches.add(2);
+        live.ring_full_drops.inc();
+        for _ in 0..6 {
+            m.record_in(100);
+        }
+        m.packets_classified.add(5);
+        m.packets_not_zoom.inc();
+
+        let s = m.snapshot();
+        assert_eq!(s.source_packets_total(), 7);
+        assert_eq!(s.ring_full_drops_total(), 1);
+        // 7 captured == 6 offered to the sink + 1 ring drop, and the
+        // sink-side ledger balances too.
+        assert!(s.conservation_holds());
+
+        let prom = s.to_prom();
+        assert!(prom.contains("zoom_source_packets_total{source=\"pcap:a.pcap\"} 3"));
+        assert!(prom.contains("zoom_source_ring_full_drops_total{source=\"sim:p2p\"} 1"));
+        let json = s.to_json();
+        assert!(json.contains("\"sources\":[{\"source\":\"pcap:a.pcap\""));
+        assert!(json.contains("\"ring_full_drops\":1"));
+
+        // An unaccounted capture loss breaks the extended invariant even
+        // though the sink-side ledger still balances.
+        live.packets.inc();
         assert!(!m.snapshot().conservation_holds());
     }
 

@@ -82,6 +82,21 @@ impl ParallelAnalyzer {
         self.shard_count
     }
 
+    /// Shared handle to the pipeline-wide observability registry (the
+    /// router's, shared by every shard), for wiring capture-side source
+    /// accounting or a metrics endpoint to the same registry.
+    ///
+    /// # Panics
+    /// Panics if called after the engine was drained and the drain
+    /// failed — no registry survives a shard panic.
+    pub fn metrics_handle(&self) -> std::sync::Arc<PipelineMetrics> {
+        match (&self.engine, &self.output) {
+            (Some(engine), _) => engine.metrics_handle(),
+            (None, Some(out)) => out.analyzer.metrics_handle(),
+            (None, None) => panic!("metrics_handle called after a failed drain"),
+        }
+    }
+
     /// Route one packet from a borrowed byte slice — the zero-copy path
     /// behind [`PacketSink::push`], for
     /// [`zoom_wire::pcap::Reader::read_into`] /

@@ -372,6 +372,14 @@ impl Analyzer {
         }
     }
 
+    /// Shared handle to this analyzer's observability registry
+    /// ([`crate::obs`]), for wiring capture-side accounting (source
+    /// registration, ring-drop counters) or a metrics endpoint to the
+    /// same registry the sink updates.
+    pub fn metrics_handle(&self) -> Arc<PipelineMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// A shard-mode analyzer for [`crate::parallel::ParallelAnalyzer`]:
     /// identical to [`Analyzer::new`] except that cross-flow state is
     /// logged as [`MediaEvent`]s for the merge-time replay, and the

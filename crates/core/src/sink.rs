@@ -56,6 +56,7 @@
 use crate::error::Error;
 use crate::obs::MetricsSnapshot;
 use crate::report::{AnalysisReport, WindowReport};
+use zoom_wire::handoff::RecordBatch;
 use zoom_wire::pcap::LinkType;
 
 /// A packet-ingest sink: feed it capture records, finish it into an
@@ -70,6 +71,18 @@ pub trait PacketSink {
     /// in the sink's drop metrics and the call returns `Ok(())`. `Err` is
     /// reserved for sink-level failures (e.g. a dead shard worker).
     fn push(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) -> Result<(), Error>;
+
+    /// Ingest a whole capture hand-off batch
+    /// ([`zoom_wire::handoff::RecordBatch`], the unit a
+    /// `zoom-capture` fan-in ring carries) of records sharing one link
+    /// type. Provided: the default loops [`push`](PacketSink::push) over
+    /// the borrowed records and stops at the first sink-level error.
+    fn push_batch(&mut self, batch: &RecordBatch, link: LinkType) -> Result<(), Error> {
+        for r in batch.iter() {
+            self.push(r.ts_nanos, r.data, link)?;
+        }
+        Ok(())
+    }
 
     /// Drain window reports completed by previous [`push`](PacketSink::push)
     /// calls. Batch sinks never produce any; the streaming engine yields

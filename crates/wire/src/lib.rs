@@ -11,6 +11,9 @@
 //! * Zoom's proprietary encapsulations: [`zoom`] (Zoom SFU Encapsulation and
 //!   Zoom Media Encapsulation, Table 1/2 + Fig. 7 of the paper)
 //! * Trace I/O: [`pcap`] (classic libpcap format, µs and ns resolution)
+//! * Capture hand-off: [`handoff`] (arena-packed record batches for
+//!   crossing capture→analysis thread boundaries without per-packet
+//!   allocation)
 //! * A full-stack dissector: [`dissect`] (the library equivalent of the
 //!   paper's Wireshark plugin, Appendix C)
 //!
@@ -49,6 +52,7 @@ pub mod compose;
 pub mod dissect;
 pub mod ethernet;
 pub mod flow;
+pub mod handoff;
 pub mod ipv4;
 pub mod ipv6;
 pub mod pcap;

@@ -14,11 +14,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
 use zoom_analysis::PacketSink;
+use zoom_capture::fragment::FragmentSource;
 use zoom_capture::mux::{CaptureMux, MuxConfig, Overflow};
 use zoom_capture::source::{PacketSource, ReplaySource};
 use zoom_sim::meeting::MeetingSim;
 use zoom_sim::scenario;
 use zoom_sim::time::SEC;
+use zoom_wire::frame::{FrameWriter, Totals};
+use zoom_wire::handoff::RecordBatch;
 use zoom_wire::pcap::{LinkType, Reader, Record, RecordBuf, SliceReader, Writer};
 
 /// Counts every heap allocation (and growth) made by the process so the
@@ -248,6 +251,89 @@ fn analyze_multi_source(records: &[Record], n_sources: usize) -> (u64, f64, f64)
     (n, n as f64 / secs, fanin_allocs as f64 / n as f64)
 }
 
+/// Encode the trace dealt round-robin to `n` workers as in-memory
+/// fragment streams — the wire image a `analyze --emit-fragments`
+/// worker ships (untimed setup; streams are rebuilt per run).
+fn deal_fragment_streams(records: &[Record], n: usize) -> Vec<Vec<u8>> {
+    let mut parts = vec![Vec::new(); n];
+    for (i, r) in records.iter().enumerate() {
+        parts[i % n].push(r.clone());
+    }
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| {
+            let mut w = FrameWriter::new(Vec::new(), &format!("bench:{i}"), LinkType::Ethernet)
+                .expect("frame header");
+            let mut batch = RecordBatch::new();
+            let mut bytes = 0u64;
+            let mut frames = 0u64;
+            for chunk in part.chunks(64) {
+                batch.clear();
+                for r in chunk {
+                    batch.push(r.ts_nanos, r.orig_len, &r.data);
+                    bytes += r.data.len() as u64;
+                }
+                w.write_batch(&batch).expect("records frame");
+                frames += 1;
+            }
+            w.finish(Totals {
+                packets: part.len() as u64,
+                bytes,
+                batches: frames,
+                ring_full_drops: 0,
+                truncated: 0,
+            })
+            .expect("bye frame")
+        })
+        .collect()
+}
+
+fn fragment_sources(streams: Vec<Vec<u8>>) -> Vec<Box<dyn PacketSource>> {
+    streams
+        .into_iter()
+        .map(|s| {
+            Box::new(FragmentSource::open(std::io::Cursor::new(s)).expect("stream header"))
+                as Box<dyn PacketSource>
+        })
+        .collect()
+}
+
+/// One measured merge-node run: `n_workers` wire-framed fragment
+/// streams decoded by `FragmentSource` lanes and merged through the
+/// fan-in. Same two-pass shape as [`analyze_multi_source`] so the
+/// numbers are comparable — the delta against `multi_source` is the
+/// cost of the wire protocol (frame decode + accounting).
+fn analyze_merge_fragments(records: &[Record], n_workers: usize) -> (u64, f64, f64) {
+    // Pass 1, merge only: decode + fan-in allocations per record.
+    let sources = fragment_sources(deal_fragment_streams(records, n_workers));
+    let a0 = allocs();
+    let mut mux = start_mux(sources);
+    let mut sum = 0usize;
+    while let Some(r) = mux.next_record().expect("mux record") {
+        sum += r.data.len();
+    }
+    mux.finish().expect("capture teardown");
+    let fanin_allocs = allocs() - a0;
+    black_box(sum);
+
+    // Pass 2, merged stream feeding the sequential analyzer.
+    let sources = fragment_sources(deal_fragment_streams(records, n_workers));
+    let mut analyzer = Analyzer::new(AnalyzerConfig::default());
+    let t0 = Instant::now();
+    let mut mux = start_mux(sources);
+    let mut n = 0u64;
+    while let Some(r) = mux.next_record().expect("mux record") {
+        analyzer.push(r.ts_nanos, r.data, r.link).expect("push");
+        n += 1;
+    }
+    assert_eq!(mux.ring_full_drops(), 0, "lossless rings must not drop");
+    mux.finish().expect("capture teardown");
+    let secs = t0.elapsed().as_secs_f64();
+    black_box(analyzer.summary().zoom_packets);
+    (n, n as f64 / secs, fanin_allocs as f64 / n as f64)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -310,6 +396,16 @@ fn main() {
          {multi_allocs:.4} fan-in allocs/record (setup amortized)"
     );
 
+    // Distributed merge path: the same deal, but each worker's records
+    // travel through the wire-framed fragment protocol before the
+    // fan-in — the merge node's ingest cost.
+    let (fn_, frag_rate, frag_allocs) = analyze_merge_fragments(&records, 2);
+    assert_eq!(fn_, records.len() as u64, "fragment merge lost records");
+    eprintln!(
+        "[bench_ingest] merge_fragments  pipeline {frag_rate:>10.0} pkts/s  \
+         {frag_allocs:.4} decode+fan-in allocs/record (setup amortized)"
+    );
+
     let mut json = String::with_capacity(1024);
     json.push_str("{\n");
     json.push_str("  \"bench\": \"ingest\",\n");
@@ -333,8 +429,13 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"multi_source\": {{\"sources\": 2, \"pipeline_pkts_per_sec\": {:.1}, \
-         \"fanin_allocs_per_record\": {:.6}}}\n",
+         \"fanin_allocs_per_record\": {:.6}}},\n",
         multi_rate, multi_allocs,
+    ));
+    json.push_str(&format!(
+        "  \"merge_fragments\": {{\"workers\": 2, \"pipeline_pkts_per_sec\": {:.1}, \
+         \"fanin_allocs_per_record\": {:.6}}}\n",
+        frag_rate, frag_allocs,
     ));
     json.push_str("}\n");
 

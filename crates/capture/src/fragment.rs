@@ -1,0 +1,282 @@
+//! [`FragmentSource`] — a [`PacketSource`] fed by a worker's wire-framed
+//! fragment stream (`zoom_wire::frame`), the merge-node half of the
+//! distributed shard tier.
+//!
+//! On the merge node every connected worker (a TCP connection in
+//! `merge --listen` mode, a spooled file in `merge FILES...` mode)
+//! becomes one `FragmentSource` lane in the ordinary
+//! [`CaptureMux`](crate::mux::CaptureMux) fan-in. The records a worker
+//! shipped are therefore merged by the exact deterministic `(ts, lane)`
+//! rule the in-process multi-source path uses, which is what makes the
+//! distributed analysis byte-identical to a single-process run
+//! (`tests/distributed_differential.rs`; operator docs in
+//! `docs/DISTRIBUTED.md`).
+//!
+//! Besides records, the stream carries the worker's own capture-side
+//! accounting (cumulative `Totals` in Accounting/Bye frames). The source
+//! mirrors the latest totals into a shared [`WorkerAccount`] so the
+//! merge process can fold `zoom_worker_*` metrics into its conservation
+//! invariant while the capture thread owns the source exclusively.
+
+use crate::source::{PacketSource, SourceError};
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use zoom_wire::frame::{FrameEvent, FrameReader, Totals};
+use zoom_wire::handoff::RecordBatch;
+use zoom_wire::pcap::LinkType;
+
+/// Shared view of one worker's self-reported accounting, updated by the
+/// capture thread as Accounting/Bye frames arrive and read by the merge
+/// process for `zoom_worker_*` metrics.
+#[derive(Debug, Default)]
+pub struct WorkerAccount {
+    /// Records the worker reported capturing (cumulative).
+    pub packets: AtomicU64,
+    /// Captured bytes the worker reported (cumulative).
+    pub bytes: AtomicU64,
+    /// Batches the worker's fan-in handled (cumulative).
+    pub batches: AtomicU64,
+    /// Records the worker dropped at its own full capture rings.
+    pub ring_full_drops: AtomicU64,
+    /// Records the worker's sources dropped (torn pcap tails).
+    pub truncated: AtomicU64,
+    /// Records actually decoded out of this worker's Records frames.
+    pub records_received: AtomicU64,
+    /// Whether the stream ended with a proper Bye frame.
+    pub complete: AtomicBool,
+}
+
+impl WorkerAccount {
+    fn apply(&self, t: Totals) {
+        self.packets.store(t.packets, Ordering::Release);
+        self.bytes.store(t.bytes, Ordering::Release);
+        self.batches.store(t.batches, Ordering::Release);
+        self.ring_full_drops.store(t.ring_full_drops, Ordering::Release);
+        self.truncated.store(t.truncated, Ordering::Release);
+    }
+
+    /// Plain-data copy of the worker's latest reported totals.
+    pub fn totals(&self) -> Totals {
+        Totals {
+            packets: self.packets.load(Ordering::Acquire),
+            bytes: self.bytes.load(Ordering::Acquire),
+            batches: self.batches.load(Ordering::Acquire),
+            ring_full_drops: self.ring_full_drops.load(Ordering::Acquire),
+            truncated: self.truncated.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// A [`PacketSource`] decoding one worker's fragment stream.
+///
+/// `next_batch` appends the records of the next Records frame to the
+/// caller's batch; Accounting frames update the shared
+/// [`WorkerAccount`] in passing. The source reports exhaustion at the
+/// Bye frame; EOF *before* Bye surfaces as a [`SourceError::Format`] so
+/// a half-shipped worker can never silently pass for complete.
+pub struct FragmentSource<R: Read + Send> {
+    label: String,
+    reader: FrameReader<R>,
+    account: Arc<WorkerAccount>,
+    /// Records to silently discard before delivering any — used by
+    /// checkpoint restore to skip work a previous incarnation already
+    /// consumed, without the workers resending history.
+    skip: u64,
+}
+
+impl<R: Read + Send> FragmentSource<R> {
+    /// Wraps an already-validated frame stream. The source's label is
+    /// `worker:<hello label>` so merge-side per-source metrics are
+    /// attributable to the worker that shipped them.
+    pub fn new(reader: FrameReader<R>) -> FragmentSource<R> {
+        FragmentSource {
+            label: format!("worker:{}", reader.label()),
+            reader,
+            account: Arc::new(WorkerAccount::default()),
+            skip: 0,
+        }
+    }
+
+    /// Validates the stream header on `input` and wraps the stream.
+    pub fn open(input: R) -> Result<FragmentSource<R>, SourceError> {
+        let reader = FrameReader::new(input)
+            .map_err(|e| SourceError::Format(format!("fragment stream header: {e}")))?;
+        Ok(FragmentSource::new(reader))
+    }
+
+    /// The worker's self-reported accounting, shared with the merge
+    /// process (clone the `Arc` before handing the source to the mux).
+    pub fn account(&self) -> Arc<WorkerAccount> {
+        Arc::clone(&self.account)
+    }
+
+    /// The worker label from the Hello frame (without the `worker:`
+    /// prefix the source label carries).
+    pub fn worker_label(&self) -> &str {
+        self.reader.label()
+    }
+
+    /// Discard the first `n` records instead of delivering them —
+    /// checkpoint restore replays a journal deterministically while a
+    /// previous incarnation's consumed prefix stays consumed.
+    pub fn skip_records(mut self, n: u64) -> FragmentSource<R> {
+        self.skip = n;
+        self
+    }
+}
+
+impl<R: Read + Send> PacketSource for FragmentSource<R> {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn link_type(&self) -> LinkType {
+        self.reader.link_type()
+    }
+
+    fn next_batch(&mut self, batch: &mut RecordBatch) -> Result<bool, SourceError> {
+        loop {
+            let event = self
+                .reader
+                .next(batch)
+                .map_err(|e| SourceError::Format(format!("fragment stream: {e}")))?;
+            match event {
+                Some(FrameEvent::Records { count }) => {
+                    self.account
+                        .records_received
+                        .fetch_add(count as u64, Ordering::AcqRel);
+                    if self.skip > 0 {
+                        // Drop the skipped prefix. Frames are decoded
+                        // append-only, so a partial skip re-pushes the
+                        // surviving tail of this frame.
+                        let skipped = (self.skip.min(count as u64)) as usize;
+                        self.skip -= skipped as u64;
+                        let start = batch.len() - count as usize;
+                        let kept: Vec<(u64, u32, Vec<u8>)> = (0..batch.len())
+                            .filter(|i| *i < start || *i >= start + skipped)
+                            .map(|i| {
+                                let r = batch.get(i).expect("index in bounds");
+                                (r.ts_nanos, r.orig_len, r.data.to_vec())
+                            })
+                            .collect();
+                        batch.clear();
+                        for (ts, orig, data) in &kept {
+                            batch.push(*ts, *orig, data);
+                        }
+                        if batch.is_empty() {
+                            continue;
+                        }
+                    }
+                    return Ok(true);
+                }
+                Some(FrameEvent::Accounting(t)) => self.account.apply(t),
+                Some(FrameEvent::Bye(t)) => {
+                    self.account.apply(t);
+                    self.account.complete.store(true, Ordering::Release);
+                    return Ok(false);
+                }
+                None => {
+                    return Err(SourceError::Format(format!(
+                        "{}: stream ended before Bye (worker cut off)",
+                        self.label
+                    )))
+                }
+            }
+        }
+    }
+
+    fn truncated_records(&self) -> u64 {
+        self.account.truncated.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoom_wire::frame::FrameWriter;
+
+    fn stream(records: &[(u64, &[u8])], per_frame: usize) -> Vec<u8> {
+        let mut w = FrameWriter::new(Vec::new(), "t0", LinkType::Ethernet).unwrap();
+        let mut batch = RecordBatch::new();
+        let mut bytes = 0u64;
+        for chunk in records.chunks(per_frame) {
+            batch.clear();
+            for (ts, data) in chunk {
+                batch.push(*ts, data.len() as u32, data);
+                bytes += data.len() as u64;
+            }
+            w.write_batch(&batch).unwrap();
+        }
+        w.finish(Totals {
+            packets: records.len() as u64,
+            bytes,
+            batches: records.len().div_ceil(per_frame) as u64,
+            ring_full_drops: 0,
+            truncated: 0,
+        })
+        .unwrap()
+    }
+
+    fn drain(src: &mut FragmentSource<&[u8]>) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut batch = RecordBatch::new();
+        loop {
+            batch.clear();
+            let live = src.next_batch(&mut batch).unwrap();
+            out.extend(batch.iter().map(|r| r.ts_nanos));
+            if !live {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn delivers_records_and_final_accounting() {
+        let data = stream(&[(1, &[0xAA; 60][..]), (2, &[0xBB; 61]), (3, &[0xCC; 62])], 2);
+        let mut src = FragmentSource::open(&data[..]).unwrap();
+        assert_eq!(src.label(), "worker:t0");
+        assert_eq!(src.worker_label(), "t0");
+        let account = src.account();
+        assert_eq!(drain(&mut src), vec![1, 2, 3]);
+        assert!(account.complete.load(Ordering::Acquire));
+        let t = account.totals();
+        assert_eq!((t.packets, t.bytes, t.batches), (3, 183, 2));
+        assert_eq!(account.records_received.load(Ordering::Acquire), 3);
+    }
+
+    #[test]
+    fn cut_stream_surfaces_an_error() {
+        let data = stream(&[(1, &[0xAA; 60][..]), (2, &[0xBB; 60])], 1);
+        // Drop the Bye frame (and a bit more) off the tail.
+        let cut = &data[..data.len() - 45];
+        let mut src = FragmentSource::open(cut).unwrap();
+        let mut batch = RecordBatch::new();
+        let err = loop {
+            batch.clear();
+            match src.next_batch(&mut batch) {
+                Ok(true) => continue,
+                Ok(false) => panic!("cut stream passed for complete"),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("Bye") || err.to_string().contains("truncated"));
+        assert!(!src.account().complete.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn skip_records_discards_exactly_the_prefix() {
+        let records: Vec<(u64, Vec<u8>)> = (0..10u64).map(|i| (i, vec![i as u8; 60])).collect();
+        let borrowed: Vec<(u64, &[u8])> = records.iter().map(|(t, d)| (*t, &d[..])).collect();
+        for per_frame in [1usize, 3, 10] {
+            for skip in [0u64, 1, 4, 9, 10] {
+                let data = stream(&borrowed, per_frame);
+                let mut src = FragmentSource::open(&data[..]).unwrap().skip_records(skip);
+                let got = drain(&mut src);
+                let want: Vec<u64> = (skip..10).collect();
+                assert_eq!(got, want, "per_frame={per_frame} skip={skip}");
+            }
+        }
+    }
+}

@@ -31,16 +31,23 @@
 //!   ([`CaptureMux`](mux::CaptureMux)): one capture thread per source,
 //!   a deterministic timestamp merge on the consuming side, and exact
 //!   `ring_full_drops` accounting threaded into
-//!   [`zoom_analysis::obs`].
+//!   [`zoom_analysis::obs`],
+//! * [`spec`] — the typed [`SourceSpec`](spec::SourceSpec) grammar the
+//!   CLI parses `--source` values with,
+//! * [`fragment`] — the merge-node [`FragmentSource`](fragment::FragmentSource)
+//!   decoding a remote worker's wire-framed fragment stream into the
+//!   same fan-in (`docs/DISTRIBUTED.md`).
 
 #![warn(missing_docs)]
 
 pub mod anonymize;
 pub mod cidr;
+pub mod fragment;
 pub mod mux;
 pub mod pipeline;
 pub mod resources;
 pub mod ring;
 pub mod source;
+pub mod spec;
 pub mod stun_tracker;
 pub mod zoom_nets;

@@ -34,9 +34,17 @@
 //! `{"type":"qoe_alert",...}` NDJSON lines with the window reports on
 //! stdout (thresholds: `--qoe-fps-floor`, `--qoe-jitter-ms`,
 //! `--qoe-collapse-ratio`).
+//!
+//! With `--emit-fragments TARGET` the command becomes a distributed
+//! *worker* instead: the captured (and deterministically merged) records
+//! are shipped over the `zoom_wire::frame` protocol — to a `merge
+//! --listen` node when TARGET is a socket address, to a spool file
+//! otherwise — along with this worker's capture accounting, and no local
+//! analysis runs. `--worker-label` names the worker in the merge node's
+//! `zoom_worker_*` metrics. See `docs/DISTRIBUTED.md`.
 
 use super::sources::{build_sources, mux_flags};
-use super::{campus_flag, parse_args_repeat, parse_duration, CmdResult};
+use super::{campus_flag, parse_args_repeat, parse_duration, CliError, CmdResult};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::time::Duration;
@@ -57,7 +65,7 @@ use zoom_wire::zoom::MediaType;
 /// `--metrics-interval` while records flow, and once more at the end.
 /// A `.prom` extension selects the Prometheus text exposition format;
 /// anything else gets the JSON snapshot.
-struct MetricsFile {
+pub(crate) struct MetricsFile {
     path: String,
     prom: bool,
     interval: Duration,
@@ -66,7 +74,9 @@ struct MetricsFile {
 }
 
 impl MetricsFile {
-    fn from_flags(flags: &HashMap<String, String>) -> Result<Option<MetricsFile>, String> {
+    pub(crate) fn from_flags(
+        flags: &HashMap<String, String>,
+    ) -> Result<Option<MetricsFile>, String> {
         let Some(path) = flags.get("metrics") else {
             return Ok(None);
         };
@@ -87,7 +97,7 @@ impl MetricsFile {
     /// Called once per pushed record; rewrites the file when the interval
     /// has elapsed. The clock is only consulted every 256 records so the
     /// per-packet cost stays negligible.
-    fn tick(&mut self, snap: impl FnOnce() -> MetricsSnapshot) -> CmdResult {
+    pub(crate) fn tick(&mut self, snap: impl FnOnce() -> MetricsSnapshot) -> CmdResult {
         self.pushes = self.pushes.wrapping_add(1);
         if !self.pushes.is_multiple_of(256) || self.last.elapsed() < self.interval {
             return Ok(());
@@ -96,7 +106,7 @@ impl MetricsFile {
         self.write(&snap())
     }
 
-    fn write(&mut self, snap: &MetricsSnapshot) -> CmdResult {
+    pub(crate) fn write(&mut self, snap: &MetricsSnapshot) -> CmdResult {
         let body = if self.prom {
             snap.to_prom()
         } else {
@@ -104,7 +114,8 @@ impl MetricsFile {
             json.push('\n');
             json
         };
-        std::fs::write(&self.path, body).map_err(|e| format!("{}: {e}", self.path))
+        std::fs::write(&self.path, body)
+            .map_err(|e| CliError::io(format!("{}: {e}", self.path)))
     }
 }
 
@@ -117,9 +128,11 @@ fn feed_pcap<S: PacketSink, R: std::io::Read>(
     metrics_file: &mut Option<MetricsFile>,
 ) -> CmdResult {
     let mut buf = RecordBuf::new();
-    while reader.read_into(&mut buf).map_err(|e| e.to_string())? {
-        sink.push(buf.ts_nanos(), buf.data(), link)
-            .map_err(|e| e.to_string())?;
+    while reader
+        .read_into(&mut buf)
+        .map_err(|e| CliError::protocol(e.to_string()))?
+    {
+        sink.push(buf.ts_nanos(), buf.data(), link)?;
         if let Some(m) = metrics_file {
             sink.note_pcap_progress(reader.records_read(), reader.bytes_read());
             m.tick(|| sink.metrics())?;
@@ -137,11 +150,10 @@ fn feed_mux<S: PacketSink>(
     metrics_file: &mut Option<MetricsFile>,
 ) -> CmdResult {
     loop {
-        let Some(r) = mux.next_record().map_err(|e| e.to_string())? else {
+        let Some(r) = mux.next_record()? else {
             return Ok(());
         };
-        sink.push(r.ts_nanos, r.data, r.link)
-            .map_err(|e| e.to_string())?;
+        sink.push(r.ts_nanos, r.data, r.link)?;
         if let Some(m) = metrics_file {
             sink.note_pcap_progress(mux.records_delivered(), mux.bytes_delivered());
             m.tick(|| sink.metrics())?;
@@ -152,10 +164,10 @@ fn feed_mux<S: PacketSink>(
 /// Tear down the fan-in after ingest: surface capture errors, fold
 /// source-side truncation into the sink's gauges, and warn like the
 /// single-reader path always has.
-fn finish_mux<S: PacketSink>(mux: CaptureMux, sink: &mut S) -> CmdResult {
+pub(crate) fn finish_mux<S: PacketSink>(mux: CaptureMux, sink: &mut S) -> CmdResult {
     let truncated = mux.truncated_records();
     let drops = mux.ring_full_drops();
-    mux.finish().map_err(|e| e.to_string())?;
+    mux.finish()?;
     sink.note_pcap_truncated(truncated);
     if truncated > 0 {
         eprintln!("warning: {truncated} truncated record(s) at source tails ignored");
@@ -219,8 +231,24 @@ pub fn run(args: &[String]) -> CmdResult {
 
     let config = AnalyzerConfig::builder()
         .campus_prefix(campus.0, campus.1)
-        .build()
-        .map_err(|e| e.to_string())?;
+        .build()?;
+
+    // The fragment-emitting worker path: capture and merge the sources
+    // exactly as analysis would, but ship the merged records (plus this
+    // worker's capture accounting) to a merge node instead of analyzing
+    // them locally. See docs/DISTRIBUTED.md.
+    if let Some(target) = flags.get("emit-fragments") {
+        let follow_cfg = follow.then_some(FollowConfig {
+            poll: Duration::from_millis(200),
+            idle_exit,
+        });
+        let label = flags
+            .get("worker-label")
+            .cloned()
+            .unwrap_or_else(|| "worker".to_string());
+        let sources = build_sources(&pos, &source_specs, follow_cfg)?;
+        return run_emit(sources, target, &label, mux_config);
+    }
 
     let streaming = window.is_some() || idle_timeout.is_some() || follow;
     if qoe.is_some() && window.is_none() {
@@ -260,9 +288,9 @@ pub fn run(args: &[String]) -> CmdResult {
     let [input] = pos.as_slice() else {
         return Err("no input: give a pcap path or at least one --source".into());
     };
-    let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
-    let mut reader =
-        Reader::new(std::io::BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
+    let file = std::fs::File::open(input).map_err(|e| CliError::io(format!("{input}: {e}")))?;
+    let mut reader = Reader::new(std::io::BufReader::new(file))
+        .map_err(|e| CliError::protocol(format!("{input}: {e}")))?;
     let link = reader.link_type();
     // The sharded path produces byte-identical results for any shard
     // count; --shards 1 keeps everything on the calling thread. Both
@@ -272,7 +300,7 @@ pub fn run(args: &[String]) -> CmdResult {
         let mut par = ParallelAnalyzer::new(config, shards);
         feed_pcap(&mut reader, &mut par, link, &mut metrics_file)?;
         par.note_pcap_truncated(reader.truncated_records());
-        ParallelAnalyzer::finish(&mut par).map_err(|e| e.to_string())?;
+        ParallelAnalyzer::finish(&mut par)?;
         if let Some(m) = &mut metrics_file {
             m.write(&par.metrics())?;
         }
@@ -314,7 +342,7 @@ fn run_batch_mux(
         let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
         feed_mux(&mut mux, &mut par, &mut metrics_file)?;
         finish_mux(mux, &mut par)?;
-        ParallelAnalyzer::finish(&mut par).map_err(|e| e.to_string())?;
+        ParallelAnalyzer::finish(&mut par)?;
         if let Some(m) = &mut metrics_file {
             m.write(&par.metrics())?;
         }
@@ -335,7 +363,7 @@ fn run_batch_mux(
 
 /// The human-readable (or `--json`) end-of-run report, shared by the
 /// legacy single-file path and the multi-source fan-in path.
-fn print_report(analyzer: &Analyzer, flags: &HashMap<String, String>) -> CmdResult {
+pub(crate) fn print_report(analyzer: &Analyzer, flags: &HashMap<String, String>) -> CmdResult {
     if flags.contains_key("json") {
         println!("{}", analyzer.report().to_json());
         export_features(analyzer, flags)?;
@@ -455,8 +483,7 @@ fn run_streaming(
         window,
         idle_timeout,
         qoe,
-    })
-    .map_err(|e| e.to_string())?;
+    })?;
 
     // The scrape endpoint holds only the metrics Arc, so it serves live
     // snapshots for the whole run and stops when the handle drops.
@@ -477,10 +504,8 @@ fn run_streaming(
     // next_record blocks (sleeping) while live sources are quiet — a
     // followed pcap keeps its lane alive until its own idle-exit
     // elapses, so follow semantics are per source, not global.
-    while let Some(r) = mux.next_record().map_err(|e| e.to_string())? {
-        engine
-            .push(r.ts_nanos, r.data, r.link)
-            .map_err(|e| e.to_string())?;
+    while let Some(r) = mux.next_record()? {
+        engine.push(r.ts_nanos, r.data, r.link)?;
         let mut wrote = false;
         for w in engine.take_windows() {
             writeln!(out, "{}", w.to_json()).map_err(|e| e.to_string())?;
@@ -506,7 +531,7 @@ fn run_streaming(
     for a in engine.take_alerts() {
         writeln!(out, "{}", a.to_json()).map_err(|e| e.to_string())?;
     }
-    let output = engine.drain().map_err(|e| e.to_string())?;
+    let output = engine.drain()?;
     // The final snapshot is written after drain: only once the shard
     // workers have quiesced does the conservation invariant hold.
     if let Some(m) = &mut metrics_file {
@@ -520,6 +545,97 @@ fn run_streaming(
         output.report.summary.total_packets, output.peak_tracked_entries
     );
     export_features(&output.analyzer, flags)?;
+    Ok(())
+}
+
+/// The worker half of the distributed tier: capture + deterministic
+/// merge exactly as analysis would, but the merged records — plus this
+/// worker's accounting — leave over the `zoom_wire::frame` protocol
+/// (to a TCP merge node when `target` parses as a socket address, to a
+/// spool file otherwise) instead of entering a local analyzer.
+fn run_emit(
+    sources: Vec<Box<dyn PacketSource>>,
+    target: &str,
+    label: &str,
+    mux_config: MuxConfig,
+) -> CmdResult {
+    use zoom_capture::source::BATCH_RECORDS;
+    use zoom_wire::frame::{FrameWriter, Totals};
+    use zoom_wire::handoff::RecordBatch;
+
+    // One fragment stream carries one link type (the Hello pins it),
+    // mirroring the one-link rule a pcap file has.
+    let link = sources[0].link_type();
+    if let Some(s) = sources.iter().find(|s| s.link_type() != link) {
+        return Err(CliError::config(format!(
+            "sources disagree on link type ({:?} vs {:?}); emit one fragment stream per link",
+            link,
+            s.link_type()
+        )));
+    }
+    let out: Box<dyn std::io::Write + Send> =
+        if let Ok(addr) = target.parse::<std::net::SocketAddr>() {
+            Box::new(
+                std::net::TcpStream::connect(addr)
+                    .map_err(|e| CliError::io(format!("{target}: {e}")))?,
+            )
+        } else {
+            Box::new(
+                std::fs::File::create(target)
+                    .map_err(|e| CliError::io(format!("{target}: {e}")))?,
+            )
+        };
+    let mut writer = FrameWriter::new(std::io::BufWriter::new(out), label, link)
+        .map_err(|e| CliError::io(format!("{target}: {e}")))?;
+
+    let mut mux = CaptureMux::start(sources, mux_config, None);
+    let mut batch = RecordBatch::new();
+    let mut frames = 0u64;
+    let flush = |batch: &mut RecordBatch,
+                     writer: &mut FrameWriter<_>,
+                     frames: &mut u64|
+     -> CmdResult {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        writer
+            .write_batch(batch)
+            .map_err(|e| CliError::io(format!("{target}: {e}")))?;
+        *frames += 1;
+        batch.clear();
+        Ok(())
+    };
+    while let Some(r) = mux.next_record()? {
+        batch.push(r.ts_nanos, r.orig_len, r.data);
+        if batch.len() >= BATCH_RECORDS {
+            flush(&mut batch, &mut writer, &mut frames)?;
+        }
+    }
+    flush(&mut batch, &mut writer, &mut frames)?;
+
+    let delivered = mux.records_delivered();
+    let bytes = mux.bytes_delivered();
+    let drops = mux.ring_full_drops();
+    let truncated = mux.truncated_records();
+    mux.finish()?;
+    writer
+        .finish(Totals {
+            packets: delivered + drops,
+            bytes,
+            batches: frames,
+            ring_full_drops: drops,
+            truncated,
+        })
+        .map_err(|e| CliError::io(format!("{target}: {e}")))?;
+    if truncated > 0 {
+        eprintln!("warning: {truncated} truncated record(s) at source tails ignored");
+    }
+    if drops > 0 {
+        eprintln!("warning: {drops} record(s) dropped at full capture rings (see ring_full_drops)");
+    }
+    eprintln!(
+        "worker {label}: emitted {delivered} record(s) ({bytes} bytes) in {frames} frame(s) to {target}"
+    );
     Ok(())
 }
 

@@ -115,7 +115,8 @@ pub fn run(args: &[String]) -> CmdResult {
                 return Err(format!(
                     "sources disagree on link type ({:?} vs {:?}); a pcap holds exactly one",
                     out_link, r.link
-                ));
+                )
+                .into());
             }
             Some(_) => {}
         }

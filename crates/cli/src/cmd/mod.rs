@@ -1,18 +1,140 @@
-//! Subcommand implementations and the tiny shared flag parser.
+//! Subcommand implementations, the tiny shared flag parser, and the
+//! [`CliError`] exit-code mapping.
 
 pub mod analyze;
 pub mod capture;
 pub mod discover;
 pub mod dissect;
 pub mod filter;
+pub mod merge;
 pub mod simulate;
 pub mod sources;
 
 use std::collections::HashMap;
+use std::fmt;
 use std::time::Duration;
 
+/// A subcommand failure carrying the process exit code alongside the
+/// message, so scripts can branch on *why* a run failed without parsing
+/// stderr. The mapping (also in `docs/DISTRIBUTED.md`):
+///
+/// | code | meaning                                                |
+/// |------|--------------------------------------------------------|
+/// | 1    | generic runtime failure                                |
+/// | 2    | usage (bad subcommand / malformed arguments)           |
+/// | 3    | invalid configuration (bad flag value, bad `--source`) |
+/// | 4    | parse / wire-protocol error (malformed pcap, fragment) |
+/// | 5    | I/O failure (file or socket)                           |
+/// | 6    | an analysis shard panicked                             |
+/// | 7    | checkpoint unreadable or mismatched on restore         |
+///
+/// [`zoom_analysis::Error`] and [`zoom_analysis::dist::MergeError`] are
+/// both `#[non_exhaustive]`; the `From` impls below map their variants
+/// and default any future ones to code 1.
+#[derive(Debug)]
+pub struct CliError {
+    /// The process exit code for this failure.
+    pub code: u8,
+    /// The human-readable message printed to stderr.
+    pub message: String,
+}
+
+impl CliError {
+    /// Code 3: a flag or spec value that parsed but is invalid.
+    pub fn config(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 3,
+            message: message.into(),
+        }
+    }
+
+    /// Code 4: input bytes violating an expected format or protocol.
+    pub fn protocol(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 4,
+            message: message.into(),
+        }
+    }
+
+    /// Code 5: an I/O failure, prefixed with the path or peer.
+    pub fn io(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 5,
+            message: message.into(),
+        }
+    }
+
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError { code: 1, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        message.to_string().into()
+    }
+}
+
+impl From<zoom_analysis::Error> for CliError {
+    fn from(e: zoom_analysis::Error) -> CliError {
+        use zoom_analysis::Error;
+        let code = match &e {
+            Error::Io { .. } => 5,
+            Error::Parse(_) => 4,
+            Error::Config(_) => 3,
+            Error::ShardPanic(_) => 6,
+            _ => 1,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<zoom_analysis::dist::MergeError> for CliError {
+    fn from(e: zoom_analysis::dist::MergeError) -> CliError {
+        use zoom_analysis::dist::MergeError;
+        let code = match &e {
+            MergeError::Io { .. } => 5,
+            MergeError::Protocol(_) => 4,
+            MergeError::Checkpoint(_) | MergeError::Mismatch(_) => 7,
+            _ => 1,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<zoom_capture::spec::SpecError> for CliError {
+    fn from(e: zoom_capture::spec::SpecError) -> CliError {
+        CliError::config(e.to_string())
+    }
+}
+
+impl From<zoom_capture::source::SourceError> for CliError {
+    fn from(e: zoom_capture::source::SourceError) -> CliError {
+        use zoom_capture::source::SourceError;
+        match e {
+            SourceError::Io(err) => CliError::io(err.to_string()),
+            other => CliError::protocol(other.to_string()),
+        }
+    }
+}
+
 /// Result alias for subcommands.
-pub type CmdResult = Result<(), String>;
+pub type CmdResult = Result<(), CliError>;
 
 /// Split arguments into positional values and `--flag value` pairs.
 ///

@@ -1,24 +1,36 @@
-//! Shared `--source SPEC` handling for `analyze` and `capture`.
+//! Shared `--source SPEC` handling for `analyze`, `capture`, and the
+//! fragment-emitting worker path.
 //!
-//! A spec selects a [`PacketSource`] backend:
+//! Spec strings parse through the typed
+//! [`SourceSpec`] grammar — one
+//! `FromStr` shared by every subcommand instead of the per-command
+//! string splitting the CLI used to do — and each parsed spec selects a
+//! [`PacketSource`] backend:
 //!
-//! * `pcap:PATH` — a pcap file ([`PcapFileSource`]); with `--follow` the
-//!   file is polled for appended records per source.
-//! * `sim:SCENARIO[,seed=N][,secs=N]` — a simulated live tap: the
-//!   scenario's records are generated up front, then delivered through
-//!   the AF_PACKET-style [`live_ring`] backend by a feeder thread, so
-//!   the ingest side exercises the same ring hand-off a real socket
-//!   capture would. Scenarios match `simulate`: `validation`, `p2p`,
-//!   `multi`, `churn`.
+//! * [`SourceSpec::Pcap`] — a pcap file ([`PcapFileSource`]); with
+//!   `--follow` the file is polled for appended records per source.
+//! * [`SourceSpec::Sim`] — a simulated live tap: the scenario's records
+//!   are generated up front, then delivered through the AF_PACKET-style
+//!   [`live_ring`] backend by a feeder thread, so the ingest side
+//!   exercises the same ring hand-off a real socket capture would.
+//!   Scenarios match `simulate`: `validation`, `p2p`, `multi`, `churn`
+//!   (the *name* is validated here, where the catalogue lives — the
+//!   grammar itself accepts any name).
+//!
+//! Source labels are the spec's canonical `Display` form, so
+//! `sim:p2p` and `sim:p2p,seed=7,secs=60` label identically
+//! (`docs/DISTRIBUTED.md` has the migration notes).
 //!
 //! A bare positional input (the legacy `analyze trace.pcap` shape) is
 //! equivalent to `--source pcap:trace.pcap`.
 
+use super::CliError;
 use std::collections::HashMap;
 use zoom_capture::mux::{MuxConfig, Overflow};
 use zoom_capture::source::{
     live_ring, FollowConfig, PacketSource, PcapFileSource, BATCH_RECORDS,
 };
+use zoom_capture::spec::SourceSpec;
 use zoom_sim::meeting::{MeetingConfig, MeetingSim};
 use zoom_sim::scenario;
 use zoom_sim::time::SEC;
@@ -53,54 +65,50 @@ pub fn scenario_records(name: &str, seed: u64, seconds: u64) -> Result<Vec<Recor
     Ok(records)
 }
 
-/// Parses `sim:` parameters: `SCENARIO[,seed=N][,secs=N]`.
-fn parse_sim_spec(spec: &str) -> Result<(String, u64, u64), String> {
-    let mut parts = spec.split(',');
-    let name = parts.next().unwrap_or("").trim();
-    if name.is_empty() {
-        return Err("sim: spec needs a scenario (validation|p2p|multi|churn)".into());
+/// Parses the spec strings of one invocation into typed form: every
+/// positional input becomes a `pcap:` spec, then each `--source` value
+/// in order. Grammar failures exit with the configuration code.
+pub fn parse_specs(
+    positional: &[String],
+    specs: &[(String, String)],
+) -> Result<Vec<SourceSpec>, CliError> {
+    let mut parsed = Vec::with_capacity(positional.len() + specs.len());
+    for input in positional {
+        parsed.push(SourceSpec::Pcap {
+            path: input.clone(),
+        });
     }
-    let (mut seed, mut secs) = (7u64, 60u64);
-    for part in parts {
-        let (key, value) = part
-            .split_once('=')
-            .ok_or_else(|| format!("bad sim option {part:?} (expected key=value)"))?;
-        let v: u64 = value
-            .trim()
-            .parse()
-            .map_err(|_| format!("sim option {key}={value:?} is not a number"))?;
-        match key.trim() {
-            "seed" => seed = v,
-            "secs" => secs = v,
-            other => return Err(format!("unknown sim option {other:?} (seed|secs)")),
-        }
+    for (_, spec) in specs {
+        parsed.push(spec.parse::<SourceSpec>()?);
     }
-    Ok((name.to_string(), seed, secs))
+    Ok(parsed)
 }
 
-/// Builds the source for one spec. `follow` applies to pcap sources
-/// only: a followed file keeps being polled until it has been quiet for
-/// the configured idle-exit.
+/// Builds the source for one parsed spec. `follow` applies to pcap
+/// sources only: a followed file keeps being polled until it has been
+/// quiet for the configured idle-exit.
 pub fn build_source(
-    spec: &str,
+    spec: &SourceSpec,
     follow: Option<FollowConfig>,
-) -> Result<Box<dyn PacketSource>, String> {
-    let (kind, rest) = spec
-        .split_once(':')
-        .ok_or_else(|| format!("bad source {spec:?} (expected pcap:PATH or sim:SPEC)"))?;
-    match kind {
-        "pcap" => {
-            let mut src = PcapFileSource::open(rest).map_err(|e| e.to_string())?;
+) -> Result<Box<dyn PacketSource>, CliError> {
+    match spec {
+        SourceSpec::Pcap { path } => {
+            let mut src = PcapFileSource::open(path).map_err(CliError::from)?;
             if let Some(cfg) = follow {
                 src = src.follow(cfg);
             }
             Ok(Box::new(src))
         }
-        "sim" => {
-            let (name, seed, secs) = parse_sim_spec(rest)?;
-            let records = scenario_records(&name, seed, secs)?;
-            let (mut handle, source) =
-                live_ring(&format!("sim:{rest}"), LinkType::Ethernet, 8);
+        SourceSpec::Sim {
+            scenario,
+            seed,
+            secs,
+        } => {
+            let records =
+                scenario_records(scenario, *seed, *secs).map_err(CliError::config)?;
+            // The label is the canonical spec so shorthand and explicit
+            // forms of the same tap share one metrics series.
+            let (mut handle, source) = live_ring(&spec.to_string(), LinkType::Ethernet, 8);
             // The feeder thread stands in for the kernel side of a live
             // ring: it pushes batches losslessly (the generator can
             // wait; a real NIC cannot) and exits when the consuming
@@ -122,9 +130,6 @@ pub fn build_source(
             });
             Ok(Box::new(source))
         }
-        other => Err(format!(
-            "unknown source kind {other:?} (expected pcap:PATH or sim:SPEC)"
-        )),
     }
 }
 
@@ -135,18 +140,12 @@ pub fn build_sources(
     positional: &[String],
     specs: &[(String, String)],
     follow: Option<FollowConfig>,
-) -> Result<Vec<Box<dyn PacketSource>>, String> {
-    let mut sources = Vec::new();
-    for input in positional {
-        sources.push(build_source(&format!("pcap:{input}"), follow)?);
-    }
-    for (_, spec) in specs {
-        sources.push(build_source(spec, follow)?);
-    }
-    if sources.is_empty() {
+) -> Result<Vec<Box<dyn PacketSource>>, CliError> {
+    let parsed = parse_specs(positional, specs)?;
+    if parsed.is_empty() {
         return Err("no input: give a pcap path or at least one --source".into());
     }
-    Ok(sources)
+    parsed.iter().map(|s| build_source(s, follow)).collect()
 }
 
 /// Parse `--ring-cap` / `--lossy` into the fan-in configuration.
@@ -177,24 +176,35 @@ pub fn mux_flags(flags: &HashMap<String, String>) -> Result<MuxConfig, String> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn sim_spec_parses_options() {
-        assert_eq!(
-            parse_sim_spec("p2p,seed=3,secs=20").unwrap(),
-            ("p2p".into(), 3, 20)
-        );
-        assert_eq!(parse_sim_spec("multi").unwrap(), ("multi".into(), 7, 60));
-        assert!(parse_sim_spec("").is_err());
-        assert!(parse_sim_spec("p2p,bogus=1").is_err());
-        assert!(parse_sim_spec("p2p,seed=x").is_err());
+    fn spec(s: &str) -> SourceSpec {
+        s.parse().unwrap()
     }
 
     #[test]
-    fn bad_specs_error() {
-        assert!(build_source("nocolon", None).is_err());
-        assert!(build_source("ftp:whatever", None).is_err());
-        assert!(build_source("pcap:/definitely/not/there.pcap", None).is_err());
-        assert!(build_source("sim:unknown-scenario", None).is_err());
+    fn bad_specs_error_with_config_code() {
+        let reps = [("source".to_string(), "nocolon".to_string())];
+        let e = build_sources(&[], &reps, None).err().unwrap();
+        assert_eq!(e.code, 3, "grammar errors are configuration errors");
+        assert!(e.message.contains("pcap:PATH"));
+
+        let reps = [("source".to_string(), "ftp:whatever".to_string())];
+        assert_eq!(build_sources(&[], &reps, None).err().unwrap().code, 3);
+
+        assert!(build_source(&spec("pcap:/definitely/not/there.pcap"), None).is_err());
+        let e = build_source(&spec("sim:unknown-scenario"), None).err().unwrap();
+        assert_eq!(e.code, 3);
+        assert!(e.message.contains("validation|p2p|multi|churn"));
+    }
+
+    #[test]
+    fn positional_inputs_become_pcap_specs() {
+        let parsed = parse_specs(&["trace.pcap".into()], &[]).unwrap();
+        assert_eq!(
+            parsed,
+            vec![SourceSpec::Pcap {
+                path: "trace.pcap".into()
+            }]
+        );
     }
 
     #[test]
@@ -202,7 +212,7 @@ mod tests {
         use zoom_wire::handoff::RecordBatch;
 
         let expected = scenario_records("p2p", 3, 5).unwrap();
-        let mut src = build_source("sim:p2p,seed=3,secs=5", None).unwrap();
+        let mut src = build_source(&spec("sim:p2p,seed=3,secs=5"), None).unwrap();
         assert_eq!(src.label(), "sim:p2p,seed=3,secs=5");
         let mut got = 0usize;
         let mut batch = RecordBatch::new();

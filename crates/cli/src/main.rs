@@ -11,6 +11,9 @@
 //!                     [--campus CIDR] [--anonymize KEY] [--no-filter]
 //!                     [--ring-cap N] [--lossy] [--follow] [--idle-exit DUR]
 //!                     [--metrics out.json|out.prom]
+//! zoom-tools merge    <frags...> | --listen ADDR --workers N [--journal DIR]
+//!                     [--window DUR] [--shards N] [--checkpoint PATH] [--restore]
+//!                     [--json] [--serve ADDR] [--metrics out.json|out.prom]
 //! zoom-tools dissect  <in.pcap> [--max N]
 //! zoom-tools discover <in.pcap> [--max-offset N]
 //! zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]
@@ -20,6 +23,10 @@
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately avoids
 //! extra dependencies); every subcommand lives in its own module.
+//!
+//! Failures exit with a distinct code per error class — see
+//! [`cmd::CliError`] for the full table (2 usage, 3 configuration,
+//! 4 parse/protocol, 5 I/O, 6 shard panic, 7 checkpoint, 1 otherwise).
 
 mod cmd;
 
@@ -32,6 +39,11 @@ fn usage() -> ExitCode {
                              [--ring-cap N] [--lossy] [--window DUR] [--idle-timeout DUR]\n  \
                              [--follow] [--idle-exit DUR] [--json] [--features out.csv] [--serve ADDR]\n  \
                              [--metrics out.json|out.prom] [--metrics-interval DUR]\n  \
+                             [--emit-fragments ADDR|FILE [--worker-label NAME]]\n  \
+         zoom-tools merge    <frags...> | --listen ADDR --workers N [--journal DIR]\n  \
+                             [--window DUR] [--idle-timeout DUR] [--shards N] [--campus CIDR]\n  \
+                             [--checkpoint PATH] [--restore] [--json] [--serve ADDR]\n  \
+                             [--ring-cap N] [--lossy] [--metrics out.json|out.prom]\n  \
          zoom-tools capture  <out.pcap> --source pcap:FILE|sim:SPEC [--source ...] [--campus CIDR]\n  \
                              [--anonymize KEY] [--no-filter] [--ring-cap N] [--lossy]\n  \
                              [--follow] [--idle-exit DUR] [--metrics out.json|out.prom]\n  \
@@ -55,6 +67,7 @@ fn main() -> ExitCode {
         "dissect" => cmd::dissect::run(rest),
         "discover" => cmd::discover::run(rest),
         "filter" => cmd::filter::run(rest),
+        "merge" => cmd::merge::run(rest),
         "simulate" => cmd::simulate::run(rest),
         _ => return usage(),
     };
@@ -62,7 +75,8 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // Each error class exits with its own code (see cmd::CliError).
+            ExitCode::from(e.code)
         }
     }
 }

@@ -18,6 +18,8 @@
 //! * [`pipeline`] — the end-to-end [`pipeline::Analyzer`]
 //! * [`engine`] — the streaming [`engine::StreamingEngine`]: windowed
 //!   reports, idle-timeout eviction, checkpoint/drain
+//! * [`dist`] — merge-node checkpoint/restore for the distributed shard
+//!   tier ([`dist::MergeCheckpoint`], [`dist::WindowGate`])
 //! * [`parallel`] — the sharded [`parallel::ParallelAnalyzer`] front-end
 //!   with sequential-identical merge semantics
 //! * [`report`] — owned [`report::AnalysisReport`] / windowed report
@@ -52,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod classify;
+pub mod dist;
 pub mod engine;
 pub mod entropy;
 pub mod error;

@@ -829,6 +829,11 @@ pub struct PipelineMetrics {
     /// packet source (see [`PipelineMetrics::register_source`]). Empty
     /// unless a multi-source capture front-end feeds this sink.
     sources: Mutex<Vec<Arc<SourceMetrics>>>,
+
+    /// Per-worker accounting on a distributed merge node, one entry per
+    /// registered fragment worker (see
+    /// [`PipelineMetrics::register_worker`]). Empty outside `merge`.
+    workers: Mutex<Vec<Arc<WorkerMetrics>>>,
 }
 
 /// Capture-side accounting for one packet source feeding the pipeline.
@@ -855,6 +860,43 @@ pub struct SourceMetrics {
 
 impl SourceMetrics {
     /// The source's display label (e.g. `pcap:trace.pcap` or `sim:p2p`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Merge-node accounting for one fragment worker feeding the
+/// distributed shard tier (`docs/DISTRIBUTED.md`).
+///
+/// Registered on a [`PipelineMetrics`] via
+/// [`register_worker`](PipelineMetrics::register_worker). The
+/// `packets`/`bytes`/`batches`/`ring_full_drops`/`truncated` counters
+/// mirror the worker's **self-reported** capture-side totals (shipped in
+/// Accounting/Bye frames), while `records_received` counts what the
+/// merge node actually decoded off the wire — the two sides of the
+/// worker→merge conservation invariant
+/// `Σ worker packets == merge packets_in` (modulo accounted drops).
+#[derive(Debug)]
+pub struct WorkerMetrics {
+    label: String,
+    /// Records the worker reported capturing.
+    pub packets: Gauge,
+    /// Captured bytes the worker reported.
+    pub bytes: Gauge,
+    /// Batches the worker's fan-in reported handling.
+    pub batches: Gauge,
+    /// Records the worker dropped at its own full capture rings.
+    pub ring_full_drops: Gauge,
+    /// Records the worker's sources dropped (torn pcap tails).
+    pub truncated: Gauge,
+    /// Records the merge node decoded out of this worker's stream.
+    pub records_received: Counter,
+    /// 1 once the worker's stream ended with a proper Bye frame.
+    pub complete: Gauge,
+}
+
+impl WorkerMetrics {
+    /// The worker's display label from its Hello frame.
     pub fn label(&self) -> &str {
         &self.label
     }
@@ -891,7 +933,30 @@ impl PipelineMetrics {
             stage_checkpoint_nanos: Histogram::new(STAGE_LATENCY_BOUNDS),
             qoe: QoeMetrics::new(QOE_SERIES_CAP),
             sources: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers a fragment worker on a merge node and returns its
+    /// zeroed counter block (off the hot path, like
+    /// [`register_source`](Self::register_source)). Workers appear in
+    /// [`MetricsSnapshot::workers`] in registration order; once any
+    /// worker is registered the conservation invariant additionally
+    /// checks the worker→merge ledger (see
+    /// [`MetricsSnapshot::conservation_holds`]).
+    pub fn register_worker(&self, label: &str) -> Arc<WorkerMetrics> {
+        let m = Arc::new(WorkerMetrics {
+            label: label.to_string(),
+            packets: Gauge::new(),
+            bytes: Gauge::new(),
+            batches: Gauge::new(),
+            ring_full_drops: Gauge::new(),
+            truncated: Gauge::new(),
+            records_received: Counter::new(),
+            complete: Gauge::new(),
+        });
+        self.workers.lock().unwrap().push(Arc::clone(&m));
+        m
     }
 
     /// Registers a packet source and returns its zeroed counter block.
@@ -991,6 +1056,22 @@ impl PipelineMetrics {
                     bytes: s.bytes.get(),
                     batches: s.batches.get(),
                     ring_full_drops: s.ring_full_drops.get(),
+                })
+                .collect(),
+            workers: self
+                .workers
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|w| WorkerSnapshot {
+                    label: w.label.clone(),
+                    packets: w.packets.get(),
+                    bytes: w.bytes.get(),
+                    batches: w.batches.get(),
+                    ring_full_drops: w.ring_full_drops.get(),
+                    truncated: w.truncated.get(),
+                    records_received: w.records_received.get(),
+                    complete: w.complete.get() != 0,
                 })
                 .collect(),
         }
@@ -1098,6 +1179,30 @@ pub struct MetricsSnapshot {
     /// Per-source capture accounting, one entry per registered packet
     /// source (empty for plain single-file ingest).
     pub sources: Vec<SourceSnapshot>,
+    /// Per-worker accounting on a distributed merge node, one entry per
+    /// registered fragment worker (empty outside `merge`).
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+/// Plain-data copy of one fragment worker's merge-side counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// The worker's display label from its Hello frame.
+    pub label: String,
+    /// Records the worker reported capturing.
+    pub packets: u64,
+    /// Captured bytes the worker reported.
+    pub bytes: u64,
+    /// Batches the worker's fan-in reported handling.
+    pub batches: u64,
+    /// Records the worker dropped at its own full capture rings.
+    pub ring_full_drops: u64,
+    /// Records the worker's sources dropped (torn pcap tails).
+    pub truncated: u64,
+    /// Records the merge node decoded out of this worker's stream.
+    pub records_received: u64,
+    /// Whether the worker's stream ended with a proper Bye frame.
+    pub complete: bool,
 }
 
 /// Plain-data copy of one source's capture-side counters.
@@ -1135,6 +1240,16 @@ impl MetricsSnapshot {
         self.sources.iter().map(|s| s.ring_full_drops).sum()
     }
 
+    /// Sum of records all registered fragment workers reported capturing.
+    pub fn worker_packets_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.packets).sum()
+    }
+
+    /// Sum of records the merge node decoded across all worker streams.
+    pub fn worker_records_received_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.records_received).sum()
+    }
+
     /// The conservation invariant every sink maintains once ingest has
     /// quiesced: every offered record is classified, counted not-Zoom, or
     /// attributed to exactly one drop stage. When capture sources are
@@ -1143,12 +1258,26 @@ impl MetricsSnapshot {
     /// `Σ source_packets == packets_classified + packets_not_zoom +
     /// Σ dissect drops + Σ ring_full_drops` — capture loss is part of the
     /// ledger, never silent.
+    /// When fragment workers feed a merge node the ledger extends one
+    /// more hop upstream: every record a worker reported capturing was
+    /// either decoded at the merge (`records_received`) or dropped at
+    /// the worker's own rings, and everything decoded reached the sink
+    /// (modulo merge-side ring drops already covered by the source
+    /// half) — `Σ worker packets_in == merge packets_in` when nothing
+    /// drops anywhere.
     pub fn conservation_holds(&self) -> bool {
         let sink_ok =
             self.packets_in == self.packets_classified + self.packets_not_zoom + self.drops_total();
         let capture_ok = self.sources.is_empty()
             || self.source_packets_total() == self.packets_in + self.ring_full_drops_total();
-        sink_ok && capture_ok
+        let workers_ok = self.workers.is_empty()
+            || (self
+                .workers
+                .iter()
+                .all(|w| w.packets == w.records_received + w.ring_full_drops)
+                && self.worker_records_received_total()
+                    == self.packets_in + self.ring_full_drops_total());
+        sink_ok && capture_ok && workers_ok
     }
 
     /// Serialize as one NDJSON-friendly line, tagged `"type":"metrics"`.
@@ -1245,6 +1374,26 @@ impl MetricsSnapshot {
             }
             buf.push(']');
             o.raw("sources", &buf);
+        }
+        if !self.workers.is_empty() {
+            let mut buf = String::from("[");
+            for (i, w) in self.workers.iter().enumerate() {
+                if i > 0 {
+                    buf.push(',');
+                }
+                let mut wo = JsonObj::new();
+                wo.str("worker", &w.label)
+                    .u64("packets", w.packets)
+                    .u64("bytes", w.bytes)
+                    .u64("batches", w.batches)
+                    .u64("ring_full_drops", w.ring_full_drops)
+                    .u64("truncated", w.truncated)
+                    .u64("records_received", w.records_received)
+                    .bool("complete", w.complete);
+                buf.push_str(&wo.finish());
+            }
+            buf.push(']');
+            o.raw("workers", &buf);
         }
         o.finish()
     }
@@ -1497,6 +1646,52 @@ impl MetricsSnapshot {
                     }
                 }
             }
+
+            if !self.workers.is_empty() {
+                for (name, kind, help, get) in [
+                    (
+                        "zoom_worker_packets_total",
+                        "counter",
+                        "Records each fragment worker reported capturing.",
+                        (|w| w.packets) as fn(&WorkerSnapshot) -> u64,
+                    ),
+                    (
+                        "zoom_worker_bytes_total",
+                        "counter",
+                        "Captured bytes each fragment worker reported.",
+                        |w| w.bytes,
+                    ),
+                    (
+                        "zoom_worker_ring_full_drops_total",
+                        "counter",
+                        "Records each worker dropped at its own capture rings.",
+                        |w| w.ring_full_drops,
+                    ),
+                    (
+                        "zoom_worker_records_received_total",
+                        "counter",
+                        "Records the merge node decoded from each worker's stream.",
+                        |w| w.records_received,
+                    ),
+                    (
+                        "zoom_worker_complete",
+                        "gauge",
+                        "1 once a worker's stream ended with a proper Bye frame.",
+                        |w| u64::from(w.complete),
+                    ),
+                ] {
+                    let _ = writeln!(out2, "# HELP {name} {help}");
+                    let _ = writeln!(out2, "# TYPE {name} {kind}");
+                    for w in &self.workers {
+                        let _ = writeln!(
+                            out2,
+                            "{name}{} {}",
+                            prom_labels(&["worker"], std::slice::from_ref(&w.label)),
+                            get(w)
+                        );
+                    }
+                }
+            }
         }
         out2
     }
@@ -1646,6 +1841,55 @@ mod tests {
         // An unaccounted capture loss breaks the extended invariant even
         // though the sink-side ledger still balances.
         live.packets.inc();
+        assert!(!m.snapshot().conservation_holds());
+    }
+
+    #[test]
+    fn worker_registry_extends_conservation_and_renders() {
+        let m = PipelineMetrics::new(0);
+        // No workers: the families are absent from both renders.
+        let s = m.snapshot();
+        assert!(s.workers.is_empty());
+        assert!(!s.to_prom().contains("zoom_worker_packets_total"));
+        assert!(!s.to_json().contains("\"workers\""));
+
+        let w0 = m.register_worker("box-a");
+        let w1 = m.register_worker("box-b");
+        // box-a captured 5, shipped all 5; box-b captured 4, dropped 1
+        // at its own rings and shipped 3.
+        w0.packets.set(5);
+        w0.bytes.set(500);
+        w0.records_received.add(5);
+        w0.complete.set(1);
+        w1.packets.set(4);
+        w1.bytes.set(400);
+        w1.ring_full_drops.set(1);
+        w1.records_received.add(3);
+        w1.complete.set(1);
+        for _ in 0..8 {
+            m.record_in(100);
+        }
+        m.packets_classified.add(8);
+
+        let s = m.snapshot();
+        assert_eq!(s.worker_packets_total(), 9);
+        assert_eq!(s.worker_records_received_total(), 8);
+        // Σ worker packets (9) == merge packets_in (8) + worker drops (1).
+        assert!(s.conservation_holds());
+
+        let prom = s.to_prom();
+        assert!(prom.contains("zoom_worker_packets_total{worker=\"box-a\"} 5"));
+        assert!(prom.contains("zoom_worker_ring_full_drops_total{worker=\"box-b\"} 1"));
+        assert!(prom.contains("zoom_worker_records_received_total{worker=\"box-b\"} 3"));
+        assert!(prom.contains("zoom_worker_complete{worker=\"box-a\"} 1"));
+        let json = s.to_json();
+        assert!(json.contains("\"workers\":[{\"worker\":\"box-a\""));
+        assert!(json.contains("\"records_received\":3"));
+        assert!(json.contains("\"complete\":true"));
+
+        // A worker that reports more than the merge saw (a lost frame)
+        // breaks the worker half of the ledger.
+        w0.packets.set(6);
         assert!(!m.snapshot().conservation_holds());
     }
 

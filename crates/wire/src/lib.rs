@@ -14,6 +14,9 @@
 //! * Capture hand-off: [`handoff`] (arena-packed record batches for
 //!   crossing capture→analysis thread boundaries without per-packet
 //!   allocation)
+//! * Distributed fragments: [`frame`] (length-prefixed frames carrying
+//!   record batches and worker accounting across process boundaries for
+//!   the shard tier, see `docs/DISTRIBUTED.md`)
 //! * A full-stack dissector: [`dissect`] (the library equivalent of the
 //!   paper's Wireshark plugin, Appendix C)
 //!
@@ -52,6 +55,7 @@ pub mod compose;
 pub mod dissect;
 pub mod ethernet;
 pub mod flow;
+pub mod frame;
 pub mod handoff;
 pub mod ipv4;
 pub mod ipv6;

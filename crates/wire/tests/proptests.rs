@@ -259,4 +259,124 @@ proptest! {
             .collect();
         prop_assert_eq!(got, records);
     }
+
+    #[test]
+    fn fragment_frames_roundtrip_arbitrary_records(
+        label_seed in proptest::collection::vec(any::<u8>(), 0..40),
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(
+                (any::<u64>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..256)),
+                1..20,
+            ),
+            0..6,
+        ),
+        totals in any::<[u64; 5]>(),
+    ) {
+        use zoom_wire::frame::{FrameEvent, FrameReader, FrameWriter, Totals};
+        use zoom_wire::handoff::RecordBatch;
+
+        // Arbitrary worker label over the charset the CLI accepts.
+        const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789:._-";
+        let label: String = label_seed
+            .iter()
+            .map(|b| CHARSET[*b as usize % CHARSET.len()] as char)
+            .collect();
+        let totals = Totals {
+            packets: totals[0],
+            bytes: totals[1],
+            batches: totals[2],
+            ring_full_drops: totals[3],
+            truncated: totals[4],
+        };
+        let mut w = FrameWriter::new(Vec::new(), &label, LinkType::RawIp).unwrap();
+        let mut batch = RecordBatch::new();
+        for chunk in &chunks {
+            batch.clear();
+            for (ts, orig, data) in chunk {
+                batch.push(*ts, *orig, data);
+            }
+            w.write_batch(&batch).unwrap();
+            w.write_accounting(totals).unwrap();
+        }
+        let stream = w.finish(totals).unwrap();
+
+        let mut r = FrameReader::new(&stream[..]).unwrap();
+        prop_assert_eq!(r.label(), &label[..]);
+        prop_assert_eq!(r.link_type(), LinkType::RawIp);
+        let mut got = RecordBatch::new();
+        let mut bye = None;
+        let mut accounting_frames = 0usize;
+        while let Some(ev) = r.next(&mut got).unwrap() {
+            match ev {
+                FrameEvent::Records { .. } => {}
+                FrameEvent::Accounting(t) => {
+                    accounting_frames += 1;
+                    prop_assert_eq!(t, totals);
+                }
+                FrameEvent::Bye(t) => {
+                    prop_assert_eq!(t, totals);
+                    bye = Some(t);
+                }
+            }
+        }
+        prop_assert!(bye.is_some(), "stream must end with Bye");
+        prop_assert!(r.saw_bye());
+        prop_assert_eq!(accounting_frames, chunks.len());
+        let expected: Vec<(u64, u32, Vec<u8>)> = chunks.concat();
+        prop_assert_eq!(got.len(), expected.len());
+        for (rec, (ts, orig, data)) in got.iter().zip(&expected) {
+            prop_assert_eq!(rec.ts_nanos, *ts);
+            prop_assert_eq!(rec.orig_len, *orig);
+            prop_assert_eq!(rec.data, &data[..]);
+        }
+    }
+
+    #[test]
+    fn fragment_reader_rejects_corruption_without_panicking(
+        records in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            1..10,
+        ),
+        flip_at: usize,
+        flip_bits in 1u8..=255,
+        cut_at: usize,
+    ) {
+        use zoom_wire::frame::{FrameReader, FrameWriter, Totals};
+        use zoom_wire::handoff::RecordBatch;
+
+        let mut w = FrameWriter::new(Vec::new(), "w", LinkType::Ethernet).unwrap();
+        let mut batch = RecordBatch::new();
+        for (ts, data) in &records {
+            batch.push(*ts, data.len() as u32, data);
+        }
+        w.write_batch(&batch).unwrap();
+        let stream = w.finish(Totals::default()).unwrap();
+
+        // Drain a (possibly damaged) stream; must never panic and must
+        // not report a clean Bye unless the bytes still form one.
+        let drain = |bytes: &[u8]| -> Result<bool, zoom_wire::Error> {
+            let mut r = FrameReader::new(bytes)?;
+            let mut b = RecordBatch::new();
+            while r.next(&mut b)?.is_some() {}
+            Ok(r.saw_bye())
+        };
+
+        // Any truncation strictly inside the stream must surface an
+        // error somewhere — header, frame, or the missing Bye.
+        let cut = cut_at % stream.len().max(1);
+        if cut < stream.len() {
+            prop_assert!(
+                matches!(drain(&stream[..cut]), Err(_) | Ok(false)),
+                "truncated stream passed as complete"
+            );
+        }
+
+        // A bit-flip anywhere must not panic; the reader either errors
+        // out or the flip landed in a spot (timestamp, payload byte,
+        // totals) that stays structurally valid.
+        let mut flipped = stream.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= flip_bits;
+        let _ = drain(&flipped);
+    }
 }

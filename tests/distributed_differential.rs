@@ -1,0 +1,397 @@
+//! Differential tests for the distributed shard tier: shipping a trace
+//! through `zoom_wire::frame` fragment streams and merging the workers
+//! back through `FragmentSource` lanes must not change a byte of output.
+//!
+//! * Any split of a strictly-increasing-timestamp trace across 1/2/8
+//!   fragment workers (round-robin interleave or contiguous time
+//!   slices) produces window reports and a final report
+//!   **byte-identical** to the single-process analysis, windowed and
+//!   unwindowed.
+//! * The workers' self-reported accounting survives the wire: the
+//!   `zoom_worker_*` snapshot matches the split sizes exactly and the
+//!   worker-extended conservation invariant holds
+//!   (`Σ worker packets == packets_in + Σ ring_full_drops`).
+//! * A merge "crash" mid-trace resumes from a checkpoint: replaying the
+//!   same fragments under a `WindowGate` emits exactly the missing
+//!   suffix, so crash + restore concatenates to the uninterrupted run —
+//!   open windows at crash time lose nothing.
+//! * A worker stream cut before its Bye frame surfaces as an error from
+//!   the fan-in, never a silently short report.
+
+use std::io::Cursor;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use zoom_analysis::dist::{MergeCheckpoint, WindowGate};
+use zoom_analysis::engine::{EngineConfig, EngineOutput, StreamingEngine};
+use zoom_analysis::obs::{MetricsSnapshot, WorkerMetrics};
+use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
+use zoom_analysis::report::WindowReport;
+use zoom_analysis::PacketSink;
+use zoom_capture::fragment::{FragmentSource, WorkerAccount};
+use zoom_capture::mux::{CaptureMux, MuxConfig, Overflow};
+use zoom_capture::source::PacketSource;
+use zoom_sim::meeting::MeetingSim;
+use zoom_sim::scenario;
+use zoom_sim::time::SEC;
+use zoom_wire::frame::{FrameWriter, Totals};
+use zoom_wire::handoff::RecordBatch;
+use zoom_wire::pcap::{LinkType, Record};
+
+/// A multi-party workload with strictly increasing timestamps, so the
+/// timestamp-ordered merge has exactly one valid output order and the
+/// differential below is unambiguous.
+fn strictly_increasing_records(seed: u64, secs: u64) -> Vec<Record> {
+    let mut records: Vec<Record> =
+        MeetingSim::new(scenario::multi_party(seed, secs * SEC)).collect();
+    records.sort_by_key(|r| r.ts_nanos);
+    let mut last = 0u64;
+    for r in &mut records {
+        if r.ts_nanos <= last {
+            r.ts_nanos = last + 1;
+        }
+        last = r.ts_nanos;
+    }
+    records
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Split {
+    RoundRobin,
+    Contiguous,
+}
+
+fn split_records(records: &[Record], n: usize, how: Split) -> Vec<Vec<Record>> {
+    let mut parts = vec![Vec::new(); n];
+    match how {
+        Split::RoundRobin => {
+            for (i, r) in records.iter().enumerate() {
+                parts[i % n].push(r.clone());
+            }
+        }
+        Split::Contiguous => {
+            let chunk = records.len().div_ceil(n);
+            for (j, c) in records.chunks(chunk).enumerate() {
+                parts[j] = c.to_vec();
+            }
+        }
+    }
+    parts
+}
+
+/// Encode one worker's records as the wire-framed fragment stream a
+/// `analyze --emit-fragments` worker would ship.
+fn frame_stream(records: &[Record], label: &str) -> Vec<u8> {
+    let mut w = FrameWriter::new(Vec::new(), label, LinkType::Ethernet).expect("header");
+    let mut batch = RecordBatch::new();
+    let mut bytes = 0u64;
+    let mut frames = 0u64;
+    for chunk in records.chunks(64) {
+        batch.clear();
+        for r in chunk {
+            batch.push(r.ts_nanos, r.orig_len, &r.data);
+            bytes += r.data.len() as u64;
+        }
+        w.write_batch(&batch).expect("records frame");
+        frames += 1;
+    }
+    w.finish(Totals {
+        packets: records.len() as u64,
+        bytes,
+        batches: frames,
+        ring_full_drops: 0,
+        truncated: 0,
+    })
+    .expect("bye frame")
+}
+
+fn sync_workers(pairs: &[(Arc<WorkerAccount>, Arc<WorkerMetrics>)]) {
+    for (acc, wm) in pairs {
+        let t = acc.totals();
+        wm.packets.set(t.packets);
+        wm.bytes.set(t.bytes);
+        wm.batches.set(t.batches);
+        wm.ring_full_drops.set(t.ring_full_drops);
+        wm.truncated.set(t.truncated);
+        let received = acc.records_received.load(Ordering::Acquire);
+        let have = wm.records_received.get();
+        if received > have {
+            wm.records_received.add(received - have);
+        }
+        wm.complete
+            .set(u64::from(acc.complete.load(Ordering::Acquire)));
+    }
+}
+
+/// Run the merge-node pipeline over the fragment-encoded splits exactly
+/// as `zoom-tools merge` wires it: one `FragmentSource` lane per worker,
+/// worker accounts folded into the registry, snapshot after drain.
+fn fragment_run(
+    splits: &[Vec<Record>],
+    shards: usize,
+    window: Option<Duration>,
+) -> (Vec<WindowReport>, EngineOutput, MetricsSnapshot) {
+    let mut engine = StreamingEngine::new(EngineConfig {
+        analyzer: AnalyzerConfig::default(),
+        shards,
+        window,
+        idle_timeout: None,
+        qoe: None,
+    })
+    .expect("valid engine config");
+    let mh = engine.metrics_handle();
+    let mut pairs = Vec::new();
+    let sources: Vec<Box<dyn PacketSource>> = splits
+        .iter()
+        .enumerate()
+        .map(|(i, recs)| {
+            let stream = frame_stream(recs, &format!("w{i}"));
+            let src = FragmentSource::open(Cursor::new(stream)).expect("valid stream");
+            pairs.push((src.account(), mh.register_worker(src.worker_label())));
+            Box::new(src) as Box<dyn PacketSource>
+        })
+        .collect();
+    let mut mux = CaptureMux::start(
+        sources,
+        MuxConfig {
+            ring_capacity: 8,
+            overflow: Overflow::Block,
+        },
+        Some(&mh),
+    );
+    let mut windows = Vec::new();
+    while let Some(r) = mux.next_record().expect("mux record") {
+        engine.push(r.ts_nanos, r.data, r.link).expect("push");
+        windows.extend(engine.take_windows());
+    }
+    assert_eq!(mux.ring_full_drops(), 0, "lossless replay must not drop");
+    mux.finish().expect("capture teardown");
+    sync_workers(&pairs);
+    let out = engine.drain().expect("drain");
+    let snap = out.analyzer.metrics();
+    (windows, out, snap)
+}
+
+/// The single-process anchor: plain sequential analysis plus, when
+/// windowed, the streaming engine over the already-merged record order.
+fn single_process_run(
+    records: &[Record],
+    shards: usize,
+    window: Option<Duration>,
+) -> (Vec<WindowReport>, EngineOutput) {
+    let mut engine = StreamingEngine::new(EngineConfig {
+        analyzer: AnalyzerConfig::default(),
+        shards,
+        window,
+        idle_timeout: None,
+        qoe: None,
+    })
+    .expect("valid engine config");
+    let mut windows = Vec::new();
+    for r in records {
+        engine
+            .push(r.ts_nanos, &r.data, LinkType::Ethernet)
+            .expect("push");
+        windows.extend(engine.take_windows());
+    }
+    let out = engine.drain().expect("drain");
+    (windows, out)
+}
+
+fn assert_same_output(
+    windows: &[WindowReport],
+    out: &EngineOutput,
+    base_windows: &[WindowReport],
+    base_out: &EngineOutput,
+    label: &str,
+) {
+    assert_eq!(windows.len(), base_windows.len(), "{label}: window count");
+    for (x, y) in windows.iter().zip(base_windows) {
+        assert_eq!(x.to_json(), y.to_json(), "{label}: window {}", x.index);
+    }
+    assert_eq!(
+        out.final_window.to_json(),
+        base_out.final_window.to_json(),
+        "{label}: final window"
+    );
+    assert_eq!(
+        out.report.to_json(),
+        base_out.report.to_json(),
+        "{label}: final report"
+    );
+}
+
+/// Worker accounting in the snapshot must match the splits exactly and
+/// keep the worker-extended conservation invariant intact.
+fn assert_worker_accounting(snap: &MetricsSnapshot, splits: &[Vec<Record>], label: &str) {
+    assert!(snap.conservation_holds(), "{label}: conservation");
+    assert_eq!(snap.workers.len(), splits.len(), "{label}: worker count");
+    let total: u64 = splits.iter().map(|s| s.len() as u64).sum();
+    assert_eq!(snap.worker_packets_total(), total, "{label}: Σ worker packets");
+    assert_eq!(
+        snap.worker_records_received_total(),
+        total,
+        "{label}: Σ records received"
+    );
+    assert_eq!(snap.packets_in, total, "{label}: merge packets_in");
+    for (i, part) in splits.iter().enumerate() {
+        let w = &snap.workers[i];
+        assert_eq!(w.label, format!("w{i}"), "{label}: worker label");
+        assert_eq!(w.packets, part.len() as u64, "{label}: worker {i} packets");
+        assert_eq!(
+            w.records_received,
+            part.len() as u64,
+            "{label}: worker {i} received"
+        );
+        let bytes: u64 = part.iter().map(|r| r.data.len() as u64).sum();
+        assert_eq!(w.bytes, bytes, "{label}: worker {i} bytes");
+        assert_eq!(w.ring_full_drops, 0, "{label}: worker {i} drops");
+        assert!(w.complete, "{label}: worker {i} saw Bye");
+    }
+}
+
+#[test]
+fn fragment_workers_byte_identical_to_single_process() {
+    let records = strictly_increasing_records(11, 30);
+    assert!(records.len() > 1_000);
+
+    // The sequential no-mux report anchors the whole family.
+    let mut direct = Analyzer::new(AnalyzerConfig::default());
+    for r in &records {
+        direct
+            .push(r.ts_nanos, &r.data, LinkType::Ethernet)
+            .expect("push");
+    }
+    let direct = direct.finish().expect("finish");
+
+    for window in [None, Some(Duration::from_secs(10))] {
+        let (base_windows, base_out) = single_process_run(&records, 1, window);
+        assert_eq!(
+            base_out.report.to_json(),
+            direct.to_json(),
+            "single-process anchor/{window:?}"
+        );
+        for n in [1usize, 2, 8] {
+            for how in [Split::RoundRobin, Split::Contiguous] {
+                let splits = split_records(&records, n, how);
+                let (windows, out, snap) = fragment_run(&splits, 1, window);
+                let label = format!("{n} workers/{how:?}/{window:?}");
+                assert_same_output(&windows, &out, &base_windows, &base_out, &label);
+                assert_worker_accounting(&snap, &splits, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_merge_matches_sequential_merge() {
+    let records = strictly_increasing_records(29, 15);
+    let splits = split_records(&records, 2, Split::RoundRobin);
+    let window = Some(Duration::from_secs(5));
+    let (base_windows, base_out, _) = {
+        let (w, o, s) = fragment_run(&splits, 1, window);
+        (w, o, s)
+    };
+    let (windows, out, snap) = fragment_run(&splits, 4, window);
+    assert_same_output(&windows, &out, &base_windows, &base_out, "4 shards");
+    assert_worker_accounting(&snap, &splits, "4 shards");
+}
+
+/// Crash + restore: an incarnation that dies mid-trace emitted some
+/// window prefix; the restore replays the same fragments under a
+/// `WindowGate` and must emit exactly the missing suffix — including
+/// the windows that were still open at crash time.
+#[test]
+fn merge_restart_resumes_from_checkpoint_without_losing_windows() {
+    let records = strictly_increasing_records(17, 25);
+    let splits = split_records(&records, 2, Split::RoundRobin);
+    let window = Some(Duration::from_secs(4));
+
+    // Uninterrupted reference.
+    let (all_windows, all_out, _) = fragment_run(&splits, 1, window);
+    assert!(
+        all_windows.len() >= 4,
+        "need several windows for a meaningful crash point"
+    );
+
+    // Incarnation 1: dies after ~60% of the merged trace, mid-window.
+    // The merged order of strictly increasing timestamps is the sorted
+    // trace itself, so feeding the prefix directly is exactly what the
+    // crashed merge had pushed.
+    let crash_at = records.len() * 6 / 10;
+    let mut engine = StreamingEngine::new(EngineConfig {
+        analyzer: AnalyzerConfig::default(),
+        shards: 1,
+        window,
+        idle_timeout: None,
+        qoe: None,
+    })
+    .expect("engine");
+    let mut emitted = Vec::new();
+    for r in &records[..crash_at] {
+        engine
+            .push(r.ts_nanos, &r.data, LinkType::Ethernet)
+            .expect("push");
+        emitted.extend(engine.take_windows());
+    }
+    let checkpoint = MergeCheckpoint {
+        windows_emitted: emitted.len() as u64,
+        workers: vec![],
+    };
+    drop(engine); // the crash: no drain, open windows lost in memory
+
+    // Incarnation 2: full deterministic replay, prefix suppressed.
+    let text = checkpoint.serialize();
+    let restored = MergeCheckpoint::parse(&text).expect("reparse");
+    let mut gate = WindowGate::resume_from(&restored);
+    let (replayed, out, _) = fragment_run(&splits, 1, window);
+    let resumed: Vec<&WindowReport> =
+        replayed.iter().filter(|_| gate.admit()).collect();
+
+    // Crash output + resumed output == uninterrupted output.
+    let stitched: Vec<&WindowReport> =
+        emitted.iter().chain(resumed.iter().copied()).collect();
+    assert_eq!(stitched.len(), all_windows.len(), "stitched window count");
+    for (x, y) in stitched.iter().zip(&all_windows) {
+        assert_eq!(x.to_json(), y.to_json(), "stitched window {}", y.index);
+    }
+    assert_eq!(
+        out.final_window.to_json(),
+        all_out.final_window.to_json(),
+        "final window after restore"
+    );
+    assert_eq!(
+        out.report.to_json(),
+        all_out.report.to_json(),
+        "final report after restore"
+    );
+}
+
+/// A worker cut off before its Bye frame must fail the merge loudly.
+#[test]
+fn cut_worker_stream_is_an_error_not_a_short_report() {
+    let records = strictly_increasing_records(5, 10);
+    let splits = split_records(&records, 2, Split::RoundRobin);
+    let ok = frame_stream(&splits[0], "w0");
+    let mut cut = frame_stream(&splits[1], "w1");
+    cut.truncate(cut.len() - 50); // lose the Bye (and a record tail)
+
+    let sources: Vec<Box<dyn PacketSource>> = vec![
+        Box::new(FragmentSource::open(Cursor::new(ok)).expect("ok stream")),
+        Box::new(FragmentSource::open(Cursor::new(cut)).expect("header still valid")),
+    ];
+    let mut mux = CaptureMux::start(sources, MuxConfig::default(), None);
+    let err = loop {
+        match mux.next_record() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("cut stream passed for a complete merge"),
+            Err(e) => break e,
+        }
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("Bye") || msg.contains("truncated"),
+        "unhelpful cut-stream error: {msg}"
+    );
+    let _ = mux.finish();
+}

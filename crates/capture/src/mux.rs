@@ -303,6 +303,94 @@ impl CaptureMux {
         }))
     }
 
+    /// Fill `out` with the next run of merged records, up to `max`, and
+    /// return their (shared) link type. Record order is exactly
+    /// [`CaptureMux::next_record`]'s strict `(ts, lane)` merge order — a
+    /// batched drain is record-for-record identical to a per-record
+    /// drain (pinned by tests) — but each merge scan is amortized over a
+    /// whole *run* of records from the winning lane, so the
+    /// single-source case copies entire capture batches per scan.
+    ///
+    /// A batch is cut early when the next record's lane has a different
+    /// link type (one [`LinkType`] per batch, matching
+    /// `PacketSink::push_batch`), or when a live lane is momentarily
+    /// empty — strict ordering forbids emitting past it, and handing
+    /// the partial batch to the caller beats sleeping on buffered work.
+    /// Blocks (like `next_record`) only when nothing is buffered at all;
+    /// `Ok(None)` once every source is exhausted.
+    pub fn next_batch(
+        &mut self,
+        out: &mut RecordBatch,
+        max: usize,
+    ) -> Result<Option<LinkType>, SourceError> {
+        out.clear();
+        let mut link: Option<LinkType> = None;
+        while out.len() < max {
+            // One merge scan: the minimum (ts, lane) across lanes, plus
+            // the runner-up that bounds how far the winner may run.
+            let mut best: Option<(u64, usize)> = None;
+            let mut second: Option<(u64, usize)> = None;
+            let mut waiting = false;
+            for i in 0..self.lanes.len() {
+                let lane = &mut self.lanes[i];
+                if lane.done {
+                    continue;
+                }
+                if !lane.refill()? {
+                    if !lane.done {
+                        waiting = true;
+                    }
+                    continue;
+                }
+                let ts = lane.peek_ts().expect("refill returned true");
+                match best {
+                    Some((bts, _)) if ts >= bts => {
+                        if second.map(|(sts, _)| ts < sts).unwrap_or(true) {
+                            second = Some((ts, i));
+                        }
+                    }
+                    _ => {
+                        second = best;
+                        best = Some((ts, i));
+                    }
+                }
+            }
+            if waiting {
+                if link.is_some() {
+                    // Never sleep on buffered work: hand the partial
+                    // batch over and let the next call do the waiting.
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+                continue;
+            }
+            let Some((_, i)) = best else { break }; // every lane exhausted
+            let lane = &mut self.lanes[i];
+            match link {
+                Some(l) if lane.link != l => break, // one link type per batch
+                _ => link = Some(lane.link),
+            }
+            // Copy the winner's run: every buffered record that still
+            // beats the runner-up under (ts, lane) order.
+            let (batch, cursor) = lane.current.as_mut().expect("refill succeeded");
+            while *cursor < batch.len() && out.len() < max {
+                let r = batch.get(*cursor).expect("cursor in bounds");
+                let wins = match second {
+                    None => true,
+                    Some((sts, sj)) => r.ts_nanos < sts || (r.ts_nanos == sts && i < sj),
+                };
+                if !wins {
+                    break;
+                }
+                out.push(r.ts_nanos, r.orig_len, r.data);
+                self.delivered += 1;
+                self.delivered_bytes += r.data.len() as u64;
+                *cursor += 1;
+            }
+        }
+        Ok(if out.is_empty() { None } else { link })
+    }
+
     /// Number of sources feeding this mux.
     pub fn sources(&self) -> usize {
         self.lanes.len()
@@ -576,6 +664,62 @@ mod tests {
             stats.packets,
             delivered + stats.ring_full_drops,
             "captured == delivered + dropped"
+        );
+        mux.finish().unwrap();
+    }
+
+    fn drain_batched(mux: &mut CaptureMux, max: usize) -> (Vec<u64>, Vec<usize>) {
+        let mut ts = Vec::new();
+        let mut sizes = Vec::new();
+        let mut batch = RecordBatch::new();
+        while let Some(link) = mux.next_batch(&mut batch, max).unwrap() {
+            assert_eq!(link, LinkType::Ethernet);
+            sizes.push(batch.len());
+            ts.extend(batch.iter().map(|r| r.ts_nanos));
+        }
+        (ts, sizes)
+    }
+
+    #[test]
+    fn batched_drain_matches_per_record_order() {
+        let parts = vec![vec![0, 3, 6, 9, 12, 13], vec![1, 4, 7, 10], vec![2, 5, 8, 11]];
+        for max in [1usize, 3, 7, 4096] {
+            let mut mux = mux_of(parts.clone(), MuxConfig::default());
+            let (ts, sizes) = drain_batched(&mut mux, max);
+            assert_eq!(ts, (0..14).collect::<Vec<_>>(), "max={max}");
+            assert!(sizes.iter().all(|&s| s >= 1 && s <= max), "max={max}");
+            assert_eq!(mux.records_delivered(), 14);
+            assert_eq!(mux.bytes_delivered(), 14 * 60);
+            mux.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn batched_ties_break_by_lane_index() {
+        // Interleaved ties: the run extension must stop at a tie owned
+        // by an earlier lane, exactly like per-record (ts, lane) order.
+        let mut mux = mux_of(vec![vec![5, 5, 9], vec![5, 5, 9]], MuxConfig::default());
+        let mut order = Vec::new();
+        let mut batch = RecordBatch::new();
+        while mux.next_batch(&mut batch, 4096).unwrap().is_some() {
+            order.extend(batch.iter().map(|r| r.ts_nanos));
+        }
+        assert_eq!(order, vec![5, 5, 5, 5, 9, 9]);
+        mux.finish().unwrap();
+    }
+
+    #[test]
+    fn single_source_batches_copy_whole_capture_batches() {
+        let n = 1_000u64;
+        let mut mux = mux_of(vec![(0..n).collect()], MuxConfig::default());
+        let (ts, sizes) = drain_batched(&mut mux, 4096);
+        assert_eq!(ts.len(), n as usize);
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        // With one lane there is no runner-up: each scan should drain
+        // everything buffered, not one record at a time.
+        assert!(
+            sizes.iter().any(|&s| s > 1),
+            "runs never exceeded one record: {sizes:?}"
         );
         mux.finish().unwrap();
     }

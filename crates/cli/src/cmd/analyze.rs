@@ -58,8 +58,14 @@ use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
 use zoom_analysis::PacketSink;
 use zoom_capture::mux::{CaptureMux, MuxConfig};
 use zoom_capture::source::{FollowConfig, PacketSource};
+use zoom_wire::handoff::RecordBatch;
 use zoom_wire::pcap::{LinkType, Reader, RecordBuf};
 use zoom_wire::zoom::MediaType;
+
+/// How many records one fan-in drain hands to the sink at once: large
+/// enough to amortize the batch dissection setup across a type-sorted
+/// pass, small enough that the copy arena stays cache-resident.
+pub(crate) const MUX_BATCH: usize = 1024;
 
 /// The `--metrics <path>` snapshot file: rewritten in place every
 /// `--metrics-interval` while records flow, and once more at the end.
@@ -94,12 +100,22 @@ impl MetricsFile {
         }))
     }
 
-    /// Called once per pushed record; rewrites the file when the interval
-    /// has elapsed. The clock is only consulted every 256 records so the
-    /// per-packet cost stays negligible.
-    pub(crate) fn tick(&mut self, snap: impl FnOnce() -> MetricsSnapshot) -> CmdResult {
-        self.pushes = self.pushes.wrapping_add(1);
-        if !self.pushes.is_multiple_of(256) || self.last.elapsed() < self.interval {
+    /// Called after every push — one record on the single-reader path, a
+    /// whole merged batch on the fan-in paths; rewrites the file when the
+    /// interval has elapsed. The clock is only consulted once at least
+    /// 256 records have accumulated, so the per-packet cost stays
+    /// negligible.
+    pub(crate) fn tick(
+        &mut self,
+        records: u32,
+        snap: impl FnOnce() -> MetricsSnapshot,
+    ) -> CmdResult {
+        self.pushes = self.pushes.saturating_add(records);
+        if self.pushes < 256 {
+            return Ok(());
+        }
+        self.pushes = 0;
+        if self.last.elapsed() < self.interval {
             return Ok(());
         }
         self.last = std::time::Instant::now();
@@ -135,28 +151,31 @@ fn feed_pcap<S: PacketSink, R: std::io::Read>(
         sink.push(buf.ts_nanos(), buf.data(), link)?;
         if let Some(m) = metrics_file {
             sink.note_pcap_progress(reader.records_read(), reader.bytes_read());
-            m.tick(|| sink.metrics())?;
+            m.tick(1, || sink.metrics())?;
         }
     }
     Ok(())
 }
 
 /// The multi-source ingest loop: records arrive pre-merged in timestamp
-/// order from the capture fan-in; progress gauges come from the mux's
-/// delivered counts instead of a single reader's.
+/// order from the capture fan-in, a whole run-extended batch at a time,
+/// and enter the sink through the batched dissection path; progress
+/// gauges come from the mux's delivered counts instead of a single
+/// reader's.
 fn feed_mux<S: PacketSink>(
     mux: &mut CaptureMux,
     sink: &mut S,
     metrics_file: &mut Option<MetricsFile>,
 ) -> CmdResult {
+    let mut batch = RecordBatch::new();
     loop {
-        let Some(r) = mux.next_record()? else {
+        let Some(link) = mux.next_batch(&mut batch, MUX_BATCH)? else {
             return Ok(());
         };
-        sink.push(r.ts_nanos, r.data, r.link)?;
+        sink.push_batch(&batch, link)?;
         if let Some(m) = metrics_file {
             sink.note_pcap_progress(mux.records_delivered(), mux.bytes_delivered());
-            m.tick(|| sink.metrics())?;
+            m.tick(batch.len() as u32, || sink.metrics())?;
         }
     }
 }
@@ -501,11 +520,15 @@ fn run_streaming(
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    // next_record blocks (sleeping) while live sources are quiet — a
-    // followed pcap keeps its lane alive until its own idle-exit
-    // elapses, so follow semantics are per source, not global.
-    while let Some(r) = mux.next_record()? {
-        engine.push(r.ts_nanos, r.data, r.link)?;
+    // next_batch blocks (sleeping) only when nothing is buffered and a
+    // live source is quiet — a followed pcap keeps its lane alive until
+    // its own idle-exit elapses, so follow semantics are per source, not
+    // global — and hands back a partial batch rather than sitting on
+    // buffered records, so window emission latency matches the
+    // per-record loop it replaced.
+    let mut batch = RecordBatch::new();
+    while let Some(link) = mux.next_batch(&mut batch, MUX_BATCH)? {
+        engine.push_batch(&batch, link)?;
         let mut wrote = false;
         for w in engine.take_windows() {
             writeln!(out, "{}", w.to_json()).map_err(|e| e.to_string())?;
@@ -522,7 +545,7 @@ fn run_streaming(
         }
         if let Some(m) = &mut metrics_file {
             engine.note_pcap_progress(mux.records_delivered(), mux.bytes_delivered());
-            m.tick(|| engine.metrics())?;
+            m.tick(batch.len() as u32, || engine.metrics())?;
         }
     }
     finish_mux(mux, &mut engine)?;
@@ -561,7 +584,6 @@ fn run_emit(
 ) -> CmdResult {
     use zoom_capture::source::BATCH_RECORDS;
     use zoom_wire::frame::{FrameWriter, Totals};
-    use zoom_wire::handoff::RecordBatch;
 
     // One fragment stream carries one link type (the Hello pins it),
     // mirroring the one-link rule a pcap file has.
@@ -589,29 +611,16 @@ fn run_emit(
         .map_err(|e| CliError::io(format!("{target}: {e}")))?;
 
     let mut mux = CaptureMux::start(sources, mux_config, None);
+    // The mux batches the merged stream itself (run extension over the
+    // winning lane), so every non-empty drain becomes one wire frame.
     let mut batch = RecordBatch::new();
     let mut frames = 0u64;
-    let flush = |batch: &mut RecordBatch,
-                     writer: &mut FrameWriter<_>,
-                     frames: &mut u64|
-     -> CmdResult {
-        if batch.is_empty() {
-            return Ok(());
-        }
+    while mux.next_batch(&mut batch, BATCH_RECORDS)?.is_some() {
         writer
-            .write_batch(batch)
+            .write_batch(&batch)
             .map_err(|e| CliError::io(format!("{target}: {e}")))?;
-        *frames += 1;
-        batch.clear();
-        Ok(())
-    };
-    while let Some(r) = mux.next_record()? {
-        batch.push(r.ts_nanos, r.orig_len, r.data);
-        if batch.len() >= BATCH_RECORDS {
-            flush(&mut batch, &mut writer, &mut frames)?;
-        }
+        frames += 1;
     }
-    flush(&mut batch, &mut writer, &mut frames)?;
 
     let delivered = mux.records_delivered();
     let bytes = mux.bytes_delivered();

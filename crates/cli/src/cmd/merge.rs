@@ -28,7 +28,7 @@
 //! the already-emitted window prefix and continues with bit-identical
 //! output (`docs/DISTRIBUTED.md` has the runbook).
 
-use super::analyze::{finish_mux, print_report, MetricsFile};
+use super::analyze::{finish_mux, print_report, MetricsFile, MUX_BATCH};
 use super::sources::mux_flags;
 use super::{campus_flag, parse_args, parse_duration, CliError, CmdResult};
 use std::collections::HashMap;
@@ -44,6 +44,7 @@ use zoom_analysis::PacketSink;
 use zoom_capture::fragment::{FragmentSource, WorkerAccount};
 use zoom_capture::mux::{CaptureMux, MuxConfig};
 use zoom_capture::source::PacketSource;
+use zoom_wire::handoff::RecordBatch;
 
 /// A boxed byte stream: a spool file or an accepted worker connection,
 /// optionally teed into the journal.
@@ -184,23 +185,25 @@ fn into_sources(workers: Vec<Worker>) -> (Vec<Box<dyn PacketSource>>, Vec<String
     (sources, labels)
 }
 
-/// The merge-side ingest loop: identical to the `analyze` fan-in feed,
-/// plus the per-record worker-metrics sync.
+/// The merge-side ingest loop: identical to the `analyze` fan-in feed —
+/// run-extended batches through the batched dissection path — plus the
+/// per-batch worker-metrics sync.
 fn feed<S: PacketSink>(
     mux: &mut CaptureMux,
     sink: &mut S,
     metrics_file: &mut Option<MetricsFile>,
     pairs: &[(Arc<WorkerAccount>, Arc<WorkerMetrics>)],
 ) -> CmdResult {
+    let mut batch = RecordBatch::new();
     loop {
-        let Some(r) = mux.next_record()? else {
+        let Some(link) = mux.next_batch(&mut batch, MUX_BATCH)? else {
             return Ok(());
         };
-        sink.push(r.ts_nanos, r.data, r.link)?;
+        sink.push_batch(&batch, link)?;
         sync_worker_metrics(pairs);
         if let Some(m) = metrics_file {
             sink.note_pcap_progress(mux.records_delivered(), mux.bytes_delivered());
-            m.tick(|| sink.metrics())?;
+            m.tick(batch.len() as u32, || sink.metrics())?;
         }
     }
 }
@@ -401,8 +404,9 @@ fn run_streaming_merge(
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    while let Some(r) = mux.next_record()? {
-        engine.push(r.ts_nanos, r.data, r.link)?;
+    let mut batch = RecordBatch::new();
+    while let Some(link) = mux.next_batch(&mut batch, MUX_BATCH)? {
+        engine.push_batch(&batch, link)?;
         sync_worker_metrics(&pairs);
         let mut wrote = false;
         for w in engine.take_windows() {
@@ -417,7 +421,7 @@ fn run_streaming_merge(
         }
         if let Some(m) = &mut metrics_file {
             engine.note_pcap_progress(mux.records_delivered(), mux.bytes_delivered());
-            m.tick(|| engine.metrics())?;
+            m.tick(batch.len() as u32, || engine.metrics())?;
         }
     }
     sync_worker_metrics(&pairs);

@@ -13,9 +13,9 @@
 //!   are generated up front, then delivered through the AF_PACKET-style
 //!   [`live_ring`] backend by a feeder thread, so the ingest side
 //!   exercises the same ring hand-off a real socket capture would.
-//!   Scenarios match `simulate`: `validation`, `p2p`, `multi`, `churn`
-//!   (the *name* is validated here, where the catalogue lives — the
-//!   grammar itself accepts any name).
+//!   Scenarios match `simulate`: `validation`, `p2p`, `multi`, `churn`,
+//!   `campus-10x` (the *name* is validated here, where the catalogue
+//!   lives — the grammar itself accepts any name).
 //!
 //! Source labels are the spec's canonical `Display` form, so
 //! `sim:p2p` and `sim:p2p,seed=7,secs=60` label identically
@@ -52,9 +52,10 @@ pub fn scenario_records(name: &str, seed: u64, seconds: u64) -> Result<Vec<Recor
         "p2p" => vec![scenario::p2p_meeting(seed, seconds * SEC)],
         "multi" => vec![scenario::multi_party(seed, seconds * SEC)],
         "churn" => scenario::churn(seed, seconds * SEC),
+        "campus-10x" => scenario::campus_10x(seed, seconds * SEC),
         other => {
             return Err(format!(
-                "unknown scenario '{other}' (validation|p2p|multi|churn)"
+                "unknown scenario '{other}' (validation|p2p|multi|churn|campus-10x)"
             ))
         }
     };
@@ -193,7 +194,26 @@ mod tests {
         assert!(build_source(&spec("pcap:/definitely/not/there.pcap"), None).is_err());
         let e = build_source(&spec("sim:unknown-scenario"), None).err().unwrap();
         assert_eq!(e.code, 3);
-        assert!(e.message.contains("validation|p2p|multi|churn"));
+        assert!(e.message.contains("validation|p2p|multi|churn|campus-10x"));
+    }
+
+    #[test]
+    fn campus_10x_is_heavy_churn() {
+        // The bench-gate standard load: ~10x the `churn` scenario's
+        // meeting population inside a one-minute trace, so the batch
+        // pipeline is measured under real flow-table pressure.
+        let records = scenario_records("campus-10x", 7, 60).unwrap();
+        assert!(
+            records.len() > 100_000,
+            "campus-10x too light: {} records",
+            records.len()
+        );
+        let churn: usize = scenario::churn(7, 60 * SEC).len();
+        let meetings = scenario::campus_10x(7, 60 * SEC).len();
+        assert!(
+            meetings >= 10 * churn,
+            "campus-10x has {meetings} meetings, want >= 10x churn's {churn}"
+        );
     }
 
     #[test]

@@ -85,7 +85,15 @@ pub struct FrameTracker {
     /// arriving after completion must not re-open (and re-count) the
     /// frame.
     completed_ts: VecDeque<u32>,
+    /// Emptied `seqs` vectors recovered from completed (or purged) frames
+    /// and handed to the next frame opened, so steady-state frame
+    /// reconstruction never allocates per frame.
+    spare_seqs: Vec<Vec<u16>>,
 }
+
+/// Spare `seqs` vectors kept for reuse; more in-flight frames than this
+/// fall back to fresh allocations.
+const SPARE_SEQS: usize = 8;
 
 impl FrameTracker {
     /// Tracker for video streams (90 kHz, packet-count completion).
@@ -109,6 +117,7 @@ impl FrameTracker {
             recent: VecDeque::new(),
             last_completed_ts: None,
             completed_ts: VecDeque::new(),
+            spare_seqs: Vec::new(),
         }
     }
 
@@ -126,16 +135,16 @@ impl FrameTracker {
         if self.completed_ts.contains(&rtp_timestamp) {
             return; // late duplicate of an already-completed frame
         }
-        let pending = self
-            .pending
-            .entry(rtp_timestamp)
-            .or_insert_with(|| Pending {
+        let pending = match self.pending.entry(rtp_timestamp) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(Pending {
                 first_at: at,
-                seqs: Vec::new(),
+                seqs: self.spare_seqs.pop().unwrap_or_default(),
                 bytes: 0,
                 expected: pkts_in_frame,
                 marker_seen: false,
-            });
+            }),
+        };
         if pending.seqs.contains(&sequence) {
             return; // retransmission duplicate
         }
@@ -153,7 +162,7 @@ impl FrameTracker {
             Completion::MarkerBit => pending.marker_seen,
         };
         if complete {
-            let p = self.pending.remove(&rtp_timestamp).expect("just inserted");
+            let mut p = self.pending.remove(&rtp_timestamp).expect("just inserted");
             let encoder_interval_nanos = self.last_completed_ts.and_then(|prev| {
                 let delta = rtp_timestamp.wrapping_sub(prev);
                 // Reject wraps/reorders that imply absurd intervals.
@@ -177,12 +186,23 @@ impl FrameTracker {
             if self.completed_ts.len() > 128 {
                 self.completed_ts.pop_front();
             }
+            if self.spare_seqs.len() < SPARE_SEQS {
+                p.seqs.clear();
+                self.spare_seqs.push(std::mem::take(&mut p.seqs));
+            }
         }
         // Bound pending state: discard frames that have not completed
         // within 5 seconds (packets lost beyond recovery).
         if self.pending.len() > 64 {
-            self.pending
-                .retain(|_, p| at.saturating_sub(p.first_at) < 5_000_000_000);
+            let spare = &mut self.spare_seqs;
+            self.pending.retain(|_, p| {
+                let keep = at.saturating_sub(p.first_at) < 5_000_000_000;
+                if !keep && spare.len() < SPARE_SEQS {
+                    p.seqs.clear();
+                    spare.push(std::mem::take(&mut p.seqs));
+                }
+                keep
+            });
         }
     }
 

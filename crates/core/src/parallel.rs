@@ -32,6 +32,7 @@ use crate::obs::{MetricsSnapshot, PipelineMetrics};
 use crate::pipeline::{Analyzer, AnalyzerConfig, MediaSamples, TraceSummary};
 use crate::report::AnalysisReport;
 use crate::sink::PacketSink;
+use zoom_wire::handoff::RecordBatch;
 use zoom_wire::pcap::LinkType;
 use zoom_wire::zoom::MediaType;
 
@@ -207,6 +208,29 @@ impl ParallelAnalyzer {
 impl PacketSink for ParallelAnalyzer {
     fn push(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) -> Result<(), Error> {
         self.process_packet(ts_nanos, data, link);
+        match &self.error_msg {
+            Some(msg) => Err(Error::ShardPanic(msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Batched routing: the whole [`RecordBatch`] goes through
+    /// [`StreamingEngine::push_batch_records`] — one type-sorted header
+    /// pass, batched flow-key hashing, then in-order shard dispatch.
+    ///
+    /// # Panics
+    /// Panics if called after [`ParallelAnalyzer::finish`], like
+    /// [`ParallelAnalyzer::process_packet`].
+    fn push_batch(&mut self, batch: &RecordBatch, link: LinkType) -> Result<(), Error> {
+        let engine = self
+            .engine
+            .as_mut()
+            .expect("push_batch called after finish()");
+        if let Err(e) = engine.push_batch_records(batch, link) {
+            if self.error_msg.is_none() {
+                self.error_msg = Some(e.to_string());
+            }
+        }
         match &self.error_msg {
             Some(msg) => Err(Error::ShardPanic(msg.clone())),
             None => Ok(()),

@@ -25,9 +25,11 @@ use std::net::IpAddr;
 use std::sync::Arc;
 use std::time::Duration;
 use zoom_wire::dissect::{
-    dissect, dissect_from, drop_stage, App, Dissection, P2pProbe, PeekInfo, Transport,
+    dissect, dissect_batch, dissect_from, drop_stage, App, Dissection, P2pProbe, PeekArena,
+    PeekInfo, Transport,
 };
 use zoom_wire::flow::{Endpoint, FiveTuple};
+use zoom_wire::handoff::RecordBatch;
 use zoom_wire::pcap::LinkType;
 use zoom_wire::zoom::{Framing, MediaType, ZOOM_SFU_PORT};
 
@@ -314,6 +316,17 @@ pub(crate) struct MediaEvent {
     pub(crate) direction: crate::packet::Direction,
 }
 
+/// A run of consecutive same-flow Zoom packets pending application to
+/// the flow table (see [`Analyzer::flow_run`](struct@Analyzer)).
+#[derive(Clone, Copy)]
+struct FlowRun {
+    ft: FiveTuple,
+    first_seen: u64,
+    last_seen: u64,
+    packets: u64,
+    bytes: u64,
+}
+
 /// The analyzer.
 pub struct Analyzer {
     pub(crate) config: AnalyzerConfig,
@@ -340,6 +353,14 @@ pub struct Analyzer {
     pub(crate) current_seq: u64,
     /// Shard mode: the router's `is_p2p_flow` verdict for this record.
     pub(crate) p2p_hint: bool,
+    /// Shard mode: pending run of consecutive same-flow Zoom packets,
+    /// folded into [`Analyzer::flows`] with one map probe per run
+    /// (media bursts make long runs). Flushed at every batch end, so
+    /// tick-time readers always see a current map. `None` in sequential
+    /// mode, where `flows` is updated in place per packet.
+    flow_run: Option<FlowRun>,
+    /// Reused peek arena for the batched [`PacketSink::push_batch`] path.
+    peek_arena: PeekArena,
     /// The observability registry ([`crate::obs`]). Sequential analyzers
     /// own a private one; shard analyzers share the router's `Arc` so
     /// classification counters aggregate pipeline-wide.
@@ -368,6 +389,8 @@ impl Analyzer {
             event_log: None,
             current_seq: 0,
             p2p_hint: false,
+            flow_run: None,
+            peek_arena: PeekArena::new(),
             metrics: Arc::new(PipelineMetrics::new(0)),
         }
     }
@@ -545,13 +568,54 @@ impl Analyzer {
         self.zoom_bytes += ip_len as u64;
         self.first_zoom_ts.get_or_insert(ts);
         self.last_zoom_ts = self.last_zoom_ts.max(ts);
-        let f = self.flows.entry(*five_tuple).or_insert(FlowStats {
-            first_seen: ts,
-            ..Default::default()
-        });
-        f.packets += 1;
-        f.bytes += ip_len as u64;
-        f.last_seen = ts;
+        if self.event_log.is_none() {
+            // Sequential mode: the flow table may be read between any two
+            // records (`summary`, direct `process_dissection` feeds), so
+            // keep it current in place.
+            let f = self.flows.entry(*five_tuple).or_insert(FlowStats {
+                first_seen: ts,
+                ..Default::default()
+            });
+            f.packets += 1;
+            f.bytes += ip_len as u64;
+            f.last_seen = ts;
+            return;
+        }
+        // Shard mode: media traffic arrives in long same-flow bursts, so
+        // fold consecutive records into a pending run and probe the flow
+        // table once per run. The engine worker flushes at batch end —
+        // before any tick, merge, or drain reads the table.
+        match &mut self.flow_run {
+            Some(run) if run.ft == *five_tuple => {
+                run.last_seen = ts;
+                run.packets += 1;
+                run.bytes += ip_len as u64;
+            }
+            _ => {
+                self.flush_flow_run();
+                self.flow_run = Some(FlowRun {
+                    ft: *five_tuple,
+                    first_seen: ts,
+                    last_seen: ts,
+                    packets: 1,
+                    bytes: ip_len as u64,
+                });
+            }
+        }
+    }
+
+    /// Apply the pending [`FlowRun`] (shard mode) to the flow table.
+    /// Identical to having applied each packet of the run individually.
+    pub(crate) fn flush_flow_run(&mut self) {
+        if let Some(run) = self.flow_run.take() {
+            let f = self.flows.entry(run.ft).or_insert(FlowStats {
+                first_seen: run.first_seen,
+                ..Default::default()
+            });
+            f.packets += run.packets;
+            f.bytes += run.bytes;
+            f.last_seen = run.last_seen;
+        }
     }
 
     fn on_zoom(&mut self, meta: PacketMeta) {
@@ -767,6 +831,39 @@ impl Analyzer {
 impl PacketSink for Analyzer {
     fn push(&mut self, ts_nanos: u64, data: &[u8], link: LinkType) -> Result<(), Error> {
         self.process_packet(ts_nanos, data, link);
+        Ok(())
+    }
+
+    /// Batched ingest: one type-sorted [`dissect_batch`] pass parses
+    /// every record's application payload with branch-predictable
+    /// per-class inner loops, then the dissections are applied in record
+    /// order — same observable state as per-record
+    /// [`Analyzer::process_packet`] calls.
+    fn push_batch(&mut self, batch: &RecordBatch, link: LinkType) -> Result<(), Error> {
+        let mut arena = std::mem::take(&mut self.peek_arena);
+        dissect_batch(batch, link, P2pProbe::Off, &mut arena);
+        for (i, r) in batch.iter().enumerate() {
+            let sampled_at = self
+                .total_packets
+                .is_multiple_of(64)
+                .then(std::time::Instant::now);
+            self.total_packets += 1;
+            self.metrics.record_in(r.data.len());
+            match arena.take_dissection(batch, i) {
+                Some(d) => self.process_dissection_counted(&d),
+                None => {
+                    let e = arena.peek(i).expect_err("no dissection implies peek error");
+                    self.undissectable += 1;
+                    self.metrics.record_drop(drop_stage(r.data, link, e));
+                }
+            }
+            if let Some(t0) = sampled_at {
+                self.metrics
+                    .stage_push_nanos
+                    .observe(t0.elapsed().as_nanos() as u64);
+            }
+        }
+        self.peek_arena = arena;
         Ok(())
     }
 

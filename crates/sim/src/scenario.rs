@@ -168,6 +168,23 @@ pub fn churn(seed: u64, duration: Nanos) -> Vec<MeetingConfig> {
         .collect()
 }
 
+/// Campus `scale` behind [`campus_10x`], calibrated so one bench-length
+/// (60 s) trace carries ~10x the [`churn`] scenario's meeting count.
+pub const CAMPUS_10X_SCALE: f64 = 12.0;
+
+/// The `campus-10x` workload — the standard heavy load for
+/// `BENCH_ingest.json` and the CI bench gate: the campus study with its
+/// `scale` knob cranked far past the default. The diurnal arrival model
+/// needs tens of minutes to build concurrency, so a bench-length trace
+/// buys its meeting population through scale instead of wall-clock
+/// hours — at the default 60 s this lands ~10x the `churn` scenario's
+/// meeting count, with meetings arriving, clipping, and leaving
+/// throughout (heavy churn).
+pub fn campus_10x(seed: u64, duration: Nanos) -> Vec<MeetingConfig> {
+    let (scenario, _infra) = campus_study(seed, duration, CAMPUS_10X_SCALE, 0.0);
+    scenario.meetings
+}
+
 /// The 12-hour campus study (Table 6, Figs. 14–17) at the given load
 /// scale. `background_ratio > 0` adds non-Zoom traffic for capture-
 /// pipeline experiments.

@@ -291,46 +291,18 @@ pub fn dissect_from<'a>(
     data: &'a [u8],
     probe: P2pProbe,
 ) -> Dissection<'a> {
-    match info.transport {
+    let app = match info.transport {
         PeekTransport::Udp {
             payload_off,
             payload_len,
-        } => {
-            let payload = &data[payload_off..payload_off + payload_len];
-            let app = classify_udp(&info.five_tuple, payload, probe);
-            Dissection {
-                ts_nanos,
-                link: info.link,
-                five_tuple: info.five_tuple,
-                ip_total_len: info.ip_total_len,
-                transport: Transport::Udp { payload_len },
-                app,
-                payload,
-            }
-        }
-        PeekTransport::Tcp {
-            seq,
-            ack,
-            flags,
-            window,
-            payload_off,
-            payload_len,
-        } => Dissection {
-            ts_nanos,
-            link: info.link,
-            five_tuple: info.five_tuple,
-            ip_total_len: info.ip_total_len,
-            transport: Transport::Tcp {
-                seq,
-                ack,
-                flags,
-                window,
-                payload_len,
-            },
-            app: App::Opaque,
-            payload: &data[payload_off..payload_off + payload_len],
-        },
-    }
+        } => classify_udp(
+            &info.five_tuple,
+            &data[payload_off..payload_off + payload_len],
+            probe,
+        ),
+        PeekTransport::Tcp { .. } => App::Opaque,
+    };
+    assemble(info, ts_nanos, data, app)
 }
 
 /// Dissect one capture record: [`peek`] + [`dissect_from`] in one call.
@@ -409,6 +381,296 @@ pub fn drop_stage(data: &[u8], link_type: LinkType, err: Error) -> DropStage {
             // Raw IP has no link header to reject, so Unsupported can only
             // have come from the IP protocol field.
             LinkType::RawIp => DropStage::NonTransport,
+        },
+    }
+}
+
+/// Coarse packet class assigned by [`peek_batch`] from header fields and
+/// the first payload bytes only — cheap enough to compute during the
+/// header walk, precise enough to sort application-layer dispatch into
+/// branch-predictable per-class loops.
+///
+/// The class *predicts* which `classify_udp`-internal branch the record
+/// will take; [`dissect_batch`] still runs the full classification per
+/// record, so a mispredicted class costs only a branch miss, never a
+/// wrong result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketClass {
+    /// Port 3478 traffic or a payload passing the STUN magic-cookie check.
+    Stun,
+    /// Port 8801 (Zoom SFU) traffic whose first payload byte announces a
+    /// media encapsulation ([`zoom::SFU_TYPE_MEDIA`]).
+    ZmeMedia,
+    /// Port 8801 traffic that is not a media frame: SFU control traffic.
+    ZmeControl,
+    /// Valid UDP or TCP that matches none of the Zoom signals (P2P Zoom
+    /// hides here until the STUN tracker flags the flow).
+    NotZoom,
+    /// [`peek`] rejected the record; the stored [`Error`] feeds
+    /// [`drop_stage`] accounting.
+    Undissectable,
+}
+
+impl PacketClass {
+    /// Stable lower-case label for metrics and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            PacketClass::Stun => "stun",
+            PacketClass::ZmeMedia => "zme_media",
+            PacketClass::ZmeControl => "zme_control",
+            PacketClass::NotZoom => "not_zoom",
+            PacketClass::Undissectable => "undissectable",
+        }
+    }
+}
+
+/// Number of classes that carry application-layer work (everything but
+/// [`PacketClass::Undissectable`], which has nothing left to parse).
+const APP_CLASSES: usize = 4;
+
+fn app_class_slot(class: PacketClass) -> Option<usize> {
+    match class {
+        PacketClass::Stun => Some(0),
+        PacketClass::ZmeMedia => Some(1),
+        PacketClass::ZmeControl => Some(2),
+        PacketClass::NotZoom => Some(3),
+        PacketClass::Undissectable => None,
+    }
+}
+
+/// Caller-owned, reusable scratch space for [`peek_batch`] /
+/// [`dissect_batch`]: per-record peek outcomes, [`PacketClass`] tags,
+/// per-class index lists (the sorted dispatch order), and the
+/// application-layer results. [`PeekArena::clear`] retains every
+/// allocation, so a steady-state batch loop reuses one arena with zero
+/// allocations once the high-water capacity is reached.
+#[derive(Debug, Default)]
+pub struct PeekArena {
+    peeks: Vec<core::result::Result<PeekInfo, Error>>,
+    classes: Vec<PacketClass>,
+    apps: Vec<App>,
+    /// Record indices per app-bearing class, in record order within each
+    /// class. TCP records classify as `NotZoom` but are *not* indexed —
+    /// their app layer is always [`App::Opaque`], so there is no work to
+    /// sort.
+    by_class: [Vec<u32>; APP_CLASSES],
+}
+
+impl PeekArena {
+    /// Creates an empty arena; capacity grows on first use and is then
+    /// retained across [`clear`](PeekArena::clear).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the arena while keeping all capacity.
+    pub fn clear(&mut self) {
+        self.peeks.clear();
+        self.classes.clear();
+        self.apps.clear();
+        for list in &mut self.by_class {
+            list.clear();
+        }
+    }
+
+    /// Number of records described by the last [`peek_batch`] run.
+    pub fn len(&self) -> usize {
+        self.peeks.len()
+    }
+
+    /// Whether the arena currently describes no records.
+    pub fn is_empty(&self) -> bool {
+        self.peeks.is_empty()
+    }
+
+    /// The peek outcome for record `index`: header info, or the error
+    /// [`peek`] returned. Panics past the end of the last batch.
+    pub fn peek(&self, index: usize) -> core::result::Result<&PeekInfo, Error> {
+        self.peeks[index].as_ref().map_err(|e| *e)
+    }
+
+    /// The class tag assigned to record `index`.
+    pub fn class(&self, index: usize) -> PacketClass {
+        self.classes[index]
+    }
+
+    /// How many records of the last batch were tagged `class`.
+    pub fn class_count(&self, class: PacketClass) -> usize {
+        match app_class_slot(class) {
+            Some(slot) => self.by_class[slot].len(),
+            None => self.peeks.iter().filter(|p| p.is_err()).count(),
+        }
+    }
+
+    /// Reassemble the full [`Dissection`] of record `index`, moving the
+    /// application-layer result out of the arena (the slot is left
+    /// [`App::Opaque`]). Requires a prior [`dissect_batch`] over the same
+    /// `batch`; returns `None` for records [`peek`] rejected.
+    ///
+    /// Taking (rather than cloning) keeps the hot path allocation-free:
+    /// a parsed [`ZoomPacket`] owns its RTCP list, and the consumer wants
+    /// the value anyway.
+    pub fn take_dissection<'a>(
+        &mut self,
+        batch: &'a crate::handoff::RecordBatch,
+        index: usize,
+    ) -> Option<Dissection<'a>> {
+        let info = *self.peeks[index].as_ref().ok()?;
+        let record = batch.get(index)?;
+        let app = std::mem::replace(&mut self.apps[index], App::Opaque);
+        Some(assemble(&info, record.ts_nanos, record.data, app))
+    }
+}
+
+/// Hint the CPU to pull record `index`'s header bytes into cache while
+/// the current record is still being parsed. No-op past the end of the
+/// batch and on architectures without a stable prefetch intrinsic.
+#[inline]
+pub fn prefetch_record(batch: &crate::handoff::RecordBatch, index: usize) {
+    if let Some(r) = batch.get(index) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a pure performance hint; any address is
+        // allowed, and this one is a live slice pointer anyway.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                r.data.as_ptr() as *const i8,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = r;
+    }
+}
+
+/// Batch counterpart of [`peek`]: one pass over `batch` in record order,
+/// filling `arena` with each record's [`PeekInfo`] (or rejection error)
+/// and a [`PacketClass`] tag, and building the per-class index lists that
+/// [`dissect_batch`] dispatches from. Prefetches the next record's header
+/// bytes ahead of each parse.
+///
+/// Accepts and rejects exactly what per-record [`peek`] does, record by
+/// record (pinned by tests).
+pub fn peek_batch(batch: &crate::handoff::RecordBatch, link_type: LinkType, arena: &mut PeekArena) {
+    arena.clear();
+    let n = batch.len();
+    arena.peeks.reserve(n);
+    arena.classes.reserve(n);
+    for index in 0..n {
+        prefetch_record(batch, index + 1);
+        // Index came from the 0..n loop: get() cannot fail.
+        let record = batch.get(index).expect("index in bounds");
+        let (outcome, class) = match peek(record.data, link_type) {
+            Ok(p) => {
+                let class = match p.udp_payload {
+                    Some(payload) => {
+                        if p.info.five_tuple.involves_port(stun::STUN_PORT)
+                            || stun::looks_like_stun(payload)
+                        {
+                            PacketClass::Stun
+                        } else if p.info.five_tuple.involves_port(ZOOM_SFU_PORT) {
+                            if payload.first() == Some(&zoom::SFU_TYPE_MEDIA) {
+                                PacketClass::ZmeMedia
+                            } else {
+                                PacketClass::ZmeControl
+                            }
+                        } else {
+                            PacketClass::NotZoom
+                        }
+                    }
+                    // TCP: valid headers, no UDP app layer to classify.
+                    None => PacketClass::NotZoom,
+                };
+                if matches!(p.info.transport, PeekTransport::Udp { .. }) {
+                    if let Some(slot) = app_class_slot(class) {
+                        arena.by_class[slot].push(index as u32);
+                    }
+                }
+                (Ok(p.info), class)
+            }
+            Err(e) => (Err(e), PacketClass::Undissectable),
+        };
+        arena.peeks.push(outcome);
+        arena.classes.push(class);
+    }
+}
+
+/// Batch counterpart of [`dissect`]: [`peek_batch`] plus application-layer
+/// classification dispatched **class by class** — all STUN records, then
+/// all ZME media, then ZME control, then not-zoom — so each inner loop
+/// takes the same branches for every record. Results land in the arena in
+/// record order; [`PeekArena::take_dissection`] reassembles any record's
+/// full [`Dissection`].
+///
+/// Only the (stateless) parsing is reordered; callers consume records in
+/// original order, so output is byte-identical to a per-record
+/// [`dissect`] loop (pinned by tests and the differential suites).
+pub fn dissect_batch(
+    batch: &crate::handoff::RecordBatch,
+    link_type: LinkType,
+    probe: P2pProbe,
+    arena: &mut PeekArena,
+) {
+    peek_batch(batch, link_type, arena);
+    arena.apps.resize(batch.len(), App::Opaque);
+    for slot in 0..APP_CLASSES {
+        for i in 0..arena.by_class[slot].len() {
+            let index = arena.by_class[slot][i] as usize;
+            if let Some(&next) = arena.by_class[slot].get(i + 1) {
+                prefetch_record(batch, next as usize);
+            }
+            // Indexed records always have Ok peeks with UDP transport
+            // (peek_batch only lists those).
+            let info = arena.peeks[index].as_ref().expect("indexed record peeked ok");
+            let PeekTransport::Udp {
+                payload_off,
+                payload_len,
+            } = info.transport
+            else {
+                unreachable!("indexed record is UDP");
+            };
+            let data = batch.get(index).expect("index in bounds").data;
+            let payload = &data[payload_off..payload_off + payload_len];
+            arena.apps[index] = classify_udp(&info.five_tuple, payload, probe);
+        }
+    }
+}
+
+/// Build a [`Dissection`] from pre-computed parts (shared by
+/// [`dissect_from`] and [`PeekArena::take_dissection`]).
+fn assemble<'a>(info: &PeekInfo, ts_nanos: u64, data: &'a [u8], app: App) -> Dissection<'a> {
+    match info.transport {
+        PeekTransport::Udp {
+            payload_off,
+            payload_len,
+        } => Dissection {
+            ts_nanos,
+            link: info.link,
+            five_tuple: info.five_tuple,
+            ip_total_len: info.ip_total_len,
+            transport: Transport::Udp { payload_len },
+            app,
+            payload: &data[payload_off..payload_off + payload_len],
+        },
+        PeekTransport::Tcp {
+            seq,
+            ack,
+            flags,
+            window,
+            payload_off,
+            payload_len,
+        } => Dissection {
+            ts_nanos,
+            link: info.link,
+            five_tuple: info.five_tuple,
+            ip_total_len: info.ip_total_len,
+            transport: Transport::Tcp {
+                seq,
+                ack,
+                flags,
+                window,
+                payload_len,
+            },
+            app,
+            payload: &data[payload_off..payload_off + payload_len],
         },
     }
 }
@@ -876,6 +1138,247 @@ mod tests {
         // Labels are stable metric suffixes.
         assert_eq!(DropStage::NonIp.label(), "non_ip");
         assert_eq!(DropStage::UnsupportedLink.label(), "unsupported_link");
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::compose;
+    use crate::handoff::RecordBatch;
+    use std::net::Ipv4Addr;
+
+    /// A mixed batch exercising every class: STUN, ZME media, ZME
+    /// control, plain UDP, TCP, P2P-framed Zoom, and two rejects.
+    fn mixed_batch() -> RecordBatch {
+        let mut batch = RecordBatch::new();
+        let mut push = |data: &[u8]| {
+            let ts = 1_000 * (batch.len() as u64 + 1);
+            batch.push(ts, data.len() as u32, data);
+        };
+
+        // STUN binding request on 3478.
+        let msg = stun::Repr {
+            message_type: stun::MessageType::BindingRequest,
+            transaction_id: [7; 12],
+            xor_mapped_address: None,
+        };
+        let mut stun_payload = vec![0u8; msg.buffer_len()];
+        msg.emit(&mut stun_payload);
+        push(&compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 3),
+            Ipv4Addr::new(52, 202, 62, 2),
+            50_111,
+            stun::STUN_PORT,
+            &stun_payload,
+        ));
+
+        // ZME media: server-framed video to port 8801.
+        let media = zoom::Builder {
+            sfu: Some(zoom::SfuEncapRepr {
+                encap_type: zoom::SFU_TYPE_MEDIA,
+                sequence: 9,
+                direction: zoom::DIR_FROM_SFU,
+            }),
+            media: zoom::MediaEncapRepr {
+                media_type: zoom::MediaType::Video,
+                sequence: 100,
+                timestamp: 9000,
+                frame_sequence: Some(5),
+                packets_in_frame: Some(2),
+            },
+            rtp: Some(crate::rtp::Repr {
+                marker: false,
+                payload_type: 98,
+                sequence_number: 700,
+                timestamp: 90_000,
+                ssrc: 0x99,
+                csrc_count: 0,
+                has_extension: false,
+            }),
+            payload: vec![0x5A; 64],
+        }
+        .build();
+        push(&compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(52, 202, 62, 1),
+            Ipv4Addr::new(10, 8, 0, 3),
+            ZOOM_SFU_PORT,
+            50_111,
+            &media,
+        ));
+
+        // ZME control: port 8801, first byte is not SFU_TYPE_MEDIA.
+        push(&compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(52, 202, 62, 1),
+            Ipv4Addr::new(10, 8, 0, 3),
+            ZOOM_SFU_PORT,
+            50_111,
+            &[0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02],
+        ));
+
+        // Plain UDP, nothing Zoom about it.
+        push(&compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1234,
+            5678,
+            b"not zoom at all",
+        ));
+
+        // TCP segment.
+        push(&compose::tcp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 3),
+            Ipv4Addr::new(170, 114, 0, 5),
+            50_000,
+            443,
+            1000,
+            2000,
+            tcp::Flags {
+                ack: true,
+                ..Default::default()
+            },
+            b"x",
+        ));
+
+        // P2P-framed Zoom on ephemeral ports (classifies NotZoom until a
+        // probe runs).
+        let p2p = zoom::Builder {
+            sfu: None,
+            media: zoom::MediaEncapRepr {
+                media_type: zoom::MediaType::Audio,
+                sequence: 4,
+                timestamp: 5,
+                frame_sequence: None,
+                packets_in_frame: None,
+            },
+            rtp: Some(crate::rtp::Repr {
+                marker: false,
+                payload_type: 112,
+                sequence_number: 20,
+                timestamp: 320,
+                ssrc: 0x11,
+                csrc_count: 0,
+                has_extension: false,
+            }),
+            payload: vec![0xEE; 80],
+        }
+        .build();
+        push(&compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 3),
+            Ipv4Addr::new(10, 9, 1, 4),
+            50_111,
+            61_234,
+            &p2p,
+        ));
+
+        // Two rejects: an ARP ethertype and a truncated frame.
+        let mut arp = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            b"zz",
+        );
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        push(&arp);
+        push(b"x");
+
+        batch
+    }
+
+    #[test]
+    fn peek_batch_matches_per_record_peek() {
+        let batch = mixed_batch();
+        let mut arena = PeekArena::new();
+        peek_batch(&batch, LinkType::Ethernet, &mut arena);
+        assert_eq!(arena.len(), batch.len());
+        for (i, r) in batch.iter().enumerate() {
+            match peek(r.data, LinkType::Ethernet) {
+                Ok(p) => assert_eq!(arena.peek(i).unwrap(), &p.info, "record {i}"),
+                Err(e) => {
+                    assert_eq!(arena.peek(i).unwrap_err(), e, "record {i}");
+                    assert_eq!(arena.class(i), PacketClass::Undissectable);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peek_batch_assigns_expected_classes() {
+        let batch = mixed_batch();
+        let mut arena = PeekArena::new();
+        peek_batch(&batch, LinkType::Ethernet, &mut arena);
+        let classes: Vec<PacketClass> = (0..batch.len()).map(|i| arena.class(i)).collect();
+        assert_eq!(
+            classes,
+            vec![
+                PacketClass::Stun,
+                PacketClass::ZmeMedia,
+                PacketClass::ZmeControl,
+                PacketClass::NotZoom,
+                PacketClass::NotZoom, // TCP
+                PacketClass::NotZoom, // P2P Zoom hides here pre-probe
+                PacketClass::Undissectable,
+                PacketClass::Undissectable,
+            ]
+        );
+        assert_eq!(arena.class_count(PacketClass::Stun), 1);
+        assert_eq!(arena.class_count(PacketClass::ZmeMedia), 1);
+        assert_eq!(arena.class_count(PacketClass::ZmeControl), 1);
+        // TCP is NotZoom by class but carries no app work to index.
+        assert_eq!(arena.class_count(PacketClass::NotZoom), 2);
+        assert_eq!(arena.class_count(PacketClass::Undissectable), 2);
+        assert_eq!(PacketClass::ZmeMedia.label(), "zme_media");
+    }
+
+    #[test]
+    fn dissect_batch_matches_per_record_dissect() {
+        let batch = mixed_batch();
+        for probe in [P2pProbe::Off, P2pProbe::Auto] {
+            let mut arena = PeekArena::new();
+            dissect_batch(&batch, LinkType::Ethernet, probe, &mut arena);
+            for (i, r) in batch.iter().enumerate() {
+                let expected = dissect(r.ts_nanos, r.data, LinkType::Ethernet, probe);
+                let got = arena.take_dissection(&batch, i);
+                match (expected, got) {
+                    (Ok(e), Some(g)) => assert_eq!(e, g, "record {i}, probe {probe:?}"),
+                    (Err(_), None) => {}
+                    (e, g) => panic!("record {i} mismatch: {e:?} vs {g:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_clear_retains_capacity_across_batches() {
+        let batch = mixed_batch();
+        let mut arena = PeekArena::new();
+        dissect_batch(&batch, LinkType::Ethernet, P2pProbe::Off, &mut arena);
+        let caps = (
+            arena.peeks.capacity(),
+            arena.classes.capacity(),
+            arena.apps.capacity(),
+        );
+        dissect_batch(&batch, LinkType::Ethernet, P2pProbe::Off, &mut arena);
+        assert_eq!(
+            caps,
+            (
+                arena.peeks.capacity(),
+                arena.classes.capacity(),
+                arena.apps.capacity(),
+            )
+        );
+        assert_eq!(arena.len(), batch.len());
+    }
+
+    #[test]
+    fn prefetch_hint_is_safe_at_any_index() {
+        let batch = mixed_batch();
+        for i in 0..batch.len() + 2 {
+            prefetch_record(&batch, i);
+        }
+        prefetch_record(&RecordBatch::new(), 0);
     }
 }
 

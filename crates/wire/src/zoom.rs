@@ -476,7 +476,7 @@ pub struct ZoomPacket {
     /// Decoded RTP header for media types 13/15/16.
     pub rtp: Option<rtp::Repr>,
     /// Decoded RTCP items for types 33/34.
-    pub rtcp: Vec<rtcp::Item>,
+    pub rtcp: rtcp::ItemList,
     /// Length in bytes of the RTP payload (media bytes after the RTP
     /// header), or of the undecoded remainder for other types.
     pub media_payload_len: usize,
@@ -522,7 +522,7 @@ pub fn parse(payload: &[u8], framing: Framing) -> Result<ZoomPacket> {
                         packets_in_frame: None,
                     },
                     rtp: None,
-                    rtcp: Vec::new(),
+                    rtcp: rtcp::ItemList::new(),
                     media_payload_len: payload.len() - SFU_ENCAP_LEN,
                 });
             }
@@ -534,7 +534,7 @@ pub fn parse(payload: &[u8], framing: Framing) -> Result<ZoomPacket> {
     let encap = MediaEncap::new_checked(media_bytes)?;
     let media = MediaEncapRepr::parse(&encap)?;
     let mut rtp_repr = None;
-    let mut rtcp_items = Vec::new();
+    let mut rtcp_items = rtcp::ItemList::new();
     let mut media_payload_len = 0;
 
     match media.media_type {

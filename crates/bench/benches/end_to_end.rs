@@ -33,6 +33,7 @@ fn bench(c: &mut Criterion) {
                 zoom_list: zoom_list.clone(),
                 stun_timeout_nanos: 120 * SEC,
                 anonymizer: None,
+                family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
             });
             let mut analyzer = Analyzer::new(AnalyzerConfig::default());
             for r in &records {

@@ -147,6 +147,7 @@ pub fn p2p_timeout_sweep(args: &ExpArgs) {
             zoom_list: zoom_list.clone(),
             stun_timeout_nanos: timeout,
             anonymizer: None,
+            family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
         });
         let mut p2p = 0u64;
         let mut missed_udp = 0u64;

@@ -421,6 +421,7 @@ pub fn capture_experiment(args: &ExpArgs) -> CaptureExperiment {
         zoom_list: infra.ip_list.clone(),
         stun_timeout_nanos: 120 * SEC,
         anonymizer: None,
+        family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
     });
     let minute = 60 * SEC;
     let mut all_rate = TimeBins::new(minute, args.duration());

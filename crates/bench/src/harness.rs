@@ -133,6 +133,7 @@ pub fn run_campus(args: &ExpArgs) -> CampusRun {
         zoom_list: infra.ip_list.clone(),
         stun_timeout_nanos: 120 * zoom_sim::time::SEC,
         anonymizer: None,
+        family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
     });
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
     let stream: CampusStream = scenario_obj.into_stream();

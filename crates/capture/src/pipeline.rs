@@ -23,6 +23,7 @@ use crate::cidr::PrefixSet;
 use crate::stun_tracker::{StunTracker, TrackerStats};
 use crate::zoom_nets::ZoomIpList;
 use std::net::IpAddr;
+use zoom_wire::family::{FamilyId, FamilySelect};
 use zoom_wire::flow::Endpoint;
 use zoom_wire::ipv4::Protocol;
 use zoom_wire::pcap::{LinkType, Record};
@@ -41,6 +42,12 @@ pub struct PipelineConfig {
     pub stun_timeout_nanos: u64,
     /// When set, campus addresses in passing packets are anonymized.
     pub anonymizer: Option<Anonymizer>,
+    /// Protocol families the filter captures for. With
+    /// [`FamilyId::Webrtc`] allowed, STUN exchanges between a campus
+    /// client and a non-Zoom peer register the campus endpoint in a
+    /// second set of P2P registers, and subsequent media on that
+    /// endpoint passes as [`Verdict::RtcP2p`].
+    pub family: FamilySelect,
 }
 
 impl PipelineConfig {
@@ -53,6 +60,7 @@ impl PipelineConfig {
             zoom_list: crate::zoom_nets::sample_list(),
             stun_timeout_nanos: 120 * 1_000_000_000,
             anonymizer: None,
+            family: FamilySelect::Only(FamilyId::Zoom),
         }
     }
 }
@@ -67,6 +75,12 @@ pub enum Verdict {
     ZoomStun,
     /// Zoom P2P media recognized via the STUN registers.
     ZoomP2p,
+    /// Non-Zoom STUN exchange involving a campus client (registers the
+    /// endpoint in the WebRTC registers). Only produced when the
+    /// configured [`PipelineConfig::family`] allows WebRTC.
+    RtcStun,
+    /// WebRTC media recognized via the WebRTC STUN registers.
+    RtcP2p,
     /// Dropped: neither a Zoom server nor a registered P2P endpoint.
     NotZoom,
     /// Dropped: campus-side endpoint in an excluded subnet.
@@ -80,8 +94,26 @@ impl Verdict {
     pub fn passes(self) -> bool {
         matches!(
             self,
-            Verdict::ZoomServer | Verdict::ZoomStun | Verdict::ZoomP2p
+            Verdict::ZoomServer
+                | Verdict::ZoomStun
+                | Verdict::ZoomP2p
+                | Verdict::RtcStun
+                | Verdict::RtcP2p
         )
+    }
+
+    /// Stable lower-snake label for logs and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::ZoomServer => "zoom_server",
+            Verdict::ZoomStun => "zoom_stun",
+            Verdict::ZoomP2p => "zoom_p2p",
+            Verdict::RtcStun => "rtc_stun",
+            Verdict::RtcP2p => "rtc_p2p",
+            Verdict::NotZoom => "not_zoom",
+            Verdict::Excluded => "excluded",
+            Verdict::Unparseable => "unparseable",
+        }
     }
 }
 
@@ -98,6 +130,10 @@ pub struct StageCounters {
     pub stun_registered: u64,
     /// Passed: P2P media recognized via the STUN registers.
     pub p2p_matched: u64,
+    /// Passed: non-Zoom STUN exchange (registers a WebRTC endpoint).
+    pub rtc_stun_registered: u64,
+    /// Passed: WebRTC media recognized via the WebRTC STUN registers.
+    pub rtc_p2p_matched: u64,
     /// Dropped: neither a Zoom server nor a registered P2P endpoint.
     pub dropped: u64,
     /// Dropped: headers the data plane needs did not parse.
@@ -115,6 +151,7 @@ pub struct StageCounters {
 pub struct CapturePipeline {
     config: PipelineConfig,
     tracker: StunTracker,
+    rtc_tracker: StunTracker,
     counters: StageCounters,
 }
 
@@ -133,9 +170,11 @@ impl CapturePipeline {
     /// Build from a configuration.
     pub fn new(config: PipelineConfig) -> Self {
         let tracker = StunTracker::new(config.stun_timeout_nanos);
+        let rtc_tracker = StunTracker::new(config.stun_timeout_nanos);
         CapturePipeline {
             config,
             tracker,
+            rtc_tracker,
             counters: StageCounters::default(),
         }
     }
@@ -148,6 +187,11 @@ impl CapturePipeline {
     /// STUN register statistics.
     pub fn tracker_stats(&self) -> TrackerStats {
         self.tracker.stats()
+    }
+
+    /// WebRTC STUN register statistics.
+    pub fn rtc_tracker_stats(&self) -> TrackerStats {
+        self.rtc_tracker.stats()
     }
 
     /// Configuration access (e.g. for resource accounting).
@@ -174,6 +218,8 @@ impl CapturePipeline {
             Verdict::ZoomServer => self.counters.zoom_ip_matched += 1,
             Verdict::ZoomStun => self.counters.stun_registered += 1,
             Verdict::ZoomP2p => self.counters.p2p_matched += 1,
+            Verdict::RtcStun => self.counters.rtc_stun_registered += 1,
+            Verdict::RtcP2p => self.counters.rtc_p2p_matched += 1,
             Verdict::NotZoom => self.counters.dropped += 1,
             Verdict::Unparseable => {}
         }
@@ -287,6 +333,35 @@ impl CapturePipeline {
                     .check(Endpoint::new(f.dst, f.dst_port), ts_nanos)
             {
                 return Verdict::ZoomP2p;
+            }
+        }
+
+        // Stage 4b (WebRTC family): register and match non-Zoom STUN
+        // sessions by their campus endpoint, mirroring stages 3-4.
+        if self.config.family.allows(FamilyId::Webrtc) && f.protocol == Protocol::Udp {
+            if f.is_stun {
+                if src_campus {
+                    self.rtc_tracker.register(Endpoint::new(f.src, f.src_port), ts_nanos);
+                    return Verdict::RtcStun;
+                }
+                if dst_campus {
+                    self.rtc_tracker.register(Endpoint::new(f.dst, f.dst_port), ts_nanos);
+                    return Verdict::RtcStun;
+                }
+            }
+            if src_campus
+                && self
+                    .rtc_tracker
+                    .check(Endpoint::new(f.src, f.src_port), ts_nanos)
+            {
+                return Verdict::RtcP2p;
+            }
+            if dst_campus
+                && self
+                    .rtc_tracker
+                    .check(Endpoint::new(f.dst, f.dst_port), ts_nanos)
+            {
+                return Verdict::RtcP2p;
             }
         }
         Verdict::NotZoom
@@ -520,6 +595,73 @@ mod tests {
         assert_eq!(c.passed, 1);
         assert_eq!(c.dropped, 2);
         assert!(c.passed_bytes < c.total_bytes);
+    }
+
+    #[test]
+    fn rtc_stage_inactive_for_zoom_only_family() {
+        let mut p = pipeline(); // sample(): family = Only(Zoom)
+        let client = Ipv4Addr::new(10, 8, 0, 9);
+        let peer = Ipv4Addr::new(93, 40, 6, 6); // off-campus, non-Zoom
+        let stun_pkt =
+            compose::udp_ipv4_ethernet(client, peer, 52_000, 3478, &stun_payload());
+        assert_eq!(
+            p.classify(0, &stun_pkt, LinkType::Ethernet),
+            Verdict::NotZoom
+        );
+        let media = compose::udp_ipv4_ethernet(client, peer, 52_000, 52_001, b"srtp");
+        assert_eq!(p.classify(SEC, &media, LinkType::Ethernet), Verdict::NotZoom);
+        assert_eq!(p.counters().rtc_stun_registered, 0);
+        assert_eq!(p.counters().rtc_p2p_matched, 0);
+    }
+
+    #[test]
+    fn rtc_session_registered_and_matched_when_webrtc_allowed() {
+        let mut cfg = PipelineConfig::sample("10.8.0.0/16");
+        cfg.family = zoom_wire::family::FamilySelect::Auto;
+        let mut p = CapturePipeline::new(cfg);
+        let client = Ipv4Addr::new(10, 8, 0, 9);
+        let peer = Ipv4Addr::new(93, 40, 6, 6); // off-campus, non-Zoom
+
+        // Media before the STUN binding is still dropped.
+        let media = compose::udp_ipv4_ethernet(client, peer, 52_000, 52_001, b"srtp");
+        assert_eq!(p.classify(0, &media, LinkType::Ethernet), Verdict::NotZoom);
+
+        // A non-Zoom STUN binding registers the campus endpoint...
+        let stun_pkt =
+            compose::udp_ipv4_ethernet(client, peer, 52_000, 3478, &stun_payload());
+        assert_eq!(
+            p.classify(SEC, &stun_pkt, LinkType::Ethernet),
+            Verdict::RtcStun
+        );
+
+        // ...after which media passes in both directions.
+        assert_eq!(
+            p.classify(2 * SEC, &media, LinkType::Ethernet),
+            Verdict::RtcP2p
+        );
+        let reverse = compose::udp_ipv4_ethernet(peer, client, 52_001, 52_000, b"srtp");
+        assert_eq!(
+            p.classify(3 * SEC, &reverse, LinkType::Ethernet),
+            Verdict::RtcP2p
+        );
+
+        // Zoom STUN still takes precedence over the WebRTC registers.
+        let zoom_stun = compose::udp_ipv4_ethernet(
+            client,
+            Ipv4Addr::new(170, 114, 2, 2),
+            52_000,
+            stun::STUN_PORT,
+            &stun_payload(),
+        );
+        assert_eq!(
+            p.classify(4 * SEC, &zoom_stun, LinkType::Ethernet),
+            Verdict::ZoomStun
+        );
+
+        let c = p.counters();
+        assert_eq!(c.rtc_stun_registered, 1);
+        assert_eq!(c.rtc_p2p_matched, 2);
+        assert_eq!(c.passed, 4);
     }
 
     #[test]

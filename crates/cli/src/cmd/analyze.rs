@@ -248,8 +248,20 @@ pub fn run(args: &[String]) -> CmdResult {
     let mux_config = mux_flags(&flags)?;
     let mut metrics_file = MetricsFile::from_flags(&flags)?;
 
+    // `--family auto|zoom|webrtc` selects which protocol families the
+    // dissector probes for; bad values are configuration errors (exit 3).
+    let family = flags
+        .get("family")
+        .map(|v| {
+            v.parse::<zoom_wire::family::FamilySelect>()
+                .map_err(|e| CliError::config(e.to_string()))
+        })
+        .transpose()?
+        .unwrap_or_default();
+
     let config = AnalyzerConfig::builder()
         .campus_prefix(campus.0, campus.1)
+        .family(family)
         .build()?;
 
     // The fragment-emitting worker path: capture and merge the sources

@@ -63,6 +63,16 @@ pub fn run(args: &[String]) -> CmdResult {
     });
     let mux_config = mux_flags(&flags)?;
 
+    let family = flags
+        .get("family")
+        .map(|v| {
+            v.parse::<zoom_wire::family::FamilySelect>()
+                .map_err(|e| super::CliError::config(e.to_string()))
+        })
+        .transpose()?
+        .unwrap_or(zoom_wire::family::FamilySelect::Only(
+            zoom_wire::family::FamilyId::Zoom,
+        ));
     let mut pipeline = filtering
         .then(|| -> Result<CapturePipeline, String> {
             let mut campus_nets = PrefixMap::new();
@@ -78,6 +88,7 @@ pub fn run(args: &[String]) -> CmdResult {
                 zoom_list: zoom_nets::sample_list(),
                 stun_timeout_nanos: 120 * 1_000_000_000,
                 anonymizer,
+                family,
             }))
         })
         .transpose()?;
@@ -180,6 +191,8 @@ pub fn run(args: &[String]) -> CmdResult {
                 zoom_ip_matched: c.zoom_ip_matched,
                 stun_registered: c.stun_registered,
                 p2p_matched: c.p2p_matched,
+                rtc_stun_registered: c.rtc_stun_registered,
+                rtc_p2p_matched: c.rtc_p2p_matched,
                 dropped: c.dropped,
                 unparseable: c.unparseable,
                 passed: c.passed,

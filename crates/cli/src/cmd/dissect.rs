@@ -1,8 +1,9 @@
 //! `zoom-tools dissect` — print Wireshark-plugin-style field trees for the
 //! packets of a pcap file (Appendix C).
 
-use super::{parse_args, CmdResult};
-use zoom_wire::dissect::{dissect, render_tree, P2pProbe};
+use super::{parse_args, CliError, CmdResult};
+use zoom_wire::dissect::{dissect, render_tree, P2pProbe, Probe, WebrtcProbe};
+use zoom_wire::family::{FamilyId, FamilySelect};
 use zoom_wire::pcap::Reader;
 
 pub fn run(args: &[String]) -> CmdResult {
@@ -15,6 +16,26 @@ pub fn run(args: &[String]) -> CmdResult {
         .map(|v| v.parse().map_err(|_| "--max must be a number".to_string()))
         .transpose()?
         .unwrap_or(25);
+    let family = flags
+        .get("family")
+        .map(|v| {
+            v.parse::<FamilySelect>()
+                .map_err(|e| CliError::config(e.to_string()))
+        })
+        .transpose()?
+        .unwrap_or_default();
+    // Dissection is display-only, so probe eagerly: analysis-side session
+    // gating doesn't apply, and showing every recognizable layer is the
+    // point of the tool.
+    let probe = match family {
+        FamilySelect::Auto => Probe {
+            zoom: true,
+            p2p: P2pProbe::Auto,
+            webrtc: WebrtcProbe::Auto,
+        },
+        FamilySelect::Only(FamilyId::Zoom) => Probe::from(P2pProbe::Auto),
+        other => other.probe(),
+    };
 
     let file = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
     let mut reader =
@@ -27,7 +48,7 @@ pub fn run(args: &[String]) -> CmdResult {
         if shown >= max {
             break;
         }
-        match dissect(record.ts_nanos, &record.data, link, P2pProbe::Auto) {
+        match dissect(record.ts_nanos, &record.data, link, probe) {
             Ok(d) => {
                 println!("--- packet {index} ({} bytes) ---", record.data.len());
                 print!("{}", render_tree(&d));

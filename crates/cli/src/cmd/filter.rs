@@ -31,6 +31,17 @@ pub fn run(args: &[String]) -> CmdResult {
     };
     campus_nets.insert(Cidr::new(v4, campus_len), ());
 
+    let family = flags
+        .get("family")
+        .map(|v| {
+            v.parse::<zoom_wire::family::FamilySelect>()
+                .map_err(|e| super::CliError::config(e.to_string()))
+        })
+        .transpose()?
+        .unwrap_or(zoom_wire::family::FamilySelect::Only(
+            zoom_wire::family::FamilyId::Zoom,
+        ));
+
     let mut pipeline = CapturePipeline::new(PipelineConfig {
         campus_nets,
         excluded_nets: PrefixMap::new(),
@@ -39,6 +50,7 @@ pub fn run(args: &[String]) -> CmdResult {
         zoom_list: zoom_nets::sample_list(),
         stun_timeout_nanos: 120 * 1_000_000_000,
         anonymizer,
+        family,
     });
 
     let infile = std::fs::File::open(input).map_err(|e| format!("{input}: {e}"))?;
@@ -68,6 +80,8 @@ pub fn run(args: &[String]) -> CmdResult {
             zoom_ip_matched: c.zoom_ip_matched,
             stun_registered: c.stun_registered,
             p2p_matched: c.p2p_matched,
+            rtc_stun_registered: c.rtc_stun_registered,
+            rtc_p2p_matched: c.rtc_p2p_matched,
             dropped: c.dropped,
             unparseable: c.unparseable,
             passed: c.passed,

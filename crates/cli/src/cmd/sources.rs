@@ -14,7 +14,7 @@
 //!   [`live_ring`] backend by a feeder thread, so the ingest side
 //!   exercises the same ring hand-off a real socket capture would.
 //!   Scenarios match `simulate`: `validation`, `p2p`, `multi`, `churn`,
-//!   `campus-10x` (the *name* is validated here, where the catalogue
+//!   `campus-10x`, `webrtc` (the *name* is validated here, where the catalogue
 //!   lives — the grammar itself accepts any name).
 //!
 //! Source labels are the spec's canonical `Display` form, so
@@ -41,6 +41,11 @@ use zoom_wire::pcap::{LinkType, Record};
 /// `sim:` source is record-identical to analyzing a `simulate` output
 /// file with matching parameters.
 pub fn scenario_records(name: &str, seed: u64, seconds: u64) -> Result<Vec<Record>, String> {
+    // The WebRTC scenario generates records directly (no MeetingConfig:
+    // a WebRTC session is not a Zoom meeting), already timestamp-sorted.
+    if name == "webrtc" {
+        return Ok(zoom_sim::webrtc::scenario(seed, seconds * SEC));
+    }
     let configs: Vec<MeetingConfig> = match name {
         "validation" => {
             let mut cfg = scenario::validation_experiment(seed);
@@ -55,7 +60,7 @@ pub fn scenario_records(name: &str, seed: u64, seconds: u64) -> Result<Vec<Recor
         "campus-10x" => scenario::campus_10x(seed, seconds * SEC),
         other => {
             return Err(format!(
-                "unknown scenario '{other}' (validation|p2p|multi|churn|campus-10x)"
+                "unknown scenario '{other}' (validation|p2p|multi|churn|campus-10x|webrtc)"
             ))
         }
     };
@@ -194,7 +199,9 @@ mod tests {
         assert!(build_source(&spec("pcap:/definitely/not/there.pcap"), None).is_err());
         let e = build_source(&spec("sim:unknown-scenario"), None).err().unwrap();
         assert_eq!(e.code, 3);
-        assert!(e.message.contains("validation|p2p|multi|churn|campus-10x"));
+        assert!(e
+            .message
+            .contains("validation|p2p|multi|churn|campus-10x|webrtc"));
     }
 
     #[test]

@@ -3,22 +3,25 @@
 //!
 //! ```text
 //! zoom-tools analyze  [in.pcap] [--source pcap:FILE|sim:SPEC]... [--campus CIDR]
+//!                     [--family auto|zoom|webrtc]
 //!                     [--shards N] [--ring-cap N] [--lossy] [--window DUR]
 //!                     [--idle-timeout DUR] [--follow] [--idle-exit DUR]
 //!                     [--json] [--features out.csv] [--serve ADDR]
 //!                     [--metrics out.json|out.prom] [--metrics-interval DUR]
 //! zoom-tools capture  <out.pcap> --source pcap:FILE|sim:SPEC [--source ...]
-//!                     [--campus CIDR] [--anonymize KEY] [--no-filter]
+//!                     [--campus CIDR] [--family auto|zoom|webrtc]
+//!                     [--anonymize KEY] [--no-filter]
 //!                     [--ring-cap N] [--lossy] [--follow] [--idle-exit DUR]
 //!                     [--metrics out.json|out.prom]
 //! zoom-tools merge    <frags...> | --listen ADDR --workers N [--journal DIR]
 //!                     [--window DUR] [--shards N] [--checkpoint PATH] [--restore]
 //!                     [--json] [--serve ADDR] [--metrics out.json|out.prom]
-//! zoom-tools dissect  <in.pcap> [--max N]
+//! zoom-tools dissect  <in.pcap> [--max N] [--family auto|zoom|webrtc]
 //! zoom-tools discover <in.pcap> [--max-offset N]
 //! zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]
 //!                     [--metrics out.json|out.prom]
-//! zoom-tools simulate <out.pcap> [--seconds N] [--seed N] [--scenario NAME]
+//! zoom-tools simulate <out.pcap> [--seconds N] [--seed N]
+//!                     [--scenario validation|p2p|multi|churn|campus-10x|webrtc]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately avoids
@@ -36,6 +39,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          zoom-tools analyze  [in.pcap] [--source pcap:FILE|sim:SPEC]... [--campus CIDR] [--shards N]\n  \
+                             [--family auto|zoom|webrtc]\n  \
                              [--ring-cap N] [--lossy] [--window DUR] [--idle-timeout DUR]\n  \
                              [--follow] [--idle-exit DUR] [--json] [--features out.csv] [--serve ADDR]\n  \
                              [--metrics out.json|out.prom] [--metrics-interval DUR]\n  \
@@ -47,10 +51,11 @@ fn usage() -> ExitCode {
          zoom-tools capture  <out.pcap> --source pcap:FILE|sim:SPEC [--source ...] [--campus CIDR]\n  \
                              [--anonymize KEY] [--no-filter] [--ring-cap N] [--lossy]\n  \
                              [--follow] [--idle-exit DUR] [--metrics out.json|out.prom]\n  \
-         zoom-tools dissect  <in.pcap> [--max N]\n  \
+         zoom-tools dissect  <in.pcap> [--max N] [--family auto|zoom|webrtc]\n  \
          zoom-tools discover <in.pcap> [--max-offset N]\n  \
          zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY] [--metrics out.json]\n  \
-         zoom-tools simulate <out.pcap> [--seconds N] [--seed N] [--scenario validation|p2p|multi|churn]"
+         zoom-tools simulate <out.pcap> [--seconds N] [--seed N]\n  \
+                             [--scenario validation|p2p|multi|churn|campus-10x|webrtc]"
     );
     ExitCode::from(2)
 }

@@ -1,11 +1,16 @@
-//! Packet-type accounting — the machinery behind Tables 2 and 3.
+//! Packet-type accounting — the machinery behind Tables 2, 3, and the
+//! cross-family Table-6-style breakdown.
 //!
-//! Counts packets and bytes per Zoom media-encapsulation type and per
-//! (media type, RTP payload type) combination, and renders the same rows
-//! the paper reports: type value, packet type label, payload offset, and
-//! the percentage of packets and bytes.
+//! Counts packets and bytes per protocol family, per Zoom
+//! media-encapsulation type, and per (media type, RTP payload type)
+//! combination, and renders the same rows the paper reports: type value,
+//! packet type label, payload offset, and the percentage of packets and
+//! bytes. Tables 2 and 3 are Zoom-family tables by definition (they
+//! describe the ZME encapsulation); [`Classifier::table6`] breaks media
+//! down per family for multi-family traces.
 
 use std::collections::HashMap;
+use zoom_wire::family::{FamilyId, ALL_FAMILIES, FAMILY_COUNT};
 use zoom_wire::zoom::{MediaType, RtpPayloadKind};
 
 /// Running (packets, bytes) pair.
@@ -25,7 +30,7 @@ impl Counts {
 }
 
 /// One row of a rendered table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableRow {
     /// Row key (type value or media type).
     pub label: String,
@@ -41,8 +46,13 @@ pub struct TableRow {
 #[derive(Debug, Default)]
 pub struct Classifier {
     total: Counts,
+    by_family: [Counts; FAMILY_COUNT],
+    /// Zoom family only: ZME type byte → counts (Table 2).
     by_media_type: HashMap<u8, Counts>,
+    /// Zoom family only: (media type, RTP PT) → counts (Table 3).
     by_payload_kind: HashMap<(MediaType, u8), Counts>,
+    /// All families: (family index, media type byte) → counts (Table 6).
+    by_family_media: HashMap<(usize, u8), Counts>,
 }
 
 impl Classifier {
@@ -51,10 +61,20 @@ impl Classifier {
         Classifier::default()
     }
 
-    /// Count one Zoom packet of `media_type` (and RTP payload type `pt`
-    /// when it is a media packet) of total IP length `ip_len`.
-    pub fn record(&mut self, media_type: MediaType, pt: Option<u8>, ip_len: usize) {
+    /// Count one classified packet of `media_type` (and RTP payload type
+    /// `pt` when it is a media packet) of total IP length `ip_len`, under
+    /// `family`. The Zoom-specific tables (2 and 3) only accumulate Zoom
+    /// packets; every family feeds the totals and the Table-6 breakdown.
+    pub fn record(&mut self, family: FamilyId, media_type: MediaType, pt: Option<u8>, ip_len: usize) {
         self.total.add(ip_len);
+        self.by_family[family.index()].add(ip_len);
+        self.by_family_media
+            .entry((family.index(), media_type.to_byte()))
+            .or_default()
+            .add(ip_len);
+        if family != FamilyId::Zoom {
+            return;
+        }
         self.by_media_type
             .entry(media_type.to_byte())
             .or_default()
@@ -67,9 +87,34 @@ impl Classifier {
         }
     }
 
-    /// Total packets seen.
+    /// Total packets seen (all families).
     pub fn total(&self) -> Counts {
         self.total
+    }
+
+    /// Packets and bytes classified under `family`.
+    pub fn family_counts(&self, family: FamilyId) -> Counts {
+        self.by_family[family.index()]
+    }
+
+    /// The Table-6-style cross-family rows for reports: empty when only
+    /// Zoom traffic was classified (keeping Zoom-only report JSON
+    /// byte-identical), the full [`Classifier::table6`] otherwise.
+    pub fn family_table(&self) -> Vec<TableRow> {
+        if self.has_non_zoom_family() {
+            self.table6()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Whether any packet outside the Zoom family was classified. Reports
+    /// stay byte-identical on Zoom-only traces by gating the family
+    /// sections on this.
+    pub fn has_non_zoom_family(&self) -> bool {
+        ALL_FAMILIES
+            .iter()
+            .any(|&f| f != FamilyId::Zoom && self.by_family[f.index()].packets > 0)
     }
 
     /// Fold another classifier's counters into this one (sharded merge:
@@ -78,6 +123,10 @@ impl Classifier {
     pub(crate) fn merge(&mut self, other: &Classifier) {
         self.total.packets += other.total.packets;
         self.total.bytes += other.total.bytes;
+        for (mine, theirs) in self.by_family.iter_mut().zip(other.by_family.iter()) {
+            mine.packets += theirs.packets;
+            mine.bytes += theirs.bytes;
+        }
         for (&t, c) in &other.by_media_type {
             let e = self.by_media_type.entry(t).or_default();
             e.packets += c.packets;
@@ -85,6 +134,11 @@ impl Classifier {
         }
         for (&k, c) in &other.by_payload_kind {
             let e = self.by_payload_kind.entry(k).or_default();
+            e.packets += c.packets;
+            e.bytes += c.bytes;
+        }
+        for (&k, c) in &other.by_family_media {
+            let e = self.by_family_media.entry(k).or_default();
             e.packets += c.packets;
             e.bytes += c.bytes;
         }
@@ -152,6 +206,36 @@ impl Classifier {
         rows
     }
 
+    /// Table-6-style cross-family breakdown: one row per (family, media
+    /// type) with packet/byte shares of the whole classified load. Rows
+    /// sort by family, then packet share descending — Zoom rows first,
+    /// making the table a superset of the single-family view.
+    pub fn table6(&self) -> Vec<TableRow> {
+        let mut rows: Vec<(usize, TableRow)> = self
+            .by_family_media
+            .iter()
+            .map(|(&(fi, t), c)| {
+                let family = ALL_FAMILIES[fi];
+                let mt = MediaType::from_byte(t);
+                (
+                    fi,
+                    TableRow {
+                        label: family.label().to_string(),
+                        detail: media_label(mt).to_string(),
+                        packets_pct: 100.0 * c.packets as f64 / self.total.packets.max(1) as f64,
+                        bytes_pct: 100.0 * c.bytes as f64 / self.total.bytes.max(1) as f64,
+                    },
+                )
+            })
+            .collect();
+        rows.sort_by(|(fa, a), (fb, b)| {
+            fa.cmp(fb)
+                .then(b.packets_pct.total_cmp(&a.packets_pct))
+                .then(a.detail.cmp(&b.detail))
+        });
+        rows.into_iter().map(|(_, r)| r).collect()
+    }
+
     /// Share of a specific (media type, payload type) pair.
     pub fn share(&self, mt: MediaType, pt: u8) -> (f64, f64) {
         match self.by_payload_kind.get(&(mt, pt)) {
@@ -183,16 +267,16 @@ mod tests {
     fn percentages_sum_correctly() {
         let mut c = Classifier::new();
         for _ in 0..62 {
-            c.record(MediaType::Video, Some(98), 1_200);
+            c.record(FamilyId::Zoom, MediaType::Video, Some(98), 1_200);
         }
         for _ in 0..26 {
-            c.record(MediaType::Audio, Some(112), 150);
+            c.record(FamilyId::Zoom, MediaType::Audio, Some(112), 150);
         }
         for _ in 0..4 {
-            c.record(MediaType::ScreenShare, Some(99), 900);
+            c.record(FamilyId::Zoom, MediaType::ScreenShare, Some(99), 900);
         }
         for _ in 0..8 {
-            c.record(MediaType::Other(30), None, 100);
+            c.record(FamilyId::Zoom, MediaType::Other(30), None, 100);
         }
         let t2 = c.table2();
         let pkt_sum: f64 = t2.iter().map(|r| r.packets_pct).sum();
@@ -207,9 +291,9 @@ mod tests {
     #[test]
     fn table3_tracks_payload_types() {
         let mut c = Classifier::new();
-        c.record(MediaType::Video, Some(98), 1_000);
-        c.record(MediaType::Video, Some(110), 800);
-        c.record(MediaType::Audio, Some(99), 110);
+        c.record(FamilyId::Zoom, MediaType::Video, Some(98), 1_000);
+        c.record(FamilyId::Zoom, MediaType::Video, Some(110), 800);
+        c.record(FamilyId::Zoom, MediaType::Audio, Some(99), 110);
         let t3 = c.table3();
         assert_eq!(t3.len(), 3);
         assert!(t3
@@ -227,6 +311,53 @@ mod tests {
     fn empty_classifier_is_sane() {
         let c = Classifier::new();
         assert!(c.table2().is_empty());
+        assert!(c.table6().is_empty());
+        assert!(!c.has_non_zoom_family());
         assert_eq!(c.decoded_fraction(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn table6_splits_by_family_without_touching_zoom_tables() {
+        let mut c = Classifier::new();
+        for _ in 0..6 {
+            c.record(FamilyId::Zoom, MediaType::Video, Some(98), 1_000);
+        }
+        for _ in 0..3 {
+            c.record(FamilyId::Webrtc, MediaType::Video, Some(96), 1_200);
+        }
+        c.record(FamilyId::Webrtc, MediaType::Audio, Some(111), 120);
+
+        assert!(c.has_non_zoom_family());
+        assert_eq!(c.total().packets, 10);
+        assert_eq!(c.family_counts(FamilyId::Zoom).packets, 6);
+        assert_eq!(c.family_counts(FamilyId::Webrtc).packets, 4);
+        // Zoom-specific tables (2/3) never see WebRTC packets.
+        assert_eq!(c.table3().len(), 1);
+        let t2_pkts: f64 = c.table2().iter().map(|r| r.packets_pct).sum();
+        assert!((t2_pkts - 60.0).abs() < 1e-9);
+
+        let t6 = c.table6();
+        assert_eq!(t6.len(), 3);
+        // Zoom rows first, then WebRTC rows by packet share.
+        assert_eq!(t6[0].label, "zoom");
+        assert_eq!(t6[1].label, "webrtc");
+        assert_eq!(t6[1].detail, "Video");
+        assert!((t6[1].packets_pct - 30.0).abs() < 1e-9);
+        assert_eq!(t6[2].detail, "Audio");
+
+        // Sharded merge equals sequential accounting.
+        let mut a = Classifier::new();
+        let mut b = Classifier::new();
+        for _ in 0..6 {
+            a.record(FamilyId::Zoom, MediaType::Video, Some(98), 1_000);
+        }
+        for _ in 0..3 {
+            b.record(FamilyId::Webrtc, MediaType::Video, Some(96), 1_200);
+        }
+        b.record(FamilyId::Webrtc, MediaType::Audio, Some(111), 120);
+        a.merge(&b);
+        assert_eq!(a.total(), c.total());
+        assert_eq!(a.family_counts(FamilyId::Webrtc), c.family_counts(FamilyId::Webrtc));
+        assert_eq!(a.table6().len(), 3);
     }
 }

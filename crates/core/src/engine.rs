@@ -60,9 +60,11 @@ use std::time::Duration;
 use zoom_wire::dissect::{
     drop_stage, peek, peek_batch, prefetch_record, PeekArena, PeekInfo, PeekTransport,
 };
+use zoom_wire::family::{FamilyId, FamilySelect};
 use zoom_wire::flow::{Endpoint, FiveTuple};
 use zoom_wire::handoff::RecordBatch;
 use zoom_wire::pcap::LinkType;
+use zoom_wire::webrtc;
 use zoom_wire::zoom::MediaType;
 
 /// Records per message sent to a shard. Batching amortizes the channel
@@ -87,7 +89,17 @@ const LATENCY_SAMPLE: u64 = 64;
 struct RouteMeta {
     seq: u64,
     info: Option<PeekInfo>,
-    hint: bool,
+    hints: RouteHints,
+}
+
+/// The router's per-record flow verdicts, shipped to the shard so its
+/// second-chance decisions match the sequential analyzer's without any
+/// shard-local registry: `p2p` is the STUN-registry probe (§4.1),
+/// `webrtc` the DTLS-SRTP flow-table probe.
+#[derive(Debug, Clone, Copy, Default)]
+struct RouteHints {
+    p2p: bool,
+    webrtc: bool,
 }
 
 /// One batch message to a worker: packet bytes in a shared
@@ -183,6 +195,7 @@ struct StreamDelta {
     key: StreamKey,
     media_type: MediaType,
     direction: Direction,
+    family: FamilyId,
     packets: u64,
     media_bytes: u64,
     frames: u64,
@@ -281,6 +294,7 @@ impl ShardState {
                 key: s.key,
                 media_type: s.media_type,
                 direction: s.direction,
+                family: s.family,
                 packets: cur.packets - prev.packets,
                 media_bytes: cur.media_bytes - prev.media_bytes,
                 frames: cur.frames - prev.frames,
@@ -316,6 +330,7 @@ impl ShardState {
                         key: s.key,
                         media_type: s.media_type,
                         direction: s.direction,
+                        family: s.family,
                         packets: 0,
                         media_bytes: 0,
                         frames: 0,
@@ -455,6 +470,18 @@ pub struct StreamingEngine {
     /// The authoritative STUN endpoint registry (§4.1), maintained by the
     /// router with the sequential analyzer's exact insert/refresh rules.
     registry: FxHashMap<Endpoint, u64>,
+    /// The authoritative WebRTC flow table (canonical 5-tuples with an
+    /// observed DTLS-SRTP handshake), maintained by the router with the
+    /// sequential analyzer's exact insert/refresh rules.
+    webrtc_flows: FxHashMap<FiveTuple, u64>,
+    /// Whether the configured [`zoom_wire::family::FamilySelect`] lets
+    /// the Zoom family claim traffic.
+    zoom_enabled: bool,
+    /// Whether it lets the WebRTC family claim traffic.
+    webrtc_enabled: bool,
+    /// `Only(Webrtc)`: the dissector probes WebRTC framing eagerly, so
+    /// flow registration must not wait for the STUN gate.
+    webrtc_eager: bool,
     seq: u64,
     workers: Vec<Worker>,
     /// Reused peek arena for [`StreamingEngine::push_batch_records`].
@@ -516,6 +543,7 @@ impl StreamingEngine {
         let analyzer_config = config.analyzer;
         let campus = analyzer_config.campus_prefixes().to_vec();
         let stun_timeout_nanos = analyzer_config.stun_timeout().as_nanos() as u64;
+        let family = analyzer_config.family_select();
         let grouping = analyzer_config.grouping_config();
         let n = config.shards.max(1);
         let metrics = Arc::new(PipelineMetrics::new(n));
@@ -541,7 +569,8 @@ impl StreamingEngine {
                                         r.ts_nanos,
                                         r.data,
                                         m.info.as_ref(),
-                                        m.hint,
+                                        m.hints.p2p,
+                                        m.hints.webrtc,
                                     );
                                 }
                                 state.analyzer.flush_flow_run();
@@ -578,6 +607,10 @@ impl StreamingEngine {
             stun_timeout_nanos,
             campus,
             registry: FxHashMap::default(),
+            webrtc_flows: FxHashMap::default(),
+            zoom_enabled: family.allows(FamilyId::Zoom),
+            webrtc_enabled: family.allows(FamilyId::Webrtc),
+            webrtc_eager: family == FamilySelect::Only(FamilyId::Webrtc),
             seq: 0,
             workers,
             peek_arena: PeekArena::new(),
@@ -659,8 +692,8 @@ impl StreamingEngine {
         self.last_ts = self.last_ts.max(ts);
 
         self.metrics.record_in(data.len());
-        let (shard, info, hint) = self.route(ts, data, link);
-        self.enqueue(shard, ts, data, info, hint)?;
+        let (shard, info, hints) = self.route(ts, data, link);
+        self.enqueue(shard, ts, data, info, hints)?;
         if let Some(t0) = sampled_at {
             self.metrics
                 .stage_push_nanos
@@ -705,18 +738,18 @@ impl StreamingEngine {
             self.first_ts.get_or_insert(ts);
             self.last_ts = self.last_ts.max(ts);
             self.metrics.record_in(r.data.len());
-            let (shard, info, hint) = match arena.peek(i) {
+            let (shard, info, hints) = match arena.peek(i) {
                 Ok(info) => {
                     let info = *info;
-                    let hint = self.apply_registry(ts, &info, r.data);
-                    (shards[i] as usize, Some(info), hint)
+                    let hints = self.apply_registry(ts, &info, r.data);
+                    (shards[i] as usize, Some(info), hints)
                 }
                 Err(e) => {
                     self.metrics.record_drop(drop_stage(r.data, link, e));
-                    ((self.seq % n as u64) as usize, None, false)
+                    ((self.seq % n as u64) as usize, None, RouteHints::default())
                 }
             };
-            self.enqueue(shard, ts, r.data, info, hint)?;
+            self.enqueue(shard, ts, r.data, info, hints)?;
         }
         self.peek_arena = arena;
         self.shard_scratch = shards;
@@ -766,13 +799,13 @@ impl StreamingEngine {
         ts: u64,
         data: &[u8],
         info: Option<PeekInfo>,
-        hint: bool,
+        hints: RouteHints,
     ) -> Result<(), Error> {
         let seq = self.seq;
         self.seq += 1;
         let w = &mut self.workers[shard];
         w.pending.records.push(ts, data.len() as u32, data);
-        w.pending.meta.push(RouteMeta { seq, info, hint });
+        w.pending.meta.push(RouteMeta { seq, info, hints });
         let m = &self.metrics.shards[shard];
         m.routed.inc();
         if w.pending.records.len() >= BATCH {
@@ -833,6 +866,7 @@ impl StreamingEngine {
             grouper,
             rtp_rtt,
             registry,
+            webrtc_flows,
             creation_order,
             mut tcp_samples,
             evicted_streams,
@@ -857,6 +891,8 @@ impl StreamingEngine {
             merged.total_packets += shard.total_packets;
             merged.zoom_packets += shard.zoom_packets;
             merged.zoom_bytes += shard.zoom_bytes;
+            merged.webrtc_packets += shard.webrtc_packets;
+            merged.webrtc_bytes += shard.webrtc_bytes;
             merged.undissectable += shard.undissectable;
             merged.first_zoom_ts = match (merged.first_zoom_ts, shard.first_zoom_ts) {
                 (Some(a), Some(b)) => Some(a.min(b)),
@@ -889,6 +925,7 @@ impl StreamingEngine {
         merged.grouper = grouper;
         merged.rtp_rtt = rtp_rtt;
         merged.p2p_endpoints = registry;
+        merged.webrtc_flows = webrtc_flows;
 
         // ---- exact end-of-trace report: live rows interleaved with the
         // evicted fragments, in creation order; counts restored to
@@ -926,6 +963,7 @@ impl StreamingEngine {
             streams: rows,
             rtp_rtt: RttSummaryReport::from_samples(merged.rtp_rtt.samples()),
             tcp_rtt: RttSummaryReport::from_samples(merged.tcp_rtt.samples()),
+            families: merged.classifier.family_table(),
         };
         metrics
             .stage_merge_nanos
@@ -1025,6 +1063,7 @@ impl StreamingEngine {
                 key: d.key,
                 media_type: d.media_type,
                 direction: d.direction,
+                family: d.family,
                 meeting: self.grouper.canonical_meeting(&d.key),
                 packets: d.packets,
                 media_bytes: d.media_bytes,
@@ -1061,6 +1100,7 @@ impl StreamingEngine {
         // past the matching window — both prunes are lossless.
         let stun_cutoff = end.saturating_sub(self.stun_timeout_nanos);
         self.registry.retain(|_, last| *last >= stun_cutoff);
+        self.webrtc_flows.retain(|_, last| *last >= stun_cutoff);
         self.rtp_rtt.prune(end);
 
         totals.active_streams = streams.iter().filter(|r| r.packets > 0).count() as u64;
@@ -1124,8 +1164,8 @@ impl StreamingEngine {
     /// amortized to nothing.
     fn update_qoe_series(&self, report: &WindowReport) {
         let qoe = &self.metrics.qoe;
-        for ((meeting, media), agg) in qoe_watch::aggregate(report) {
-            let labels = [meeting.as_str(), media];
+        for ((meeting, media, family), agg) in qoe_watch::aggregate(report) {
+            let labels = [meeting.as_str(), media, family];
             qoe.bitrate_bps.with(&labels, |g| g.set(agg.bitrate_bps));
             qoe.fps.with(&labels, |g| g.set(agg.fps_mean));
             if let Some(j) = agg.jitter_mean {
@@ -1138,7 +1178,7 @@ impl StreamingEngine {
         for s in &report.streams {
             if s.frames > 0 {
                 qoe.frame_size_bytes
-                    .with(&[crate::obs::media_slug(s.media_type)], |h| {
+                    .with(&[crate::obs::media_slug(s.media_type), s.family.label()], |h| {
                         h.observe(s.media_bytes / s.frames)
                     });
             }
@@ -1178,12 +1218,16 @@ impl StreamingEngine {
         let rtt = &mut self.rtp_rtt;
         let campus = &self.campus;
         for ev in &events {
-            rtt.observe(
-                ev.ts_nanos,
-                (ev.ssrc, ev.payload_type, ev.rtp_seq, ev.rtp_ts),
-                ev.direction,
-                ev.flow.src_ip,
-            );
+            // RTP-copy RTT is a Zoom-SFU behavior; WebRTC streams still
+            // replay into the grouper and replica trackers below.
+            if ev.family == FamilyId::Zoom {
+                rtt.observe(
+                    ev.ts_nanos,
+                    (ev.ssrc, ev.payload_type, ev.rtp_seq, ev.rtp_ts),
+                    ev.direction,
+                    ev.flow.src_ip,
+                );
+            }
             let key = StreamKey {
                 flow: ev.flow,
                 ssrc: ev.ssrc,
@@ -1210,9 +1254,9 @@ impl StreamingEngine {
         }
     }
 
-    /// Pick the shard, the peek to resume dissection from, and the P2P
-    /// verdict for a record, mirroring the dissection and registry
-    /// decisions the sequential analyzer makes.
+    /// Pick the shard, the peek to resume dissection from, and the
+    /// per-family flow verdicts for a record, mirroring the dissection
+    /// and registry decisions the sequential analyzer makes.
     ///
     /// The router stays off the Zoom parse path: a header-only
     /// [`peek`] recovers the 5-tuple and header offsets (shipped to the
@@ -1222,7 +1266,12 @@ impl StreamingEngine {
     /// flow's endpoints has a fresh registry entry, because only then does
     /// the classification change what the registry (refresh) and the
     /// shard (P2P verdict) observe.
-    fn route(&mut self, ts: u64, data: &[u8], link: LinkType) -> (usize, Option<PeekInfo>, bool) {
+    fn route(
+        &mut self,
+        ts: u64,
+        data: &[u8],
+        link: LinkType,
+    ) -> (usize, Option<PeekInfo>, RouteHints) {
         let n = self.shard_count;
         let p = match peek(data, link) {
             Ok(p) => p,
@@ -1231,21 +1280,21 @@ impl StreamingEngine {
                 // account the drop here (the shard sees no PeekInfo and
                 // counts nothing) and spread them round-robin.
                 self.metrics.record_drop(drop_stage(data, link, e));
-                return ((self.seq % n as u64) as usize, None, false);
+                return ((self.seq % n as u64) as usize, None, RouteHints::default());
             }
         };
-        let hint = self.apply_registry(ts, &p.info, data);
-        (shard_of(&p.info.five_tuple, n), Some(p.info), hint)
+        let hints = self.apply_registry(ts, &p.info, data);
+        (shard_of(&p.info.five_tuple, n), Some(p.info), hints)
     }
 
-    /// Apply the STUN registry side of routing for one peeked record and
-    /// return its P2P verdict. Shared verbatim by [`route`] and the
-    /// batched pass-3 loop in [`push_batch_records`], so both paths make
-    /// identical registry decisions by construction.
+    /// Apply the STUN-registry and WebRTC-flow-table sides of routing for
+    /// one peeked record and return its flow verdicts. Shared verbatim by
+    /// [`route`] and the batched pass-3 loop in [`push_batch_records`], so
+    /// both paths make identical registry decisions by construction.
     ///
     /// [`route`]: StreamingEngine::route
     /// [`push_batch_records`]: StreamingEngine::push_batch_records
-    fn apply_registry(&mut self, ts: u64, info: &PeekInfo, data: &[u8]) -> bool {
+    fn apply_registry(&mut self, ts: u64, info: &PeekInfo, data: &[u8]) -> RouteHints {
         use zoom_wire::{stun, zoom};
 
         let flow = &info.five_tuple;
@@ -1254,7 +1303,7 @@ impl StreamingEngine {
             payload_len,
         } = info.transport
         else {
-            return false; // TCP: no registry interaction
+            return RouteHints::default(); // TCP: no registry interaction
         };
         let payload = &data[payload_off..payload_off + payload_len];
         // STUN gate, verbatim from the dissector: port 3478 or a
@@ -1269,7 +1318,7 @@ impl StreamingEngine {
                         flow.dst()
                     };
                     self.registry.insert(client, ts);
-                    return false;
+                    return RouteHints::default();
                 }
             }
             // Gate matched but the parse failed: the dissector falls
@@ -1281,14 +1330,50 @@ impl StreamingEngine {
         // registry entry, the probe is a no-op either way — skip the
         // Zoom parse entirely. Otherwise resolve the classification
         // so refresh semantics stay exact.
+        let mut hints = RouteHints::default();
         if self.registry_has_fresh(ts, flow) {
             let opaque = !flow.involves_port(zoom::ZOOM_SFU_PORT)
                 || zoom::parse(payload, zoom::Framing::Server).is_err();
             if opaque {
-                return self.probe_p2p(ts, flow);
+                hints.p2p = self.probe_p2p(ts, flow);
             }
         }
-        false
+        // WebRTC flow-table mirror of the sequential second chance. The
+        // guard keeps this off the hot path: with no registered flows and
+        // no STUN-fresh endpoint (and no eager `Only(Webrtc)` selection),
+        // the sequential analyzer's verdict is trivially false too.
+        if self.webrtc_enabled && (hints.p2p || self.webrtc_eager || !self.webrtc_flows.is_empty())
+        {
+            // A packet the Zoom second chance claims (P2P-fresh and
+            // ZME-parseable) never reaches the WebRTC chance; mirror
+            // that so refresh timing stays exact. The loose keep-alive
+            // claim yields to strict WebRTC framing, exactly as the
+            // sequential analyzer's dispatch does.
+            let claimed_by_zoom = self.zoom_enabled
+                && hints.p2p
+                && match zoom::parse(payload, zoom::Framing::P2p) {
+                    Ok(z) => {
+                        z.rtp.is_some()
+                            || !z.rtcp.is_empty()
+                            || webrtc::classify(payload).is_err()
+                    }
+                    Err(_) => false,
+                };
+            if !claimed_by_zoom {
+                if self.probe_webrtc(ts, flow) {
+                    hints.webrtc = true;
+                } else if (hints.p2p || self.webrtc_eager)
+                    && matches!(webrtc::classify(payload), Ok(webrtc::Pdu::Dtls(_)))
+                {
+                    // A strict DTLS record opens the flow (RFC 5764:
+                    // the handshake precedes SRTP) — the sequential
+                    // analyzer's registration rule.
+                    self.webrtc_flows.insert(flow.canonical(), ts);
+                    hints.webrtc = true;
+                }
+            }
+        }
+        hints
     }
 
     /// True when either endpoint of `flow` has a registry entry within
@@ -1313,6 +1398,20 @@ impl StreamingEngine {
                     *last = now;
                     return true;
                 }
+            }
+        }
+        false
+    }
+
+    /// The sequential analyzer's `is_webrtc_flow`, applied to the
+    /// router's flow table: probe the canonical 5-tuple, refresh within
+    /// the STUN timeout.
+    fn probe_webrtc(&mut self, now: u64, flow: &FiveTuple) -> bool {
+        let timeout = self.stun_timeout_nanos;
+        if let Some(last) = self.webrtc_flows.get_mut(&flow.canonical()) {
+            if now.saturating_sub(*last) <= timeout {
+                *last = now;
+                return true;
             }
         }
         false

@@ -134,9 +134,12 @@ pub(crate) struct WindowAgg {
     pub duplicates: u64,
 }
 
-/// Aggregate a window's stream rows per `(meeting label, media slug)`.
-/// `BTreeMap` keying makes every downstream iteration deterministic.
-pub(crate) fn aggregate(report: &WindowReport) -> BTreeMap<(String, &'static str), WindowAgg> {
+/// Aggregate a window's stream rows per `(meeting label, media slug,
+/// family label)`. `BTreeMap` keying makes every downstream iteration
+/// deterministic.
+pub(crate) fn aggregate(
+    report: &WindowReport,
+) -> BTreeMap<(String, &'static str, &'static str), WindowAgg> {
     struct Acc {
         bitrate: f64,
         fps_sum: f64,
@@ -145,7 +148,7 @@ pub(crate) fn aggregate(report: &WindowReport) -> BTreeMap<(String, &'static str
         jitter_n: u64,
         duplicates: u64,
     }
-    let mut acc: BTreeMap<(String, &'static str), Acc> = BTreeMap::new();
+    let mut acc: BTreeMap<(String, &'static str, &'static str), Acc> = BTreeMap::new();
     for s in &report.streams {
         if s.packets == 0 {
             continue;
@@ -154,7 +157,7 @@ pub(crate) fn aggregate(report: &WindowReport) -> BTreeMap<(String, &'static str
             .meeting
             .map(|m| m.to_string())
             .unwrap_or_else(|| "none".to_string());
-        let a = acc.entry((meeting, media_slug(s.media_type))).or_insert(Acc {
+        let a = acc.entry((meeting, media_slug(s.media_type), s.family.label())).or_insert(Acc {
             bitrate: 0.0,
             fps_sum: 0.0,
             streams: 0,
@@ -205,7 +208,7 @@ struct KeyState {
 #[derive(Debug, Default)]
 pub struct QoeWatch {
     thresholds: QoeThresholds,
-    states: BTreeMap<(String, &'static str), KeyState>,
+    states: BTreeMap<(String, &'static str, &'static str), KeyState>,
 }
 
 impl QoeWatch {
@@ -228,7 +231,7 @@ impl QoeWatch {
         let t = self.thresholds;
         let agg = aggregate(report);
         let mut alerts = Vec::new();
-        let mut edge = |key: &(String, &'static str),
+        let mut edge = |key: &(String, &'static str, &'static str),
                         kind: &'static str,
                         state: AlertState,
                         value: f64,
@@ -345,6 +348,7 @@ mod tests {
             },
             media_type: MediaType::Video,
             direction: Direction::ToServer,
+            family: zoom_wire::family::FamilyId::Zoom,
             meeting,
             packets: 10,
             media_bytes: (bitrate / 8.0) as u64,

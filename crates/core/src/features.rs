@@ -155,6 +155,7 @@ mod tests {
                 protocol: Protocol::Udp,
             },
             ip_len: 1_000,
+            family: zoom_wire::family::FamilyId::Zoom,
             framing: Framing::Server,
             media_type: MediaType::Video,
             direction: Direction::ToServer,

@@ -262,6 +262,7 @@ mod tests {
             ts_nanos: at,
             five_tuple: tuple(dir == Direction::ToServer),
             ip_len: 1_000,
+            family: zoom_wire::family::FamilyId::Zoom,
             framing: Framing::Server,
             media_type: MediaType::Video,
             direction: dir,

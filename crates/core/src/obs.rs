@@ -413,19 +413,20 @@ pub const QOE_SERIES_CAP: usize = 64;
 /// [`MetricsSnapshot::to_prom`]/[`MetricsSnapshot::to_json`].
 #[derive(Debug)]
 pub struct QoeMetrics {
-    /// `zoom_qoe_bitrate_bps{meeting,media}` — media bit rate over the
-    /// last closed window.
+    /// `zoom_qoe_bitrate_bps{meeting,media,family}` — media bit rate over
+    /// the last closed window.
     pub bitrate_bps: LabeledFamily<FloatGauge>,
-    /// `zoom_qoe_fps{meeting,media}` — delivered frame rate over the
-    /// last closed window.
+    /// `zoom_qoe_fps{meeting,media,family}` — delivered frame rate over
+    /// the last closed window.
     pub fps: LabeledFamily<FloatGauge>,
-    /// `zoom_qoe_jitter_ms{meeting,media}` — mean frame-level jitter
-    /// over the last closed window's samples.
+    /// `zoom_qoe_jitter_ms{meeting,media,family}` — mean frame-level
+    /// jitter over the last closed window's samples.
     pub jitter_ms: LabeledFamily<FloatGauge>,
-    /// `zoom_qoe_frame_size_bytes{media}` — histogram of per-stream mean
-    /// frame sizes, one observation per active stream per window.
+    /// `zoom_qoe_frame_size_bytes{media,family}` — histogram of
+    /// per-stream mean frame sizes, one observation per active stream per
+    /// window.
     pub frame_size_bytes: LabeledFamily<Histogram>,
-    /// `zoom_qoe_retransmissions_total{meeting,media}` — duplicate
+    /// `zoom_qoe_retransmissions_total{meeting,media,family}` — duplicate
     /// (retransmitted) packets, accumulated across windows.
     pub retransmissions: LabeledFamily<Counter>,
     /// `zoom_qoe_degraded{meeting,kind}` — 1 while the degradation
@@ -439,13 +440,13 @@ pub struct QoeMetrics {
 impl QoeMetrics {
     fn new(cap: usize) -> QoeMetrics {
         QoeMetrics {
-            bitrate_bps: LabeledFamily::new(&["meeting", "media"], cap, FloatGauge::new),
-            fps: LabeledFamily::new(&["meeting", "media"], cap, FloatGauge::new),
-            jitter_ms: LabeledFamily::new(&["meeting", "media"], cap, FloatGauge::new),
-            frame_size_bytes: LabeledFamily::new(&["media"], cap, || {
+            bitrate_bps: LabeledFamily::new(&["meeting", "media", "family"], cap, FloatGauge::new),
+            fps: LabeledFamily::new(&["meeting", "media", "family"], cap, FloatGauge::new),
+            jitter_ms: LabeledFamily::new(&["meeting", "media", "family"], cap, FloatGauge::new),
+            frame_size_bytes: LabeledFamily::new(&["media", "family"], cap, || {
                 Histogram::new(FRAME_SIZE_BOUNDS)
             }),
-            retransmissions: LabeledFamily::new(&["meeting", "media"], cap, Counter::new),
+            retransmissions: LabeledFamily::new(&["meeting", "media", "family"], cap, Counter::new),
             degraded: LabeledFamily::new(&["meeting", "kind"], cap, Gauge::new),
             estimated_rtt_ms: FloatGauge::new(),
         }
@@ -483,15 +484,15 @@ impl QoeMetrics {
 /// (label values, value) pairs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QoeSnapshot {
-    /// Bitrate series, labels `[meeting, media]`.
+    /// Bitrate series, labels `[meeting, media, family]`.
     pub bitrate_bps: Vec<LabeledSeries<f64>>,
-    /// Frame-rate series, labels `[meeting, media]`.
+    /// Frame-rate series, labels `[meeting, media, family]`.
     pub fps: Vec<LabeledSeries<f64>>,
-    /// Jitter series, labels `[meeting, media]`.
+    /// Jitter series, labels `[meeting, media, family]`.
     pub jitter_ms: Vec<LabeledSeries<f64>>,
-    /// Frame-size histograms, labels `[media]`.
+    /// Frame-size histograms, labels `[media, family]`.
     pub frame_size_bytes: Vec<LabeledSeries<HistogramSnapshot>>,
-    /// Retransmission counters, labels `[meeting, media]`.
+    /// Retransmission counters, labels `[meeting, media, family]`.
     pub retransmissions: Vec<LabeledSeries<u64>>,
     /// Degradation flags, labels `[meeting, kind]`.
     pub degraded: Vec<LabeledSeries<u64>>,
@@ -535,21 +536,21 @@ impl QoeSnapshot {
             out,
             "zoom_qoe_bitrate_bps",
             "Media bitrate over the last closed window.",
-            &["meeting", "media"],
+            &["meeting", "media", "family"],
             &self.bitrate_bps,
         );
         float_family(
             out,
             "zoom_qoe_fps",
             "Frame rate over the last closed window.",
-            &["meeting", "media"],
+            &["meeting", "media", "family"],
             &self.fps,
         );
         float_family(
             out,
             "zoom_qoe_jitter_ms",
             "RFC 3550 interarrival jitter at the last closed window.",
-            &["meeting", "media"],
+            &["meeting", "media", "family"],
             &self.jitter_ms,
         );
         if !self.frame_size_bytes.is_empty() {
@@ -559,7 +560,7 @@ impl QoeSnapshot {
             );
             let _ = writeln!(out, "# TYPE zoom_qoe_frame_size_bytes histogram");
             for (values, h) in &self.frame_size_bytes {
-                let labels = prom_labels(&["media"], values);
+                let labels = prom_labels(&["media", "family"], values);
                 prom_histogram(
                     out,
                     "zoom_qoe_frame_size_bytes",
@@ -578,7 +579,7 @@ impl QoeSnapshot {
                 let _ = writeln!(
                     out,
                     "zoom_qoe_retransmissions_total{} {v}",
-                    prom_labels(&["meeting", "media"], values)
+                    prom_labels(&["meeting", "media", "family"], values)
                 );
             }
         }
@@ -651,21 +652,27 @@ impl QoeSnapshot {
             evicted.u64(fam, *n);
         }
         let mut o = JsonObj::new();
-        o.raw("bitrate_bps", &floats(&["meeting", "media"], &self.bitrate_bps))
-            .raw("fps", &floats(&["meeting", "media"], &self.fps))
-            .raw("jitter_ms", &floats(&["meeting", "media"], &self.jitter_ms))
+        o.raw(
+            "bitrate_bps",
+            &floats(&["meeting", "media", "family"], &self.bitrate_bps),
+        )
+            .raw("fps", &floats(&["meeting", "media", "family"], &self.fps))
+            .raw(
+                "jitter_ms",
+                &floats(&["meeting", "media", "family"], &self.jitter_ms),
+            )
             .raw(
                 "frame_size_bytes",
                 &arr(self.frame_size_bytes.iter().map(|(lv, h)| {
                     let mut o = JsonObj::new();
-                    o.raw("labels", &labels(&["media"], lv))
+                    o.raw("labels", &labels(&["media", "family"], lv))
                         .raw("histogram", &hist_json(h));
                     o.finish()
                 })),
             )
             .raw(
                 "retransmissions",
-                &counts(&["meeting", "media"], &self.retransmissions),
+                &counts(&["meeting", "media", "family"], &self.retransmissions),
             )
             .raw("degraded", &counts(&["meeting", "kind"], &self.degraded))
             .f64("estimated_rtt_ms", self.estimated_rtt_ms)
@@ -773,6 +780,14 @@ pub struct PipelineMetrics {
     /// Subset of `packets_not_zoom`: UDP to/from the Zoom media port
     /// (8801) whose Zoom Media Encapsulation failed to parse.
     pub malformed_zme: Counter,
+    /// Subset of `packets_classified`: packets classified under the
+    /// WebRTC family (DTLS, SRTP, SRTCP).
+    pub classified_webrtc: Counter,
+    /// Subset of `packets_not_zoom`: packets on a session-gated WebRTC
+    /// flow whose DTLS-SRTP framing failed to parse. The WebRTC-family
+    /// analogue of `malformed_zme` — a broken SRTP packet counts against
+    /// its own family, never against Zoom's drop stage.
+    pub malformed_srtp: Counter,
     /// Captured-size distribution of offered records.
     pub packet_size: Histogram,
 
@@ -912,6 +927,8 @@ impl PipelineMetrics {
             packets_classified: Counter::new(),
             packets_not_zoom: Counter::new(),
             malformed_zme: Counter::new(),
+            classified_webrtc: Counter::new(),
+            malformed_srtp: Counter::new(),
             packet_size: Histogram::new(PACKET_SIZE_BOUNDS),
             drop_unsupported_link: Counter::new(),
             drop_non_ip: Counter::new(),
@@ -1016,6 +1033,8 @@ impl PipelineMetrics {
             packets_classified: self.packets_classified.get(),
             packets_not_zoom: self.packets_not_zoom.get(),
             malformed_zme: self.malformed_zme.get(),
+            classified_webrtc: self.classified_webrtc.get(),
+            malformed_srtp: self.malformed_srtp.get(),
             packet_size: self.packet_size.snapshot(),
             drop_unsupported_link: self.drop_unsupported_link.get(),
             drop_non_ip: self.drop_non_ip.get(),
@@ -1107,6 +1126,10 @@ pub struct CaptureMetricsSnapshot {
     pub stun_registered: u64,
     /// Passed: P2P media recognized via the STUN registers.
     pub p2p_matched: u64,
+    /// Passed: non-Zoom STUN exchange (registers a WebRTC endpoint).
+    pub rtc_stun_registered: u64,
+    /// Passed: WebRTC media recognized via the WebRTC STUN registers.
+    pub rtc_p2p_matched: u64,
     /// Dropped: neither a Zoom server nor a registered P2P endpoint.
     pub dropped: u64,
     /// Dropped: headers the data plane needs did not parse.
@@ -1133,6 +1156,12 @@ pub struct MetricsSnapshot {
     pub packets_not_zoom: u64,
     /// Port-8801 UDP records whose ZME framing failed to parse.
     pub malformed_zme: u64,
+    /// Records classified under the WebRTC family (subset of
+    /// `packets_classified`).
+    pub classified_webrtc: u64,
+    /// Session-gated WebRTC-flow records whose DTLS-SRTP framing failed
+    /// to parse (subset of `packets_not_zoom`).
+    pub malformed_srtp: u64,
     /// Captured-size distribution.
     pub packet_size: HistogramSnapshot,
     /// Dissect drops: unsupported link type.
@@ -1326,6 +1355,8 @@ impl MetricsSnapshot {
             .u64("packets_classified", self.packets_classified)
             .u64("packets_not_zoom", self.packets_not_zoom)
             .u64("malformed_zme", self.malformed_zme)
+            .u64("classified_webrtc", self.classified_webrtc)
+            .u64("malformed_srtp", self.malformed_srtp)
             .raw("drops", &drops.finish())
             .bool("conservation_holds", self.conservation_holds())
             .raw("pcap", &pcap.finish())
@@ -1351,6 +1382,8 @@ impl MetricsSnapshot {
                 .u64("zoom_ip_matched", c.zoom_ip_matched)
                 .u64("stun_registered", c.stun_registered)
                 .u64("p2p_matched", c.p2p_matched)
+                .u64("rtc_stun_registered", c.rtc_stun_registered)
+                .u64("rtc_p2p_matched", c.rtc_p2p_matched)
                 .u64("dropped", c.dropped)
                 .u64("unparseable", c.unparseable)
                 .u64("passed", c.passed)
@@ -1434,6 +1467,16 @@ impl MetricsSnapshot {
                 "zoom_malformed_zme_total",
                 "Port-8801 UDP records whose Zoom Media Encapsulation failed to parse.",
                 self.malformed_zme,
+            ),
+            (
+                "zoom_classified_webrtc_total",
+                "Records classified under the WebRTC family (DTLS, SRTP, SRTCP).",
+                self.classified_webrtc,
+            ),
+            (
+                "zoom_malformed_srtp_total",
+                "WebRTC-flow records whose DTLS-SRTP framing failed to parse.",
+                self.malformed_srtp,
             ),
         ] {
             family(&mut out2, name, "counter", help, v);
@@ -1580,6 +1623,8 @@ impl MetricsSnapshot {
                     ("zoom_ip_matched", c.zoom_ip_matched),
                     ("stun_registered", c.stun_registered),
                     ("p2p_matched", c.p2p_matched),
+                    ("rtc_stun_registered", c.rtc_stun_registered),
+                    ("rtc_p2p_matched", c.rtc_p2p_matched),
                     ("dropped", c.dropped),
                     ("unparseable", c.unparseable),
                 ] {
@@ -1910,9 +1955,15 @@ mod tests {
         m.tracked_entries.set(4);
         m.peak_tracked_entries.set_max(9);
         m.stage_push_nanos.observe(5_000);
-        m.qoe.bitrate_bps.with(&["3", "video"], |g| g.set(640_000.0));
-        m.qoe.frame_size_bytes.with(&["video"], |h| h.observe(1_200));
-        m.qoe.retransmissions.with(&["3", "video"], |c| c.add(2));
+        m.qoe
+            .bitrate_bps
+            .with(&["3", "video", "zoom"], |g| g.set(640_000.0));
+        m.qoe
+            .frame_size_bytes
+            .with(&["video", "zoom"], |h| h.observe(1_200));
+        m.qoe
+            .retransmissions
+            .with(&["3", "video", "zoom"], |c| c.add(2));
         m.qoe.degraded.with(&["3", "low_fps"], |g| g.set(1));
         m.qoe.estimated_rtt_ms.set(23.5);
         let prom = m.snapshot().to_prom();
@@ -1932,6 +1983,12 @@ zoom_packets_not_zoom_total 1
 # HELP zoom_malformed_zme_total Port-8801 UDP records whose Zoom Media Encapsulation failed to parse.
 # TYPE zoom_malformed_zme_total counter
 zoom_malformed_zme_total 0
+# HELP zoom_classified_webrtc_total Records classified under the WebRTC family (DTLS, SRTP, SRTCP).
+# TYPE zoom_classified_webrtc_total counter
+zoom_classified_webrtc_total 0
+# HELP zoom_malformed_srtp_total WebRTC-flow records whose DTLS-SRTP framing failed to parse.
+# TYPE zoom_malformed_srtp_total counter
+zoom_malformed_srtp_total 0
 # HELP zoom_dissect_drops_total Records rejected by the dissector, by stage.
 # TYPE zoom_dissect_drops_total counter
 zoom_dissect_drops_total{stage=\"unsupported_link\"} 0
@@ -2017,23 +2074,23 @@ zoom_stage_latency_nanos_sum{stage=\"checkpoint\"} 0
 zoom_stage_latency_nanos_count{stage=\"checkpoint\"} 0
 # HELP zoom_qoe_bitrate_bps Media bitrate over the last closed window.
 # TYPE zoom_qoe_bitrate_bps gauge
-zoom_qoe_bitrate_bps{meeting=\"3\",media=\"video\"} 640000
+zoom_qoe_bitrate_bps{meeting=\"3\",media=\"video\",family=\"zoom\"} 640000
 # HELP zoom_qoe_frame_size_bytes Per-frame media payload size distribution.
 # TYPE zoom_qoe_frame_size_bytes histogram
-zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"256\"} 0
-zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"512\"} 0
-zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"1024\"} 0
-zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"2048\"} 1
-zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"4096\"} 1
-zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"8192\"} 1
-zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"16384\"} 1
-zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"32768\"} 1
-zoom_qoe_frame_size_bytes_bucket{media=\"video\",le=\"+Inf\"} 1
-zoom_qoe_frame_size_bytes_sum{media=\"video\"} 1200
-zoom_qoe_frame_size_bytes_count{media=\"video\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",family=\"zoom\",le=\"256\"} 0
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",family=\"zoom\",le=\"512\"} 0
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",family=\"zoom\",le=\"1024\"} 0
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",family=\"zoom\",le=\"2048\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",family=\"zoom\",le=\"4096\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",family=\"zoom\",le=\"8192\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",family=\"zoom\",le=\"16384\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",family=\"zoom\",le=\"32768\"} 1
+zoom_qoe_frame_size_bytes_bucket{media=\"video\",family=\"zoom\",le=\"+Inf\"} 1
+zoom_qoe_frame_size_bytes_sum{media=\"video\",family=\"zoom\"} 1200
+zoom_qoe_frame_size_bytes_count{media=\"video\",family=\"zoom\"} 1
 # HELP zoom_qoe_retransmissions_total Duplicate RTP sequence numbers observed.
 # TYPE zoom_qoe_retransmissions_total counter
-zoom_qoe_retransmissions_total{meeting=\"3\",media=\"video\"} 2
+zoom_qoe_retransmissions_total{meeting=\"3\",media=\"video\",family=\"zoom\"} 2
 # HELP zoom_qoe_degraded Active QoE degradation verdicts (1 = degraded).
 # TYPE zoom_qoe_degraded gauge
 zoom_qoe_degraded{meeting=\"3\",kind=\"low_fps\"} 1

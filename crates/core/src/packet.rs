@@ -6,8 +6,10 @@
 
 use std::net::IpAddr;
 use zoom_wire::dissect::{App, Dissection, Transport};
+use zoom_wire::family::FamilyId;
 use zoom_wire::flow::FiveTuple;
 use zoom_wire::rtcp;
+use zoom_wire::webrtc::{self, SrtpRepr};
 use zoom_wire::zoom::{Framing, MediaType, RtpPayloadKind, DIR_FROM_SFU, ZOOM_SFU_PORT};
 
 /// Direction of a Zoom packet relative to the infrastructure.
@@ -62,7 +64,10 @@ pub struct PacketMeta {
     pub five_tuple: FiveTuple,
     /// Total IP-layer bytes (for flow bit rates).
     pub ip_len: usize,
-    /// Zoom framing that parsed (server or P2P).
+    /// Protocol family the packet was classified under.
+    pub family: FamilyId,
+    /// Framing that parsed (server or P2P; WebRTC media is always
+    /// peer-to-peer framed).
     pub framing: Framing,
     /// Zoom media encapsulation type.
     pub media_type: MediaType,
@@ -106,12 +111,25 @@ pub enum Extracted {
     Zoom(PacketMeta),
     /// A TCP segment (control-connection RTT input).
     Tcp(TcpMeta),
-    /// STUN exchange — input to P2P flow detection.
+    /// STUN exchange — input to P2P flow detection (both families).
     Stun {
         /// Capture timestamp, nanoseconds.
         ts_nanos: u64,
         /// The exchange's 5-tuple.
         five_tuple: FiveTuple,
+    },
+    /// A native-WebRTC PDU (produced when the dissector's WebRTC probe
+    /// is enabled; the session-gated auto path classifies in the
+    /// analyzer instead).
+    Webrtc {
+        /// Capture timestamp, nanoseconds.
+        ts_nanos: u64,
+        /// The packet's 5-tuple.
+        five_tuple: FiveTuple,
+        /// Total IP-layer bytes.
+        ip_len: usize,
+        /// The parsed PDU.
+        pdu: webrtc::Pdu,
     },
     /// Parsed but not interesting to the analyzer.
     Other,
@@ -206,6 +224,7 @@ pub fn meta_from_zoom(
         ts_nanos,
         five_tuple,
         ip_len,
+        family: FamilyId::Zoom,
         framing,
         media_type: z.media.media_type,
         direction,
@@ -214,6 +233,52 @@ pub fn meta_from_zoom(
         frame_seq: z.media.frame_sequence,
         pkts_in_frame: z.media.packets_in_frame,
         media_payload_len: z.media_payload_len,
+    }
+}
+
+/// Build a [`PacketMeta`] from a parsed WebRTC SRTP packet.
+///
+/// The cleartext RTP header supplies everything the stream trackers need;
+/// media type comes from the payload-type mapping
+/// ([`webrtc::media_type_for_pt`]), direction from campus membership
+/// (WebRTC media flows peer-to-peer, like Zoom P2P), and the ZME-only
+/// fields (`frame_seq`, `pkts_in_frame`, RTCP sender info) stay `None` —
+/// WebRTC video frames are delimited by the RTP marker bit instead.
+pub fn meta_from_webrtc(
+    ts_nanos: u64,
+    five_tuple: FiveTuple,
+    ip_len: usize,
+    srtp: &SrtpRepr,
+    campus: &[(IpAddr, u8)],
+) -> PacketMeta {
+    let direction = if in_campus(campus, five_tuple.src_ip) {
+        Direction::ToServer
+    } else if in_campus(campus, five_tuple.dst_ip) {
+        Direction::FromServer
+    } else {
+        Direction::Unknown
+    };
+    let media_type = webrtc::media_type_for_pt(srtp.rtp.payload_type);
+    PacketMeta {
+        ts_nanos,
+        five_tuple,
+        ip_len,
+        family: FamilyId::Webrtc,
+        framing: Framing::P2p,
+        media_type,
+        direction,
+        rtp: Some(RtpMeta {
+            ssrc: srtp.rtp.ssrc,
+            payload_type: srtp.rtp.payload_type,
+            sequence: srtp.rtp.sequence_number,
+            timestamp: srtp.rtp.timestamp,
+            marker: srtp.rtp.marker,
+            kind: RtpPayloadKind::classify(media_type, srtp.rtp.payload_type),
+        }),
+        rtcp: None,
+        frame_seq: None,
+        pkts_in_frame: None,
+        media_payload_len: srtp.payload_len,
     }
 }
 
@@ -232,6 +297,12 @@ pub fn extract(d: &Dissection<'_>, campus: &[(IpAddr, u8)]) -> Extracted {
             z,
             campus,
         )),
+        App::Webrtc(pdu) => Extracted::Webrtc {
+            ts_nanos: d.ts_nanos,
+            five_tuple: d.five_tuple,
+            ip_len: d.ip_total_len,
+            pdu: *pdu,
+        },
         App::Opaque => match &d.transport {
             Transport::Tcp {
                 seq,
@@ -361,6 +432,54 @@ mod tests {
                 assert_eq!(t.ack, 200);
                 assert!(t.has_ack);
                 assert_eq!(t.payload_len, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn webrtc_srtp_meta_orients_and_classifies() {
+        let rtp = rtp::Repr {
+            marker: true,
+            payload_type: 96,
+            sequence_number: 7,
+            timestamp: 180_000,
+            ssrc: 0x55,
+            csrc_count: 0,
+            has_extension: false,
+        };
+        let mut payload = vec![0u8; rtp.header_len() + 60];
+        rtp.emit(&mut rtp::Packet::new_unchecked(&mut payload[..]));
+        let data = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 9),
+            Ipv4Addr::new(203, 0, 113, 4),
+            51_000,
+            62_000,
+            &payload,
+        );
+        let probe = zoom_wire::dissect::Probe {
+            webrtc: zoom_wire::dissect::WebrtcProbe::Auto,
+            ..Default::default()
+        };
+        let d = dissect(3, &data, LinkType::Ethernet, probe).unwrap();
+        match extract(&d, &campus()) {
+            Extracted::Webrtc {
+                five_tuple,
+                ip_len,
+                pdu: zoom_wire::webrtc::Pdu::Srtp(s),
+                ..
+            } => {
+                assert_eq!(five_tuple.src_port, 51_000);
+                let m = meta_from_webrtc(3, five_tuple, ip_len, &s, &campus());
+                assert_eq!(m.family, FamilyId::Webrtc);
+                assert_eq!(m.framing, Framing::P2p);
+                assert_eq!(m.media_type, MediaType::Video);
+                assert_eq!(m.direction, Direction::ToServer);
+                let r = m.rtp.unwrap();
+                assert_eq!((r.ssrc, r.payload_type), (0x55, 96));
+                assert!(r.marker);
+                assert_eq!(m.media_payload_len, 50); // 60 − 10-byte auth tag
+                assert_eq!(m.pkts_in_frame, None);
             }
             other => panic!("unexpected {other:?}"),
         }

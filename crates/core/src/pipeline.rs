@@ -15,7 +15,7 @@ use crate::meeting::{
 };
 use crate::metrics::latency::{RtpRttEstimator, RttSample, TcpRttEstimator};
 use crate::obs::{MetricsSnapshot, PipelineMetrics};
-use crate::packet::{extract, in_campus, meta_from_zoom, Extracted, PacketMeta};
+use crate::packet::{extract, in_campus, meta_from_webrtc, meta_from_zoom, Extracted, PacketMeta};
 use crate::report::{build_report, AnalysisReport};
 use crate::sink::PacketSink;
 use crate::stats::Samples;
@@ -25,10 +25,12 @@ use std::net::IpAddr;
 use std::sync::Arc;
 use std::time::Duration;
 use zoom_wire::dissect::{
-    dissect, dissect_batch, dissect_from, drop_stage, App, Dissection, P2pProbe, PeekArena,
-    PeekInfo, Transport,
+    dissect, dissect_batch, dissect_from, drop_stage, App, Dissection, PeekArena, PeekInfo,
+    Transport,
 };
+use zoom_wire::family::{FamilyId, FamilySelect};
 use zoom_wire::flow::{Endpoint, FiveTuple};
+use zoom_wire::webrtc;
 use zoom_wire::handoff::RecordBatch;
 use zoom_wire::pcap::LinkType;
 use zoom_wire::zoom::{Framing, MediaType, ZOOM_SFU_PORT};
@@ -50,6 +52,10 @@ pub struct AnalyzerConfig {
     stun_timeout_nanos: u64,
     /// Thresholds of the meeting-grouping heuristic (§4.3).
     grouping: GroupingConfig,
+    /// Which protocol families may claim traffic (the default,
+    /// [`FamilySelect::Auto`], keeps Zoom-only output byte-identical:
+    /// WebRTC claims a packet only behind its session gate).
+    family: FamilySelect,
 }
 
 impl Default for AnalyzerConfig {
@@ -59,6 +65,7 @@ impl Default for AnalyzerConfig {
             zoom_servers: Vec::new(),
             stun_timeout_nanos: 120 * 1_000_000_000,
             grouping: GroupingConfig::default(),
+            family: FamilySelect::Auto,
         }
     }
 }
@@ -87,6 +94,11 @@ impl AnalyzerConfig {
     /// Thresholds of the meeting-grouping heuristic (§4.3).
     pub fn grouping_config(&self) -> GroupingConfig {
         self.grouping
+    }
+
+    /// Which protocol families may claim traffic.
+    pub fn family_select(&self) -> FamilySelect {
+        self.family
     }
 }
 
@@ -143,6 +155,7 @@ pub struct AnalyzerConfigBuilder {
     zoom_servers: Vec<(IpAddr, u8)>,
     stun_timeout: Option<Duration>,
     grouping: Option<GroupingConfig>,
+    family: Option<FamilySelect>,
     invalid: Option<String>,
 }
 
@@ -213,6 +226,13 @@ impl AnalyzerConfigBuilder {
         self
     }
 
+    /// Which protocol families may claim traffic (default
+    /// [`FamilySelect::Auto`]).
+    pub fn family(mut self, family: FamilySelect) -> Self {
+        self.family = Some(family);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<AnalyzerConfig, Error> {
         if let Some(msg) = self.invalid {
@@ -241,6 +261,7 @@ impl AnalyzerConfigBuilder {
             zoom_servers: self.zoom_servers,
             stun_timeout_nanos,
             grouping: self.grouping.unwrap_or_default(),
+            family: self.family.unwrap_or_default(),
         })
     }
 }
@@ -274,8 +295,13 @@ pub struct TraceSummary {
     pub rtp_streams: usize,
     /// Reconstructed meetings.
     pub meetings: usize,
-    /// Trace duration (first to last Zoom packet).
+    /// Trace duration (first to last classified packet).
     pub duration_nanos: u64,
+    /// Records classified under the WebRTC family (disjoint from
+    /// [`TraceSummary::zoom_packets`]; zero on Zoom-only traces).
+    pub webrtc_packets: u64,
+    /// IP-layer bytes across WebRTC-classified packets.
+    pub webrtc_bytes: u64,
 }
 
 /// Per-media-type 1-second metric samples (the inputs to Fig. 15).
@@ -314,6 +340,9 @@ pub(crate) struct MediaEvent {
     pub(crate) rtp_ts: u32,
     /// Uplink/downlink orientation.
     pub(crate) direction: crate::packet::Direction,
+    /// Which protocol family produced the packet (gates the replay: only
+    /// Zoom events feed the RTP-copy RTT estimator).
+    pub(crate) family: FamilyId,
 }
 
 /// A run of consecutive same-flow Zoom packets pending application to
@@ -337,10 +366,21 @@ pub struct Analyzer {
     pub(crate) tcp_rtt: TcpRttEstimator,
     /// STUN-registered endpoints → last exchange time (§4.1 registers).
     pub(crate) p2p_endpoints: FxHashMap<Endpoint, u64>,
+    /// Canonical 5-tuples with an observed DTLS-SRTP handshake → last
+    /// packet time. The WebRTC analogue of [`Analyzer::p2p_endpoints`]:
+    /// a flow enters on a strict DTLS record (gated by the STUN
+    /// registry under [`FamilySelect::Auto`]) and every later packet on
+    /// it gets the WebRTC second chance.
+    pub(crate) webrtc_flows: FxHashMap<FiveTuple, u64>,
     pub(crate) flows: FxHashMap<FiveTuple, FlowStats>,
     pub(crate) total_packets: u64,
     pub(crate) zoom_packets: u64,
     pub(crate) zoom_bytes: u64,
+    /// Packets classified under the WebRTC family (disjoint from
+    /// [`Analyzer::zoom_packets`]).
+    pub(crate) webrtc_packets: u64,
+    /// IP-layer bytes across WebRTC-classified packets.
+    pub(crate) webrtc_bytes: u64,
     pub(crate) first_zoom_ts: Option<u64>,
     pub(crate) last_zoom_ts: u64,
     pub(crate) undissectable: u64,
@@ -353,6 +393,13 @@ pub struct Analyzer {
     pub(crate) current_seq: u64,
     /// Shard mode: the router's `is_p2p_flow` verdict for this record.
     pub(crate) p2p_hint: bool,
+    /// Shard mode: the router's `is_webrtc_flow` verdict for this record.
+    pub(crate) webrtc_hint: bool,
+    /// Set by the WebRTC second chance when a registered flow's record
+    /// failed DTLS-SRTP framing; steers drop attribution in
+    /// [`Analyzer::process_dissection_counted`] to `malformed_srtp`
+    /// instead of Zoom's `malformed_zme`.
+    srtp_malformed: bool,
     /// Shard mode: pending run of consecutive same-flow Zoom packets,
     /// folded into [`Analyzer::flows`] with one map probe per run
     /// (media bursts make long runs). Flushed at every batch end, so
@@ -379,16 +426,21 @@ impl Analyzer {
             rtp_rtt: RtpRttEstimator::default(),
             tcp_rtt: TcpRttEstimator::default(),
             p2p_endpoints: FxHashMap::default(),
+            webrtc_flows: FxHashMap::default(),
             flows: FxHashMap::default(),
             total_packets: 0,
             zoom_packets: 0,
             zoom_bytes: 0,
+            webrtc_packets: 0,
+            webrtc_bytes: 0,
             first_zoom_ts: None,
             last_zoom_ts: 0,
             undissectable: 0,
             event_log: None,
             current_seq: 0,
             p2p_hint: false,
+            webrtc_hint: false,
+            srtp_malformed: false,
             flow_run: None,
             peek_arena: PeekArena::new(),
             metrics: Arc::new(PipelineMetrics::new(0)),
@@ -418,7 +470,7 @@ impl Analyzer {
     /// already located. `info` is the router's [`PeekInfo`] (`None` when the
     /// peek failed — the record counts as undissectable without a second
     /// scan), under the given global sequence number and router-determined
-    /// P2P verdict.
+    /// per-family flow verdicts.
     pub(crate) fn process_record_routed(
         &mut self,
         seq: u64,
@@ -426,13 +478,15 @@ impl Analyzer {
         data: &[u8],
         info: Option<&PeekInfo>,
         p2p_hint: bool,
+        webrtc_hint: bool,
     ) {
         self.current_seq = seq;
         self.p2p_hint = p2p_hint;
+        self.webrtc_hint = webrtc_hint;
         self.total_packets += 1;
         match info {
             Some(pi) => {
-                let d = dissect_from(pi, ts_nanos, data, P2pProbe::Off);
+                let d = dissect_from(pi, ts_nanos, data, self.config.family_select().probe());
                 // The router already counted packets_in/bytes/drops; the
                 // shard adds only the classification outcome.
                 self.process_dissection_counted(&d);
@@ -451,7 +505,7 @@ impl Analyzer {
         let sampled_at = self.total_packets.is_multiple_of(64).then(std::time::Instant::now);
         self.total_packets += 1;
         self.metrics.record_in(data.len());
-        match dissect(ts_nanos, data, link, P2pProbe::Off) {
+        match dissect(ts_nanos, data, link, self.config.family_select().probe()) {
             Ok(d) => self.process_dissection_counted(&d),
             Err(e) => {
                 self.undissectable += 1;
@@ -466,19 +520,29 @@ impl Analyzer {
     }
 
     /// [`Analyzer::process_dissection`] plus classification accounting:
-    /// did this record end up counted as Zoom traffic or not?
+    /// did this record end up counted under a protocol family or not?
     fn process_dissection_counted(&mut self, d: &Dissection<'_>) {
         let zoom_before = self.zoom_packets;
+        let webrtc_before = self.webrtc_packets;
+        self.srtp_malformed = false;
         self.process_dissection(d);
         if self.zoom_packets > zoom_before {
             self.metrics.packets_classified.inc();
+        } else if self.webrtc_packets > webrtc_before {
+            self.metrics.packets_classified.inc();
+            self.metrics.classified_webrtc.inc();
         } else {
             self.metrics.packets_not_zoom.inc();
-            // A UDP record on the Zoom media port that still failed to
-            // classify means its Zoom Media Encapsulation did not parse.
-            if matches!(d.transport, Transport::Udp { .. })
+            if self.srtp_malformed {
+                // The record rode a flow with an observed DTLS-SRTP
+                // handshake but its framing failed to parse: the drop
+                // belongs to the WebRTC family, not to Zoom's ZME stage.
+                self.metrics.malformed_srtp.inc();
+            } else if matches!(d.transport, Transport::Udp { .. })
                 && d.five_tuple.involves_port(ZOOM_SFU_PORT)
             {
+                // A UDP record on the Zoom media port that still failed to
+                // classify means its Zoom Media Encapsulation did not parse.
                 self.metrics.malformed_zme.inc();
             }
         }
@@ -499,46 +563,99 @@ impl Analyzer {
                     five_tuple.dst()
                 };
                 self.p2p_endpoints.insert(client, ts_nanos);
-                self.note_zoom(ts_nanos, &five_tuple, d.ip_total_len);
+                self.note_classified(FamilyId::Zoom, ts_nanos, &five_tuple, d.ip_total_len);
             }
-            Extracted::Zoom(meta) => self.on_zoom(meta),
+            Extracted::Zoom(meta) => self.on_media(meta),
+            Extracted::Webrtc {
+                ts_nanos,
+                five_tuple,
+                ip_len,
+                pdu,
+            } => self.on_webrtc(ts_nanos, five_tuple, ip_len, &pdu),
             Extracted::Tcp(t) => {
                 let is_control = self.config.zoom_server_prefixes().is_empty()
                     || in_campus(self.config.zoom_server_prefixes(), t.five_tuple.src_ip)
                     || in_campus(self.config.zoom_server_prefixes(), t.five_tuple.dst_ip);
                 if is_control {
-                    self.note_zoom(t.ts_nanos, &t.five_tuple, t.ip_len);
+                    self.note_classified(FamilyId::Zoom, t.ts_nanos, &t.five_tuple, t.ip_len);
                     self.tcp_rtt.on_segment(&t);
                 }
             }
             Extracted::Other => {
-                // Second chance: a UDP payload on a STUN-registered
-                // endpoint is a P2P media flow — re-parse with P2P
-                // framing (port reuse false-positives fail this parse,
-                // exactly the filter the paper describes).
+                // Second chances: a UDP payload on a STUN-registered
+                // endpoint may be a P2P media flow — re-parse with the
+                // family framings (port reuse false-positives fail these
+                // parses, exactly the filter the paper describes). Zoom
+                // gets the first try, preserving the pre-family dispatch
+                // order bit for bit.
                 if let Transport::Udp { .. } = d.transport {
-                    if matches!(d.app, App::Opaque) && self.is_p2p_flow(d) {
-                        if let Ok(z) = zoom_wire::zoom::parse(d.payload, Framing::P2p) {
-                            if z.rtp.is_some() || !z.rtcp.is_empty() {
-                                let meta = meta_from_zoom(
-                                    d.ts_nanos,
-                                    d.five_tuple,
-                                    d.ip_total_len,
-                                    Framing::P2p,
-                                    &z,
-                                    self.config.campus_prefixes(),
-                                );
-                                self.on_zoom(meta);
-                                return;
+                    if matches!(d.app, App::Opaque) {
+                        let family = self.config.family_select();
+                        let stun_fresh = self.is_p2p_flow(d);
+                        if stun_fresh && family.allows(FamilyId::Zoom) {
+                            if let Ok(z) = zoom_wire::zoom::parse(d.payload, Framing::P2p) {
+                                if z.rtp.is_some() || !z.rtcp.is_empty() {
+                                    let meta = meta_from_zoom(
+                                        d.ts_nanos,
+                                        d.five_tuple,
+                                        d.ip_total_len,
+                                        Framing::P2p,
+                                        &z,
+                                        self.config.campus_prefixes(),
+                                    );
+                                    self.on_media(meta);
+                                    return;
+                                }
+                                // Keep-alives and control packets on the
+                                // P2P flow still count as Zoom traffic —
+                                // unless the payload carries the WebRTC
+                                // family's strict framing, which this
+                                // deliberately loose parse would swallow.
+                                if !(family.allows(FamilyId::Webrtc)
+                                    && webrtc::classify(d.payload).is_ok())
+                                {
+                                    self.note_classified(
+                                        FamilyId::Zoom,
+                                        d.ts_nanos,
+                                        &d.five_tuple,
+                                        d.ip_total_len,
+                                    );
+                                    return;
+                                }
                             }
                         }
-                        // Keep-alives and control packets on the P2P flow
-                        // still count as Zoom traffic.
-                        if zoom_wire::zoom::parse(d.payload, Framing::P2p).is_ok() {
-                            self.note_zoom(d.ts_nanos, &d.five_tuple, d.ip_total_len);
+                        let webrtc_live = if self.event_log.is_some() {
+                            self.webrtc_hint
+                        } else {
+                            !self.webrtc_flows.is_empty()
+                        };
+                        if family.allows(FamilyId::Webrtc) && (stun_fresh || webrtc_live) {
+                            self.webrtc_second_chance(d, stun_fresh);
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// The WebRTC second chance: every packet on a flow with an observed
+    /// DTLS-SRTP handshake parses under the family's framing (a failure
+    /// is that family's malformed drop), and a strict DTLS record on a
+    /// STUN-registered endpoint opens a new flow — RFC 5764's handshake
+    /// precedes media, so the gate admits real sessions and nothing else.
+    fn webrtc_second_chance(&mut self, d: &Dissection<'_>, stun_fresh: bool) {
+        if self.is_webrtc_flow(d) {
+            match webrtc::classify(d.payload) {
+                Ok(pdu) => self.on_webrtc(d.ts_nanos, d.five_tuple, d.ip_total_len, &pdu),
+                Err(_) => self.srtp_malformed = true,
+            }
+            return;
+        }
+        // Shard mode skips registration: the router holds the one
+        // authoritative flow table and its hint already covered this case.
+        if stun_fresh && self.event_log.is_none() {
+            if let Ok(pdu @ webrtc::Pdu::Dtls(_)) = webrtc::classify(d.payload) {
+                self.on_webrtc(d.ts_nanos, d.five_tuple, d.ip_total_len, &pdu);
             }
         }
     }
@@ -563,9 +680,34 @@ impl Analyzer {
         false
     }
 
-    fn note_zoom(&mut self, ts: u64, five_tuple: &FiveTuple, ip_len: usize) {
-        self.zoom_packets += 1;
-        self.zoom_bytes += ip_len as u64;
+    /// Whether this packet rides a flow with an observed DTLS-SRTP
+    /// handshake (refreshing the entry, like [`Analyzer::is_p2p_flow`]).
+    /// In shard mode the router's verdict is authoritative.
+    fn is_webrtc_flow(&mut self, d: &Dissection<'_>) -> bool {
+        if self.event_log.is_some() {
+            return self.webrtc_hint;
+        }
+        let now = d.ts_nanos;
+        let timeout = self.config.stun_timeout().as_nanos() as u64;
+        if let Some(last) = self.webrtc_flows.get_mut(&d.five_tuple.canonical()) {
+            if now.saturating_sub(*last) <= timeout {
+                *last = now;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Count one classified packet under `family`: trace totals, the
+    /// first/last activity timestamps, and the shared flow table.
+    fn note_classified(&mut self, family: FamilyId, ts: u64, five_tuple: &FiveTuple, ip_len: usize) {
+        if family == FamilyId::Zoom {
+            self.zoom_packets += 1;
+            self.zoom_bytes += ip_len as u64;
+        } else {
+            self.webrtc_packets += 1;
+            self.webrtc_bytes += ip_len as u64;
+        }
         self.first_zoom_ts.get_or_insert(ts);
         self.last_zoom_ts = self.last_zoom_ts.max(ts);
         if self.event_log.is_none() {
@@ -618,9 +760,57 @@ impl Analyzer {
         }
     }
 
-    fn on_zoom(&mut self, meta: PacketMeta) {
-        self.note_zoom(meta.ts_nanos, &meta.five_tuple, meta.ip_len);
+    /// Handle one WebRTC PDU on an admitted flow: SRTP feeds the shared
+    /// media pipeline (streams, frames, meetings) through
+    /// [`crate::packet::meta_from_webrtc`]; DTLS and SRTCP count as
+    /// classified control traffic (DTLS additionally [re-]opens the flow
+    /// in sequential mode — eager `Only(Webrtc)` dissection reaches here
+    /// without passing the second chance).
+    fn on_webrtc(&mut self, ts_nanos: u64, five_tuple: FiveTuple, ip_len: usize, pdu: &webrtc::Pdu) {
+        match pdu {
+            webrtc::Pdu::Srtp(srtp) => {
+                let meta = meta_from_webrtc(
+                    ts_nanos,
+                    five_tuple,
+                    ip_len,
+                    srtp,
+                    self.config.campus_prefixes(),
+                );
+                self.on_media(meta);
+            }
+            webrtc::Pdu::Dtls(dtls) => {
+                if self.event_log.is_none() {
+                    self.webrtc_flows.insert(five_tuple.canonical(), ts_nanos);
+                }
+                self.note_classified(FamilyId::Webrtc, ts_nanos, &five_tuple, ip_len);
+                self.classifier.record(
+                    FamilyId::Webrtc,
+                    MediaType::Other(dtls.content_type),
+                    None,
+                    ip_len,
+                );
+            }
+            webrtc::Pdu::Srtcp(sr) => {
+                self.note_classified(FamilyId::Webrtc, ts_nanos, &five_tuple, ip_len);
+                // RFC 3550: packet type 200 is a Sender Report.
+                let mt = if sr.packet_type == 200 {
+                    MediaType::RtcpSr
+                } else {
+                    MediaType::Other(sr.packet_type)
+                };
+                self.classifier.record(FamilyId::Webrtc, mt, None, ip_len);
+            }
+            _ => self.note_classified(FamilyId::Webrtc, ts_nanos, &five_tuple, ip_len),
+        }
+    }
+
+    /// Count, classify, and track one media-bearing packet of either
+    /// family (Zoom ZME or WebRTC SRTP — [`PacketMeta::family`] says
+    /// which).
+    fn on_media(&mut self, meta: PacketMeta) {
+        self.note_classified(meta.family, meta.ts_nanos, &meta.five_tuple, meta.ip_len);
         self.classifier.record(
+            meta.family,
             meta.media_type,
             meta.rtp.as_ref().map(|r| r.payload_type),
             meta.ip_len,
@@ -638,11 +828,16 @@ impl Analyzer {
                     rtp_seq: rtp.sequence,
                     rtp_ts: rtp.timestamp,
                     direction: meta.direction,
+                    family: meta.family,
                 });
             }
             true
         } else {
-            self.rtp_rtt.on_packet(&meta);
+            // RTP-copy RTT matching is a Zoom-SFU behavior (§5.3 method
+            // 1); WebRTC streams don't replicate across server legs.
+            if meta.family == FamilyId::Zoom {
+                self.rtp_rtt.on_packet(&meta);
+            }
             false
         };
         if let Some((key, created)) = self.streams.on_packet(&meta) {
@@ -698,7 +893,7 @@ impl Analyzer {
     /// Trace summary (Table 6).
     pub fn summary(&self) -> TraceSummary {
         TraceSummary {
-            total_packets: self.total_packets.max(self.zoom_packets),
+            total_packets: self.total_packets.max(self.zoom_packets + self.webrtc_packets),
             zoom_packets: self.zoom_packets,
             zoom_bytes: self.zoom_bytes,
             zoom_flows: self.flows.len(),
@@ -707,6 +902,8 @@ impl Analyzer {
             duration_nanos: self
                 .last_zoom_ts
                 .saturating_sub(self.first_zoom_ts.unwrap_or(0)),
+            webrtc_packets: self.webrtc_packets,
+            webrtc_bytes: self.webrtc_bytes,
         }
     }
 
@@ -841,7 +1038,7 @@ impl PacketSink for Analyzer {
     /// [`Analyzer::process_packet`] calls.
     fn push_batch(&mut self, batch: &RecordBatch, link: LinkType) -> Result<(), Error> {
         let mut arena = std::mem::take(&mut self.peek_arena);
-        dissect_batch(batch, link, P2pProbe::Off, &mut arena);
+        dissect_batch(batch, link, self.config.family_select().probe(), &mut arena);
         for (i, r) in batch.iter().enumerate() {
             let sampled_at = self
                 .total_packets

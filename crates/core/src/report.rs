@@ -15,10 +15,12 @@
 //! built from the same underlying state serialize byte-identically — the
 //! property `tests/streaming_differential.rs` leans on.
 
+use crate::classify::TableRow;
 use crate::meeting::MeetingReport;
 use crate::packet::Direction;
 use crate::pipeline::{Analyzer, TraceSummary};
 use crate::stream::{Stream, StreamKey};
+use zoom_wire::family::FamilyId;
 use zoom_wire::zoom::MediaType;
 
 // ---------------------------------------------------------------- JSON --
@@ -186,10 +188,14 @@ impl RttSummaryReport {
 pub struct StreamReport {
     /// The stream's identity: (flow, SSRC).
     pub key: StreamKey,
-    /// Zoom media encapsulation type.
+    /// Zoom media encapsulation type (or its WebRTC mapping).
     pub media_type: MediaType,
     /// Uplink/downlink orientation.
     pub direction: Direction,
+    /// Protocol family that produced the stream. Serialized only when
+    /// not [`FamilyId::Zoom`], keeping Zoom-only reports byte-identical
+    /// to the pre-family format.
+    pub family: FamilyId,
     /// Identifier shared by all copies of the same media (grouping
     /// step 1).
     pub unique_id: Option<u32>,
@@ -237,6 +243,7 @@ impl StreamReport {
             key: s.key,
             media_type: s.media_type,
             direction: s.direction,
+            family: s.family,
             unique_id,
             meeting,
             first_seen_nanos: s.first_seen,
@@ -256,8 +263,11 @@ impl StreamReport {
         let mut o = JsonObj::new();
         o.str("flow", &self.key.flow.to_string())
             .u64("ssrc", u64::from(self.key.ssrc))
-            .str("media", self.media_type.label())
-            .str("direction", direction_label(self.direction))
+            .str("media", self.media_type.label());
+        if self.family != FamilyId::Zoom {
+            o.str("family", self.family.label());
+        }
+        o.str("direction", direction_label(self.direction))
             .opt_u32("unique_id", self.unique_id)
             .opt_u32("meeting", self.meeting)
             .u64("first_seen_nanos", self.first_seen_nanos)
@@ -310,8 +320,14 @@ fn summary_to_json(s: &TraceSummary) -> String {
     let mut o = JsonObj::new();
     o.u64("total_packets", s.total_packets)
         .u64("zoom_packets", s.zoom_packets)
-        .u64("zoom_bytes", s.zoom_bytes)
-        .usize("zoom_flows", s.zoom_flows)
+        .u64("zoom_bytes", s.zoom_bytes);
+    // Emitted only when the WebRTC family classified traffic, so Zoom-only
+    // summaries keep the pre-family byte layout.
+    if s.webrtc_packets > 0 {
+        o.u64("webrtc_packets", s.webrtc_packets)
+            .u64("webrtc_bytes", s.webrtc_bytes);
+    }
+    o.usize("zoom_flows", s.zoom_flows)
         .usize("rtp_streams", s.rtp_streams)
         .usize("meetings", s.meetings)
         .u64("duration_nanos", s.duration_nanos);
@@ -340,6 +356,10 @@ pub struct DropsReport {
     /// UDP on the Zoom SFU port whose ZME framing failed to parse
     /// (subset of `not_zoom`).
     pub malformed_zme: u64,
+    /// Records on a registered WebRTC flow whose DTLS-SRTP framing
+    /// failed to parse (subset of `not_zoom`; the WebRTC family's
+    /// analogue of `malformed_zme`). Serialized only when nonzero.
+    pub malformed_srtp: u64,
 }
 
 impl DropsReport {
@@ -353,6 +373,9 @@ impl DropsReport {
             .u64("malformed", self.malformed)
             .u64("not_zoom", self.not_zoom)
             .u64("malformed_zme", self.malformed_zme);
+        if self.malformed_srtp > 0 {
+            o.u64("malformed_srtp", self.malformed_srtp);
+        }
         o.finish()
     }
 }
@@ -376,6 +399,10 @@ pub struct AnalysisReport {
     pub rtp_rtt: RttSummaryReport,
     /// TCP control-connection RTT summary (§5.3 method 2).
     pub tcp_rtt: RttSummaryReport,
+    /// Cross-family Table-6-style rows ([`crate::classify::Classifier::table6`]).
+    /// Empty — and omitted from the JSON — when only Zoom traffic was
+    /// classified, keeping Zoom-only reports byte-identical.
+    pub families: Vec<TableRow>,
 }
 
 impl AnalysisReport {
@@ -387,17 +414,33 @@ impl AnalysisReport {
             .u64("undissectable", self.undissectable)
             .raw("drops", &self.drops.to_json())
             .raw("rtp_rtt", &self.rtp_rtt.to_json())
-            .raw("tcp_rtt", &self.tcp_rtt.to_json())
-            .raw(
-                "meetings",
-                &json_array(self.meetings.iter().map(meeting_to_json)),
-            )
-            .raw(
-                "streams",
-                &json_array(self.streams.iter().map(|s| s.to_json())),
+            .raw("tcp_rtt", &self.tcp_rtt.to_json());
+        if !self.families.is_empty() {
+            o.raw(
+                "families",
+                &json_array(self.families.iter().map(family_row_to_json)),
             );
+        }
+        o.raw(
+            "meetings",
+            &json_array(self.meetings.iter().map(meeting_to_json)),
+        )
+        .raw(
+            "streams",
+            &json_array(self.streams.iter().map(|s| s.to_json())),
+        );
         o.finish()
     }
+}
+
+/// One cross-family classification row: family, media detail, shares.
+fn family_row_to_json(r: &TableRow) -> String {
+    let mut o = JsonObj::new();
+    o.str("family", &r.label)
+        .str("media", &r.detail)
+        .f64("packets_pct", r.packets_pct)
+        .f64("bytes_pct", r.bytes_pct);
+    o.finish()
 }
 
 /// Build a report from an analyzer plus an explicit stream sequence. The
@@ -431,6 +474,7 @@ pub(crate) fn build_report<'a>(
         streams: rows,
         rtp_rtt: RttSummaryReport::from_samples(analyzer.rtp_rtt.samples()),
         tcp_rtt: RttSummaryReport::from_samples(analyzer.tcp_rtt.samples()),
+        families: analyzer.classifier.family_table(),
     }
 }
 
@@ -446,6 +490,7 @@ pub(crate) fn drops_from_metrics(m: &crate::obs::PipelineMetrics) -> DropsReport
         malformed: m.drop_malformed.get(),
         not_zoom: m.packets_not_zoom.get(),
         malformed_zme: m.malformed_zme.get(),
+        malformed_srtp: m.malformed_srtp.get(),
     }
 }
 
@@ -493,10 +538,13 @@ impl Default for RttSummaryReport {
 pub struct StreamWindow {
     /// The stream's identity: (flow, SSRC).
     pub key: StreamKey,
-    /// Zoom media encapsulation type.
+    /// Zoom media encapsulation type (or its WebRTC mapping).
     pub media_type: MediaType,
     /// Uplink/downlink orientation.
     pub direction: Direction,
+    /// Protocol family that produced the stream. Serialized only when
+    /// not [`FamilyId::Zoom`].
+    pub family: FamilyId,
     /// Canonical meeting id at window close.
     pub meeting: Option<u32>,
     /// Packets in the window.
@@ -526,8 +574,11 @@ impl StreamWindow {
         let mut o = JsonObj::new();
         o.str("flow", &self.key.flow.to_string())
             .u64("ssrc", u64::from(self.key.ssrc))
-            .str("media", self.media_type.label())
-            .str("direction", direction_label(self.direction))
+            .str("media", self.media_type.label());
+        if self.family != FamilyId::Zoom {
+            o.str("family", self.family.label());
+        }
+        o.str("direction", direction_label(self.direction))
             .opt_u32("meeting", self.meeting)
             .u64("packets", self.packets)
             .u64("media_bytes", self.media_bytes)

@@ -8,11 +8,13 @@
 //! per-second media bit rates and the frame-level jitter estimate.
 
 use crate::fxhash::FxHashMap;
-use crate::metrics::frame::FrameTracker;
+use crate::metrics::frame::{Completion, FrameTracker};
+use crate::metrics::VIDEO_SAMPLING_RATE;
 use crate::metrics::jitter::JitterEstimator;
 use crate::metrics::loss::{SeqStats, SeqTracker};
 use crate::packet::{Direction, PacketMeta};
 use crate::stats::SparseBins;
+use zoom_wire::family::FamilyId;
 use zoom_wire::flow::FiveTuple;
 use zoom_wire::zoom::{MediaType, RtpPayloadKind};
 
@@ -58,7 +60,10 @@ impl SubStream {
 pub struct Stream {
     /// The stream's identity: (flow, SSRC).
     pub key: StreamKey,
-    /// Zoom media encapsulation type.
+    /// Protocol family the stream was classified under.
+    pub family: FamilyId,
+    /// Media type (ZME encapsulation type, or the WebRTC payload-type
+    /// mapping).
     pub media_type: MediaType,
     /// Inferred direction.
     pub direction: Direction,
@@ -92,14 +97,27 @@ pub struct Stream {
 }
 
 impl Stream {
-    fn new(key: StreamKey, media_type: MediaType, direction: Direction, now: u64) -> Stream {
-        let frames = match media_type {
-            MediaType::Video => Some(FrameTracker::video()),
-            MediaType::ScreenShare => Some(FrameTracker::screen_share()),
+    fn new(
+        key: StreamKey,
+        family: FamilyId,
+        media_type: MediaType,
+        direction: Direction,
+        now: u64,
+    ) -> Stream {
+        let frames = match (family, media_type) {
+            // Zoom video carries a packets-in-frame field (Table 1);
+            // WebRTC video has no such field, so frames complete on the
+            // RTP marker bit like screen share does.
+            (FamilyId::Zoom, MediaType::Video) => Some(FrameTracker::video()),
+            (_, MediaType::Video) => {
+                Some(FrameTracker::new(Completion::MarkerBit, VIDEO_SAMPLING_RATE))
+            }
+            (_, MediaType::ScreenShare) => Some(FrameTracker::screen_share()),
             _ => None,
         };
         Stream {
             key,
+            family,
             media_type,
             direction,
             first_seen: now,
@@ -244,7 +262,7 @@ impl StreamTracker {
         let stream = self
             .streams
             .entry(key)
-            .or_insert_with(|| Stream::new(key, m.media_type, m.direction, m.ts_nanos));
+            .or_insert_with(|| Stream::new(key, m.family, m.media_type, m.direction, m.ts_nanos));
         stream.on_packet(m);
         if created {
             self.order.push(key);
@@ -336,6 +354,7 @@ mod tests {
                 protocol: Protocol::Udp,
             },
             ip_len: 1_000,
+            family: zoom_wire::family::FamilyId::Zoom,
             framing: Framing::Server,
             media_type: MediaType::Video,
             direction: Direction::ToServer,

@@ -28,6 +28,7 @@ pub mod qos;
 pub mod rate;
 pub mod scenario;
 pub mod time;
+pub mod webrtc;
 
 /// Fixed RTP payload size of silent-audio packets (paper §4.2.3);
 /// re-exported from `zoom-wire` for the codec model.

@@ -7,9 +7,18 @@
 //!
 //! Heuristics mirror the plugin: UDP traffic to/from port 8801 is treated
 //! as Zoom server traffic; traffic to/from port 3478 is checked for STUN;
-//! any other UDP payload can optionally be probed for P2P Zoom framing.
+//! any other UDP payload can optionally be probed for P2P Zoom framing
+//! or for native WebRTC framing (DTLS records and SRTP/SRTCP headers).
+//!
+//! Application-layer classification is delegated to the
+//! [`ProtocolFamily`] implementations in
+//! [`crate::family`]; the [`Probe`] struct selects which families (and
+//! which of their optional heuristics) run. The historic
+//! [`P2pProbe`]-taking call shape still compiles everywhere: every entry
+//! point accepts `impl Into<Probe>`.
 
 use crate::ethernet::{self, EtherType};
+use crate::family::{self, ProtocolFamily, WebrtcFamily, ZoomFamily};
 use crate::flow::FiveTuple;
 use crate::ipv4::{self, Protocol};
 use crate::ipv6;
@@ -17,7 +26,7 @@ use crate::pcap::LinkType;
 use crate::stun;
 use crate::tcp;
 use crate::udp;
-use crate::zoom::{self, Framing, ZoomPacket, ZOOM_SFU_PORT};
+use crate::zoom::{self, Framing, ZoomPacket};
 use crate::{Error, Result};
 use std::fmt::Write as _;
 use std::net::IpAddr;
@@ -52,6 +61,8 @@ pub enum App {
     Stun(stun::Repr),
     /// A parsed Zoom packet with the framing that succeeded.
     Zoom(Framing, ZoomPacket),
+    /// A parsed native-WebRTC PDU (DTLS record, SRTP, or SRTCP).
+    Webrtc(crate::webrtc::Pdu),
     /// The payload did not match anything we decode.
     Opaque,
 }
@@ -101,6 +112,59 @@ pub enum P2pProbe {
     /// Probe every UDP payload with [`zoom::parse_auto`]. Used once a flow
     /// has been flagged as P2P by the STUN tracker, or when scanning.
     Auto,
+}
+
+/// Controls whether non-STUN, non-Zoom UDP payloads are probed for native
+/// WebRTC framing (DTLS records, SRTP/SRTCP headers).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WebrtcProbe {
+    /// Never probe: WebRTC traffic stays [`App::Opaque`] at the wire
+    /// layer. The analysis layer's session gating (STUN-tracked flows)
+    /// issues targeted second-chance probes instead.
+    #[default]
+    Off,
+    /// Probe every remaining UDP payload with [`crate::webrtc::classify`].
+    Auto,
+}
+
+/// Which protocol families (and which of their optional heuristics) the
+/// dissector runs on UDP payloads.
+///
+/// The default — Zoom on, P2P and WebRTC probing off — is exactly the
+/// pre-family dissector, and [`From<P2pProbe>`] maps the historic call
+/// shape onto it, so `dissect(ts, data, link, P2pProbe::Auto)` keeps
+/// meaning what it always did. Use
+/// [`FamilySelect::probe`](crate::family::FamilySelect::probe) to derive
+/// a `Probe` from a user-facing `--family` selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Run the Zoom family (port-8801 parsing; port-8801 failures are
+    /// claimed as [`App::Opaque`] rather than passed to later families).
+    pub zoom: bool,
+    /// Zoom P2P probing of non-8801 payloads (requires `zoom`).
+    pub p2p: P2pProbe,
+    /// Native WebRTC probing of payloads no earlier family claimed.
+    pub webrtc: WebrtcProbe,
+}
+
+impl Default for Probe {
+    fn default() -> Self {
+        Probe {
+            zoom: true,
+            p2p: P2pProbe::Off,
+            webrtc: WebrtcProbe::Off,
+        }
+    }
+}
+
+impl From<P2pProbe> for Probe {
+    fn from(p2p: P2pProbe) -> Self {
+        Probe {
+            p2p,
+            ..Probe::default()
+        }
+    }
 }
 
 /// Everything [`peek`] learns about a record's headers, as plain values
@@ -289,8 +353,9 @@ pub fn dissect_from<'a>(
     info: &PeekInfo,
     ts_nanos: u64,
     data: &'a [u8],
-    probe: P2pProbe,
+    probe: impl Into<Probe>,
 ) -> Dissection<'a> {
+    let probe = probe.into();
     let app = match info.transport {
         PeekTransport::Udp {
             payload_off,
@@ -314,7 +379,7 @@ pub fn dissect<'a>(
     ts_nanos: u64,
     data: &'a [u8],
     link_type: LinkType,
-    probe: P2pProbe,
+    probe: impl Into<Probe>,
 ) -> Result<Dissection<'a>> {
     let p = peek(data, link_type)?;
     Ok(dissect_from(&p.info, ts_nanos, data, probe))
@@ -394,6 +459,7 @@ pub fn drop_stage(data: &[u8], link_type: LinkType, err: Error) -> DropStage {
 /// will take; [`dissect_batch`] still runs the full classification per
 /// record, so a mispredicted class costs only a branch miss, never a
 /// wrong result.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PacketClass {
     /// Port 3478 traffic or a payload passing the STUN magic-cookie check.
@@ -403,7 +469,13 @@ pub enum PacketClass {
     ZmeMedia,
     /// Port 8801 traffic that is not a media frame: SFU control traffic.
     ZmeControl,
-    /// Valid UDP or TCP that matches none of the Zoom signals (P2P Zoom
+    /// A payload carrying the DTLS record signature (WebRTC session
+    /// setup).
+    Dtls,
+    /// A version-2 RTP/RTCP-shaped payload outside every Zoom signal —
+    /// native WebRTC media (SRTP/SRTCP) sorts here.
+    Rtp,
+    /// Valid UDP or TCP that matches no family's signals (P2P Zoom
     /// hides here until the STUN tracker flags the flow).
     NotZoom,
     /// [`peek`] rejected the record; the stored [`Error`] feeds
@@ -418,6 +490,8 @@ impl PacketClass {
             PacketClass::Stun => "stun",
             PacketClass::ZmeMedia => "zme_media",
             PacketClass::ZmeControl => "zme_control",
+            PacketClass::Dtls => "dtls",
+            PacketClass::Rtp => "rtp",
             PacketClass::NotZoom => "not_zoom",
             PacketClass::Undissectable => "undissectable",
         }
@@ -425,15 +499,20 @@ impl PacketClass {
 }
 
 /// Number of classes that carry application-layer work (everything but
-/// [`PacketClass::Undissectable`], which has nothing left to parse).
-const APP_CLASSES: usize = 4;
+/// [`PacketClass::Undissectable`], which has nothing left to parse). The
+/// slot order is the family×class dispatch order of [`dissect_batch`]:
+/// shared STUN, then the Zoom family's classes, then WebRTC's, then the
+/// residue.
+const APP_CLASSES: usize = 6;
 
 fn app_class_slot(class: PacketClass) -> Option<usize> {
     match class {
         PacketClass::Stun => Some(0),
         PacketClass::ZmeMedia => Some(1),
         PacketClass::ZmeControl => Some(2),
-        PacketClass::NotZoom => Some(3),
+        PacketClass::Dtls => Some(3),
+        PacketClass::Rtp => Some(4),
+        PacketClass::NotZoom => Some(5),
         PacketClass::Undissectable => None,
     }
 }
@@ -562,18 +641,16 @@ pub fn peek_batch(batch: &crate::handoff::RecordBatch, link_type: LinkType, aren
             Ok(p) => {
                 let class = match p.udp_payload {
                     Some(payload) => {
-                        if p.info.five_tuple.involves_port(stun::STUN_PORT)
-                            || stun::looks_like_stun(payload)
-                        {
+                        let ft = &p.info.five_tuple;
+                        // Shared STUN signal first, then each family's
+                        // peek prediction in dispatch order.
+                        if ft.involves_port(stun::STUN_PORT) || stun::looks_like_stun(payload) {
                             PacketClass::Stun
-                        } else if p.info.five_tuple.involves_port(ZOOM_SFU_PORT) {
-                            if payload.first() == Some(&zoom::SFU_TYPE_MEDIA) {
-                                PacketClass::ZmeMedia
-                            } else {
-                                PacketClass::ZmeControl
-                            }
                         } else {
-                            PacketClass::NotZoom
+                            ZoomFamily
+                                .peek_class(ft, payload)
+                                .or_else(|| WebrtcFamily.peek_class(ft, payload))
+                                .unwrap_or(PacketClass::NotZoom)
                         }
                     }
                     // TCP: valid headers, no UDP app layer to classify.
@@ -606,9 +683,10 @@ pub fn peek_batch(batch: &crate::handoff::RecordBatch, link_type: LinkType, aren
 pub fn dissect_batch(
     batch: &crate::handoff::RecordBatch,
     link_type: LinkType,
-    probe: P2pProbe,
+    probe: impl Into<Probe>,
     arena: &mut PeekArena,
 ) {
+    let probe = probe.into();
     peek_batch(batch, link_type, arena);
     arena.apps.resize(batch.len(), App::Opaque);
     for slot in 0..APP_CLASSES {
@@ -675,28 +753,24 @@ fn assemble<'a>(info: &PeekInfo, ts_nanos: u64, data: &'a [u8], app: App) -> Dis
     }
 }
 
-fn classify_udp(five_tuple: &FiveTuple, payload: &[u8], probe: P2pProbe) -> App {
+fn classify_udp(five_tuple: &FiveTuple, payload: &[u8], probe: Probe) -> App {
     // STUN first: port 3478 traffic, or anything that passes the magic
-    // cookie check (STUN and Zoom framings cannot be confused — the
-    // leading bits differ).
-    if five_tuple.involves_port(stun::STUN_PORT) || stun::looks_like_stun(payload) {
-        if let Ok(p) = stun::Packet::new_checked(payload) {
-            if let Ok(repr) = stun::Repr::parse(&p) {
-                return App::Stun(repr);
-            }
+    // cookie check. Both families signal sessions via STUN and none of
+    // their framings can be confused with it (the leading bits differ),
+    // so the check is shared and runs before any family.
+    if let Some(app) = family::classify_stun(five_tuple, payload) {
+        return app;
+    }
+    // Families in fixed dispatch order; the first `Some` claims the
+    // packet (including a Zoom claim of malformed port-8801 traffic).
+    if probe.zoom {
+        if let Some(app) = ZoomFamily.classify(five_tuple, payload, probe) {
+            return app;
         }
     }
-    if five_tuple.involves_port(ZOOM_SFU_PORT) {
-        if let Ok(z) = zoom::parse(payload, Framing::Server) {
-            return App::Zoom(Framing::Server, z);
-        }
-        return App::Opaque;
-    }
-    if probe == P2pProbe::Auto {
-        if let Ok((framing, z)) = zoom::parse_auto(payload) {
-            if z.rtp.is_some() || !z.rtcp.is_empty() {
-                return App::Zoom(framing, z);
-            }
+    if probe.webrtc == WebrtcProbe::Auto {
+        if let Some(app) = WebrtcFamily.classify(five_tuple, payload, probe) {
+            return app;
         }
     }
     App::Opaque
@@ -820,6 +894,33 @@ pub fn render_tree(d: &Dissection<'_>) -> String {
                 let _ = writeln!(out, "Real-Time Control Protocol: {item:?}");
             }
         }
+        App::Webrtc(pdu) => match pdu {
+            crate::webrtc::Pdu::Dtls(r) => {
+                let _ = writeln!(out, "Datagram Transport Layer Security");
+                let _ = writeln!(out, "    Content Type: {}", r.content_type);
+                let _ = writeln!(out, "    Epoch: {}", r.epoch);
+                let _ = writeln!(out, "    Sequence Number: {}", r.sequence);
+                let _ = writeln!(out, "    Length: {}", r.length);
+            }
+            crate::webrtc::Pdu::Srtp(s) => {
+                let _ = writeln!(out, "Secure Real-Time Transport Protocol");
+                let _ = writeln!(out, "    Payload Type: {}", s.rtp.payload_type);
+                let _ = writeln!(out, "    Sequence Number: {}", s.rtp.sequence_number);
+                let _ = writeln!(out, "    Timestamp: {}", s.rtp.timestamp);
+                let _ = writeln!(out, "    SSRC: 0x{:08x}", s.rtp.ssrc);
+                let _ = writeln!(out, "    Marker: {}", s.rtp.marker);
+                let _ = writeln!(
+                    out,
+                    "    Media Payload: {} bytes (encrypted)",
+                    s.payload_len
+                );
+            }
+            crate::webrtc::Pdu::Srtcp(r) => {
+                let _ = writeln!(out, "Secure Real-Time Control Protocol");
+                let _ = writeln!(out, "    Packet Type: {}", r.packet_type);
+                let _ = writeln!(out, "    SSRC: 0x{:08x}", r.ssrc);
+            }
+        },
         App::Opaque => {
             let _ = writeln!(out, "Data: {} bytes", d.payload.len());
         }
@@ -831,6 +932,7 @@ pub fn render_tree(d: &Dissection<'_>) -> String {
 mod tests {
     use super::*;
     use crate::compose;
+    use crate::zoom::ZOOM_SFU_PORT;
     use std::net::Ipv4Addr;
 
     fn server_video_packet() -> Vec<u8> {
@@ -953,6 +1055,78 @@ mod tests {
             }
             ref other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn webrtc_probe_finds_dtls_and_srtp() {
+        let dtls = {
+            let repr = crate::webrtc::DtlsRepr {
+                content_type: crate::webrtc::DTLS_HANDSHAKE,
+                version_minor: 0xfd,
+                epoch: 0,
+                sequence: 1,
+                length: 16,
+            };
+            let mut buf = vec![0u8; repr.buffer_len()];
+            repr.emit(&mut buf);
+            buf
+        };
+        let data = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 3),
+            Ipv4Addr::new(203, 0, 113, 7),
+            50_111,
+            61_234,
+            &dtls,
+        );
+        // Default probe: WebRTC framing stays opaque (byte-identity with
+        // the pre-family dissector).
+        let off = dissect(0, &data, LinkType::Ethernet, Probe::default()).unwrap();
+        assert_eq!(off.app, App::Opaque);
+        // The historic P2pProbe call shape still compiles and behaves
+        // identically.
+        let legacy = dissect(0, &data, LinkType::Ethernet, P2pProbe::Auto).unwrap();
+        assert_eq!(legacy.app, App::Opaque);
+        // WebRTC probing on: the DTLS record parses and renders.
+        let probe = Probe {
+            webrtc: WebrtcProbe::Auto,
+            ..Probe::default()
+        };
+        let on = dissect(0, &data, LinkType::Ethernet, probe).unwrap();
+        match &on.app {
+            App::Webrtc(crate::webrtc::Pdu::Dtls(r)) => assert_eq!(r.length, 16),
+            other => panic!("unexpected {other:?}"),
+        }
+        let tree = render_tree(&on);
+        assert!(tree.contains("Datagram Transport Layer Security"));
+
+        // SRTP: cleartext RTP header over ephemeral ports.
+        let rtp = crate::rtp::Repr {
+            marker: true,
+            payload_type: 96,
+            sequence_number: 9,
+            timestamp: 3_000,
+            ssrc: 0x42,
+            csrc_count: 0,
+            has_extension: false,
+        };
+        let mut payload = vec![0u8; rtp.header_len() + 50];
+        rtp.emit(&mut crate::rtp::Packet::new_unchecked(&mut payload[..]));
+        let data = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(203, 0, 113, 7),
+            Ipv4Addr::new(10, 8, 0, 3),
+            61_234,
+            50_111,
+            &payload,
+        );
+        let on = dissect(0, &data, LinkType::Ethernet, probe).unwrap();
+        match &on.app {
+            App::Webrtc(crate::webrtc::Pdu::Srtp(s)) => {
+                assert_eq!(s.rtp.payload_type, 96);
+                assert_eq!(s.payload_len, 50 - crate::webrtc::SRTP_AUTH_TAG_LEN);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(render_tree(&on).contains("Secure Real-Time Transport Protocol"));
     }
 
     #[test]
@@ -1146,6 +1320,7 @@ mod batch_tests {
     use super::*;
     use crate::compose;
     use crate::handoff::RecordBatch;
+    use crate::zoom::ZOOM_SFU_PORT;
     use std::net::Ipv4Addr;
 
     /// A mixed batch exercising every class: STUN, ZME media, ZME
@@ -1370,6 +1545,85 @@ mod batch_tests {
             )
         );
         assert_eq!(arena.len(), batch.len());
+    }
+
+    #[test]
+    fn webrtc_records_sort_into_their_own_classes() {
+        // Append WebRTC-shaped records to the mixed batch: they take the
+        // Dtls/Rtp dispatch classes without disturbing the Zoom classes.
+        let mut batch = mixed_batch();
+        let zoom_len = batch.len();
+        let dtls = {
+            let repr = crate::webrtc::DtlsRepr {
+                content_type: crate::webrtc::DTLS_HANDSHAKE,
+                version_minor: 0xfd,
+                epoch: 0,
+                sequence: 0,
+                length: 8,
+            };
+            let mut buf = vec![0u8; repr.buffer_len()];
+            repr.emit(&mut buf);
+            buf
+        };
+        let dtls_rec = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(10, 8, 0, 3),
+            Ipv4Addr::new(203, 0, 113, 7),
+            50_111,
+            61_234,
+            &dtls,
+        );
+        batch.push(9_000, dtls_rec.len() as u32, &dtls_rec);
+        let rtp = crate::rtp::Repr {
+            marker: false,
+            payload_type: 111,
+            sequence_number: 1,
+            timestamp: 960,
+            ssrc: 0x7,
+            csrc_count: 0,
+            has_extension: false,
+        };
+        let mut srtp = vec![0u8; rtp.header_len() + 40];
+        rtp.emit(&mut crate::rtp::Packet::new_unchecked(&mut srtp[..]));
+        let srtp_rec = compose::udp_ipv4_ethernet(
+            Ipv4Addr::new(203, 0, 113, 7),
+            Ipv4Addr::new(10, 8, 0, 3),
+            61_234,
+            50_111,
+            &srtp,
+        );
+        batch.push(10_000, srtp_rec.len() as u32, &srtp_rec);
+
+        let mut arena = PeekArena::new();
+        peek_batch(&batch, LinkType::Ethernet, &mut arena);
+        assert_eq!(arena.class(zoom_len), PacketClass::Dtls);
+        assert_eq!(arena.class(zoom_len + 1), PacketClass::Rtp);
+        assert_eq!(arena.class_count(PacketClass::Dtls), 1);
+        assert_eq!(arena.class_count(PacketClass::Rtp), 1);
+        assert_eq!(PacketClass::Dtls.label(), "dtls");
+        assert_eq!(PacketClass::Rtp.label(), "rtp");
+        // The Zoom-side classes are exactly what the Zoom-only batch had.
+        assert_eq!(arena.class_count(PacketClass::Stun), 1);
+        assert_eq!(arena.class_count(PacketClass::ZmeMedia), 1);
+        assert_eq!(arena.class_count(PacketClass::ZmeControl), 1);
+        assert_eq!(arena.class_count(PacketClass::NotZoom), 2);
+
+        // Batched dispatch still matches per-record dissection with a
+        // WebRTC-probing configuration.
+        let probe = Probe {
+            webrtc: WebrtcProbe::Auto,
+            ..Probe::default()
+        };
+        let mut arena = PeekArena::new();
+        dissect_batch(&batch, LinkType::Ethernet, probe, &mut arena);
+        for (i, r) in batch.iter().enumerate() {
+            let expected = dissect(r.ts_nanos, r.data, LinkType::Ethernet, probe);
+            let got = arena.take_dissection(&batch, i);
+            match (expected, got) {
+                (Ok(e), Some(g)) => assert_eq!(e, g, "record {i}"),
+                (Err(_), None) => {}
+                (e, g) => panic!("record {i} mismatch: {e:?} vs {g:?}"),
+            }
+        }
     }
 
     #[test]

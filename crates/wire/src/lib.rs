@@ -10,6 +10,9 @@
 //! * Session / media: [`stun`] (RFC 5389), [`rtp`] / [`rtcp`] (RFC 3550)
 //! * Zoom's proprietary encapsulations: [`zoom`] (Zoom SFU Encapsulation and
 //!   Zoom Media Encapsulation, Table 1/2 + Fig. 7 of the paper)
+//! * Native WebRTC framing: [`webrtc`] (DTLS records, SRTP/SRTCP headers)
+//! * Protocol-family plug-in contract: [`family`] (the `ProtocolFamily`
+//!   trait generalizing dissection beyond Zoom, see `docs/PROTOCOLS.md`)
 //! * Trace I/O: [`pcap`] (classic libpcap format, µs and ns resolution)
 //! * Capture hand-off: [`handoff`] (arena-packed record batches for
 //!   crossing capture→analysis thread boundaries without per-packet
@@ -54,6 +57,7 @@ pub mod checksum;
 pub mod compose;
 pub mod dissect;
 pub mod ethernet;
+pub mod family;
 pub mod flow;
 pub mod frame;
 pub mod handoff;
@@ -65,6 +69,7 @@ pub mod rtp;
 pub mod stun;
 pub mod tcp;
 pub mod udp;
+pub mod webrtc;
 pub mod zoom;
 
 use std::fmt;

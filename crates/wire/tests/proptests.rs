@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 use zoom_wire::dissect::{dissect, P2pProbe};
 use zoom_wire::pcap::LinkType;
-use zoom_wire::{compose, ethernet, ipv4, rtcp, rtp, stun, tcp, udp, zoom};
+use zoom_wire::{compose, ethernet, ipv4, rtcp, rtp, stun, tcp, udp, webrtc, zoom};
 
 proptest! {
     #[test]
@@ -378,5 +378,76 @@ proptest! {
         let at = flip_at % flipped.len();
         flipped[at] ^= flip_bits;
         let _ = drain(&flipped);
+    }
+}
+
+proptest! {
+    /// DTLS record headers round-trip for arbitrary field values with a
+    /// valid content type.
+    #[test]
+    fn dtls_repr_roundtrips(
+        content_type in 20u8..=23,
+        version_minor in prop_oneof![Just(0xffu8), Just(0xfdu8)],
+        epoch: u16,
+        sequence in 0u64..(1 << 48),
+        length in 0u16..1024,
+    ) {
+        let repr = webrtc::DtlsRepr {
+            content_type,
+            version_minor,
+            epoch,
+            sequence,
+            length,
+        };
+        // The parser checks that the record body fits the datagram, so
+        // emit header + body, not just the 13-byte header.
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf);
+        let parsed = webrtc::DtlsRepr::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, repr);
+    }
+
+    /// The WebRTC family classifier returns errors, never panics, on
+    /// arbitrary bytes — a malformed datagram on a known WebRTC flow
+    /// must become a `malformed_srtp` drop, not a crash.
+    #[test]
+    fn webrtc_classify_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = webrtc::classify(&data);
+        let _ = webrtc::DtlsRepr::parse(&data);
+        let _ = webrtc::parse_srtp(&data);
+        let _ = webrtc::parse_srtcp(&data);
+    }
+
+    /// An emitted SRTP-shaped packet (strict RTP header + payload + auth
+    /// tag) always classifies as SRTP, and the parsed header matches.
+    #[test]
+    fn srtp_shaped_payloads_classify(
+        pt in prop_oneof![0u8..72, 96u8..128],
+        seq: u16,
+        ts: u32,
+        ssrc: u32,
+        payload in proptest::collection::vec(any::<u8>(), 10..256),
+    ) {
+        let repr = rtp::Repr {
+            marker: false,
+            payload_type: pt,
+            sequence_number: seq,
+            timestamp: ts,
+            ssrc,
+            csrc_count: 0,
+            has_extension: false,
+        };
+        let mut buf = vec![0u8; repr.header_len() + payload.len() + webrtc::SRTP_AUTH_TAG_LEN];
+        let mut pkt = rtp::Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut pkt);
+        buf[repr.header_len()..repr.header_len() + payload.len()].copy_from_slice(&payload);
+        match webrtc::classify(&buf) {
+            Ok(webrtc::Pdu::Srtp(s)) => {
+                prop_assert_eq!(s.rtp.payload_type, pt);
+                prop_assert_eq!(s.rtp.ssrc, ssrc);
+                prop_assert_eq!(s.payload_len, payload.len());
+            }
+            other => prop_assert!(false, "expected SRTP, got {other:?}"),
+        }
     }
 }

@@ -31,6 +31,7 @@ fn main() {
         zoom_list: infra.ip_list.clone(),
         stun_timeout_nanos: 120 * SEC,
         anonymizer: None,
+        family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
     });
     // ...and the analyzer consumes only what passes.
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());

@@ -55,6 +55,7 @@ fn main() -> std::io::Result<()> {
             zoom_wire::dissect::App::Zoom(framing, z) => {
                 format!("{framing:?}/{}", z.media.media_type.label())
             }
+            zoom_wire::dissect::App::Webrtc(pdu) => format!("webrtc/{}", pdu.label()),
             zoom_wire::dissect::App::Opaque => match d.transport {
                 zoom_wire::dissect::Transport::Tcp { .. } => "tcp".to_string(),
                 _ => "udp".to_string(),

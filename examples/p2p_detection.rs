@@ -27,6 +27,7 @@ fn main() {
         zoom_list,
         stun_timeout_nanos: 120 * SEC,
         anonymizer: None,
+        family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
     });
 
     let mut current: Option<Verdict> = None;

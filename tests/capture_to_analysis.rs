@@ -30,6 +30,7 @@ fn pipeline_filters_background_and_keeps_zoom() {
         zoom_list: infra.ip_list.clone(),
         stun_timeout_nanos: 120 * SEC,
         anonymizer: None,
+        family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
     });
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
     for record in stream {
@@ -85,6 +86,7 @@ fn anonymized_output_remains_fully_analyzable() {
             zoom_list: infra.ip_list.clone(),
             stun_timeout_nanos: 120 * SEC,
             anonymizer: anon,
+            family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
         });
         let mut analyzer = Analyzer::new(
             AnalyzerConfig::builder()
@@ -119,6 +121,7 @@ fn excluded_subnets_are_dropped_entirely() {
         zoom_list: infra.ip_list.clone(),
         stun_timeout_nanos: 120 * SEC,
         anonymizer: None,
+        family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
     });
     let mut excluded_seen = 0u64;
     for record in scenario_obj.into_stream() {

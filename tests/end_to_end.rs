@@ -27,6 +27,7 @@ fn multi_party_meeting_full_chain() {
         zoom_list: zoom_list(),
         stun_timeout_nanos: 120 * SEC,
         anonymizer: None,
+        family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
     });
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
 
@@ -84,6 +85,7 @@ fn p2p_meeting_stays_one_meeting_across_switch() {
         zoom_list: zoom_list(),
         stun_timeout_nanos: 120 * SEC,
         anonymizer: None,
+        family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
     });
     let mut analyzer = Analyzer::new(AnalyzerConfig::default());
     let mut p2p_passed = 0u64;

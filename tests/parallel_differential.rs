@@ -90,6 +90,7 @@ fn campus_study_identical_at_1_2_8_shards() {
         zoom_list: infra.ip_list.clone(),
         stun_timeout_nanos: 120 * SEC,
         anonymizer: None,
+        family: zoom_wire::family::FamilySelect::Only(zoom_wire::family::FamilyId::Zoom),
     });
     let mut records = Vec::new();
     for record in scenario_obj.into_stream() {

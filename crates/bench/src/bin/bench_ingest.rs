@@ -612,6 +612,24 @@ fn prior_history(text: &str) -> Vec<String> {
     )]
 }
 
+/// Coarse host fingerprint recorded with every history entry so rate
+/// deltas across entries can be discounted when the hardware changed:
+/// logical core count plus `uname -srm` (kernel, release, machine).
+fn machine_fingerprint() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let uname = std::process::Command::new("uname")
+        .args(["-srm"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    format!("{cores} cores, {uname}")
+}
+
 fn git_short_sha() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -671,6 +689,19 @@ fn run_gate(baseline_path: &str, entries: &[(&str, f64)]) {
     // trajectory head), falling back to its snapshot sections.
     let head = prior_history(&text);
     let head = head.last().cloned().unwrap_or(text);
+    // Surface both host fingerprints: a gate verdict on different
+    // hardware is trend information, not a regression proof.
+    let here = machine_fingerprint();
+    match str_after(&head, "machine") {
+        Some(base) if base != here => eprintln!(
+            "[bench_ingest] gate: machine changed — baseline [{base}], this run [{here}]"
+        ),
+        Some(base) => eprintln!("[bench_ingest] gate: machine [{base}] (unchanged)"),
+        None => eprintln!(
+            "[bench_ingest] gate: baseline entry predates machine fingerprints; \
+             this run is [{here}]"
+        ),
+    }
     let mut failed = false;
     for (key, now) in entries {
         let Some(then) = num_after(&head, "", key) else {
@@ -890,8 +921,9 @@ fn main() {
         .join(", ");
     let new_entry = format!(
         "{{\"pr\": {pr}, \"git_sha\": \"{}\", \"workload\": \"{WORKLOAD}\", \
-         \"entries\": {{{entry_fields}}}}}",
-        git_short_sha()
+         \"machine\": \"{}\", \"entries\": {{{entry_fields}}}}}",
+        git_short_sha(),
+        machine_fingerprint()
     );
 
     let mut json = String::with_capacity(4096);

@@ -22,6 +22,7 @@ use crate::source::{PacketSource, SourceError};
 use std::io::Read;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use zoom_analysis::obs::trace::{self, TraceCollector};
 use zoom_wire::frame::{FrameEvent, FrameReader, Totals};
 use zoom_wire::handoff::RecordBatch;
 use zoom_wire::pcap::LinkType;
@@ -83,6 +84,14 @@ pub struct FragmentSource<R: Read + Send> {
     /// checkpoint restore to skip work a previous incarnation already
     /// consumed, without the workers resending history.
     skip: u64,
+    /// Merge-side trace collector (None on untraced runs). Trace frames
+    /// in the stream ship the worker's span events for the trace ID
+    /// annotating the next Records frame; the collector re-ingests them
+    /// verbatim so merge-side spans stitch onto the worker's tree.
+    trace: Option<Arc<TraceCollector>>,
+    /// Trace ID from the last Trace frame, consumed by the next Records
+    /// frame (0 = none pending).
+    pending_trace: u64,
 }
 
 impl<R: Read + Send> FragmentSource<R> {
@@ -95,6 +104,8 @@ impl<R: Read + Send> FragmentSource<R> {
             reader,
             account: Arc::new(WorkerAccount::default()),
             skip: 0,
+            trace: None,
+            pending_trace: 0,
         }
     }
 
@@ -122,6 +133,15 @@ impl<R: Read + Send> FragmentSource<R> {
     /// previous incarnation's consumed prefix stays consumed.
     pub fn skip_records(mut self, n: u64) -> FragmentSource<R> {
         self.skip = n;
+        self
+    }
+
+    /// Attach the merge node's trace collector: Trace frames in the
+    /// worker stream are re-ingested (stitching the worker's span tree
+    /// into the merge-side trace by ID) and the annotated batches carry
+    /// the worker's trace ID onward through the merge pipeline.
+    pub fn with_trace(mut self, collector: Arc<TraceCollector>) -> FragmentSource<R> {
+        self.trace = Some(collector);
         self
     }
 }
@@ -168,7 +188,29 @@ impl<R: Read + Send> PacketSource for FragmentSource<R> {
                             continue;
                         }
                     }
+                    if self.pending_trace != 0 {
+                        batch.trace_id = self.pending_trace;
+                        if let Some(tc) = &self.trace {
+                            tc.record(
+                                self.pending_trace,
+                                trace::spans::MERGE_DECODE,
+                                &self.label,
+                                count as u64,
+                                0,
+                            );
+                        }
+                        self.pending_trace = 0;
+                    }
                     return Ok(true);
+                }
+                Some(FrameEvent::Trace { trace_id }) => {
+                    // Worker-side span events for the next Records frame.
+                    // Without a merge-side collector they are skipped —
+                    // a traced worker stream decodes fine untraced.
+                    if let Some(tc) = &self.trace {
+                        tc.ingest_foreign(trace_id, self.reader.trace_ndjson());
+                        self.pending_trace = trace_id;
+                    }
                 }
                 Some(FrameEvent::Accounting(t)) => self.account.apply(t),
                 Some(FrameEvent::Bye(t)) => {
@@ -263,6 +305,54 @@ mod tests {
         };
         assert!(err.to_string().contains("Bye") || err.to_string().contains("truncated"));
         assert!(!src.account().complete.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn trace_frames_stitch_into_the_merge_collector() {
+        // Worker side: record a span, ship it ahead of the records it
+        // annotates.
+        let worker = TraceCollector::new();
+        worker.enable(1, "worker:t0");
+        let id = worker.sample().unwrap();
+        worker.record(id, trace::spans::SOURCE_READ, "pcap:a.pcap", 1, 0);
+        let mut w = FrameWriter::new(Vec::new(), "t0", LinkType::Ethernet).unwrap();
+        w.write_trace(id, worker.drain_trace_ndjson(id).as_bytes())
+            .unwrap();
+        let mut batch = RecordBatch::new();
+        batch.push(1, 60, &[0xAA; 60]);
+        w.write_batch(&batch).unwrap();
+        let data = w
+            .finish(Totals {
+                packets: 1,
+                bytes: 60,
+                batches: 1,
+                ..Totals::default()
+            })
+            .unwrap();
+
+        // Merge side with a collector: foreign spans land, the batch
+        // carries the worker's ID, and merge_decode joins the tree.
+        let merge = Arc::new(TraceCollector::new());
+        merge.enable(1, "merge");
+        let mut src = FragmentSource::open(&data[..])
+            .unwrap()
+            .with_trace(Arc::clone(&merge));
+        let mut out = RecordBatch::new();
+        assert!(src.next_batch(&mut out).unwrap());
+        assert_eq!(out.trace_id, id, "batch must carry the worker's trace ID");
+        let stitched = merge.drain_ndjson();
+        assert!(stitched.contains("\"node\":\"worker:t0\""));
+        assert!(stitched.contains("\"span\":\"merge_decode\""));
+        assert!(stitched
+            .lines()
+            .all(|l| l.contains(&format!("{id:016x}"))));
+
+        // An untraced merge decodes the same stream unchanged.
+        let mut plain = FragmentSource::open(&data[..]).unwrap();
+        let mut out2 = RecordBatch::new();
+        assert!(plain.next_batch(&mut out2).unwrap());
+        assert_eq!(out2.trace_id, 0);
+        assert_eq!(out2.len(), out.len());
     }
 
     #[test]

@@ -54,7 +54,8 @@ use crate::ring::{self, Consumer, Producer};
 use crate::source::{PacketSource, SourceError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use zoom_analysis::obs::trace::{spans, TraceCollector};
 use zoom_analysis::obs::{PipelineMetrics, SourceMetrics};
 use zoom_wire::handoff::RecordBatch;
 use zoom_wire::pcap::LinkType;
@@ -106,6 +107,10 @@ struct LaneCounters {
 struct LaneShared {
     counters: LaneCounters,
     obs: Option<Arc<SourceMetrics>>,
+    /// Pipeline trace collector; capture threads sample batches here and
+    /// stamp the winners' `trace_id` so downstream stages can attribute
+    /// their spans. Disabled collectors cost one relaxed load per batch.
+    trace: Option<Arc<TraceCollector>>,
     error: Mutex<Option<String>>,
 }
 
@@ -178,6 +183,26 @@ impl Lane {
             }
             match self.rx.try_pop() {
                 Some(batch) if !batch.is_empty() => {
+                    if let Some(obs) = &self.shared.obs {
+                        obs.ring_occupancy.set(self.rx.len() as u64);
+                        if let Some(last) = batch.get(batch.len() - 1) {
+                            // How far this lane's delivered stream has
+                            // advanced; per-source lag is derived from
+                            // the spread of these at render time.
+                            obs.delivered_ts_nanos.set(last.ts_nanos);
+                        }
+                    }
+                    if batch.trace_id != 0 {
+                        if let Some(tc) = &self.shared.trace {
+                            tc.record(
+                                batch.trace_id,
+                                spans::RING_DEQUEUE,
+                                &self.label,
+                                batch.len() as u64,
+                                0,
+                            );
+                        }
+                    }
                     self.current = Some((batch, 0));
                     return Ok(true);
                 }
@@ -226,6 +251,7 @@ impl CaptureMux {
                 let shared = Arc::new(LaneShared {
                     counters: LaneCounters::default(),
                     obs: metrics.map(|m| m.register_source(&label)),
+                    trace: metrics.map(|m| Arc::clone(&m.trace)),
                     error: Mutex::new(None),
                 });
                 let thread_shared = Arc::clone(&shared);
@@ -373,6 +399,12 @@ impl CaptureMux {
             // Copy the winner's run: every buffered record that still
             // beats the runner-up under (ts, lane) order.
             let (batch, cursor) = lane.current.as_mut().expect("refill succeeded");
+            // A sampled capture batch hands its trace tag to the merged
+            // batch (first tag wins) so downstream stages keep
+            // attributing spans after the fan-in copy.
+            if out.trace_id == 0 && batch.trace_id != 0 {
+                out.trace_id = batch.trace_id;
+            }
             while *cursor < batch.len() && out.len() < max {
                 let r = batch.get(*cursor).expect("cursor in bounds");
                 let wins = match second {
@@ -479,6 +511,7 @@ fn capture_thread(
             .or_else(|| recycle_rx.try_pop())
             .unwrap_or_default();
         batch.clear();
+        let read_start = Instant::now();
         let live = match source.next_batch(&mut batch) {
             Ok(live) => live,
             Err(e) => {
@@ -498,8 +531,55 @@ fn capture_thread(
                 obs.bytes.add(nbytes);
                 obs.batches.inc();
             }
+            if let Some(tc) = &shared.trace {
+                if batch.trace_id != 0 {
+                    // Pre-tagged by the source itself (a fragment lane
+                    // stitching a worker's trace through): keep the
+                    // foreign ID and attribute this read to it.
+                    tc.record(
+                        batch.trace_id,
+                        spans::SOURCE_READ,
+                        source.label(),
+                        n,
+                        read_start.elapsed().as_nanos() as u64,
+                    );
+                } else if let Some(id) = tc.sample() {
+                    batch.trace_id = id;
+                    tc.record(
+                        id,
+                        spans::SOURCE_READ,
+                        source.label(),
+                        n,
+                        read_start.elapsed().as_nanos() as u64,
+                    );
+                }
+            }
+            let traced = batch.trace_id;
+            let enqueue_start = Instant::now();
             match offer(&mut tx, batch, overflow) {
-                Offered::Delivered => {}
+                Offered::Delivered => {
+                    if let Some(obs) = &shared.obs {
+                        // Occupancy right after our own push: exact from
+                        // this side, racy-but-monotone for the peak.
+                        let occ = tx.len() as u64;
+                        obs.ring_occupancy.set(occ);
+                        obs.ring_occupancy_hwm.set_max(occ);
+                    }
+                    if traced != 0 {
+                        if let Some(tc) = &shared.trace {
+                            // Under Overflow::Block this includes the
+                            // time spent waiting for a slot — which is
+                            // exactly the backpressure we want visible.
+                            tc.record(
+                                traced,
+                                spans::RING_ENQUEUE,
+                                source.label(),
+                                n,
+                                enqueue_start.elapsed().as_nanos() as u64,
+                            );
+                        }
+                    }
+                }
                 Offered::Dropped(mut b) => {
                     c.ring_full_drops.fetch_add(n, Ordering::AcqRel);
                     if let Some(obs) = &shared.obs {
@@ -752,6 +832,54 @@ mod tests {
         assert_eq!(snap.source_packets_total(), 4);
         assert_eq!(snap.ring_full_drops_total(), 0);
         assert!(snap.conservation_holds());
+    }
+
+    #[test]
+    fn sampled_batches_carry_trace_tags_through_the_fan_in() {
+        let metrics = PipelineMetrics::new(0);
+        metrics.trace.enable(1, "cap-test");
+        let sources: Vec<Box<dyn PacketSource>> = vec![Box::new(ReplaySource::new(
+            "replay:t",
+            LinkType::Ethernet,
+            records(0..64),
+        ))];
+        let mut mux = CaptureMux::start(sources, MuxConfig::default(), Some(&metrics));
+        let mut batch = RecordBatch::new();
+        let mut tagged = 0u64;
+        while mux.next_batch(&mut batch, 4096).unwrap().is_some() {
+            if batch.trace_id != 0 {
+                tagged += 1;
+            }
+        }
+        mux.finish().unwrap();
+        assert!(tagged > 0, "sample_every=1 must tag merged batches");
+        let ndjson = metrics.trace.drain_ndjson();
+        for span in ["source_read", "ring_enqueue", "ring_dequeue"] {
+            assert!(
+                ndjson.contains(&format!("\"span\":\"{span}\"")),
+                "missing {span} in:\n{ndjson}"
+            );
+        }
+        let snap = metrics.snapshot();
+        assert!(snap.sources[0].ring_occupancy_hwm >= 1);
+        assert_eq!(snap.sources[0].delivered_ts_nanos, 63);
+    }
+
+    #[test]
+    fn untraced_runs_never_tag_batches() {
+        let metrics = PipelineMetrics::new(0);
+        let sources: Vec<Box<dyn PacketSource>> = vec![Box::new(ReplaySource::new(
+            "replay:q",
+            LinkType::Ethernet,
+            records(0..16),
+        ))];
+        let mut mux = CaptureMux::start(sources, MuxConfig::default(), Some(&metrics));
+        let mut batch = RecordBatch::new();
+        while mux.next_batch(&mut batch, 4096).unwrap().is_some() {
+            assert_eq!(batch.trace_id, 0);
+        }
+        mux.finish().unwrap();
+        assert_eq!(metrics.trace.event_counts(), (0, 0));
     }
 
     #[test]

@@ -35,6 +35,15 @@
 //! stdout (thresholds: `--qoe-fps-floor`, `--qoe-jitter-ms`,
 //! `--qoe-collapse-ratio`).
 //!
+//! `--trace out.ndjson` switches on sampled structured tracing: one
+//! capture batch in every `--trace-sample` (default 16) gets a causal
+//! trace ID, and every stage it crosses (source read, ring hand-off,
+//! dissection, shard routing, window emission) appends a pinned-schema
+//! span event to the file. `--self-profile out.folded` aggregates the
+//! same samples into flamegraph-style folded stacks. Both are side
+//! channels: reports and window NDJSON stay byte-identical with tracing
+//! on or off. See `docs/OBSERVABILITY.md`.
+//!
 //! With `--emit-fragments TARGET` the command becomes a distributed
 //! *worker* instead: the captured (and deterministically merged) records
 //! are shipped over the `zoom_wire::frame` protocol — to a `merge
@@ -44,7 +53,7 @@
 //! `zoom_worker_*` metrics. See `docs/DISTRIBUTED.md`.
 
 use super::sources::{build_sources, mux_flags};
-use super::{campus_flag, parse_args_repeat, parse_duration, CliError, CmdResult};
+use super::{campus_flag, parse_args_repeat, parse_duration, CliError, CmdResult, TraceOutput};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::time::Duration;
@@ -247,6 +256,7 @@ pub fn run(args: &[String]) -> CmdResult {
     let qoe = qoe_flags(&flags)?;
     let mux_config = mux_flags(&flags)?;
     let mut metrics_file = MetricsFile::from_flags(&flags)?;
+    let trace_out = TraceOutput::from_flags(&flags)?;
 
     // `--family auto|zoom|webrtc` selects which protocol families the
     // dissector probes for; bad values are configuration errors (exit 3).
@@ -278,7 +288,7 @@ pub fn run(args: &[String]) -> CmdResult {
             .cloned()
             .unwrap_or_else(|| "worker".to_string());
         let sources = build_sources(&pos, &source_specs, follow_cfg)?;
-        return run_emit(sources, target, &label, mux_config);
+        return run_emit(sources, target, &label, mux_config, trace_out);
     }
 
     let streaming = window.is_some() || idle_timeout.is_some() || follow;
@@ -306,11 +316,24 @@ pub fn run(args: &[String]) -> CmdResult {
             &flags,
             metrics_file,
             mux_config,
+            trace_out,
         );
     }
-    if !source_specs.is_empty() || pos.len() > 1 {
+    // Tracing samples at batch boundaries, so a traced run always goes
+    // through the capture fan-in — the differential suites pin the
+    // single-file and fan-in paths byte-identical, so the report is
+    // unchanged; only the trace side channel appears.
+    if !source_specs.is_empty() || pos.len() > 1 || trace_out.is_some() {
         let sources = build_sources(&pos, &source_specs, None)?;
-        return run_batch_mux(sources, config, shards, &flags, metrics_file, mux_config);
+        return run_batch_mux(
+            sources,
+            config,
+            shards,
+            &flags,
+            metrics_file,
+            mux_config,
+            trace_out,
+        );
     }
 
     // Legacy single-file batch path: a direct buffer-reusing reader loop
@@ -366,10 +389,14 @@ fn run_batch_mux(
     flags: &HashMap<String, String>,
     mut metrics_file: Option<MetricsFile>,
     mux_config: MuxConfig,
+    mut trace_out: Option<TraceOutput>,
 ) -> CmdResult {
     let analyzer: Analyzer = if shards > 1 {
         let mut par = ParallelAnalyzer::new(config, shards);
         let mh = par.metrics_handle();
+        if let Some(t) = &trace_out {
+            t.enable(&mh.trace, "analyze");
+        }
         let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
         feed_mux(&mut mux, &mut par, &mut metrics_file)?;
         finish_mux(mux, &mut par)?;
@@ -377,15 +404,24 @@ fn run_batch_mux(
         if let Some(m) = &mut metrics_file {
             m.write(&par.metrics())?;
         }
+        if let Some(t) = &mut trace_out {
+            t.finish(&mh.trace)?;
+        }
         par.into_analyzer()
     } else {
         let mut seq = Analyzer::new(config);
         let mh = seq.metrics_handle();
+        if let Some(t) = &trace_out {
+            t.enable(&mh.trace, "analyze");
+        }
         let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
         feed_mux(&mut mux, &mut seq, &mut metrics_file)?;
         finish_mux(mux, &mut seq)?;
         if let Some(m) = &mut metrics_file {
             m.write(&seq.metrics())?;
+        }
+        if let Some(t) = &mut trace_out {
+            t.finish(&mh.trace)?;
         }
         seq
     };
@@ -507,6 +543,7 @@ fn run_streaming(
     flags: &HashMap<String, String>,
     mut metrics_file: Option<MetricsFile>,
     mux_config: MuxConfig,
+    mut trace_out: Option<TraceOutput>,
 ) -> CmdResult {
     let mut engine = StreamingEngine::new(EngineConfig {
         analyzer: config,
@@ -524,10 +561,16 @@ fn run_streaming(
         .transpose()
         .map_err(|e| format!("--serve: {e}"))?;
     if let Some(h) = &serve_handle {
-        eprintln!("serving /metrics and /healthz on http://{}", h.addr());
+        eprintln!(
+            "serving /metrics, /healthz, and /debug/* on http://{}",
+            h.addr()
+        );
     }
 
     let mh = engine.metrics_handle();
+    if let Some(t) = &trace_out {
+        t.enable(&mh.trace, "analyze");
+    }
     let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
 
     let stdout = std::io::stdout();
@@ -559,6 +602,9 @@ fn run_streaming(
             engine.note_pcap_progress(mux.records_delivered(), mux.bytes_delivered());
             m.tick(batch.len() as u32, || engine.metrics())?;
         }
+        if let Some(t) = &mut trace_out {
+            t.drain(&mh.trace)?;
+        }
     }
     finish_mux(mux, &mut engine)?;
     // Alerts from windows the last pushes closed; drain itself cuts a
@@ -571,6 +617,9 @@ fn run_streaming(
     // workers have quiesced does the conservation invariant hold.
     if let Some(m) = &mut metrics_file {
         m.write(&output.analyzer.metrics())?;
+    }
+    if let Some(t) = &mut trace_out {
+        t.finish(&mh.trace)?;
     }
     writeln!(out, "{}", output.final_window.to_json()).map_err(|e| e.to_string())?;
     writeln!(out, "{}", output.report.to_json()).map_err(|e| e.to_string())?;
@@ -593,7 +642,10 @@ fn run_emit(
     target: &str,
     label: &str,
     mux_config: MuxConfig,
+    mut trace_out: Option<TraceOutput>,
 ) -> CmdResult {
+    use zoom_analysis::obs::trace::spans;
+    use zoom_analysis::obs::PipelineMetrics;
     use zoom_capture::source::BATCH_RECORDS;
     use zoom_wire::frame::{FrameWriter, Totals};
 
@@ -622,12 +674,37 @@ fn run_emit(
     let mut writer = FrameWriter::new(std::io::BufWriter::new(out), label, link)
         .map_err(|e| CliError::io(format!("{target}: {e}")))?;
 
-    let mut mux = CaptureMux::start(sources, mux_config, None);
+    // Tracing on a worker stamps sampled batches at its own capture
+    // sources and ships their span events as `Trace` frames, each
+    // annotating the `Records` frame that follows it — so the merge
+    // node can stitch this worker's capture-side spans to its own by
+    // trace ID. Untraced runs pass `None` and the byte stream is
+    // identical to one from a build that never heard of tracing.
+    let worker_metrics = trace_out.as_ref().map(|t| {
+        let m = PipelineMetrics::new(0);
+        t.enable(&m.trace, &format!("worker:{label}"));
+        m
+    });
+    let mut mux = CaptureMux::start(sources, mux_config, worker_metrics.as_ref());
     // The mux batches the merged stream itself (run extension over the
     // winning lane), so every non-empty drain becomes one wire frame.
     let mut batch = RecordBatch::new();
     let mut frames = 0u64;
     while mux.next_batch(&mut batch, BATCH_RECORDS)?.is_some() {
+        if batch.trace_id != 0 {
+            let m = worker_metrics.as_ref().expect("traced batch implies metrics");
+            m.trace.record(
+                batch.trace_id,
+                spans::FRAGMENT_ENCODE,
+                label,
+                batch.len() as u64,
+                0,
+            );
+            let ndjson = m.trace.drain_trace_ndjson(batch.trace_id);
+            writer
+                .write_trace(batch.trace_id, ndjson.as_bytes())
+                .map_err(|e| CliError::io(format!("{target}: {e}")))?;
+        }
         writer
             .write_batch(&batch)
             .map_err(|e| CliError::io(format!("{target}: {e}")))?;
@@ -657,6 +734,11 @@ fn run_emit(
     eprintln!(
         "worker {label}: emitted {delivered} record(s) ({bytes} bytes) in {frames} frame(s) to {target}"
     );
+    // Events whose Records frame never followed (e.g. a final partial
+    // batch) land in the local trace file instead of the wire.
+    if let (Some(t), Some(m)) = (&mut trace_out, &worker_metrics) {
+        t.finish(&m.trace)?;
+    }
     Ok(())
 }
 

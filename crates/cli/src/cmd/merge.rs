@@ -30,14 +30,15 @@
 
 use super::analyze::{finish_mux, print_report, MetricsFile, MUX_BATCH};
 use super::sources::mux_flags;
-use super::{campus_flag, parse_args, parse_duration, CliError, CmdResult};
+use super::{campus_flag, parse_args, parse_duration, CliError, CmdResult, TraceOutput};
 use std::collections::HashMap;
 use std::io::{Read, Write as _};
 use std::sync::Arc;
 use std::time::Duration;
 use zoom_analysis::dist::{MergeCheckpoint, WindowGate, WorkerMark};
 use zoom_analysis::engine::{EngineConfig, StreamingEngine};
-use zoom_analysis::obs::{serve, PipelineMetrics, WorkerMetrics};
+use zoom_analysis::obs::trace::TraceCollector;
+use zoom_analysis::obs::{link_state, serve, PipelineMetrics, WorkerMetrics};
 use zoom_analysis::parallel::ParallelAnalyzer;
 use zoom_analysis::pipeline::{Analyzer, AnalyzerConfig};
 use zoom_analysis::PacketSink;
@@ -157,8 +158,30 @@ fn sync_worker_metrics(pairs: &[(Arc<WorkerAccount>, Arc<WorkerMetrics>)]) {
         if received > have {
             wm.records_received.add(received - have);
         }
-        wm.complete
-            .set(u64::from(acc.complete.load(Ordering::Acquire)));
+        let complete = acc.complete.load(Ordering::Acquire);
+        wm.complete.set(u64::from(complete));
+        // Don't regress an ERROR set by the ingest failure path.
+        if wm.link_state.get() != link_state::ERROR {
+            wm.link_state.set(if complete {
+                link_state::DONE
+            } else if received > 0 {
+                link_state::STREAMING
+            } else {
+                link_state::PENDING
+            });
+        }
+    }
+}
+
+/// Mark every worker that never finished cleanly as errored; called when
+/// the ingest loop surfaces a failure so `/debug/pipeline` and the final
+/// metrics snapshot show which link(s) died.
+fn mark_incomplete_errored(pairs: &[(Arc<WorkerAccount>, Arc<WorkerMetrics>)]) {
+    use std::sync::atomic::Ordering;
+    for (acc, wm) in pairs {
+        if !acc.complete.load(Ordering::Acquire) {
+            wm.link_state.set(link_state::ERROR);
+        }
     }
 }
 
@@ -175,12 +198,20 @@ fn register_workers(
 }
 
 /// Split the gathered workers into mux lanes plus the label list the
-/// checkpoint records.
-fn into_sources(workers: Vec<Worker>) -> (Vec<Box<dyn PacketSource>>, Vec<String>) {
+/// checkpoint records. With a collector, each lane stitches incoming
+/// `Trace` frames into it (worker-side spans join this process's spans
+/// by trace ID) and tags decoded batches for downstream attribution.
+fn into_sources(
+    workers: Vec<Worker>,
+    trace: Option<&Arc<TraceCollector>>,
+) -> (Vec<Box<dyn PacketSource>>, Vec<String>) {
     let labels = workers.iter().map(|w| w.label.clone()).collect();
     let sources = workers
         .into_iter()
-        .map(|w| Box::new(w.source) as Box<dyn PacketSource>)
+        .map(|w| match trace {
+            Some(tc) => Box::new(w.source.with_trace(Arc::clone(tc))) as Box<dyn PacketSource>,
+            None => Box::new(w.source) as Box<dyn PacketSource>,
+        })
         .collect();
     (sources, labels)
 }
@@ -224,6 +255,7 @@ pub fn run(args: &[String]) -> CmdResult {
         .transpose()?;
     let mux_config = mux_flags(&flags)?;
     let metrics_file = MetricsFile::from_flags(&flags)?;
+    let trace_out = TraceOutput::from_flags(&flags)?;
     let checkpoint_path = flags.get("checkpoint").cloned();
     let restore = flags.contains_key("restore");
     if restore && checkpoint_path.is_none() {
@@ -294,9 +326,18 @@ pub fn run(args: &[String]) -> CmdResult {
             &flags,
             metrics_file,
             mux_config,
+            trace_out,
         )
     } else {
-        run_batch_merge(workers, config, shards, &flags, metrics_file, mux_config)
+        run_batch_merge(
+            workers,
+            config,
+            shards,
+            &flags,
+            metrics_file,
+            mux_config,
+            trace_out,
+        )
     }
 }
 
@@ -309,32 +350,53 @@ fn run_batch_merge(
     flags: &HashMap<String, String>,
     mut metrics_file: Option<MetricsFile>,
     mux_config: MuxConfig,
+    mut trace_out: Option<TraceOutput>,
 ) -> CmdResult {
     let analyzer: Analyzer = if shards > 1 {
         let mut par = ParallelAnalyzer::new(config, shards);
         let mh = par.metrics_handle();
+        if let Some(t) = &trace_out {
+            t.enable(&mh.trace, "merge");
+        }
         let pairs = register_workers(&mh, &workers);
-        let (sources, _) = into_sources(workers);
+        let (sources, _) = into_sources(workers, trace_out.as_ref().map(|_| &mh.trace));
         let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
-        feed(&mut mux, &mut par, &mut metrics_file, &pairs)?;
+        let fed = feed(&mut mux, &mut par, &mut metrics_file, &pairs);
+        if fed.is_err() {
+            mark_incomplete_errored(&pairs);
+        }
+        fed?;
         sync_worker_metrics(&pairs);
         finish_mux(mux, &mut par)?;
         ParallelAnalyzer::finish(&mut par)?;
         if let Some(m) = &mut metrics_file {
             m.write(&par.metrics())?;
         }
+        if let Some(t) = &mut trace_out {
+            t.finish(&mh.trace)?;
+        }
         par.into_analyzer()
     } else {
         let mut seq = Analyzer::new(config);
         let mh = seq.metrics_handle();
+        if let Some(t) = &trace_out {
+            t.enable(&mh.trace, "merge");
+        }
         let pairs = register_workers(&mh, &workers);
-        let (sources, _) = into_sources(workers);
+        let (sources, _) = into_sources(workers, trace_out.as_ref().map(|_| &mh.trace));
         let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
-        feed(&mut mux, &mut seq, &mut metrics_file, &pairs)?;
+        let fed = feed(&mut mux, &mut seq, &mut metrics_file, &pairs);
+        if fed.is_err() {
+            mark_incomplete_errored(&pairs);
+        }
+        fed?;
         sync_worker_metrics(&pairs);
         finish_mux(mux, &mut seq)?;
         if let Some(m) = &mut metrics_file {
             m.write(&seq.metrics())?;
+        }
+        if let Some(t) = &mut trace_out {
+            t.finish(&mh.trace)?;
         }
         seq
     };
@@ -356,6 +418,7 @@ fn run_streaming_merge(
     flags: &HashMap<String, String>,
     mut metrics_file: Option<MetricsFile>,
     mux_config: MuxConfig,
+    mut trace_out: Option<TraceOutput>,
 ) -> CmdResult {
     let mut engine = StreamingEngine::new(EngineConfig {
         analyzer: config,
@@ -372,14 +435,17 @@ fn run_streaming_merge(
         .map_err(|e| CliError::io(format!("--serve: {e}")))?;
     if let Some(h) = &serve_handle {
         eprintln!(
-            "serving /metrics and /healthz on http://{}",
+            "serving /metrics, /healthz, and /debug/* on http://{}",
             h.local_addr()
         );
     }
 
     let mh = engine.metrics_handle();
+    if let Some(t) = &trace_out {
+        t.enable(&mh.trace, "merge");
+    }
     let pairs = register_workers(&mh, &workers);
-    let (sources, labels) = into_sources(workers);
+    let (sources, labels) = into_sources(workers, trace_out.as_ref().map(|_| &mh.trace));
     let mut mux = CaptureMux::start(sources, mux_config, Some(&mh));
 
     let save_checkpoint = |gate: &WindowGate| -> Result<(), CliError> {
@@ -405,7 +471,17 @@ fn run_streaming_merge(
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut batch = RecordBatch::new();
-    while let Some(link) = mux.next_batch(&mut batch, MUX_BATCH)? {
+    loop {
+        let link = match mux.next_batch(&mut batch, MUX_BATCH) {
+            Ok(Some(link)) => link,
+            Ok(None) => break,
+            Err(e) => {
+                // Surface which worker link(s) died in /debug/pipeline
+                // and the final snapshot before propagating.
+                mark_incomplete_errored(&pairs);
+                return Err(e.into());
+            }
+        };
         engine.push_batch(&batch, link)?;
         sync_worker_metrics(&pairs);
         let mut wrote = false;
@@ -423,12 +499,18 @@ fn run_streaming_merge(
             engine.note_pcap_progress(mux.records_delivered(), mux.bytes_delivered());
             m.tick(batch.len() as u32, || engine.metrics())?;
         }
+        if let Some(t) = &mut trace_out {
+            t.drain(&mh.trace)?;
+        }
     }
     sync_worker_metrics(&pairs);
     finish_mux(mux, &mut engine)?;
     let output = engine.drain()?;
     if let Some(m) = &mut metrics_file {
         m.write(&output.analyzer.metrics())?;
+    }
+    if let Some(t) = &mut trace_out {
+        t.finish(&mh.trace)?;
     }
     writeln!(out, "{}", output.final_window.to_json()).map_err(|e| e.to_string())?;
     writeln!(out, "{}", output.report.to_json()).map_err(|e| e.to_string())?;

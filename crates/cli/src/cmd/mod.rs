@@ -217,6 +217,94 @@ pub fn parse_duration(spec: &str) -> Result<Duration, String> {
     Ok(Duration::from_nanos(nanos as u64))
 }
 
+/// The `--trace FILE` / `--trace-sample N` / `--self-profile FILE`
+/// flags, shared by `analyze` and `merge`: sampled structured-tracing
+/// NDJSON to `FILE`, one batch in every `N` traced (default 16), and an
+/// optional flamegraph-style folded-stacks profile of per-stage
+/// latencies. Everything is a side channel — reports and window NDJSON
+/// on stdout are byte-identical with tracing on or off.
+pub struct TraceOutput {
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    profile_path: Option<String>,
+    sample: u64,
+}
+
+impl TraceOutput {
+    /// Build from parsed flags; `Ok(None)` when no tracing flag is
+    /// present. `--trace-sample` without `--trace`/`--self-profile` is a
+    /// configuration error.
+    pub fn from_flags(flags: &HashMap<String, String>) -> Result<Option<TraceOutput>, CliError> {
+        let path = flags.get("trace");
+        let profile_path = flags.get("self-profile").cloned();
+        let sample = match flags.get("trace-sample") {
+            Some(v) => v.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                CliError::config(format!(
+                    "--trace-sample expects a positive integer, got {v:?}"
+                ))
+            })?,
+            None => 16,
+        };
+        if path.is_none() && profile_path.is_none() {
+            if flags.contains_key("trace-sample") {
+                return Err(CliError::config(
+                    "--trace-sample needs --trace FILE or --self-profile FILE",
+                ));
+            }
+            return Ok(None);
+        }
+        let file = path
+            .map(|p| {
+                std::fs::File::create(p)
+                    .map(std::io::BufWriter::new)
+                    .map_err(|e| CliError::io(format!("{p}: {e}")))
+            })
+            .transpose()?;
+        Ok(Some(TraceOutput {
+            file,
+            profile_path,
+            sample,
+        }))
+    }
+
+    /// Switch the collector on under this run's node label.
+    pub fn enable(&self, trace: &zoom_analysis::obs::trace::TraceCollector, node: &str) {
+        trace.enable(self.sample, node);
+    }
+
+    /// Append everything queued for export to the trace file. Called
+    /// periodically from ingest loops so long `--follow` runs never hit
+    /// the collector's bounded-queue drop path.
+    pub fn drain(&mut self, trace: &zoom_analysis::obs::trace::TraceCollector) -> CmdResult {
+        let Some(f) = &mut self.file else {
+            return Ok(());
+        };
+        let lines = trace.drain_ndjson();
+        if !lines.is_empty() {
+            use std::io::Write as _;
+            f.write_all(lines.as_bytes())
+                .map_err(|e| CliError::io(format!("--trace: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Final drain + flush, then the folded-stacks profile when asked
+    /// for; reports the recorded/dropped totals on stderr.
+    pub fn finish(&mut self, trace: &zoom_analysis::obs::trace::TraceCollector) -> CmdResult {
+        self.drain(trace)?;
+        if let Some(f) = &mut self.file {
+            use std::io::Write as _;
+            f.flush().map_err(|e| CliError::io(format!("--trace: {e}")))?;
+        }
+        if let Some(p) = &self.profile_path {
+            std::fs::write(p, trace.folded_stacks())
+                .map_err(|e| CliError::io(format!("{p}: {e}")))?;
+        }
+        let (recorded, dropped) = trace.event_counts();
+        eprintln!("trace: {recorded} span event(s) recorded, {dropped} dropped");
+        Ok(())
+    }
+}
+
 /// Parse a `--campus` CIDR flag into the `(addr, len)` form the analyzer
 /// uses; defaults to 10.8.0.0/16.
 pub fn campus_flag(flags: &HashMap<String, String>) -> Result<(std::net::IpAddr, u8), String> {

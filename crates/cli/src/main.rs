@@ -8,6 +8,7 @@
 //!                     [--idle-timeout DUR] [--follow] [--idle-exit DUR]
 //!                     [--json] [--features out.csv] [--serve ADDR]
 //!                     [--metrics out.json|out.prom] [--metrics-interval DUR]
+//!                     [--trace out.ndjson] [--trace-sample N] [--self-profile out.folded]
 //! zoom-tools capture  <out.pcap> --source pcap:FILE|sim:SPEC [--source ...]
 //!                     [--campus CIDR] [--family auto|zoom|webrtc]
 //!                     [--anonymize KEY] [--no-filter]
@@ -16,6 +17,7 @@
 //! zoom-tools merge    <frags...> | --listen ADDR --workers N [--journal DIR]
 //!                     [--window DUR] [--shards N] [--checkpoint PATH] [--restore]
 //!                     [--json] [--serve ADDR] [--metrics out.json|out.prom]
+//!                     [--trace out.ndjson] [--trace-sample N] [--self-profile out.folded]
 //! zoom-tools dissect  <in.pcap> [--max N] [--family auto|zoom|webrtc]
 //! zoom-tools discover <in.pcap> [--max-offset N]
 //! zoom-tools filter   <in.pcap> <out.pcap> [--campus CIDR] [--anonymize KEY]
@@ -43,11 +45,13 @@ fn usage() -> ExitCode {
                              [--ring-cap N] [--lossy] [--window DUR] [--idle-timeout DUR]\n  \
                              [--follow] [--idle-exit DUR] [--json] [--features out.csv] [--serve ADDR]\n  \
                              [--metrics out.json|out.prom] [--metrics-interval DUR]\n  \
+                             [--trace out.ndjson] [--trace-sample N] [--self-profile out.folded]\n  \
                              [--emit-fragments ADDR|FILE [--worker-label NAME]]\n  \
          zoom-tools merge    <frags...> | --listen ADDR --workers N [--journal DIR]\n  \
                              [--window DUR] [--idle-timeout DUR] [--shards N] [--campus CIDR]\n  \
                              [--checkpoint PATH] [--restore] [--json] [--serve ADDR]\n  \
                              [--ring-cap N] [--lossy] [--metrics out.json|out.prom]\n  \
+                             [--trace out.ndjson] [--trace-sample N] [--self-profile out.folded]\n  \
          zoom-tools capture  <out.pcap> --source pcap:FILE|sim:SPEC [--source ...] [--campus CIDR]\n  \
                              [--anonymize KEY] [--no-filter] [--ring-cap N] [--lossy]\n  \
                              [--follow] [--idle-exit DUR] [--metrics out.json|out.prom]\n  \

@@ -40,6 +40,7 @@ use crate::error::Error;
 use crate::fxhash::FxHashMap;
 use crate::meeting::{CandidateState, MeetingGrouper};
 use crate::metrics::latency::{RtpRttEstimator, RttSample};
+use crate::obs::trace::spans;
 use crate::obs::{trace, MetricsSnapshot, PipelineMetrics};
 use crate::packet::Direction;
 use crate::pipeline::{
@@ -548,13 +549,14 @@ impl StreamingEngine {
         let n = config.shards.max(1);
         let metrics = Arc::new(PipelineMetrics::new(n));
         let workers = (0..n)
-            .map(|_| {
+            .map(|i| {
                 let (tx, rx) = sync_channel::<ToWorker>(CHANNEL_DEPTH);
                 let (reply_tx, reply_rx) = channel::<TickReply>();
                 let (recycle_tx, recycle_rx) = channel::<Pending>();
                 let (scratch_tx, scratch_rx) = channel::<TickScratch>();
                 let cfg = analyzer_config.clone();
                 let shard_metrics = Arc::clone(&metrics);
+                let drained_metrics = Arc::clone(&metrics);
                 let handle = std::thread::spawn(move || {
                     let mut state = ShardState::new(cfg, shard_metrics, scratch_rx);
                     while let Ok(msg) = rx.recv() {
@@ -576,6 +578,9 @@ impl StreamingEngine {
                                 state.analyzer.flush_flow_run();
                                 pending.records.clear();
                                 pending.meta.clear();
+                                // This shard consumed one routed batch:
+                                // channel depth = batches - drained.
+                                drained_metrics.shards[i].drained.inc();
                                 // Router gone mid-run is fine; the batch
                                 // just isn't recycled.
                                 let _ = recycle_tx.send(pending);
@@ -719,10 +724,26 @@ impl StreamingEngine {
             return Ok(Vec::new());
         }
         let t0 = std::time::Instant::now();
+        let traced = batch.trace_id;
+        if traced != 0 {
+            // Windows closed while this batch streams in attribute their
+            // emit spans to this batch's trace.
+            self.metrics.trace.note_trace(traced);
+        }
         // Pass 1 — stateless header walk, type-sorted by the arena.
         let mut arena = std::mem::take(&mut self.peek_arena);
         peek_batch(batch, link, &mut arena);
+        if traced != 0 {
+            self.metrics.trace.record(
+                traced,
+                spans::DISSECT,
+                "engine",
+                batch.len() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         // Pass 2 — hash all flow keys before any table is probed.
+        let route_start = std::time::Instant::now();
         let n = self.shard_count;
         let mut shards = std::mem::take(&mut self.shard_scratch);
         shards.clear();
@@ -730,6 +751,15 @@ impl StreamingEngine {
             Ok(info) => shard_of(&info.five_tuple, n) as u32,
             Err(_) => u32::MAX, // round-robin, resolved per record below
         }));
+        if traced != 0 {
+            self.metrics.trace.record(
+                traced,
+                spans::SHARD_ROUTE,
+                "engine",
+                batch.len() as u64,
+                route_start.elapsed().as_nanos() as u64,
+            );
+        }
         // Pass 3 — stateful, strictly in record order.
         let mut out = Vec::new();
         for (i, r) in batch.iter().enumerate() {
@@ -759,6 +789,15 @@ impl StreamingEngine {
         self.metrics
             .stage_push_nanos
             .observe(t0.elapsed().as_nanos() as u64 / batch.len() as u64);
+        if traced != 0 {
+            self.metrics.trace.record(
+                traced,
+                spans::ENGINE_PUSH,
+                "engine",
+                batch.len() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         Ok(out)
     }
 
@@ -771,9 +810,22 @@ impl StreamingEngine {
                 Some(start) if ts >= start + w => {
                     let end = start + w;
                     let evict = self.idle_nanos.map(|idle| end.saturating_sub(idle));
+                    let emit_start = std::time::Instant::now();
                     let replies = self.tick_all(evict)?;
                     out.push(self.apply_tick(replies, start, end, true));
                     self.metrics.windows_closed.inc();
+                    // Attribute the close to the batch whose record
+                    // crossed the boundary (the last noted trace).
+                    let tid = self.metrics.trace.last_trace_id();
+                    if tid != 0 {
+                        self.metrics.trace.record(
+                            tid,
+                            spans::WINDOW_EMIT,
+                            "engine",
+                            1,
+                            emit_start.elapsed().as_nanos() as u64,
+                        );
+                    }
                     // Fast-forward through windows the gap left empty.
                     let mut s = end;
                     while ts >= s + w {

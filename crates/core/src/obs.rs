@@ -17,9 +17,11 @@
 //! * [`MetricsSnapshot`] — a plain-data copy renderable as JSON
 //!   ([`MetricsSnapshot::to_json`]) or Prometheus text exposition format
 //!   ([`MetricsSnapshot::to_prom`]);
-//! * [`trace`] — span/event hooks around shard merge, checkpoint, and
-//!   drain that compile to nothing unless the `obs-trace` cargo feature
-//!   is enabled.
+//! * [`trace`] — the sampled structured-tracing core: causal trace IDs
+//!   attached to record batches at the capture source, per-stage span
+//!   events exported as pinned-schema NDJSON, and cross-process
+//!   stitching over the `ZFRG` Trace frame (plus the legacy coarse
+//!   span/event stderr hooks behind the `obs-trace` cargo feature).
 //!
 //! Counter updates use `Ordering::Relaxed` throughout: each counter is
 //! independently monotone and snapshots are only read after ingest
@@ -33,11 +35,13 @@ use crate::report::JsonObj;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use zoom_wire::dissect::DropStage;
 use zoom_wire::zoom::MediaType;
 
 #[cfg(feature = "obs-http")]
 pub mod serve;
+pub mod trace;
 
 // ---------------------------------------------------------- primitives --
 
@@ -759,6 +763,10 @@ pub struct ShardMetrics {
     pub batches: Counter,
     /// Records batched but not yet flushed (queue depth at the router).
     pub pending: Gauge,
+    /// Batches the shard worker drained off its channel. The difference
+    /// `batches - drained` is the shard's live channel depth — the
+    /// backlog a stalled worker accumulates.
+    pub drained: Counter,
 }
 
 /// The pipeline-wide metrics registry, shared by the router and every
@@ -849,6 +857,15 @@ pub struct PipelineMetrics {
     /// registered fragment worker (see
     /// [`PipelineMetrics::register_worker`]). Empty outside `merge`.
     workers: Mutex<Vec<Arc<WorkerMetrics>>>,
+
+    /// The structured-tracing collector (disabled unless the CLI's
+    /// `--trace` / `--self-profile` flags enable it). Shared here so
+    /// every stage that already holds the metrics `Arc` can record
+    /// spans without extra plumbing.
+    pub trace: Arc<trace::TraceCollector>,
+
+    /// Registry creation time, the epoch of `zoom_uptime_seconds`.
+    started: Instant,
 }
 
 /// Capture-side accounting for one packet source feeding the pipeline.
@@ -871,6 +888,17 @@ pub struct SourceMetrics {
     /// Records dropped because the hand-off ring was full (lossy
     /// overflow policy only; the lossless policy blocks instead).
     pub ring_full_drops: Counter,
+    /// Batches currently queued in this source's hand-off ring (sampled
+    /// by the fan-in consumer each time it visits the lane).
+    pub ring_occupancy: Gauge,
+    /// High-water mark of `ring_occupancy` — the worst backlog the lane
+    /// ever accumulated (updated with [`Gauge::set_max`]).
+    pub ring_occupancy_hwm: Gauge,
+    /// Capture timestamp (nanoseconds) of the last record the fan-in
+    /// delivered from this source. The spread between lanes is the
+    /// per-source lag: a lane whose timestamp trails the furthest-ahead
+    /// lane is the one holding the deterministic `(ts, lane)` merge back.
+    pub delivered_ts_nanos: Gauge,
 }
 
 impl SourceMetrics {
@@ -908,6 +936,33 @@ pub struct WorkerMetrics {
     pub records_received: Counter,
     /// 1 once the worker's stream ended with a proper Bye frame.
     pub complete: Gauge,
+    /// Link state of the worker's stream on the merge node: one of the
+    /// [`link_state`] constants (`PENDING` → `STREAMING` → `DONE`, or
+    /// `ERROR` on a cut/malformed stream).
+    pub link_state: Gauge,
+}
+
+/// Values of [`WorkerMetrics::link_state`] /
+/// [`WorkerSnapshot::link_state`].
+pub mod link_state {
+    /// Registered, no frames decoded yet.
+    pub const PENDING: u64 = 0;
+    /// Frames are being decoded from the worker's stream.
+    pub const STREAMING: u64 = 1;
+    /// The stream ended with a proper Bye frame.
+    pub const DONE: u64 = 2;
+    /// The stream was cut off or malformed.
+    pub const ERROR: u64 = 3;
+
+    /// Human-readable name for a link-state value.
+    pub fn name(v: u64) -> &'static str {
+        match v {
+            PENDING => "pending",
+            STREAMING => "streaming",
+            DONE => "done",
+            _ => "error",
+        }
+    }
 }
 
 impl WorkerMetrics {
@@ -951,7 +1006,14 @@ impl PipelineMetrics {
             qoe: QoeMetrics::new(QOE_SERIES_CAP),
             sources: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
+            trace: Arc::new(trace::TraceCollector::new()),
+            started: Instant::now(),
         }
+    }
+
+    /// Seconds since this registry was created.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 
     /// Registers a fragment worker on a merge node and returns its
@@ -971,6 +1033,7 @@ impl PipelineMetrics {
             truncated: Gauge::new(),
             records_received: Counter::new(),
             complete: Gauge::new(),
+            link_state: Gauge::new(),
         });
         self.workers.lock().unwrap().push(Arc::clone(&m));
         m
@@ -991,6 +1054,9 @@ impl PipelineMetrics {
             bytes: Counter::new(),
             batches: Counter::new(),
             ring_full_drops: Counter::new(),
+            ring_occupancy: Gauge::new(),
+            ring_occupancy_hwm: Gauge::new(),
+            delivered_ts_nanos: Gauge::new(),
         });
         self.sources.lock().unwrap().push(Arc::clone(&m));
         m
@@ -1051,6 +1117,7 @@ impl PipelineMetrics {
                     routed: s.routed.get(),
                     batches: s.batches.get(),
                     pending: s.pending.get(),
+                    drained: s.drained.get(),
                 })
                 .collect(),
             windows_closed: self.windows_closed.get(),
@@ -1075,6 +1142,9 @@ impl PipelineMetrics {
                     bytes: s.bytes.get(),
                     batches: s.batches.get(),
                     ring_full_drops: s.ring_full_drops.get(),
+                    ring_occupancy: s.ring_occupancy.get(),
+                    ring_occupancy_hwm: s.ring_occupancy_hwm.get(),
+                    delivered_ts_nanos: s.delivered_ts_nanos.get(),
                 })
                 .collect(),
             workers: self
@@ -1091,10 +1161,138 @@ impl PipelineMetrics {
                     truncated: w.truncated.get(),
                     records_received: w.records_received.get(),
                     complete: w.complete.get() != 0,
+                    link_state: w.link_state.get(),
                 })
                 .collect(),
+            uptime_seconds: self.uptime_seconds(),
+            trace_events: self.trace.event_counts().0,
+            trace_events_dropped: self.trace.event_counts().1,
         }
     }
+
+    /// The `/debug/pipeline` introspection payload: one JSON object of
+    /// live operational state — ring occupancy and lag per source,
+    /// channel depth per shard, table sizes and eviction pressure,
+    /// worker link states, and the trace collector's own health. This is
+    /// the "where is it stuck right now" view, complementing the
+    /// cumulative `/metrics` families.
+    pub fn debug_json(&self) -> String {
+        let s = self.snapshot();
+        let (version, git_sha, features) = build_info();
+        let mut build = JsonObj::new();
+        build
+            .str("version", version)
+            .str("git_sha", git_sha)
+            .str("features", features);
+
+        let mut sources = String::from("[");
+        let max_delivered = s
+            .sources
+            .iter()
+            .map(|src| src.delivered_ts_nanos)
+            .max()
+            .unwrap_or(0);
+        for (i, src) in s.sources.iter().enumerate() {
+            if i > 0 {
+                sources.push(',');
+            }
+            let mut o = JsonObj::new();
+            o.str("source", &src.label)
+                .u64("packets", src.packets)
+                .u64("ring_full_drops", src.ring_full_drops)
+                .u64("ring_occupancy", src.ring_occupancy)
+                .u64("ring_occupancy_hwm", src.ring_occupancy_hwm)
+                .u64("delivered_ts_nanos", src.delivered_ts_nanos)
+                .u64(
+                    "lag_nanos",
+                    max_delivered.saturating_sub(src.delivered_ts_nanos),
+                );
+            sources.push_str(&o.finish());
+        }
+        sources.push(']');
+
+        let mut shards = String::from("[");
+        for (i, sh) in s.shards.iter().enumerate() {
+            if i > 0 {
+                shards.push(',');
+            }
+            let mut o = JsonObj::new();
+            o.u64("shard", i as u64)
+                .u64("routed", sh.routed)
+                .u64("batches", sh.batches)
+                .u64("drained", sh.drained)
+                .u64("channel_depth", sh.channel_depth())
+                .u64("pending", sh.pending);
+            shards.push_str(&o.finish());
+        }
+        shards.push(']');
+
+        let mut workers = String::from("[");
+        for (i, w) in s.workers.iter().enumerate() {
+            if i > 0 {
+                workers.push(',');
+            }
+            let mut o = JsonObj::new();
+            o.str("worker", &w.label)
+                .str("link_state", link_state::name(w.link_state))
+                .u64("packets_reported", w.packets)
+                .u64("records_received", w.records_received)
+                .u64("ring_full_drops", w.ring_full_drops)
+                .bool("complete", w.complete);
+            workers.push_str(&o.finish());
+        }
+        workers.push(']');
+
+        let mut tables = JsonObj::new();
+        tables
+            .u64("tracked_entries", s.tracked_entries)
+            .u64("peak_tracked_entries", s.peak_tracked_entries)
+            .u64("evicted_flows", s.evicted_flows)
+            .u64("evicted_streams", s.evicted_streams)
+            .u64("qoe_series_evicted", s.qoe.series_evicted_total())
+            .u64("windows_closed", s.windows_closed);
+
+        let mut trace_obj = JsonObj::new();
+        trace_obj
+            .bool("enabled", self.trace.is_enabled())
+            .str("node", &self.trace.node())
+            .u64("sample_every", self.trace.sample_period())
+            .u64("events", s.trace_events)
+            .u64("events_dropped", s.trace_events_dropped);
+
+        let mut o = JsonObj::new();
+        o.str("type", "debug_pipeline")
+            .raw("build", &build.finish())
+            .u64("uptime_seconds", s.uptime_seconds)
+            .u64("packets_in", s.packets_in)
+            .bool("conservation_holds", s.conservation_holds())
+            .raw("sources", &sources)
+            .raw("shards", &shards)
+            .raw("workers", &workers)
+            .raw("tables", &tables.finish())
+            .raw("trace", &trace_obj.finish());
+        o.finish()
+    }
+}
+
+/// Build metadata rendered as `zoom_build_info{version,git_sha,features}`
+/// and the snapshot's `"build"` JSON section, so scrapes can tell
+/// deployments apart. The git SHA is baked in at compile time via the
+/// `ZOOM_GIT_SHA` environment variable (`"unknown"` when unset); the
+/// feature list covers the cargo features that change the binary's
+/// surface.
+pub fn build_info() -> (&'static str, &'static str, &'static str) {
+    let features = match (cfg!(feature = "obs-http"), cfg!(feature = "obs-trace")) {
+        (true, true) => "obs-http,obs-trace",
+        (true, false) => "obs-http",
+        (false, true) => "obs-trace",
+        (false, false) => "",
+    };
+    (
+        env!("CARGO_PKG_VERSION"),
+        option_env!("ZOOM_GIT_SHA").unwrap_or("unknown"),
+        features,
+    )
 }
 
 // ------------------------------------------------------------ snapshot --
@@ -1108,6 +1306,17 @@ pub struct ShardSnapshot {
     pub batches: u64,
     /// Records batched but not yet flushed.
     pub pending: u64,
+    /// Batches the shard worker drained off its channel.
+    pub drained: u64,
+}
+
+impl ShardSnapshot {
+    /// Batches queued in the shard's channel right now
+    /// (`batches - drained`, saturating — a worker mid-drain can be one
+    /// ahead of the flush counter for an instant).
+    pub fn channel_depth(&self) -> u64 {
+        self.batches.saturating_sub(self.drained)
+    }
 }
 
 /// Capture-pipeline verdict counters (the software Tofino of Fig. 13),
@@ -1211,6 +1420,12 @@ pub struct MetricsSnapshot {
     /// Per-worker accounting on a distributed merge node, one entry per
     /// registered fragment worker (empty outside `merge`).
     pub workers: Vec<WorkerSnapshot>,
+    /// Seconds since the registry was created.
+    pub uptime_seconds: u64,
+    /// Trace span events recorded by the collector (0 unless tracing).
+    pub trace_events: u64,
+    /// Trace events dropped at the bounded export queue.
+    pub trace_events_dropped: u64,
 }
 
 /// Plain-data copy of one fragment worker's merge-side counters.
@@ -1232,6 +1447,8 @@ pub struct WorkerSnapshot {
     pub records_received: u64,
     /// Whether the worker's stream ended with a proper Bye frame.
     pub complete: bool,
+    /// Link state of the worker's stream (see [`link_state`]).
+    pub link_state: u64,
 }
 
 /// Plain-data copy of one source's capture-side counters.
@@ -1247,6 +1464,12 @@ pub struct SourceSnapshot {
     pub batches: u64,
     /// Records dropped at a full hand-off ring.
     pub ring_full_drops: u64,
+    /// Batches queued in the source's hand-off ring at the last sample.
+    pub ring_occupancy: u64,
+    /// High-water mark of ring occupancy.
+    pub ring_occupancy_hwm: u64,
+    /// Capture timestamp of the last record delivered from this source.
+    pub delivered_ts_nanos: u64,
 }
 
 impl MetricsSnapshot {
@@ -1337,7 +1560,9 @@ impl MetricsSnapshot {
                 let mut o = JsonObj::new();
                 o.u64("routed", s.routed)
                     .u64("batches", s.batches)
-                    .u64("pending", s.pending);
+                    .u64("pending", s.pending)
+                    .u64("drained", s.drained)
+                    .u64("channel_depth", s.channel_depth());
                 o.finish()
             })
             .collect();
@@ -1348,8 +1573,22 @@ impl MetricsSnapshot {
             .raw("merge", &hist_json(&self.stage_merge_nanos))
             .raw("checkpoint", &hist_json(&self.stage_checkpoint_nanos));
 
+        let (version, git_sha, features) = build_info();
+        let mut build = JsonObj::new();
+        build
+            .str("version", version)
+            .str("git_sha", git_sha)
+            .str("features", features);
+        let mut trace_obj = JsonObj::new();
+        trace_obj
+            .u64("events", self.trace_events)
+            .u64("events_dropped", self.trace_events_dropped);
+
         let mut o = JsonObj::new();
         o.str("type", "metrics")
+            .raw("build", &build.finish())
+            .u64("uptime_seconds", self.uptime_seconds)
+            .raw("trace", &trace_obj.finish())
             .u64("packets_in", self.packets_in)
             .u64("bytes_in", self.bytes_in)
             .u64("packets_classified", self.packets_classified)
@@ -1402,7 +1641,10 @@ impl MetricsSnapshot {
                     .u64("packets", s.packets)
                     .u64("bytes", s.bytes)
                     .u64("batches", s.batches)
-                    .u64("ring_full_drops", s.ring_full_drops);
+                    .u64("ring_full_drops", s.ring_full_drops)
+                    .u64("ring_occupancy", s.ring_occupancy)
+                    .u64("ring_occupancy_hwm", s.ring_occupancy_hwm)
+                    .u64("delivered_ts_nanos", s.delivered_ts_nanos);
                 buf.push_str(&so.finish());
             }
             buf.push(']');
@@ -1422,7 +1664,8 @@ impl MetricsSnapshot {
                     .u64("ring_full_drops", w.ring_full_drops)
                     .u64("truncated", w.truncated)
                     .u64("records_received", w.records_received)
-                    .bool("complete", w.complete);
+                    .bool("complete", w.complete)
+                    .str("link_state", link_state::name(w.link_state));
                 buf.push_str(&wo.finish());
             }
             buf.push(']');
@@ -1442,6 +1685,33 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{name} {v}");
         }
         let mut out2 = String::with_capacity(4096);
+        {
+            let (version, git_sha, features) = build_info();
+            let _ = writeln!(
+                out2,
+                "# HELP zoom_build_info Build metadata; the value is always 1."
+            );
+            let _ = writeln!(out2, "# TYPE zoom_build_info gauge");
+            let _ = writeln!(
+                out2,
+                "zoom_build_info{} 1",
+                prom_labels(
+                    &["version", "git_sha", "features"],
+                    &[
+                        version.to_string(),
+                        git_sha.to_string(),
+                        features.to_string()
+                    ]
+                )
+            );
+            family(
+                &mut out2,
+                "zoom_uptime_seconds",
+                "gauge",
+                "Seconds since the metrics registry was created.",
+                self.uptime_seconds,
+            );
+        }
         for (name, help, v) in [
             (
                 "zoom_packets_in_total",
@@ -1544,6 +1814,27 @@ impl MetricsSnapshot {
                     let _ =
                         writeln!(out2, "zoom_shard_pending_records{{shard=\"{i}\"}} {}", s.pending);
                 }
+                let _ = writeln!(
+                    out2,
+                    "# HELP zoom_shard_drained_total Batches each shard worker drained off its channel."
+                );
+                let _ = writeln!(out2, "# TYPE zoom_shard_drained_total counter");
+                for (i, s) in self.shards.iter().enumerate() {
+                    let _ =
+                        writeln!(out2, "zoom_shard_drained_total{{shard=\"{i}\"}} {}", s.drained);
+                }
+                let _ = writeln!(
+                    out2,
+                    "# HELP zoom_shard_channel_depth Batches queued in each shard's channel."
+                );
+                let _ = writeln!(out2, "# TYPE zoom_shard_channel_depth gauge");
+                for (i, s) in self.shards.iter().enumerate() {
+                    let _ = writeln!(
+                        out2,
+                        "zoom_shard_channel_depth{{shard=\"{i}\"}} {}",
+                        s.channel_depth()
+                    );
+                }
             }
 
             for (name, help, v) in [
@@ -1583,6 +1874,20 @@ impl MetricsSnapshot {
                 ),
             ] {
                 family(&mut out2, name, "gauge", help, v);
+            }
+            for (name, help, v) in [
+                (
+                    "zoom_trace_events_total",
+                    "Trace span events recorded by the collector.",
+                    self.trace_events,
+                ),
+                (
+                    "zoom_trace_events_dropped_total",
+                    "Trace events dropped at the bounded export queue.",
+                    self.trace_events_dropped,
+                ),
+            ] {
+                family(&mut out2, name, "counter", help, v);
             }
 
             let _ = writeln!(
@@ -1690,6 +1995,41 @@ impl MetricsSnapshot {
                         );
                     }
                 }
+                let max_delivered = self
+                    .sources
+                    .iter()
+                    .map(|s| s.delivered_ts_nanos)
+                    .max()
+                    .unwrap_or(0);
+                for (name, help, get) in [
+                    (
+                        "zoom_source_ring_occupancy",
+                        "Batches queued in each source's hand-off ring at the last sample.",
+                        (|s: &SourceSnapshot, _m: u64| s.ring_occupancy)
+                            as fn(&SourceSnapshot, u64) -> u64,
+                    ),
+                    (
+                        "zoom_source_ring_occupancy_peak",
+                        "High-water mark of each source's ring occupancy.",
+                        |s, _m| s.ring_occupancy_hwm,
+                    ),
+                    (
+                        "zoom_source_lag_nanos",
+                        "Trace-time lag of each source lane behind the furthest-ahead lane.",
+                        |s, m| m.saturating_sub(s.delivered_ts_nanos),
+                    ),
+                ] {
+                    let _ = writeln!(out2, "# HELP {name} {help}");
+                    let _ = writeln!(out2, "# TYPE {name} gauge");
+                    for s in &self.sources {
+                        let _ = writeln!(
+                            out2,
+                            "{name}{} {}",
+                            prom_labels(&["source"], std::slice::from_ref(&s.label)),
+                            get(s, max_delivered)
+                        );
+                    }
+                }
             }
 
             if !self.workers.is_empty() {
@@ -1724,6 +2064,12 @@ impl MetricsSnapshot {
                         "1 once a worker's stream ended with a proper Bye frame.",
                         |w| u64::from(w.complete),
                     ),
+                    (
+                        "zoom_worker_link_state",
+                        "gauge",
+                        "Worker stream state: 0 pending, 1 streaming, 2 done, 3 error.",
+                        |w| w.link_state,
+                    ),
                 ] {
                     let _ = writeln!(out2, "# HELP {name} {help}");
                     let _ = writeln!(out2, "# TYPE {name} {kind}");
@@ -1740,67 +2086,6 @@ impl MetricsSnapshot {
         }
         out2
     }
-}
-
-// ------------------------------------------------------------- tracing --
-
-/// Structured span/event hooks around the engine's coarse operations
-/// (shard merge, checkpoint, drain).
-///
-/// With the `obs-trace` cargo feature enabled, spans time themselves and
-/// emit one structured line to stderr on drop; events emit immediately.
-/// Without the feature every call is an empty `#[inline(always)]` stub
-/// and the whole module compiles to nothing — zero cost on hot paths.
-#[cfg(feature = "obs-trace")]
-pub mod trace {
-    use std::time::Instant;
-
-    /// A timed span; emits `[obs] span=<name> elapsed_us=<n>` on drop.
-    pub struct Span {
-        name: &'static str,
-        start: Instant,
-    }
-
-    /// Open a span around an operation.
-    #[must_use = "a span times until it is dropped"]
-    pub fn span(name: &'static str) -> Span {
-        Span {
-            name,
-            start: Instant::now(),
-        }
-    }
-
-    impl Drop for Span {
-        fn drop(&mut self) {
-            eprintln!(
-                "[obs] span={} elapsed_us={}",
-                self.name,
-                self.start.elapsed().as_micros()
-            );
-        }
-    }
-
-    /// Emit one structured event line.
-    pub fn event(name: &'static str, detail: &str) {
-        eprintln!("[obs] event={name} {detail}");
-    }
-}
-
-/// Zero-cost stand-ins compiled when the `obs-trace` feature is off.
-#[cfg(not(feature = "obs-trace"))]
-pub mod trace {
-    /// Zero-sized disabled span.
-    pub struct Span;
-
-    /// No-op; returns a zero-sized [`Span`].
-    #[inline(always)]
-    pub fn span(_name: &'static str) -> Span {
-        Span
-    }
-
-    /// No-op.
-    #[inline(always)]
-    pub fn event(_name: &'static str, _detail: &str) {}
 }
 
 #[cfg(test)]
@@ -1967,6 +2252,18 @@ mod tests {
         m.qoe.degraded.with(&["3", "low_fps"], |g| g.set(1));
         m.qoe.estimated_rtt_ms.set(23.5);
         let prom = m.snapshot().to_prom();
+        // The build_info labels track the crate version / baked-in SHA,
+        // so that one line is formatted rather than hard-pinned; the
+        // schema around it stays byte-pinned.
+        let (version, git_sha, features) = build_info();
+        let header = format!(
+            "# HELP zoom_build_info Build metadata; the value is always 1.\n\
+             # TYPE zoom_build_info gauge\n\
+             zoom_build_info{{version=\"{version}\",git_sha=\"{git_sha}\",features=\"{features}\"}} 1\n\
+             # HELP zoom_uptime_seconds Seconds since the metrics registry was created.\n\
+             # TYPE zoom_uptime_seconds gauge\n\
+             zoom_uptime_seconds 0\n"
+        );
         let expected = "\
 # HELP zoom_packets_in_total Records offered to the analysis sink.
 # TYPE zoom_packets_in_total counter
@@ -2014,6 +2311,12 @@ zoom_shard_batches_total{shard=\"0\"} 1
 # HELP zoom_shard_pending_records Records batched at the router, not yet flushed.
 # TYPE zoom_shard_pending_records gauge
 zoom_shard_pending_records{shard=\"0\"} 0
+# HELP zoom_shard_drained_total Batches each shard worker drained off its channel.
+# TYPE zoom_shard_drained_total counter
+zoom_shard_drained_total{shard=\"0\"} 0
+# HELP zoom_shard_channel_depth Batches queued in each shard's channel.
+# TYPE zoom_shard_channel_depth gauge
+zoom_shard_channel_depth{shard=\"0\"} 1
 # HELP zoom_windows_closed_total Tumbling windows closed by the streaming engine.
 # TYPE zoom_windows_closed_total counter
 zoom_windows_closed_total 1
@@ -2032,6 +2335,12 @@ zoom_tracked_entries 4
 # HELP zoom_peak_tracked_entries High-water mark of tracked entries.
 # TYPE zoom_peak_tracked_entries gauge
 zoom_peak_tracked_entries 9
+# HELP zoom_trace_events_total Trace span events recorded by the collector.
+# TYPE zoom_trace_events_total counter
+zoom_trace_events_total 0
+# HELP zoom_trace_events_dropped_total Trace events dropped at the bounded export queue.
+# TYPE zoom_trace_events_dropped_total counter
+zoom_trace_events_dropped_total 0
 # HELP zoom_packet_size_bytes Captured-size distribution of offered records.
 # TYPE zoom_packet_size_bytes histogram
 zoom_packet_size_bytes_bucket{le=\"64\"} 0
@@ -2106,7 +2415,7 @@ zoom_qoe_series_evicted_total{family=\"frame_size_bytes\"} 0
 zoom_qoe_series_evicted_total{family=\"retransmissions\"} 0
 zoom_qoe_series_evicted_total{family=\"degraded\"} 0
 ";
-        assert_eq!(prom, expected);
+        assert_eq!(prom, format!("{header}{expected}"));
     }
 
     #[test]
@@ -2123,6 +2432,11 @@ zoom_qoe_series_evicted_total{family=\"degraded\"} 0
         let json = s.to_json();
         for key in [
             "\"type\":\"metrics\"",
+            "\"build\":{\"version\":",
+            "\"git_sha\":",
+            "\"features\":",
+            "\"uptime_seconds\":",
+            "\"trace\":{\"events\":0,\"events_dropped\":0}",
             "\"packets_in\":1",
             "\"drops\":{",
             "\"conservation_holds\":true",
@@ -2230,5 +2544,95 @@ zoom_qoe_series_evicted_total{family=\"degraded\"} 0
     fn trace_stubs_compile_and_run() {
         let _s = trace::span("test");
         trace::event("test", "detail=1");
+    }
+
+    /// Pin the exposition-format escaping of user-supplied label values:
+    /// worker labels and source specs arrive from the command line, so a
+    /// path containing `\`, `"`, or a newline must render as the escape
+    /// sequences Prometheus's parser expects, never raw.
+    #[test]
+    fn prom_label_values_are_escaped() {
+        let m = PipelineMetrics::new(0);
+        let src = m.register_source("pcap:C:\\traces\\a \"prod\" run\n.pcap");
+        src.packets.inc();
+        let w = m.register_worker("box\\one\"two\nthree");
+        w.packets.set(1);
+        m.qoe
+            .degraded
+            .with(&["5", "weird\\\"kind\n"], |g| g.set(1));
+        let prom = m.snapshot().to_prom();
+        assert!(prom.contains(
+            r#"zoom_source_packets_total{source="pcap:C:\\traces\\a \"prod\" run\n.pcap"} 1"#
+        ));
+        assert!(prom.contains(r#"zoom_worker_packets_total{worker="box\\one\"two\nthree"} 1"#));
+        assert!(prom.contains(r#"zoom_qoe_degraded{meeting="5",kind="weird\\\"kind\n"} 1"#));
+        // No label line may carry a raw newline or unescaped quote: every
+        // rendered line must still be a complete `name{...} value` line.
+        for line in prom.lines().filter(|l| l.contains("box\\\\one")) {
+            assert!(
+                line.ends_with(" 0") || line.ends_with(" 1"),
+                "label leaked a raw newline: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_info_and_uptime_render_everywhere() {
+        let (version, git_sha, features) = build_info();
+        assert!(!version.is_empty());
+        assert!(!git_sha.is_empty());
+        let m = PipelineMetrics::new(0);
+        let s = m.snapshot();
+        let prom = s.to_prom();
+        assert!(prom.starts_with("# HELP zoom_build_info"));
+        assert!(prom.contains(&format!(
+            "zoom_build_info{{version=\"{version}\",git_sha=\"{git_sha}\",features=\"{features}\"}} 1"
+        )));
+        assert!(prom.contains("zoom_uptime_seconds 0"));
+        let json = s.to_json();
+        assert!(json.contains(&format!("\"version\":\"{version}\"")));
+        assert!(json.contains("\"uptime_seconds\":0"));
+    }
+
+    #[test]
+    fn debug_json_exposes_live_pipeline_state() {
+        let m = PipelineMetrics::new(2);
+        let src = m.register_source("pcap:a.pcap");
+        src.ring_occupancy.set(3);
+        src.ring_occupancy_hwm.set_max(7);
+        src.delivered_ts_nanos.set(1_000);
+        let lagging = m.register_source("pcap:b.pcap");
+        lagging.delivered_ts_nanos.set(400);
+        m.shards[0].batches.add(5);
+        m.shards[0].drained.add(3);
+        let w = m.register_worker("box-a");
+        w.link_state.set(link_state::STREAMING);
+        m.trace.enable(4, "merge");
+
+        let json = m.debug_json();
+        for key in [
+            "\"type\":\"debug_pipeline\"",
+            "\"build\":{\"version\":",
+            "\"ring_occupancy\":3",
+            "\"ring_occupancy_hwm\":7",
+            "\"lag_nanos\":600",
+            "\"channel_depth\":2",
+            "\"link_state\":\"streaming\"",
+            "\"tables\":{\"tracked_entries\":0",
+            "\"trace\":{\"enabled\":true,\"node\":\"merge\",\"sample_every\":4",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn shard_channel_depth_saturates() {
+        let s = ShardSnapshot {
+            routed: 0,
+            batches: 2,
+            pending: 0,
+            drained: 3,
+        };
+        assert_eq!(s.channel_depth(), 0);
     }
 }

@@ -1037,8 +1037,20 @@ impl PacketSink for Analyzer {
     /// order — same observable state as per-record
     /// [`Analyzer::process_packet`] calls.
     fn push_batch(&mut self, batch: &RecordBatch, link: LinkType) -> Result<(), Error> {
+        let traced = batch.trace_id;
+        let dissect_start = (traced != 0).then(std::time::Instant::now);
         let mut arena = std::mem::take(&mut self.peek_arena);
         dissect_batch(batch, link, self.config.family_select().probe(), &mut arena);
+        if let Some(t0) = dissect_start {
+            self.metrics.trace.record(
+                traced,
+                crate::obs::trace::spans::DISSECT,
+                "analyzer",
+                batch.len() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+            self.metrics.trace.note_trace(traced);
+        }
         for (i, r) in batch.iter().enumerate() {
             let sampled_at = self
                 .total_packets

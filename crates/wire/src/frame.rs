@@ -25,6 +25,14 @@
 //! | 2    | Records    | `count u32 BE`, then per record `ts u64 BE`, `orig_len u32 BE`, `cap_len u32 BE`, `cap_len` bytes |
 //! | 3    | Accounting | cumulative `packets`, `bytes`, `batches`, `ring_full_drops`, `truncated` (all `u64 BE`) |
 //! | 4    | Bye        | same payload as Accounting — the worker's final totals |
+//! | 5    | Trace      | `trace_id u64 BE`, then NDJSON span-event lines (UTF-8) |
+//!
+//! A Trace frame carries the worker-side span events for the trace ID
+//! that annotates the **next** Records frame, letting a merge node
+//! stitch the worker's causal tree onto its own spans. Workers only
+//! emit Trace frames when tracing is enabled, so untraced streams are
+//! byte-identical to protocol version 1 as shipped before trace
+//! support — the addition is backwards compatible on the wire.
 //!
 //! The Hello frame must come first (the writer emits it with the stream
 //! header); Accounting frames may appear at any point and carry the
@@ -83,6 +91,7 @@ const KIND_HELLO: u8 = 1;
 const KIND_RECORDS: u8 = 2;
 const KIND_ACCOUNTING: u8 = 3;
 const KIND_BYE: u8 = 4;
+const KIND_TRACE: u8 = 5;
 
 /// Cumulative capture-side accounting a worker ships alongside its
 /// records, mirroring the fan-in's per-lane counters.
@@ -138,6 +147,13 @@ pub enum FrameEvent {
     },
     /// A mid-stream cumulative accounting update.
     Accounting(Totals),
+    /// Span events for `trace_id`, annotating the next Records frame.
+    /// The NDJSON payload is borrowed via
+    /// [`FrameReader::trace_ndjson`] until the next `next()` call.
+    Trace {
+        /// The trace ID the shipped span events belong to.
+        trace_id: u64,
+    },
     /// The worker's final totals; no frames follow.
     Bye(Totals),
 }
@@ -219,6 +235,19 @@ impl<W: Write> FrameWriter<W> {
         let mut payload = Vec::with_capacity(40);
         totals.emit(&mut payload);
         self.write_frame(KIND_ACCOUNTING, &payload)
+    }
+
+    /// Ships the span events for `trace_id` as NDJSON, annotating the
+    /// next Records frame. Only emitted on traced runs; empty payloads
+    /// are skipped so an idle trace tick costs no frame.
+    pub fn write_trace(&mut self, trace_id: u64, ndjson: &[u8]) -> io::Result<()> {
+        if ndjson.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(8 + ndjson.len());
+        payload.extend_from_slice(&trace_id.to_be_bytes());
+        payload.extend_from_slice(ndjson);
+        self.write_frame(KIND_TRACE, &payload)
     }
 
     /// Records shipped so far across all Records frames.
@@ -310,6 +339,18 @@ impl<R: Read> FrameReader<R> {
         self.records_read
     }
 
+    /// The NDJSON span events of the Trace frame [`next`](Self::next)
+    /// just returned. Borrowed from the frame scratch buffer — valid
+    /// only until the next `next()` call, and meaningless unless the
+    /// last event was [`FrameEvent::Trace`].
+    pub fn trace_ndjson(&self) -> &[u8] {
+        if self.payload.len() >= 8 {
+            &self.payload[8..]
+        } else {
+            &[]
+        }
+    }
+
     /// Decodes the next frame. Records are **appended** to `batch`;
     /// `Ok(None)` signals EOF (check [`saw_bye`](Self::saw_bye) for
     /// whether it was a clean end of stream).
@@ -330,6 +371,14 @@ impl<R: Read> FrameReader<R> {
                 Ok(Some(FrameEvent::Records { count }))
             }
             KIND_ACCOUNTING => Ok(Some(FrameEvent::Accounting(Totals::parse(&self.payload)?))),
+            KIND_TRACE => {
+                if self.payload.len() < 8 {
+                    return Err(Error::Malformed);
+                }
+                Ok(Some(FrameEvent::Trace {
+                    trace_id: be64(&self.payload, 0),
+                }))
+            }
             KIND_BYE => {
                 self.saw_bye = true;
                 Ok(Some(FrameEvent::Bye(Totals::parse(&self.payload)?)))
@@ -458,6 +507,45 @@ mod tests {
         assert_eq!((r1.ts_nanos, r1.orig_len, r1.data.len()), (20, 1500, 64));
         let r2 = batch.get(2).unwrap();
         assert_eq!((r2.ts_nanos, r2.orig_len), (30, 80));
+    }
+
+    #[test]
+    fn trace_frames_roundtrip_and_annotate_the_next_records() {
+        let mut w = FrameWriter::new(Vec::new(), "worker-a", LinkType::Ethernet).unwrap();
+        let ndjson = b"{\"type\":\"trace_span\",\"span\":\"source_read\"}\n";
+        w.write_trace(0x00C0_FFEE_00C0_FFEE, ndjson).unwrap();
+        let mut batch = RecordBatch::new();
+        batch.push(10, 60, &[0xAA; 60]);
+        w.write_batch(&batch).unwrap();
+        // Empty trace payloads cost no frame.
+        w.write_trace(1, b"").unwrap();
+        let bytes = w.finish(Totals::default()).unwrap();
+
+        let mut r = FrameReader::new(&bytes[..]).unwrap();
+        let mut out = RecordBatch::new();
+        assert_eq!(
+            r.next(&mut out).unwrap(),
+            Some(FrameEvent::Trace {
+                trace_id: 0x00C0_FFEE_00C0_FFEE
+            })
+        );
+        assert_eq!(r.trace_ndjson(), ndjson);
+        assert_eq!(
+            r.next(&mut out).unwrap(),
+            Some(FrameEvent::Records { count: 1 })
+        );
+        assert!(matches!(r.next(&mut out).unwrap(), Some(FrameEvent::Bye(_))));
+        assert!(r.saw_bye());
+    }
+
+    #[test]
+    fn short_trace_payload_is_malformed() {
+        let mut w = FrameWriter::new(Vec::new(), "w", LinkType::Ethernet).unwrap();
+        w.write_frame(KIND_TRACE, &[0u8; 4]).unwrap(); // < 8-byte trace_id
+        let bytes = w.finish(Totals::default()).unwrap();
+        let mut r = FrameReader::new(&bytes[..]).unwrap();
+        let mut out = RecordBatch::new();
+        assert_eq!(r.next(&mut out).unwrap_err(), Error::Malformed);
     }
 
     #[test]

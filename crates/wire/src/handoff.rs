@@ -63,6 +63,11 @@ struct Slot {
 pub struct RecordBatch {
     slots: Vec<Slot>,
     arena: Vec<u8>,
+    /// Causal trace ID stamped by a sampled capture site (`0` =
+    /// untraced, the overwhelmingly common case). Rides the batch
+    /// through every hand-off so downstream stages can attribute their
+    /// span events to the batch's trace; cleared with the records.
+    pub trace_id: u64,
 }
 
 impl RecordBatch {
@@ -77,6 +82,7 @@ impl RecordBatch {
         RecordBatch {
             slots: Vec::with_capacity(records),
             arena: Vec::with_capacity(bytes),
+            trace_id: 0,
         }
     }
 
@@ -135,6 +141,7 @@ impl RecordBatch {
     pub fn clear(&mut self) {
         self.slots.clear();
         self.arena.clear();
+        self.trace_id = 0;
     }
 }
 
@@ -203,8 +210,10 @@ mod tests {
         }
         let slot_cap = b.slots.capacity();
         let arena_cap = b.arena.capacity();
+        b.trace_id = 0xDEAD_BEEF;
         b.clear();
         assert!(b.is_empty());
+        assert_eq!(b.trace_id, 0, "clear() must reset the trace tag");
         assert_eq!(b.arena_bytes(), 0);
         assert_eq!(b.slots.capacity(), slot_cap);
         assert_eq!(b.arena.capacity(), arena_cap);

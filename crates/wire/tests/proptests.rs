@@ -317,6 +317,9 @@ proptest! {
                     prop_assert_eq!(t, totals);
                     bye = Some(t);
                 }
+                FrameEvent::Trace { .. } => {
+                    prop_assert!(false, "untraced writer emitted a Trace frame");
+                }
             }
         }
         prop_assert!(bye.is_some(), "stream must end with Bye");
